@@ -1,0 +1,90 @@
+// A10 — extension: false alarms under transient network outages.
+//
+// The paper's probe protocols declare a device absent after one
+// unanswered cycle (4 probes, ~85 ms). That makes detection fast — the
+// intro's "order of one second" — but any network outage longer than a
+// probe cycle is indistinguishable from a crash. This bench quantifies
+// the classic failure-detector completeness/accuracy trade-off the
+// paper inherits: fraction of CPs that falsely declare a *present*
+// device absent, as a function of outage duration.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "scenario/experiment.hpp"
+#include "trace/table.hpp"
+#include "util/cli.hpp"
+
+using namespace probemon;
+
+namespace {
+
+struct Outcome {
+  double false_alarm_fraction;  ///< CPs declaring absence during outage
+  double mean_alarm_time;       ///< after outage start (s); -1 if none
+};
+
+Outcome run(scenario::Protocol protocol, double outage, std::uint64_t seed) {
+  constexpr double kOutageStart = 300.0;
+  constexpr std::size_t k = 12;
+  scenario::ExperimentConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.initial_cps = k;
+  config.metrics.record_delay_series = false;
+  scenario::Experiment exp(config);
+  if (outage > 0) {
+    exp.network().schedule_outage(kOutageStart, kOutageStart + outage);
+  }
+  exp.run_until(kOutageStart + outage + 30.0);
+  exp.finish();
+
+  std::size_t alarms = 0;
+  double total = 0;
+  for (const auto& [id, m] : exp.metrics().per_cp()) {
+    if (m.declared_absent_at) {
+      ++alarms;
+      total += *m.declared_absent_at - kOutageStart;
+    }
+  }
+  return Outcome{static_cast<double>(alarms) / static_cast<double>(k),
+                 alarms ? total / static_cast<double>(alarms) : -1.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto seed = cli.get<std::uint64_t>("seed", 21);
+  cli.finish("A10: false-alarm rate vs network outage duration");
+
+  benchutil::print_header(
+      "A10", "false alarms under transient network outages (extension)",
+      "one unanswered probe cycle (~85 ms after the last scheduled probe) "
+      "already means 'absent': outages longer than a CP's probing period "
+      "+ 85 ms make every active CP raise a false alarm");
+
+  trace::Table table(
+      {"outage (s)", "protocol", "false-alarm fraction", "mean alarm t (s)"});
+  for (double outage : {0.0, 0.05, 0.2, 0.5, 1.0, 3.0, 12.0}) {
+    for (auto protocol :
+         {scenario::Protocol::kSapp, scenario::Protocol::kDcpp}) {
+      const Outcome o = run(protocol, outage, seed);
+      table.row()
+          .cell(outage, 2)
+          .cell(scenario::to_string(protocol))
+          .cell(o.false_alarm_fraction, 2)
+          .cell(o.mean_alarm_time, 3);
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: no alarms without an outage; DCPP (probing period "
+         "max(k*0.1, 0.5) = 1.2 s at k = 12) rides out sub-second blips "
+         "that catch only the CPs whose cycle fell inside the window, and "
+         "alarms universally for outages past its period + 85 ms. SAPP's "
+         "starved CPs (period 10 s) ride out even 3-s outages, its fast "
+         "CP alarms within ~0.2 s -- unfairness shows up as wildly "
+         "inconsistent failure verdicts across CPs.\n";
+  benchutil::print_footer();
+  return 0;
+}

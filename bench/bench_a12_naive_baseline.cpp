@@ -1,0 +1,106 @@
+// A12 — the naive fixed-rate baseline vs the adaptive protocols.
+//
+// Paper introduction: "The simplest scheme one could consider is to
+// regularly probe a device … This scheme, however, easily leads to
+// over- or underloading of devices. The essence of both algorithms is
+// therefore to automatically adapt the probing frequency."
+//
+// We measure device load vs population size for the naive prober
+// (1 probe/s per CP, the obvious way to satisfy the 'detect within a
+// second' requirement), SAPP and DCPP. The naive load grows linearly
+// and crosses the device's capacity; the adaptive protocols pin it.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "scenario/experiment.hpp"
+#include "trace/table.hpp"
+#include "util/cli.hpp"
+
+using namespace probemon;
+
+namespace {
+
+struct Outcome {
+  double load;
+  double detection_mean;
+  std::size_t false_alarms;  ///< CPs whose first 'absent' predates departure
+};
+
+Outcome run(scenario::Protocol protocol, std::size_t k, std::uint64_t seed) {
+  constexpr double kDepart = 1200.0;
+  scenario::ExperimentConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.initial_cps = k;
+  // A naive implementation shrugs off a failed cycle and keeps probing;
+  // without this, queueing-induced false alarms silently thin out the
+  // fixed-rate population at large k.
+  config.fixed_cp.continue_after_absence = true;
+  config.metrics.warmup = 300.0;
+  config.metrics.record_delay_series = false;
+  config.metrics.load_window = 10.0;
+  scenario::Experiment exp(config);
+  exp.schedule_device_departure(kDepart);
+  exp.run_until(kDepart + 15.0);
+  exp.finish();
+  const auto load =
+      exp.metrics().device_load().series().summary(300.0, kDepart);
+  double detect = 0;
+  const auto lat = exp.metrics().detection_latencies();
+  for (double l : lat) detect += l;
+  std::size_t false_alarms = 0;
+  for (const auto& [id, m] : exp.metrics().per_cp()) {
+    if (m.declared_absent_at && *m.declared_absent_at < kDepart) {
+      ++false_alarms;
+    }
+  }
+  return Outcome{
+      load.mean(),
+      lat.empty() ? -1.0 : detect / static_cast<double>(lat.size()),
+      false_alarms};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto seed = cli.get<std::uint64_t>("seed", 31);
+  cli.finish("A12: naive fixed-rate baseline vs SAPP vs DCPP");
+
+  benchutil::print_header(
+      "A12", "naive fixed-rate probing vs the adaptive protocols (intro)",
+      "fixed-rate load grows as k/period and tramples the device's "
+      "L_nom = 10; SAPP and DCPP keep it bounded at every k");
+
+  trace::Table table({"k CPs", "protocol", "device load (cap 10)",
+                      "mean detection latency (s)", "false alarms"});
+  for (std::size_t k : {2u, 5u, 10u, 20u, 40u, 80u}) {
+    for (auto protocol :
+         {scenario::Protocol::kFixedRate, scenario::Protocol::kSapp,
+          scenario::Protocol::kDcpp}) {
+      const Outcome o = run(protocol, k, seed + k);
+      table.row()
+          .cell(static_cast<std::uint64_t>(k))
+          .cell(scenario::to_string(protocol))
+          .cell(o.load, 2)
+          .cell(o.detection_mean, 3)
+          .cell(static_cast<std::uint64_t>(o.false_alarms));
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nExpected: FixedRate load = k probes/s; past the device's "
+         "capacity (~10/s serial service) queueing delays blow the TOF "
+         "budget and false alarms explode -- overload AND inaccuracy, the "
+         "intro's point measured. SAPP and DCPP hold ~10 at every k; the "
+         "price SAPP pays is detection latency (starved CPs), which DCPP "
+         "avoids. (Detection means marked -1 are k where earlier false "
+         "alarms consumed every CP's first verdict. FixedRate's load at "
+         "k >= 40 exceeds k: past the serial device's capacity, timeouts "
+         "spawn retransmissions that snowball into congestion collapse. "
+         "SAPP's false alarms at k >= 40 are startup-transient "
+         "casualties: its descent from delta_max overshoots the device "
+         "before the adaptation spreads the population out.)\n";
+  benchutil::print_footer();
+  return 0;
+}

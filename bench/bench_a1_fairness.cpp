@@ -1,0 +1,71 @@
+// A1 — ablation: fairness of SAPP vs DCPP across population sizes.
+//
+// The paper's qualitative claim: SAPP is fair for k <= 2 and unfair from
+// k = 3 on; DCPP equalizes frequencies for every k. We quantify with
+// Jain's index over mean per-CP probe frequencies (1.0 = perfectly fair).
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "scenario/experiment.hpp"
+#include "stats/series.hpp"
+#include "trace/table.hpp"
+
+using namespace probemon;
+
+namespace {
+
+struct Run {
+  double jain;
+  double load;
+};
+
+Run run_protocol(scenario::Protocol protocol, std::size_t k,
+                 std::uint64_t seed) {
+  constexpr double kDuration = 4000.0;
+  constexpr double kWarmup = 1000.0;
+  scenario::ExperimentConfig config;
+  config.protocol = protocol;
+  config.seed = seed;
+  config.initial_cps = k;
+  config.metrics.warmup = kWarmup;
+  config.metrics.record_delay_series = false;
+  config.metrics.load_window = 10.0;
+  scenario::Experiment exp(config);
+  exp.run_until(kDuration);
+  exp.finish();
+  const auto load =
+      exp.metrics().device_load().series().summary(kWarmup, kDuration);
+  return Run{exp.metrics().frequency_fairness(), load.mean()};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "A1", "fairness: Jain index of per-CP frequencies, SAPP vs DCPP",
+      "SAPP fair only for k <= 2 (paper: \"for one or two CPs the probe "
+      "frequencies were balanced\"); DCPP fair for all k (section 5)");
+
+  trace::Table table({"k CPs", "SAPP Jain", "SAPP load", "DCPP Jain",
+                      "DCPP load", "fair protocol"});
+  for (std::size_t k : {1u, 2u, 3u, 5u, 10u, 20u, 40u}) {
+    const Run sapp = run_protocol(scenario::Protocol::kSapp, k, 100 + k);
+    const Run dcpp = run_protocol(scenario::Protocol::kDcpp, k, 200 + k);
+    table.row()
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(sapp.jain, 3)
+        .cell(sapp.load, 2)
+        .cell(dcpp.jain, 3)
+        .cell(dcpp.load, 2)
+        .cell(dcpp.jain >= sapp.jain ? "DCPP" : "SAPP");
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: SAPP Jain degrades sharply with k while "
+               "DCPP stays ~1.0 throughout; DCPP load = min(10, 2k).\n"
+               "Deviation note: the paper reports balance for k = 2 as "
+               "well; with our serial (queueing) device model the "
+               "duplicate-reply ratchet already splits a 2-CP population "
+               "(see EXPERIMENTS.md).\n";
+  benchutil::print_footer();
+  return 0;
+}

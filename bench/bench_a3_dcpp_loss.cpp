@@ -1,0 +1,121 @@
+// A3 — ablation: DCPP under packet loss.
+//
+// Fig 5's scenario assumes no loss; the paper conjectures: "In case of
+// packet losses, however, ... the load caused by new CPs will spread
+// better over time ... the peaks in the device load ... will be a bit
+// wider." We test with iid (Bernoulli) and bursty (Gilbert-Elliott)
+// loss: peak load should drop and spikes should widen while the mean
+// stays near L_nom.
+#include <functional>
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "net/loss_model.hpp"
+#include "scenario/churn.hpp"
+#include "scenario/experiment.hpp"
+#include "trace/table.hpp"
+
+using namespace probemon;
+
+namespace {
+
+struct Outcome {
+  double mean, var, max;
+  double spike_width;  ///< mean run length (s) of samples > 1.5 * L_nom
+  double frac_over;    ///< fraction of samples > 1.5 * L_nom
+};
+
+Outcome run(std::function<net::LossModelPtr()> loss_factory,
+            std::uint64_t seed) {
+  constexpr double kDuration = 3000.0;
+  constexpr double kWarmup = 200.0;
+  constexpr double kThreshold = 15.0;  // 1.5 * L_nom
+
+  scenario::ExperimentConfig config;
+  config.protocol = scenario::Protocol::kDcpp;
+  config.seed = seed;
+  config.initial_cps = 20;
+  config.loss_factory = std::move(loss_factory);
+  config.join_jitter_max = 0.0;  // worst case, as in F5
+  config.metrics.record_delay_series = false;
+  config.metrics.load_window = 1.0;
+  config.metrics.load_sample_every = 1.0;
+
+  scenario::Experiment exp(config);
+  exp.install_churn(
+      std::make_unique<scenario::DynamicUniformChurn>(1, 60, 0.05));
+  exp.run_until(kDuration);
+  exp.finish();
+
+  const auto& series = exp.metrics().device_load().series();
+  const auto w = series.summary(kWarmup, kDuration);
+
+  // Spike widths: runs of consecutive samples above the threshold.
+  double total_over = 0;
+  std::size_t runs = 0;
+  bool in_run = false;
+  std::size_t over = 0;
+  for (const auto& s : series.samples()) {
+    if (s.t < kWarmup) continue;
+    if (s.value > kThreshold) {
+      ++over;
+      if (!in_run) {
+        in_run = true;
+        ++runs;
+      }
+      total_over += 1.0;  // 1 s per sample
+    } else {
+      in_run = false;
+    }
+  }
+  const double width = runs ? total_over / static_cast<double>(runs) : 0.0;
+  const double frac =
+      static_cast<double>(over) / static_cast<double>(series.size());
+  return Outcome{w.mean(), w.variance(), w.max(), width, frac};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "A3", "DCPP dynamic scenario under packet loss",
+      "conjecture (section 5): loss spreads join bursts over time -- "
+      "lower peaks, wider spikes, mean load still ~L_nom = 10");
+
+  struct Case {
+    const char* name;
+    std::function<net::LossModelPtr()> factory;
+  };
+  const Case cases[] = {
+      {"no loss (Fig 5)", [] { return net::make_no_loss(); }},
+      {"Bernoulli 1%", [] { return net::make_bernoulli_loss(0.01); }},
+      {"Bernoulli 5%", [] { return net::make_bernoulli_loss(0.05); }},
+      {"Bernoulli 15%", [] { return net::make_bernoulli_loss(0.15); }},
+      {"Gilbert-Elliott bursty (~5%)",
+       [] { return net::make_gilbert_elliott_loss(0.02, 0.30, 0.001, 0.8); }},
+  };
+
+  trace::Table table({"loss model", "mean load", "load var", "max load",
+                      "mean spike width (s)", "frac > 1.5*L_nom"});
+  std::uint64_t seed = 55;  // same base seed as F5
+  for (const auto& c : cases) {
+    const Outcome o = run(c.factory, seed);
+    table.row()
+        .cell(c.name)
+        .cell(o.mean, 2)
+        .cell(o.var, 1)
+        .cell(o.max, 1)
+        .cell(o.spike_width, 2)
+        .cell(o.frac_over, 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nMeasured shape: the mean load stays pinned near L_nom "
+               "regardless of loss -- DCPP's scheduling is loss-robust. "
+               "The paper conjectured wider, lower spikes; at 1-s "
+               "resolution the spike width barely moves, and the "
+               "retransmissions triggered by lost probes instead add "
+               "traffic on top of join bursts (variance and max grow "
+               "mildly with the loss rate).\n";
+  benchutil::print_footer();
+  return 0;
+}

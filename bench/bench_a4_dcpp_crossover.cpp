@@ -1,0 +1,67 @@
+// A4 — ablation: DCPP steady-state load vs population size.
+//
+// Analysis (section 4's constraints): with k CPs the device load is
+// min(L_nom, k * f_max) and the per-CP inter-probe time is
+// max(k * delta_min, d_min). With delta_min = 0.1 and d_min = 0.5 the
+// crossover sits at k = d_min/delta_min = 5. Per-CP frequencies stay
+// equal (Jain ~ 1) on both sides.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "scenario/experiment.hpp"
+#include "stats/welford.hpp"
+#include "trace/table.hpp"
+
+using namespace probemon;
+
+int main() {
+  benchutil::print_header(
+      "A4", "DCPP load/frequency crossover at k = d_min/delta_min",
+      "device load = min(L_nom, k*f_max) = min(10, 2k); per-CP period = "
+      "max(k*delta_min, d_min); crossover at k = 5");
+
+  constexpr double kDuration = 600.0;
+  constexpr double kWarmup = 100.0;
+
+  trace::Table table({"k CPs", "predicted load", "measured load",
+                      "predicted period (s)", "measured mean period", "Jain"});
+  for (std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u, 20u}) {
+    scenario::ExperimentConfig config;
+    config.protocol = scenario::Protocol::kDcpp;
+    config.seed = 400 + k;
+    config.initial_cps = k;
+    config.metrics.warmup = kWarmup;
+    config.metrics.record_delay_series = false;
+    config.metrics.load_window = 10.0;
+
+    scenario::Experiment exp(config);
+    exp.run_until(kDuration);
+    exp.finish();
+
+    const double l_nom = config.dcpp_device.l_nom();
+    const double f_max = config.dcpp_device.f_max();
+    const double predicted_load =
+        std::min(l_nom, static_cast<double>(k) * f_max);
+    const double predicted_period =
+        std::max(static_cast<double>(k) * config.dcpp_device.delta_min,
+                 config.dcpp_device.d_min);
+
+    const auto load =
+        exp.metrics().device_load().series().summary(kWarmup, kDuration);
+    stats::Welford periods;
+    for (const double d : exp.metrics().mean_delays()) periods.add(d);
+
+    table.row()
+        .cell(static_cast<std::uint64_t>(k))
+        .cell(predicted_load, 1)
+        .cell(load.mean(), 2)
+        .cell(predicted_period, 2)
+        .cell(periods.mean(), 3)
+        .cell(exp.metrics().frequency_fairness(), 4);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: measured tracks predicted on both sides of the "
+               "k = 5 crossover; Jain ~1.0 everywhere.\n";
+  benchutil::print_footer();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// F2 — paper Figure 2: probe frequencies of 3 CPs over 20 000 s.
+//
+// Paper: "after a short initial phase, one CP is probing less and less
+// frequent, and is not recovering from this (undesired) situation";
+// the two remaining CPs stabilize but keep a rather high variance.
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "scenario/experiment.hpp"
+#include "trace/csv.hpp"
+#include "trace/gnuplot.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+
+using namespace probemon;
+
+int main() {
+  benchutil::print_header(
+      "F2", "SAPP transient, 3 CPs, 20 000 s (Fig 2)",
+      "one of three CPs starves (frequency decays toward 1/delta_max = 0.1 "
+      "and never recovers); the other two oscillate around higher values");
+
+  constexpr double kDuration = 20000.0;
+
+  scenario::ExperimentConfig config;
+  config.protocol = scenario::Protocol::kSapp;
+  config.seed = 3;
+  config.initial_cps = 3;
+  config.metrics.warmup = 0.0;
+
+  scenario::Experiment exp(config);
+  exp.run_until(kDuration);
+  exp.finish();
+
+  // Build per-CP frequency series (1/delay) like the paper plots.
+  std::vector<stats::TimeSeries> freq;
+  int index = 0;
+  for (net::NodeId id : exp.initial_cp_ids()) {
+    ++index;
+    const auto* m = exp.metrics().cp(id);
+    stats::TimeSeries f("cp_0" + std::to_string(index));
+    if (m) {
+      for (const auto& s : m->delay_series.samples()) {
+        if (s.value > 0) f.add(s.t, 1.0 / s.value);
+      }
+    }
+    freq.push_back(std::move(f));
+  }
+
+  trace::Table table({"CP", "final freq (1/s)", "mean freq (last 5000 s)",
+                      "freq var (last 5000 s)", "starved?"});
+  int starved_count = 0;
+  for (const auto& f : freq) {
+    const auto tail = f.summary(kDuration - 5000.0, kDuration);
+    const double final_freq = f.empty() ? 0.0 : f.back().value;
+    const bool starved = tail.mean() < 0.3;  // near 1/delta_max
+    starved_count += starved ? 1 : 0;
+    table.row()
+        .cell(f.name())
+        .cell(final_freq, 3)
+        .cell(tail.mean(), 3)
+        .cell(tail.variance(), 3)
+        .cell(starved ? "YES" : "no");
+  }
+  table.print(std::cout);
+
+  trace::Table expect({"check", "paper", "measured"});
+  expect.row()
+      .cell("#starving CPs (of 3)")
+      .cell(">= 1 (\"one CP ... not recovering\")")
+      .cell(std::to_string(starved_count));
+  expect.print(std::cout);
+
+  // CSV + gnuplot artifacts.
+  const std::string dir = benchutil::out_dir();
+  std::vector<const stats::TimeSeries*> ptrs;
+  std::vector<stats::TimeSeries> decimated;
+  decimated.reserve(freq.size());
+  for (const auto& f : freq) decimated.push_back(f.decimate(4000));
+  for (const auto& f : decimated) ptrs.push_back(&f);
+  trace::write_csv_aligned_file(dir + "/f2_sapp_3cps.csv", ptrs, 0.0,
+                                kDuration, 10.0);
+  trace::GnuplotFigure fig;
+  fig.title = "3 active Control Points (" + util::format_duration(kDuration) +
+              ") [Fig 2]";
+  fig.ylabel = "1/delay (1/sec)";
+  fig.yrange = "[0:14]";
+  for (std::size_t i = 0; i < decimated.size(); ++i) {
+    fig.series.push_back({dir + "/f2_sapp_3cps.csv", static_cast<int>(i + 2),
+                          decimated[i].name()});
+  }
+  trace::write_gnuplot_file(dir + "/f2_sapp_3cps.gp", fig,
+                            dir + "/f2_sapp_3cps.png");
+  std::cout << "\ntraces: " << dir << "/f2_sapp_3cps.csv (+ .gp)\n";
+  benchutil::print_footer();
+  return 0;
+}

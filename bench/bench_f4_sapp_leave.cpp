@@ -1,0 +1,122 @@
+// F4 — paper Figure 4: 20 CPs, then 18 leave simultaneously; the two
+// remaining CPs over 20 000 s.
+//
+// Paper: "Whereas in a static scenario with just two CPs, their
+// frequencies are equal, we see that in this dynamic scenario, there is
+// neither a load balance between the CPs nor a low variance."
+#include <iostream>
+
+#include "experiment_common.hpp"
+#include "scenario/churn.hpp"
+#include "scenario/experiment.hpp"
+#include "stats/series.hpp"
+#include "trace/csv.hpp"
+#include "trace/gnuplot.hpp"
+#include "trace/table.hpp"
+
+using namespace probemon;
+
+namespace {
+
+/// Frequency series of a CP from its recorded delay updates.
+stats::TimeSeries to_frequency(const scenario::CpMetrics& m,
+                               std::string name) {
+  stats::TimeSeries f(std::move(name));
+  for (const auto& s : m.delay_series.samples()) {
+    if (s.value > 0) f.add(s.t, 1.0 / s.value);
+  }
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header(
+      "F4", "SAPP: 18 of 20 CPs leave at once (Fig 4)",
+      "after the mass leave the two survivors do NOT converge to the "
+      "balanced two-CP solution: unequal frequencies, high variance");
+
+  constexpr double kLeaveAt = 2000.0;
+  constexpr double kDuration = 20000.0;
+
+  scenario::ExperimentConfig config;
+  config.protocol = scenario::Protocol::kSapp;
+  config.seed = 7;
+  config.initial_cps = 20;
+
+  scenario::Experiment exp(config);
+  // Keep two designated survivors; remove 18 specific others so the
+  // figure tracks the same two CPs throughout.
+  const auto ids = exp.initial_cp_ids();
+  exp.sim().at(kLeaveAt, [&exp, ids] {
+    for (std::size_t i = 2; i < ids.size(); ++i) exp.remove_cp(ids[i]);
+  });
+  exp.run_until(kDuration);
+  exp.finish();
+
+  // Reference: a truly static 2-CP run, which the paper says is balanced.
+  scenario::ExperimentConfig ref_config = config;
+  ref_config.initial_cps = 2;
+  ref_config.seed = 8;
+  ref_config.metrics.warmup = 2000.0;
+  scenario::Experiment ref(ref_config);
+  ref.run_until(kDuration);
+  ref.finish();
+
+  trace::Table table({"CP", "mean freq after leave", "freq var after leave",
+                      "mean delay after leave"});
+  std::vector<double> survivor_freqs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    const auto* m = exp.metrics().cp(ids[i]);
+    auto f = to_frequency(*m, "cp_0" + std::to_string(i + 1));
+    const auto after = f.summary(kLeaveAt + 500.0, kDuration);
+    survivor_freqs.push_back(after.mean());
+    stats::Welford delays;
+    for (const auto& s : m->delay_series.samples()) {
+      if (s.t >= kLeaveAt + 500.0) delays.add(s.value);
+    }
+    table.row()
+        .cell(f.name())
+        .cell(after.mean(), 3)
+        .cell(after.variance(), 3)
+        .cell(delays.mean(), 3);
+  }
+  table.print(std::cout);
+
+  const double ratio =
+      std::max(survivor_freqs[0], survivor_freqs[1]) /
+      std::max(1e-9, std::min(survivor_freqs[0], survivor_freqs[1]));
+
+  std::vector<double> ref_freqs = ref.metrics().mean_frequencies();
+  const double ref_jain = stats::jain_fairness(ref_freqs);
+
+  trace::Table expect({"check", "paper", "measured"});
+  expect.row()
+      .cell("survivors balanced?")
+      .cell("no: \"neither a load balance ... nor a low variance\"")
+      .cell("freq ratio " + std::to_string(ratio).substr(0, 5));
+  expect.row()
+      .cell("static 2-CP reference (paper: balanced)")
+      .cell("Jain ~1.0")
+      .cell("Jain " + std::to_string(ref_jain).substr(0, 5) +
+            " (deviation, see EXPERIMENTS.md)");
+  expect.print(std::cout);
+
+  const std::string dir = benchutil::out_dir();
+  auto f1 = to_frequency(*exp.metrics().cp(ids[0]), "cp_01").decimate(4000);
+  auto f2 = to_frequency(*exp.metrics().cp(ids[1]), "cp_02").decimate(4000);
+  std::vector<const stats::TimeSeries*> ptrs{&f1, &f2};
+  trace::write_csv_aligned_file(dir + "/f4_sapp_leave.csv", ptrs, 0.0,
+                                kDuration, 10.0);
+  trace::GnuplotFigure fig;
+  fig.title = "20 CPs, 18 CPs leave, 2 CPs left [Fig 4]";
+  fig.ylabel = "1/delay (1/sec)";
+  fig.yrange = "[0:14]";
+  fig.series.push_back({dir + "/f4_sapp_leave.csv", 2, "cp_01"});
+  fig.series.push_back({dir + "/f4_sapp_leave.csv", 3, "cp_02"});
+  trace::write_gnuplot_file(dir + "/f4_sapp_leave.gp", fig,
+                            dir + "/f4_sapp_leave.png");
+  std::cout << "\ntraces: " << dir << "/f4_sapp_leave.csv (+ .gp)\n";
+  benchutil::print_footer();
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Shared helpers for the experiment binaries under bench/.
+//
+// Every binary prints:
+//   * a header naming the paper artifact it regenerates,
+//   * the scenario parameters,
+//   * a paper-vs-measured table,
+// and (when it has a time-series) writes CSV traces plus a gnuplot script
+// into ./bench_out/ so the figure can be re-plotted.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace benchutil {
+
+/// Directory for CSV/gnuplot artifacts, created on first use.
+inline std::string out_dir() {
+  static const std::string dir = [] {
+    std::filesystem::create_directories("bench_out");
+    return std::string("bench_out");
+  }();
+  return dir;
+}
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& paper_artifact,
+                         const std::string& paper_claim) {
+  std::cout << "==========================================================\n"
+            << experiment_id << " -- " << paper_artifact << '\n'
+            << "Paper: " << paper_claim << '\n'
+            << "==========================================================\n";
+}
+
+inline void print_footer() { std::cout << '\n'; }
+
+}  // namespace benchutil

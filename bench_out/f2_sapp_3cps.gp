@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,600
+set output 'bench_out/f2_sapp_3cps.png'
+set title '3 active Control Points (5h 33m 20s) [Fig 2]'
+set xlabel 't (sec)'
+set ylabel '1/delay (1/sec)'
+set datafile separator ','
+set key outside right
+set yrange [0:14]
+plot 'bench_out/f2_sapp_3cps.csv' using 1:2 with steps title 'cp_01', \
+     'bench_out/f2_sapp_3cps.csv' using 1:3 with steps title 'cp_02', \
+     'bench_out/f2_sapp_3cps.csv' using 1:4 with steps title 'cp_03'

@@ -1,0 +1,15 @@
+set terminal pngcairo size 900,600
+set output 'bench_out/f3_sapp_20cps.png'
+set title 'Evolution of Delays over 1 Minute [Fig 3]'
+set xlabel 't (sec)'
+set ylabel '1/delay (1/sec)'
+set datafile separator ','
+set key outside right
+set yrange [0:14]
+plot 'bench_out/f3_sapp_20cps.csv' using 1:2 with steps title 'cp_01', \
+     'bench_out/f3_sapp_20cps.csv' using 1:3 with steps title 'cp_02', \
+     'bench_out/f3_sapp_20cps.csv' using 1:4 with steps title 'cp_07', \
+     'bench_out/f3_sapp_20cps.csv' using 1:5 with steps title 'cp_10', \
+     'bench_out/f3_sapp_20cps.csv' using 1:6 with steps title 'cp_12', \
+     'bench_out/f3_sapp_20cps.csv' using 1:7 with steps title 'cp_19', \
+     'bench_out/f3_sapp_20cps.csv' using 1:8 with steps title 'cp_16'

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,600
+set output 'bench_out/f4_sapp_leave.png'
+set title '20 CPs, 18 CPs leave, 2 CPs left [Fig 4]'
+set xlabel 't (sec)'
+set ylabel '1/delay (1/sec)'
+set datafile separator ','
+set key outside right
+set yrange [0:14]
+plot 'bench_out/f4_sapp_leave.csv' using 1:2 with steps title 'cp_01', \
+     'bench_out/f4_sapp_leave.csv' using 1:3 with steps title 'cp_02'

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,600
+set output 'bench_out/f5_dcpp_dynamic.png'
+set title 'Load and #CPs over 30 min [Fig 5]'
+set xlabel 't (sec)'
+set ylabel 'probes/s | #CPs'
+set datafile separator ','
+set key outside right
+set xrange [1000:2800]
+plot 'bench_out/f5_dcpp_dynamic.csv' using 1:2 with steps title 'Device Load', \
+     'bench_out/f5_dcpp_dynamic.csv' using 1:3 with steps title '#Control Points'

@@ -1,0 +1,81 @@
+// Smart-home churn scenario — the workload the paper's introduction
+// motivates: a UPnP-style network of consumer devices where control
+// points (phones, remotes, TVs) come and go all day, and a device (a
+// media server, say) must keep its probe load bounded regardless.
+//
+// We script a day-in-the-life CP population and compare the device load
+// under SAPP vs DCPP.
+#include <iostream>
+#include <memory>
+
+#include "scenario/churn.hpp"
+#include "scenario/experiment.hpp"
+#include "trace/table.hpp"
+
+using namespace probemon;
+
+namespace {
+
+scenario::ExperimentConfig make_config(scenario::Protocol protocol) {
+  scenario::ExperimentConfig config;
+  config.protocol = protocol;
+  config.seed = 2026;
+  config.initial_cps = 2;  // overnight: a couple of idle controllers
+  config.metrics.load_window = 5.0;
+  config.metrics.load_sample_every = 1.0;
+  config.metrics.record_delay_series = false;
+  return config;
+}
+
+std::unique_ptr<scenario::ScriptedChurn> day_in_the_life() {
+  using Step = scenario::ScriptedChurn::Step;
+  return std::make_unique<scenario::ScriptedChurn>(std::vector<Step>{
+      {600.0, 8},    // morning: household phones wake up
+      {1200.0, 4},   // everyone leaves for work
+      {1800.0, 25},  // evening: guests arrive, every screen is on
+      {2400.0, 30},  // movie night peak
+      {3000.0, 3},   // midnight
+  });
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Smart-home day-in-the-life: scripted CP population\n"
+               "(2 -> 8 -> 4 -> 25 -> 30 -> 3), one media-server device.\n\n";
+
+  trace::Table table({"protocol", "phase", "#CPs", "mean load (probes/s)",
+                      "max load"});
+
+  for (auto protocol : {scenario::Protocol::kSapp, scenario::Protocol::kDcpp}) {
+    scenario::Experiment exp(make_config(protocol));
+    exp.install_churn(day_in_the_life());
+    exp.run_until(3600.0);
+    exp.finish();
+
+    struct Phase {
+      const char* name;
+      double t0, t1;
+      int cps;
+    };
+    const Phase phases[] = {
+        {"overnight", 100, 600, 2},   {"morning", 700, 1200, 8},
+        {"workday", 1300, 1800, 4},   {"evening", 1900, 2400, 25},
+        {"movie night", 2500, 3000, 30}, {"midnight", 3100, 3600, 3},
+    };
+    for (const auto& phase : phases) {
+      const auto w = exp.metrics().device_load().series().summary(phase.t0,
+                                                                  phase.t1);
+      table.row()
+          .cell(scenario::to_string(exp.config().protocol))
+          .cell(phase.name)
+          .cell(phase.cps)
+          .cell(w.mean(), 2)
+          .cell(w.max(), 1);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nNote how DCPP pins the load at min(L_nom, 2k) in every "
+               "phase while SAPP wanders within its tolerance band.\n";
+  return 0;
+}

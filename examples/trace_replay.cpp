@@ -1,0 +1,63 @@
+// Trace recording and offline replay — run an expensive scenario once,
+// persist the protocol event log, then re-analyze it with different
+// metric settings without re-simulating.
+#include <filesystem>
+#include <iostream>
+
+#include "scenario/experiment.hpp"
+#include "trace/event_log.hpp"
+#include "trace/table.hpp"
+
+using namespace probemon;
+
+int main() {
+  const std::string log_path = "trace_replay_events.log";
+
+  // --- 1. Record a run ------------------------------------------------------
+  scenario::ExperimentConfig config;
+  config.protocol = scenario::Protocol::kSapp;
+  config.seed = 42;
+  config.initial_cps = 10;
+  scenario::Experiment exp(config);
+  trace::EventLog log;
+  exp.add_observer(log);
+  exp.run_until(2000.0);
+  exp.finish();
+  log.save_file(log_path);
+  std::cout << "recorded " << log.size() << " protocol events to " << log_path
+            << " (" << std::filesystem::file_size(log_path) / 1024
+            << " KiB)\n";
+
+  // --- 2. Reload and re-analyze with different windows ----------------------
+  const trace::EventLog reloaded = trace::EventLog::load_file(log_path);
+  std::cout << "reloaded " << reloaded.size() << " events ("
+            << reloaded.count(trace::EventKind::kProbeSent) << " probes sent, "
+            << reloaded.count(trace::EventKind::kCycleSuccess)
+            << " successful cycles)\n\n";
+
+  trace::Table table({"analysis warmup (s)", "#CPs with samples",
+                      "mean of per-CP mean delays", "Jain fairness"});
+  for (double warmup : {0.0, 500.0, 1000.0, 1500.0}) {
+    scenario::MetricsConfig metrics_config;
+    metrics_config.warmup = warmup;
+    metrics_config.record_delay_series = false;
+    scenario::Metrics metrics(metrics_config);
+    reloaded.replay(metrics);
+
+    const auto delays = metrics.mean_delays();
+    double mean = 0;
+    for (double d : delays) mean += d;
+    if (!delays.empty()) mean /= static_cast<double>(delays.size());
+    table.row()
+        .cell(warmup, 0)
+        .cell(static_cast<std::uint64_t>(delays.size()))
+        .cell(mean, 3)
+        .cell(metrics.frequency_fairness(), 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nSame run, four analysis windows, zero re-simulation: the "
+               "later the warmup cutoff, the more the means reflect the "
+               "starved steady state instead of the transient.\n";
+  std::filesystem::remove(log_path);
+  return 0;
+}

@@ -1,0 +1,169 @@
+#include "core/control_point_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace probemon::core {
+
+ControlPointBase::ControlPointBase(des::Simulation& sim, net::Network& network,
+                                   net::NodeId device,
+                                   const TimeoutConfig& timeouts,
+                                   bool continue_after_absence,
+                                   ProtocolObserver* observer)
+    : sim_(sim),
+      network_(network),
+      device_(device),
+      continue_after_absence_(continue_after_absence),
+      observer_(observer),
+      id_(network.attach(*this)),
+      cycle_(sim.scheduler(), timeouts.tof, timeouts.tos,
+             timeouts.max_retransmissions,
+             ProbeCycle::Callbacks{
+                 [this](std::uint64_t c, std::uint8_t a) { send_probe(c, a); },
+                 [this](const net::Message& reply) { handle_success(reply); },
+                 [this] { handle_failure(); }}),
+      next_cycle_timer_(sim.scheduler(), [this] { cycle_.start(); }),
+      absence_time_(std::numeric_limits<double>::quiet_NaN()),
+      current_delay_(std::numeric_limits<double>::quiet_NaN()) {
+  timeouts.validate();
+}
+
+ControlPointBase::~ControlPointBase() { stop(); }
+
+void ControlPointBase::start(double initial_jitter) {
+  if (running_) return;
+  running_ = true;
+  if (initial_jitter > 0) {
+    next_cycle_timer_.arm(initial_jitter);
+  } else {
+    cycle_.start();
+  }
+}
+
+void ControlPointBase::stop() {
+  if (!running_ && !network_.attached(id_)) return;
+  running_ = false;
+  cycle_.abort();
+  next_cycle_timer_.disarm();
+  if (network_.attached(id_)) network_.detach(id_);
+}
+
+void ControlPointBase::send_probe(std::uint64_t cycle, std::uint8_t attempt) {
+  net::Message probe;
+  probe.kind = net::MessageKind::kProbe;
+  probe.from = id_;
+  probe.to = device_;
+  probe.cycle = cycle;
+  probe.attempt = attempt;
+  network_.send(probe);
+  if (observer_) observer_->on_probe_sent(id_, device_, sim_.now(), attempt);
+}
+
+void ControlPointBase::schedule_cycle(double delay) {
+  current_delay_ = delay;
+  if (observer_) observer_->on_delay_updated(id_, sim_.now(), delay);
+  next_cycle_timer_.arm(delay);
+}
+
+void ControlPointBase::handle_success(const net::Message& reply) {
+  if (!running_) return;
+  learn_overlay(reply);
+  if (observer_) {
+    observer_->on_cycle_success(
+        id_, device_, sim_.now(),
+        static_cast<std::uint8_t>(reply.attempt + 1));
+  }
+  // A successful probe is evidence of presence: clear a stale verdict
+  // (e.g. the device came back after a silent period).
+  device_present_ = true;
+  schedule_cycle(std::max(0.0, delay_after_success(reply)));
+}
+
+void ControlPointBase::handle_failure() {
+  if (!running_) return;
+  mark_absent(/*learned=*/false);
+  if (continue_after_absence_) {
+    schedule_cycle(std::max(0.0, delay_after_failure()));
+  }
+}
+
+void ControlPointBase::mark_absent(bool learned) {
+  const bool was_present = device_present_;
+  device_present_ = false;
+  if (was_present) {
+    absence_time_ = sim_.now();
+    if (observer_) {
+      if (learned) {
+        observer_->on_absence_learned(id_, device_, sim_.now());
+      } else {
+        observer_->on_device_declared_absent(id_, device_, sim_.now());
+      }
+    }
+    if (dissemination_ttl_ > 0 && !notified_peers_) {
+      notified_peers_ = true;
+      disseminate(device_, dissemination_ttl_);
+    }
+  }
+}
+
+void ControlPointBase::disseminate(net::NodeId subject, std::uint8_t ttl) {
+  if (ttl == 0) return;
+  for (net::NodeId peer : overlay_) {
+    net::Message notify;
+    notify.kind = net::MessageKind::kNotify;
+    notify.from = id_;
+    notify.to = peer;
+    notify.subject = subject;
+    notify.ttl = static_cast<std::uint8_t>(ttl - 1);
+    network_.send(notify);
+  }
+}
+
+void ControlPointBase::learn_overlay(const net::Message& reply) {
+  for (net::NodeId peer : reply.last_probers) {
+    if (peer == net::kInvalidNode || peer == id_) continue;
+    if (std::find(overlay_.begin(), overlay_.end(), peer) != overlay_.end()) {
+      continue;
+    }
+    overlay_.push_back(peer);
+    // Keep the overlay small and fresh: most recent four neighbours.
+    if (overlay_.size() > 4) overlay_.erase(overlay_.begin());
+  }
+}
+
+void ControlPointBase::on_message(const net::Message& msg) {
+  switch (msg.kind) {
+    case net::MessageKind::kReply:
+      if (msg.from == device_ && running_) {
+        if (!cycle_.offer_reply(msg)) on_stale_reply(msg);
+      }
+      break;
+    case net::MessageKind::kBye:
+      if (msg.from == device_ || msg.subject == device_) {
+        cycle_.abort();
+        next_cycle_timer_.disarm();
+        mark_absent(/*learned=*/true);
+      }
+      break;
+    case net::MessageKind::kNotify:
+      if (msg.subject == device_ && device_present_) {
+        cycle_.abort();
+        next_cycle_timer_.disarm();
+        mark_absent(/*learned=*/true);
+        // mark_absent already gossiped if enabled, but honour the
+        // incoming TTL when it is smaller than ours.
+        if (dissemination_ttl_ > 0 && msg.ttl > 0 && !notified_peers_) {
+          notified_peers_ = true;
+          disseminate(msg.subject, msg.ttl);
+        }
+      }
+      break;
+    case net::MessageKind::kProbe:
+      break;  // CPs are never probed
+  }
+}
+
+}  // namespace probemon::core

@@ -1,0 +1,112 @@
+// Common control-point behaviour shared by SAPP and DCPP CPs.
+//
+// A CP monitors exactly one device (the paper studies one device and k
+// CPs; device/CP groups are independent, section 3). The base class owns
+// the bounded-retransmission probe cycle, the inter-cycle delay timer,
+// absence bookkeeping, and the optional gossip dissemination of leave
+// events over the last-two-probers overlay. Subclasses decide one thing:
+// how long to wait after a successful cycle (SAPP: adaptive; DCPP: the
+// device's grant).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/observer.hpp"
+#include "core/probe_cycle.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"
+
+namespace probemon::core {
+
+class ControlPointBase : public net::INetworkClient {
+ public:
+  ControlPointBase(des::Simulation& sim, net::Network& network,
+                   net::NodeId device, const TimeoutConfig& timeouts,
+                   bool continue_after_absence, ProtocolObserver* observer);
+  ~ControlPointBase() override;
+
+  ControlPointBase(const ControlPointBase&) = delete;
+  ControlPointBase& operator=(const ControlPointBase&) = delete;
+
+  net::NodeId id() const noexcept { return id_; }
+  net::NodeId device() const noexcept { return device_; }
+
+  /// Begin monitoring: the first probe cycle starts `initial_jitter`
+  /// seconds from now (jitter desynchronizes joining bursts).
+  void start(double initial_jitter = 0.0);
+
+  /// Leave the network: abort any cycle, cancel timers, detach.
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  /// False once this CP has declared or learned the device's absence.
+  bool device_considered_present() const noexcept {
+    return device_present_;
+  }
+  /// Time the CP declared/learned absence (NaN while present).
+  double absence_time() const noexcept { return absence_time_; }
+
+  /// Most recent inter-cycle delay (NaN before the first success).
+  double current_delay() const noexcept { return current_delay_; }
+
+  const ProbeCycle& cycle() const noexcept { return cycle_; }
+
+  /// Enable gossip forwarding of absence notifications with the given
+  /// forwarding budget (extension; the paper mentions but does not
+  /// analyze the dissemination phase).
+  void enable_dissemination(std::uint8_t ttl) { dissemination_ttl_ = ttl; }
+
+  /// Overlay neighbours learned from reply piggyback data.
+  const std::vector<net::NodeId>& overlay_neighbors() const noexcept {
+    return overlay_;
+  }
+
+  // INetworkClient:
+  void on_message(const net::Message& msg) final;
+
+ protected:
+  /// Inter-cycle delay to apply after a successful cycle.
+  virtual double delay_after_success(const net::Message& reply) = 0;
+  /// Delay before re-probing after a failed cycle when
+  /// continue_after_absence is set.
+  virtual double delay_after_failure() = 0;
+  /// A reply from the device that did not complete the current cycle —
+  /// a duplicate (the device answers every probe, so a retransmitted
+  /// cycle yields several replies) or a leftover from an abandoned
+  /// cycle. SAPP's load estimator consumes these (the paper phrases the
+  /// L_exp rule over successive *replies*); default ignores them.
+  virtual void on_stale_reply(const net::Message& /*reply*/) {}
+
+  des::Simulation& sim() noexcept { return sim_; }
+  ProtocolObserver* observer() noexcept { return observer_; }
+
+ private:
+  void send_probe(std::uint64_t cycle, std::uint8_t attempt);
+  void handle_success(const net::Message& reply);
+  void handle_failure();
+  void mark_absent(bool learned);
+  void disseminate(net::NodeId subject, std::uint8_t ttl);
+  void learn_overlay(const net::Message& reply);
+  void schedule_cycle(double delay);
+
+  des::Simulation& sim_;
+  net::Network& network_;
+  net::NodeId device_;
+  bool continue_after_absence_;
+  ProtocolObserver* observer_;
+  net::NodeId id_ = net::kInvalidNode;
+  ProbeCycle cycle_;
+  des::Timer next_cycle_timer_;
+
+  bool running_ = false;
+  bool device_present_ = true;
+  double absence_time_;
+  double current_delay_;
+  std::uint8_t dissemination_ttl_ = 0;
+  bool notified_peers_ = false;
+  std::vector<net::NodeId> overlay_;
+};
+
+}  // namespace probemon::core

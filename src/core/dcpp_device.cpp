@@ -1,0 +1,28 @@
+#include "core/dcpp_device.hpp"
+
+#include <algorithm>
+
+namespace probemon::core {
+
+DcppDevice::DcppDevice(des::Simulation& sim, net::Network& network,
+                       DcppDeviceConfig config, ProtocolObserver* observer)
+    : DeviceBase(sim, network, config.compute, observer), config_(config) {
+  config_.validate();
+}
+
+double DcppDevice::grant(double nt, double t, const DcppDeviceConfig& config) {
+  const double frontier = std::max(nt, t);
+  const double backlog = frontier - t;  // >= 0 by construction
+  const double delta = std::max(config.delta_min, config.d_min - backlog);
+  const double next = frontier + delta;
+  return next - t;
+}
+
+void DcppDevice::fill_reply(const net::Message& /*probe*/, double t,
+                            net::Message& reply) {
+  const double wait = grant(nt_, t, config_);
+  nt_ = t + wait;
+  reply.grant_delay = wait;
+}
+
+}  // namespace probemon::core

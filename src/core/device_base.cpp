@@ -1,0 +1,107 @@
+#include "core/device_base.hpp"
+
+#include "util/logging.hpp"
+
+namespace probemon::core {
+
+DeviceBase::DeviceBase(des::Simulation& sim, net::Network& network,
+                       ComputeConfig compute, ProtocolObserver* observer)
+    : sim_(sim),
+      network_(network),
+      compute_(compute),
+      observer_(observer),
+      compute_rng_(sim.rng().fork("device.compute")) {
+  compute_.validate();
+  id_ = network_.attach(*this);
+  // Make the per-device stream unique even with several devices.
+  compute_rng_ = compute_rng_.fork(id_);
+}
+
+DeviceBase::~DeviceBase() {
+  if (network_.attached(id_)) network_.detach(id_);
+}
+
+void DeviceBase::go_silent() {
+  present_ = false;
+  service_queue_.clear();
+  busy_ = false;
+  // Invalidate the in-progress "computation", if any: its completion
+  // event carries the old epoch and bails even if the device has come
+  // back in the meantime.
+  ++service_epoch_;
+}
+
+void DeviceBase::leave_gracefully() {
+  for (net::NodeId cp : last_probers_) {
+    if (cp == net::kInvalidNode) continue;
+    net::Message bye;
+    bye.kind = net::MessageKind::kBye;
+    bye.from = id_;
+    bye.to = cp;
+    bye.subject = id_;
+    network_.send(bye);
+  }
+  go_silent();
+}
+
+void DeviceBase::come_back() { present_ = true; }
+
+void DeviceBase::record_prober(net::NodeId cp) {
+  if (cp == last_probers_[0]) return;  // still the most recent
+  last_probers_[1] = last_probers_[0];
+  last_probers_[0] = cp;
+}
+
+void DeviceBase::on_message(const net::Message& msg) {
+  if (!present_) return;  // a silent device ignores everything
+  if (msg.kind != net::MessageKind::kProbe) return;
+
+  const double t = sim_.now();
+  ++probes_received_;
+  if (observer_) observer_->on_probe_received(id_, msg.from, t);
+  on_probe_accepted(msg, t);
+
+  // The device is a single-threaded little box: probes are answered one
+  // at a time, each taking a computation time in [compute.min,
+  // compute.max]. Concurrent probes queue up, which is what makes the
+  // paper's timeout calibration (TOF = 2*RTT + compute_max) tight rather
+  // than vacuous: under bursts, turnaround exceeds TOF and CPs
+  // retransmit.
+  service_queue_.push_back(msg);
+  if (!busy_) start_service();
+}
+
+void DeviceBase::start_service() {
+  if (service_queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const net::Message probe = service_queue_.front();
+  service_queue_.pop_front();
+
+  // Protocol state updates at service time (the paper's "on receipt":
+  // receipt and processing coincide for a serial device).
+  net::Message reply;
+  reply.kind = net::MessageKind::kReply;
+  reply.from = id_;
+  reply.to = probe.from;
+  reply.cycle = probe.cycle;
+  reply.attempt = probe.attempt;
+  reply.last_probers = last_probers_;
+  fill_reply(probe, sim_.now(), reply);
+  record_prober(probe.from);
+
+  const double compute = compute_rng_.uniform(compute_.min, compute_.max);
+  sim_.after(compute, [this, reply, epoch = service_epoch_] {
+    if (epoch != service_epoch_) return;  // went silent mid-computation
+    network_.send(reply);
+    start_service();
+  });
+}
+
+void DeviceBase::notify_delta_changed(std::uint64_t delta) {
+  if (observer_) observer_->on_delta_changed(id_, sim_.now(), delta);
+}
+
+}  // namespace probemon::core

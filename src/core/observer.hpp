@@ -1,0 +1,52 @@
+// Instrumentation hooks.
+//
+// Protocol nodes report state changes through a ProtocolObserver so that
+// measurement code (scenario::Metrics, tests) never couples into protocol
+// internals. All hooks default to no-ops; observers override what they
+// need. The observer outlives the nodes it watches.
+#pragma once
+
+#include <cstdint>
+
+#include "net/message.hpp"
+
+namespace probemon::core {
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  /// CP transmitted a probe (attempt 0 = first of the cycle).
+  virtual void on_probe_sent(net::NodeId /*cp*/, net::NodeId /*device*/,
+                             double /*t*/, std::uint8_t /*attempt*/) {}
+
+  /// Device accepted a probe (this is the event the device-load figures
+  /// count).
+  virtual void on_probe_received(net::NodeId /*device*/, net::NodeId /*cp*/,
+                                 double /*t*/) {}
+
+  /// CP accepted a reply for its current cycle.
+  virtual void on_cycle_success(net::NodeId /*cp*/, net::NodeId /*device*/,
+                                double /*t*/, std::uint8_t /*attempts*/) {}
+
+  /// CP's inter-probe-cycle delay changed (SAPP adaptation / DCPP grant).
+  /// Fig 2-4 plot 1/delay from exactly this stream.
+  virtual void on_delay_updated(net::NodeId /*cp*/, double /*t*/,
+                                double /*delay*/) {}
+
+  /// CP exhausted all retransmissions and considers the device gone.
+  virtual void on_device_declared_absent(net::NodeId /*cp*/,
+                                         net::NodeId /*device*/,
+                                         double /*t*/) {}
+
+  /// CP learned of the device's departure via a gossip notification
+  /// (dissemination extension) rather than by probing.
+  virtual void on_absence_learned(net::NodeId /*cp*/, net::NodeId /*device*/,
+                                  double /*t*/) {}
+
+  /// SAPP device changed its Delta (overload-control extension).
+  virtual void on_delta_changed(net::NodeId /*device*/, double /*t*/,
+                                std::uint64_t /*delta*/) {}
+};
+
+}  // namespace probemon::core

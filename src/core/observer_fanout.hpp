@@ -1,0 +1,56 @@
+// Fan-out observer: multiplexes protocol events to several sinks, so an
+// experiment can feed live metrics and a persistent event log (or a
+// test spy) from the same run.
+#pragma once
+
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace probemon::core {
+
+class FanoutObserver final : public ProtocolObserver {
+ public:
+  FanoutObserver() = default;
+  explicit FanoutObserver(std::vector<ProtocolObserver*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+  /// Sinks must outlive the fanout; null sinks are ignored.
+  void add(ProtocolObserver* sink) {
+    if (sink) sinks_.push_back(sink);
+  }
+  std::size_t size() const noexcept { return sinks_.size(); }
+
+  void on_probe_sent(net::NodeId cp, net::NodeId device, double t,
+                     std::uint8_t attempt) override {
+    for (auto* s : sinks_) s->on_probe_sent(cp, device, t, attempt);
+  }
+  void on_probe_received(net::NodeId device, net::NodeId cp,
+                         double t) override {
+    for (auto* s : sinks_) s->on_probe_received(device, cp, t);
+  }
+  void on_cycle_success(net::NodeId cp, net::NodeId device, double t,
+                        std::uint8_t attempts) override {
+    for (auto* s : sinks_) s->on_cycle_success(cp, device, t, attempts);
+  }
+  void on_delay_updated(net::NodeId cp, double t, double delay) override {
+    for (auto* s : sinks_) s->on_delay_updated(cp, t, delay);
+  }
+  void on_device_declared_absent(net::NodeId cp, net::NodeId device,
+                                 double t) override {
+    for (auto* s : sinks_) s->on_device_declared_absent(cp, device, t);
+  }
+  void on_absence_learned(net::NodeId cp, net::NodeId device,
+                          double t) override {
+    for (auto* s : sinks_) s->on_absence_learned(cp, device, t);
+  }
+  void on_delta_changed(net::NodeId device, double t,
+                        std::uint64_t delta) override {
+    for (auto* s : sinks_) s->on_delta_changed(device, t, delta);
+  }
+
+ private:
+  std::vector<ProtocolObserver*> sinks_;
+};
+
+}  // namespace probemon::core

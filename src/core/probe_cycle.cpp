@@ -1,0 +1,75 @@
+#include "core/probe_cycle.hpp"
+
+#include <stdexcept>
+
+namespace probemon::core {
+
+ProbeCycle::ProbeCycle(des::Scheduler& scheduler, double tof, double tos,
+                       int max_retransmissions, Callbacks callbacks)
+    : scheduler_(scheduler),
+      tof_(tof),
+      tos_(tos),
+      max_retransmissions_(max_retransmissions),
+      callbacks_(std::move(callbacks)),
+      timer_(scheduler, [this] { on_timeout(); }) {
+  if (!(tof > 0) || !(tos > 0)) {
+    throw std::invalid_argument("ProbeCycle: timeouts must be > 0");
+  }
+  if (max_retransmissions < 0) {
+    throw std::invalid_argument("ProbeCycle: max_retransmissions >= 0");
+  }
+  if (!callbacks_.send_probe || !callbacks_.on_success ||
+      !callbacks_.on_failure) {
+    throw std::invalid_argument("ProbeCycle: all callbacks required");
+  }
+}
+
+void ProbeCycle::start() {
+  if (active_) throw std::logic_error("ProbeCycle::start: cycle active");
+  active_ = true;
+  ++cycle_;
+  ++cycles_started_;
+  attempt_ = 0;
+  cycle_start_time_ = scheduler_.now();
+  transmit();
+}
+
+void ProbeCycle::abort() {
+  if (!active_) return;
+  active_ = false;
+  timer_.disarm();
+}
+
+void ProbeCycle::transmit() {
+  last_send_time_ = scheduler_.now();
+  ++probes_sent_;
+  // Arm the timeout BEFORE handing the probe to the network: the send
+  // path may deliver synchronously in unit tests with zero delay, and the
+  // reply handler must find a consistent (armed) cycle to cancel.
+  timer_.arm(attempt_ == 0 ? tof_ : tos_);
+  callbacks_.send_probe(cycle_, attempt_);
+}
+
+void ProbeCycle::on_timeout() {
+  if (!active_) return;
+  if (attempt_ < max_retransmissions_) {
+    ++attempt_;
+    transmit();
+    return;
+  }
+  active_ = false;
+  ++cycles_failed_;
+  callbacks_.on_failure();
+}
+
+bool ProbeCycle::offer_reply(const net::Message& reply) {
+  if (!active_) return false;
+  if (reply.cycle != cycle_) return false;  // stale: an abandoned cycle
+  active_ = false;
+  timer_.disarm();
+  ++cycles_succeeded_;
+  callbacks_.on_success(reply);
+  return true;
+}
+
+}  // namespace probemon::core

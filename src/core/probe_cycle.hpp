@@ -1,0 +1,88 @@
+// Bounded-retransmission probe cycle (paper Fig 1).
+//
+// A cycle: send a probe; wait TOF; on timeout retransmit and wait TOS,
+// up to max_retransmissions times; a reply for the current cycle ends it
+// successfully, exhaustion ends it unsuccessfully. The FSM is protocol-
+// agnostic: SAPP and DCPP CPs differ only in what they do with the reply.
+//
+// Timing bookkeeping exposed to the owner (needed by SAPP's L_exp rule,
+// which uses "the time at which the retransmitted probe has been sent"
+// when the first probe went unanswered):
+//   * cycle_start_time: when probe attempt 0 was sent,
+//   * last_send_time:   when the most recent attempt was sent,
+//   * the reply arrival time is the scheduler's now() in on_success.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "des/scheduler.hpp"
+#include "des/timer.hpp"
+#include "net/message.hpp"
+
+namespace probemon::core {
+
+class ProbeCycle {
+ public:
+  struct Callbacks {
+    /// Transmit a probe for (cycle, attempt). Must not be empty.
+    std::function<void(std::uint64_t cycle, std::uint8_t attempt)> send_probe;
+    /// Cycle ended with an accepted reply.
+    std::function<void(const net::Message& reply)> on_success;
+    /// Cycle ended with all probes unanswered.
+    std::function<void()> on_failure;
+  };
+
+  ProbeCycle(des::Scheduler& scheduler, double tof, double tos,
+             int max_retransmissions, Callbacks callbacks);
+
+  ProbeCycle(const ProbeCycle&) = delete;
+  ProbeCycle& operator=(const ProbeCycle&) = delete;
+
+  /// Begin a new cycle (sends the first probe immediately).
+  /// Must not be called while a cycle is active.
+  void start();
+
+  /// Abort the current cycle, if any (no callback fires).
+  void abort();
+
+  /// Feed an incoming reply. Returns true if it was accepted (current
+  /// cycle, cycle active); stale replies return false and are ignored.
+  bool offer_reply(const net::Message& reply);
+
+  bool active() const noexcept { return active_; }
+  std::uint64_t cycle() const noexcept { return cycle_; }
+  std::uint8_t attempt() const noexcept { return attempt_; }
+  double cycle_start_time() const noexcept { return cycle_start_time_; }
+  double last_send_time() const noexcept { return last_send_time_; }
+
+  /// Totals over the FSM's lifetime.
+  std::uint64_t cycles_started() const noexcept { return cycles_started_; }
+  std::uint64_t cycles_succeeded() const noexcept { return cycles_succeeded_; }
+  std::uint64_t cycles_failed() const noexcept { return cycles_failed_; }
+  std::uint64_t probes_sent() const noexcept { return probes_sent_; }
+
+ private:
+  void transmit();
+  void on_timeout();
+
+  des::Scheduler& scheduler_;
+  double tof_;
+  double tos_;
+  int max_retransmissions_;
+  Callbacks callbacks_;
+  des::Timer timer_;
+
+  bool active_ = false;
+  std::uint64_t cycle_ = 0;
+  std::uint8_t attempt_ = 0;
+  double cycle_start_time_ = 0;
+  double last_send_time_ = 0;
+
+  std::uint64_t cycles_started_ = 0;
+  std::uint64_t cycles_succeeded_ = 0;
+  std::uint64_t cycles_failed_ = 0;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace probemon::core

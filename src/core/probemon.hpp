@@ -1,0 +1,24 @@
+// Umbrella header: the public API of the probemon core library.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   des::Simulation sim(seed);
+//   auto network = net::Network::make_paper_default(sim.scheduler(), sim.rng());
+//   core::DcppDevice device(sim, *network, core::DcppDeviceConfig{});
+//   core::DcppControlPoint cp(sim, *network, device.id(), core::DcppCpConfig{});
+//   cp.start();
+//   sim.run_until(600.0);
+#pragma once
+
+#include "core/config.hpp"
+#include "core/control_point_base.hpp"
+#include "core/dcpp_control_point.hpp"
+#include "core/dcpp_device.hpp"
+#include "core/device_base.hpp"
+#include "core/fixed_rate_control_point.hpp"
+#include "core/observer.hpp"
+#include "core/probe_cycle.hpp"
+#include "core/sapp_control_point.hpp"
+#include "core/sapp_device.hpp"
+#include "des/simulation.hpp"
+#include "net/network.hpp"

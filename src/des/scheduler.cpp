@@ -1,0 +1,79 @@
+#include "des/scheduler.hpp"
+
+#include <cmath>
+
+namespace probemon::des {
+
+EventId Scheduler::schedule_at(Time t, Callback fn) {
+  if (std::isnan(t) || t == kTimeInfinity) {
+    throw std::logic_error("schedule_at: non-finite time");
+  }
+  if (t < now_) {
+    throw std::logic_error("schedule_at: time in the past");
+  }
+  if (!fn) {
+    throw std::logic_error("schedule_at: empty callback");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq, seq, std::move(fn)});
+  live_.insert(seq);
+  return EventId(seq);
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  return live_.erase(id.raw_) > 0;
+}
+
+void Scheduler::skim() {
+  while (!queue_.empty() && !live_.contains(queue_.top().id)) {
+    queue_.pop();
+  }
+}
+
+Time Scheduler::next_time() const {
+  // const skim: we cannot pop from a const queue, so scan via copy-free
+  // trick — the queue top may be tombstoned; fall back to conservative
+  // answer by scanning. To keep this O(1) amortized we do the skim in the
+  // non-const mutators and accept that next_time() on a dirty top is rare.
+  auto* self = const_cast<Scheduler*>(this);
+  self->skim();
+  if (queue_.empty()) return kTimeInfinity;
+  return queue_.top().time;
+}
+
+bool Scheduler::step() {
+  skim();
+  if (queue_.empty()) return false;
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  live_.erase(entry.id);
+  now_ = entry.time;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+std::uint64_t Scheduler::run_until(Time horizon) {
+  std::uint64_t n = 0;
+  for (;;) {
+    skim();
+    if (queue_.empty() || queue_.top().time > horizon) break;
+    step();
+    ++n;
+  }
+  if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
+  return n;
+}
+
+std::uint64_t Scheduler::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n > max_events) {
+      throw std::runtime_error("Scheduler::run_all: event cap exceeded");
+    }
+  }
+  return n;
+}
+
+}  // namespace probemon::des

@@ -1,0 +1,125 @@
+// Discrete-event scheduler: the heart of the simulation substrate.
+//
+// Semantics:
+//   * Virtual time is a double in seconds, starting at 0.
+//   * Events scheduled for the same instant fire in the order they were
+//     scheduled (stable FIFO tie-break via a monotone sequence number).
+//     This matters for protocol determinism: a probe and its timeout can
+//     coincide, and the outcome must not depend on heap internals.
+//   * Scheduling into the past (t < now) is a logic error and throws.
+//   * Cancellation is O(1) amortized (lazy tombstoning: cancelled events
+//     stay in the heap and are skipped on pop).
+//
+// The scheduler is single-threaded by design; the MODEST/MOBIUS tool chain
+// the paper used is likewise a sequential simulator. Concurrency lives in
+// src/runtime, not here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace probemon::des {
+
+/// Virtual simulation time, seconds.
+using Time = double;
+
+/// Sentinel for "never" / "no deadline".
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+/// Value 0 is reserved as "invalid handle".
+class EventId {
+ public:
+  constexpr EventId() noexcept = default;
+  constexpr bool valid() const noexcept { return raw_ != 0; }
+  constexpr bool operator==(const EventId&) const noexcept = default;
+
+ private:
+  friend class Scheduler;
+  explicit constexpr EventId(std::uint64_t raw) noexcept : raw_(raw) {}
+  std::uint64_t raw_ = 0;
+};
+
+/// Event priority queue with stable same-time ordering and lazy cancel.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current virtual time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedule `fn` at absolute time `t >= now()`. Throws std::logic_error
+  /// on scheduling into the past or at a non-finite time.
+  EventId schedule_at(Time t, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventId schedule_after(Time delay, Callback fn) {
+    if (!(delay >= 0)) throw std::logic_error("schedule_after: negative delay");
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Returns true if the event was pending (and is
+  /// now guaranteed not to fire), false if unknown/already fired/cancelled.
+  bool cancel(EventId id);
+
+  /// True if the event is still pending.
+  bool pending(EventId id) const {
+    return id.valid() && live_.contains(id.raw_);
+  }
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t pending_count() const noexcept { return live_.size(); }
+  bool empty() const noexcept { return live_.empty(); }
+
+  /// Time of the next live event, or kTimeInfinity.
+  Time next_time() const;
+
+  /// Execute the single next event. Returns false if none remain.
+  bool step();
+
+  /// Run events with time <= horizon; afterwards now() == min(horizon,
+  /// time the queue drained). Events scheduled DURING the run are honored
+  /// if they fall inside the horizon. Returns number of events executed.
+  std::uint64_t run_until(Time horizon);
+
+  /// Drain the queue completely (with a safety cap on executed events;
+  /// throws std::runtime_error if exceeded, catching runaway models).
+  std::uint64_t run_all(std::uint64_t max_events = 500'000'000ULL);
+
+  /// Total events executed over the scheduler's lifetime.
+  std::uint64_t executed_count() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // tie-break: lower seq fires first
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop tombstoned entries off the top.
+  void skim();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace probemon::des

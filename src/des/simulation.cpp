@@ -1,0 +1,28 @@
+#include "des/simulation.hpp"
+
+namespace probemon::des {
+
+Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+Simulation::Periodic::Periodic(Scheduler& scheduler, Time period,
+                               std::function<void(Time)> fn, Time until)
+    : scheduler_(scheduler),
+      period_(period),
+      until_(until),
+      fn_(std::move(fn)),
+      timer_(scheduler, [this] { fire(); }) {
+  if (!(period_ > 0)) throw std::logic_error("Periodic: period must be > 0");
+  if (scheduler_.now() + period_ < until_) timer_.arm(period_);
+}
+
+void Simulation::Periodic::fire() {
+  fn_(scheduler_.now());
+  if (scheduler_.now() + period_ < until_) timer_.arm(period_);
+}
+
+std::unique_ptr<Simulation::Periodic> Simulation::every(
+    Time period, std::function<void(Time)> fn, Time until) {
+  return std::make_unique<Periodic>(scheduler_, period, std::move(fn), until);
+}
+
+}  // namespace probemon::des

@@ -1,0 +1,78 @@
+// Simulation facade: scheduler + root RNG + run control.
+//
+// A Simulation owns the clock and the root random stream. Every model
+// component forks its own child stream from the root (see util::Rng::fork)
+// so results are reproducible and insensitive to component creation order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "des/scheduler.hpp"
+#include "des/timer.hpp"
+#include "util/rng.hpp"
+
+namespace probemon::des {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 42);
+
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  const Scheduler& scheduler() const noexcept { return scheduler_; }
+  Time now() const noexcept { return scheduler_.now(); }
+
+  /// Root RNG; components should fork() from it rather than draw directly.
+  util::Rng& rng() noexcept { return rng_; }
+
+  /// Fork a named child stream (deterministic in the name).
+  util::Rng fork_rng(std::string_view tag) const { return rng_.fork(tag); }
+
+  /// Convenience scheduling.
+  EventId at(Time t, Scheduler::Callback fn) {
+    return scheduler_.schedule_at(t, std::move(fn));
+  }
+  EventId after(Time delay, Scheduler::Callback fn) {
+    return scheduler_.schedule_after(delay, std::move(fn));
+  }
+
+  /// Repeat `fn` every `period` seconds, first firing at now()+period,
+  /// until `until` (exclusive) or forever if until == kTimeInfinity.
+  /// Returns a handle that cancels the repetition when destroyed.
+  class Periodic;
+  std::unique_ptr<Periodic> every(Time period, std::function<void(Time)> fn,
+                                  Time until = kTimeInfinity);
+
+  /// Run until virtual time `horizon`.
+  std::uint64_t run_until(Time horizon) { return scheduler_.run_until(horizon); }
+  /// Run until the event queue drains.
+  std::uint64_t run_all() { return scheduler_.run_all(); }
+
+ private:
+  Scheduler scheduler_;
+  util::Rng rng_;
+};
+
+/// Handle for a periodic activity; destroying it stops the repetition.
+class Simulation::Periodic {
+ public:
+  Periodic(Scheduler& scheduler, Time period, std::function<void(Time)> fn,
+           Time until);
+  ~Periodic() = default;
+  Periodic(const Periodic&) = delete;
+  Periodic& operator=(const Periodic&) = delete;
+
+  void stop() { timer_.disarm(); }
+
+ private:
+  void fire();
+
+  Scheduler& scheduler_;
+  Time period_;
+  Time until_;
+  std::function<void(Time)> fn_;
+  Timer timer_;
+};
+
+}  // namespace probemon::des

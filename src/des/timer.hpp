@@ -1,0 +1,63 @@
+// One-shot restartable timer built on the scheduler.
+//
+// Protocol state machines (probe timeouts, inter-probe delays) need a
+// timer they can arm, re-arm and disarm without leaking stale callbacks.
+// Timer guarantees: after disarm()/re-arm, a previously armed expiry will
+// never fire. The owner must outlive the scheduler events, which holds
+// naturally because nodes live for the whole simulation.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "des/scheduler.hpp"
+
+namespace probemon::des {
+
+class Timer {
+ public:
+  /// `on_expire` is invoked at expiry with the timer already disarmed,
+  /// so the callback may immediately re-arm.
+  Timer(Scheduler& scheduler, std::function<void()> on_expire)
+      : scheduler_(scheduler), on_expire_(std::move(on_expire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { disarm(); }
+
+  /// Arm (or re-arm) to expire `delay` seconds from now.
+  void arm(Time delay) {
+    disarm();
+    id_ = scheduler_.schedule_after(delay, [this] {
+      id_ = EventId{};
+      on_expire_();
+    });
+  }
+
+  /// Arm to expire at an absolute time.
+  void arm_at(Time t) {
+    disarm();
+    id_ = scheduler_.schedule_at(t, [this] {
+      id_ = EventId{};
+      on_expire_();
+    });
+  }
+
+  /// Cancel a pending expiry; harmless if not armed.
+  void disarm() {
+    if (id_.valid()) {
+      scheduler_.cancel(id_);
+      id_ = EventId{};
+    }
+  }
+
+  bool armed() const { return scheduler_.pending(id_); }
+
+ private:
+  Scheduler& scheduler_;
+  std::function<void()> on_expire_;
+  EventId id_;
+};
+
+}  // namespace probemon::des

@@ -1,0 +1,81 @@
+#include "net/delay_model.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace probemon::net {
+
+DistributionDelay::DistributionDelay(util::DistributionPtr dist,
+                                     double max_delay)
+    : dist_(std::move(dist)), max_(max_delay) {
+  if (!dist_) throw std::invalid_argument("DistributionDelay: null dist");
+  if (!(max_ > 0)) {
+    throw std::invalid_argument("DistributionDelay: max_delay > 0");
+  }
+}
+
+double DistributionDelay::sample(util::Rng& rng) {
+  return std::clamp(dist_->sample(rng), 0.0, max_);
+}
+
+std::string DistributionDelay::describe() const {
+  std::ostringstream os;
+  os << "DistributionDelay[" << dist_->describe() << ", max " << max_ << "]";
+  return os.str();
+}
+
+ThreeModeDelay::ThreeModeDelay(Band fast, Band medium, Band slow)
+    : fast_(fast), medium_(medium), slow_(slow) {
+  auto check = [](const Band& b, const char* what) {
+    if (!(b.lo >= 0 && b.hi >= b.lo)) throw std::invalid_argument(what);
+  };
+  check(fast, "ThreeModeDelay: bad fast band");
+  check(medium, "ThreeModeDelay: bad medium band");
+  check(slow, "ThreeModeDelay: bad slow band");
+  if (fast.hi > medium.hi || medium.hi > slow.hi) {
+    throw std::invalid_argument("ThreeModeDelay: bands must be ordered");
+  }
+}
+
+ThreeModeDelay ThreeModeDelay::paper_default() {
+  return ThreeModeDelay(Band{0.00005, 0.00015}, Band{0.00015, 0.00030},
+                        Band{0.00030, 0.00050});
+}
+
+double ThreeModeDelay::sample(util::Rng& rng) {
+  const auto mode = rng.uniform_u64(0, 2);
+  const Band& band = mode == 0 ? fast_ : (mode == 1 ? medium_ : slow_);
+  return rng.uniform(band.lo, band.hi);
+}
+
+std::string ThreeModeDelay::describe() const {
+  std::ostringstream os;
+  os << "ThreeMode[fast U(" << fast_.lo << ',' << fast_.hi << ") | medium U("
+     << medium_.lo << ',' << medium_.hi << ") | slow U(" << slow_.lo << ','
+     << slow_.hi << ")]";
+  return os.str();
+}
+
+ConstantDelay::ConstantDelay(double delay) : delay_(delay) {
+  if (!(delay >= 0)) throw std::invalid_argument("ConstantDelay: delay >= 0");
+}
+
+std::string ConstantDelay::describe() const {
+  std::ostringstream os;
+  os << "ConstantDelay[" << delay_ << "]";
+  return os.str();
+}
+
+DelayModelPtr make_constant_delay(double delay) {
+  return std::make_unique<ConstantDelay>(delay);
+}
+DelayModelPtr make_three_mode_delay() {
+  return std::make_unique<ThreeModeDelay>(ThreeModeDelay::paper_default());
+}
+DelayModelPtr make_distribution_delay(util::DistributionPtr dist,
+                                      double max_delay) {
+  return std::make_unique<DistributionDelay>(std::move(dist), max_delay);
+}
+
+}  // namespace probemon::net

@@ -1,0 +1,90 @@
+// One-way message latency models.
+//
+// The paper models network delay as "a uniform probabilistic choice
+// between three modes of operation: a slow, a medium and a fast mode" and
+// notes similar findings across several other network types. We provide
+// that model (ThreeModeDelay) plus common alternatives so experiments can
+// check sensitivity to the latency law.
+//
+// Calibration: the paper sets TOF = 2*RTT_max + compute_max = 0.022 s and
+// TOS = RTT_max + compute_max = 0.021 s; solving gives RTT_max = 0.001 s
+// (one-way <= 0.0005 s) and compute_max = 0.020 s. The default three-mode
+// model below keeps the one-way delay <= 0.0005 s so the paper's timeouts
+// are conservative, exactly as in its setup.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace probemon::net {
+
+/// Strategy interface: one-way latency for one message.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  /// Draw the latency (seconds, >= 0) for a message being sent now.
+  virtual double sample(util::Rng& rng) = 0;
+  /// Upper bound on the latency, if the model has one (else +inf).
+  virtual double max_delay() const = 0;
+  virtual std::string describe() const = 0;
+};
+
+using DelayModelPtr = std::unique_ptr<DelayModel>;
+
+/// Delay drawn iid from an arbitrary distribution, clamped at >= 0.
+class DistributionDelay final : public DelayModel {
+ public:
+  DistributionDelay(util::DistributionPtr dist, double max_delay);
+  double sample(util::Rng& rng) override;
+  double max_delay() const override { return max_; }
+  std::string describe() const override;
+
+ private:
+  util::DistributionPtr dist_;
+  double max_;
+};
+
+/// The paper's network: each message independently experiences a fast,
+/// medium or slow mode (uniform mode choice), with uniform latency within
+/// the mode's band.
+class ThreeModeDelay final : public DelayModel {
+ public:
+  struct Band {
+    double lo;
+    double hi;
+  };
+  ThreeModeDelay(Band fast, Band medium, Band slow);
+
+  /// Default calibration: one-way delay <= 0.5 ms (RTT <= 1 ms), matching
+  /// TOF = 0.022 = 2*RTT_max + compute_max with compute_max = 20 ms.
+  static ThreeModeDelay paper_default();
+
+  double sample(util::Rng& rng) override;
+  double max_delay() const override { return slow_.hi; }
+  std::string describe() const override;
+
+ private:
+  Band fast_, medium_, slow_;
+};
+
+/// Fixed latency (useful for deterministic protocol tests).
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(double delay);
+  double sample(util::Rng&) override { return delay_; }
+  double max_delay() const override { return delay_; }
+  std::string describe() const override;
+
+ private:
+  double delay_;
+};
+
+DelayModelPtr make_constant_delay(double delay);
+DelayModelPtr make_three_mode_delay();
+DelayModelPtr make_distribution_delay(util::DistributionPtr dist,
+                                      double max_delay);
+
+}  // namespace probemon::net

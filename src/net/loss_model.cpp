@@ -1,0 +1,72 @@
+#include "net/loss_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace probemon::net {
+
+namespace {
+void require_prob(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0)) throw std::invalid_argument(what);
+}
+}  // namespace
+
+BernoulliLoss::BernoulliLoss(double p) : p_(p) {
+  require_prob(p, "BernoulliLoss: p in [0,1]");
+}
+
+std::string BernoulliLoss::describe() const {
+  std::ostringstream os;
+  os << "Bernoulli(" << p_ << ")";
+  return os.str();
+}
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad,
+                                       double p_bad_to_good, double loss_good,
+                                       double loss_bad)
+    : p_gb_(p_good_to_bad),
+      p_bg_(p_bad_to_good),
+      loss_good_(loss_good),
+      loss_bad_(loss_bad) {
+  require_prob(p_gb_, "GilbertElliott: p_good_to_bad in [0,1]");
+  require_prob(p_bg_, "GilbertElliott: p_bad_to_good in [0,1]");
+  require_prob(loss_good_, "GilbertElliott: loss_good in [0,1]");
+  require_prob(loss_bad_, "GilbertElliott: loss_bad in [0,1]");
+}
+
+bool GilbertElliottLoss::lose(util::Rng& rng) {
+  // Advance the channel state, then decide this message's fate.
+  if (bad_) {
+    if (rng.bernoulli(p_bg_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_gb_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? loss_bad_ : loss_good_);
+}
+
+double GilbertElliottLoss::steady_state_loss() const noexcept {
+  const double denom = p_gb_ + p_bg_;
+  if (denom == 0.0) return bad_ ? loss_bad_ : loss_good_;
+  const double pi_bad = p_gb_ / denom;
+  return pi_bad * loss_bad_ + (1.0 - pi_bad) * loss_good_;
+}
+
+std::string GilbertElliottLoss::describe() const {
+  std::ostringstream os;
+  os << "GilbertElliott(g->b " << p_gb_ << ", b->g " << p_bg_ << ", loss "
+     << loss_good_ << '/' << loss_bad_ << ")";
+  return os.str();
+}
+
+LossModelPtr make_no_loss() { return std::make_unique<NoLoss>(); }
+LossModelPtr make_bernoulli_loss(double p) {
+  return std::make_unique<BernoulliLoss>(p);
+}
+LossModelPtr make_gilbert_elliott_loss(double p_good_to_bad,
+                                       double p_bad_to_good, double loss_good,
+                                       double loss_bad) {
+  return std::make_unique<GilbertElliottLoss>(p_good_to_bad, p_bad_to_good,
+                                              loss_good, loss_bad);
+}
+
+}  // namespace probemon::net

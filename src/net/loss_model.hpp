@@ -1,0 +1,70 @@
+// Packet-loss models.
+//
+// The paper's Fig 5 scenario assumes no loss ("every transmitted probe
+// will eventually be answered") but explicitly conjectures that bursty
+// loss — inevitable on capacity-limited devices — would *widen* the load
+// spikes. Bench A3 tests that conjecture, which needs both independent
+// (Bernoulli) and bursty (Gilbert-Elliott) loss processes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace probemon::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Decide the fate of one message. Stateful models advance their state.
+  virtual bool lose(util::Rng& rng) = 0;
+  virtual std::string describe() const = 0;
+};
+
+using LossModelPtr = std::unique_ptr<LossModel>;
+
+class NoLoss final : public LossModel {
+ public:
+  bool lose(util::Rng&) override { return false; }
+  std::string describe() const override { return "NoLoss"; }
+};
+
+/// Each message independently lost with probability p.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p);
+  bool lose(util::Rng& rng) override { return rng.bernoulli(p_); }
+  std::string describe() const override;
+  double p() const noexcept { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Two-state Markov (Gilbert-Elliott) loss: a Good state with loss
+/// probability `loss_good` and a Bad state with `loss_bad`; transition
+/// probabilities are evaluated per message. Produces loss bursts whose
+/// mean length is 1 / p_bad_to_good messages.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double p_bad_to_good,
+                     double loss_good, double loss_bad);
+  bool lose(util::Rng& rng) override;
+  std::string describe() const override;
+  bool in_bad_state() const noexcept { return bad_; }
+  /// Long-run average loss probability.
+  double steady_state_loss() const noexcept;
+
+ private:
+  double p_gb_, p_bg_, loss_good_, loss_bad_;
+  bool bad_ = false;
+};
+
+LossModelPtr make_no_loss();
+LossModelPtr make_bernoulli_loss(double p);
+LossModelPtr make_gilbert_elliott_loss(double p_good_to_bad,
+                                       double p_bad_to_good,
+                                       double loss_good, double loss_bad);
+
+}  // namespace probemon::net

@@ -1,0 +1,60 @@
+// Wire messages of the probe protocols.
+//
+// Both SAPP and DCPP exchange only two message kinds during normal
+// operation (probe / reply); a departing node may send a bye. The Message
+// struct is the union of all fields either protocol uses; unused fields
+// stay at their defaults. This mirrors a real UPnP-style UDP datagram
+// where the payload is a small set of header values.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace probemon::net {
+
+/// Node address within one simulated network. 0 is never assigned.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+enum class MessageKind : std::uint8_t {
+  kProbe,   // CP -> device: "are you still there?"
+  kReply,   // device -> CP: presence confirmation + protocol payload
+  kBye,     // graceful leave announcement
+  kNotify,  // CP -> CP: "device X has left" (dissemination extension)
+};
+
+const char* to_string(MessageKind kind) noexcept;
+
+struct Message {
+  MessageKind kind = MessageKind::kProbe;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  /// CP-local probe-cycle sequence number, echoed by the device so the CP
+  /// can discard replies that belong to an abandoned cycle.
+  std::uint64_t cycle = 0;
+  /// Retransmission attempt within the cycle (0 = first probe).
+  std::uint8_t attempt = 0;
+
+  // --- SAPP payload ------------------------------------------------------
+  /// Device probe counter (already incremented by Delta), valid in replies.
+  std::uint64_t pc = 0;
+  /// Ids of the last two distinct CPs that probed the device (overlay
+  /// construction, paper section 2). kInvalidNode when not yet known.
+  std::array<NodeId, 2> last_probers{kInvalidNode, kInvalidNode};
+
+  // --- DCPP payload ------------------------------------------------------
+  /// Wait time granted to the CP before its next probe (seconds).
+  double grant_delay = 0.0;
+
+  // --- Dissemination extension -------------------------------------------
+  /// Device a kNotify message reports as departed.
+  NodeId subject = kInvalidNode;
+  /// Remaining forwarding budget for gossip notifications.
+  std::uint8_t ttl = 0;
+
+  std::string describe() const;
+};
+
+}  // namespace probemon::net

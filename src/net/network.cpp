@@ -1,0 +1,105 @@
+#include "net/network.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace probemon::net {
+
+const char* to_string(MessageKind kind) noexcept {
+  switch (kind) {
+    case MessageKind::kProbe: return "probe";
+    case MessageKind::kReply: return "reply";
+    case MessageKind::kBye: return "bye";
+    case MessageKind::kNotify: return "notify";
+  }
+  return "?";
+}
+
+std::string Message::describe() const {
+  std::ostringstream os;
+  os << to_string(kind) << ' ' << from << "->" << to << " cycle=" << cycle
+     << " attempt=" << static_cast<int>(attempt);
+  if (kind == MessageKind::kReply) {
+    os << " pc=" << pc << " grant=" << grant_delay;
+  }
+  return os.str();
+}
+
+Network::Network(des::Scheduler& scheduler, const util::Rng& rng,
+                 NetworkConfig config, DelayModelPtr delay, LossModelPtr loss)
+    : scheduler_(scheduler),
+      config_(config),
+      delay_(std::move(delay)),
+      loss_(std::move(loss)),
+      delay_rng_(rng.fork("net.delay")),
+      loss_rng_(rng.fork("net.loss")) {
+  if (!delay_) throw std::invalid_argument("Network: null delay model");
+  if (!loss_) throw std::invalid_argument("Network: null loss model");
+  if (config_.buffer_capacity == 0) {
+    throw std::invalid_argument("Network: buffer_capacity > 0");
+  }
+  occupancy_.set(scheduler_.now(), 0.0);
+}
+
+std::unique_ptr<Network> Network::make_paper_default(des::Scheduler& scheduler,
+                                                     const util::Rng& rng) {
+  return std::make_unique<Network>(scheduler, rng, NetworkConfig{},
+                                   make_three_mode_delay(), make_no_loss());
+}
+
+NodeId Network::attach(INetworkClient& client) {
+  const NodeId id = next_id_++;
+  clients_.emplace(id, &client);
+  return id;
+}
+
+void Network::detach(NodeId id) { clients_.erase(id); }
+
+bool Network::send(Message msg) {
+  if (msg.from == kInvalidNode || msg.to == kInvalidNode) {
+    throw std::logic_error("Network::send: invalid endpoint");
+  }
+  ++counters_.sent;
+  if (down_) {
+    ++counters_.dropped_outage;
+    return false;
+  }
+  if (loss_->lose(loss_rng_)) {
+    ++counters_.dropped_loss;
+    return false;
+  }
+  if (in_flight_ >= config_.buffer_capacity) {
+    ++counters_.dropped_overflow;
+    PLOG_DEBUG << "network buffer overflow, dropping " << msg.describe();
+    return false;
+  }
+  ++in_flight_;
+  occupancy_.set(scheduler_.now(), static_cast<double>(in_flight_));
+  const double delay = delay_->sample(delay_rng_);
+  scheduler_.schedule_after(delay, [this, msg] { deliver(msg); });
+  return true;
+}
+
+void Network::schedule_outage(double t0, double t1) {
+  if (!(t1 > t0) || t0 < scheduler_.now()) {
+    throw std::logic_error("schedule_outage: need now <= t0 < t1");
+  }
+  scheduler_.schedule_at(t0, [this] { down_ = true; });
+  scheduler_.schedule_at(t1, [this] { down_ = false; });
+}
+
+void Network::deliver(const Message& msg) {
+  --in_flight_;
+  occupancy_.set(scheduler_.now(), static_cast<double>(in_flight_));
+  auto it = clients_.find(msg.to);
+  if (it == clients_.end()) {
+    ++counters_.dropped_unknown;
+    return;
+  }
+  ++counters_.delivered;
+  it->second->on_message(msg);
+}
+
+}  // namespace probemon::net

@@ -1,0 +1,115 @@
+// Simulated datagram network with a bounded in-flight buffer.
+//
+// Matches the paper's network process: messages experience a stochastic
+// one-way delay (three-mode by default), may be lost, and occupy a slot
+// in a bounded network buffer (capacity 20 000 in the paper) while in
+// flight; a full buffer drops the message. The paper reports the average
+// buffer length (~0.004 in the SAPP steady-state study), so occupancy is
+// tracked time-weighted.
+//
+// Delivery is best-effort datagram semantics: no ordering guarantee
+// beyond what the delay samples induce, no duplication, at-most-once.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "des/scheduler.hpp"
+#include "net/delay_model.hpp"
+#include "net/loss_model.hpp"
+#include "net/message.hpp"
+#include "stats/time_weighted.hpp"
+#include "util/rng.hpp"
+
+namespace probemon::net {
+
+/// Anything attached to the network. on_message is invoked at delivery
+/// time with the scheduler already advanced to that instant.
+class INetworkClient {
+ public:
+  virtual ~INetworkClient() = default;
+  virtual void on_message(const Message& msg) = 0;
+};
+
+struct NetworkConfig {
+  /// Max number of in-flight messages; exceeding drops. Paper: 20 000.
+  std::size_t buffer_capacity = 20'000;
+};
+
+struct NetworkCounters {
+  std::uint64_t sent = 0;            ///< send() calls accepted from nodes
+  std::uint64_t delivered = 0;       ///< reached a registered destination
+  std::uint64_t dropped_loss = 0;    ///< loss model discarded
+  std::uint64_t dropped_overflow = 0;///< buffer was full
+  std::uint64_t dropped_unknown = 0; ///< destination not/no longer attached
+  std::uint64_t dropped_outage = 0;  ///< sent while the network was down
+};
+
+class Network {
+ public:
+  /// The network forks its own RNG streams (delay, loss) from `rng`.
+  Network(des::Scheduler& scheduler, const util::Rng& rng,
+          NetworkConfig config, DelayModelPtr delay, LossModelPtr loss);
+
+  /// Paper-default network: three-mode delay, no loss, buffer 20 000.
+  static std::unique_ptr<Network> make_paper_default(
+      des::Scheduler& scheduler, const util::Rng& rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attach a node; returns its address. The client must outlive the
+  /// network or detach first.
+  NodeId attach(INetworkClient& client);
+
+  /// Detach a node; in-flight messages to it are silently dropped at
+  /// delivery time (counted as dropped_unknown).
+  void detach(NodeId id);
+
+  bool attached(NodeId id) const { return clients_.contains(id); }
+  std::size_t node_count() const noexcept { return clients_.size(); }
+
+  /// Send msg.from -> msg.to. Loss and buffer limits apply. Returns true
+  /// if the message entered the network (it may still be lost later only
+  /// if the destination detaches).
+  bool send(Message msg);
+
+  /// Total network outage during [t0, t1): every message sent inside
+  /// the window is dropped. Messages already in flight still arrive
+  /// (they left the sender before the cable was pulled). Outage windows
+  /// let experiments separate "device crashed" from "network down" —
+  /// the false-alarm failure mode of probing detectors.
+  void schedule_outage(double t0, double t1);
+  bool down() const noexcept { return down_; }
+
+  const NetworkCounters& counters() const noexcept { return counters_; }
+  /// Current number of in-flight messages.
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  /// Time-averaged buffer occupancy up to `t` (paper's "buffer length").
+  double mean_buffer_occupancy(double t) const {
+    return occupancy_.mean_until(t);
+  }
+  double max_buffer_occupancy() const { return occupancy_.max(); }
+
+  const DelayModel& delay_model() const noexcept { return *delay_; }
+  const LossModel& loss_model() const noexcept { return *loss_; }
+
+ private:
+  void deliver(const Message& msg);
+
+  des::Scheduler& scheduler_;
+  NetworkConfig config_;
+  DelayModelPtr delay_;
+  LossModelPtr loss_;
+  util::Rng delay_rng_;
+  util::Rng loss_rng_;
+  std::unordered_map<NodeId, INetworkClient*> clients_;
+  NodeId next_id_ = 1;
+  std::size_t in_flight_ = 0;
+  bool down_ = false;
+  NetworkCounters counters_;
+  stats::TimeWeighted occupancy_;
+};
+
+}  // namespace probemon::net

@@ -1,0 +1,105 @@
+#include "runtime/inproc_transport.hpp"
+
+#include <stdexcept>
+
+namespace probemon::runtime {
+
+InProcTransport::InProcTransport(InProcTransportConfig config)
+    : config_(config), rng_(config.seed) {
+  if (!(config_.delay_min >= 0) || !(config_.delay_max >= config_.delay_min)) {
+    throw std::invalid_argument("InProcTransport: 0 <= delay_min <= delay_max");
+  }
+  if (!(config_.loss >= 0 && config_.loss <= 1)) {
+    throw std::invalid_argument("InProcTransport: loss in [0,1]");
+  }
+  worker_ = std::thread([this] { delivery_loop(); });
+}
+
+InProcTransport::~InProcTransport() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+net::NodeId InProcTransport::attach(RtHandler handler) {
+  if (!handler) throw std::invalid_argument("attach: empty handler");
+  std::lock_guard lock(mutex_);
+  const net::NodeId id = next_id_++;
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+void InProcTransport::detach(net::NodeId id) {
+  std::unique_lock lock(mutex_);
+  handlers_.erase(id);
+  // Wait out an in-progress delivery to this node so the caller can
+  // safely destroy the handler's target. NOTE: never call detach from
+  // inside a handler — it would deadlock on its own delivery.
+  cv_.wait(lock, [this, id] { return delivering_to_ != id; });
+}
+
+void InProcTransport::send(net::Message msg) {
+  double delay;
+  bool lost;
+  {
+    std::lock_guard lock(mutex_);
+    ++sent_;
+    lost = rng_.bernoulli(config_.loss);
+    if (lost) {
+      ++dropped_;
+      return;
+    }
+    delay = rng_.uniform(config_.delay_min, config_.delay_max);
+    queue_.push(Pending{clock_.now() + delay, next_seq_++, msg});
+  }
+  cv_.notify_all();
+}
+
+void InProcTransport::delivery_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stop_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      continue;
+    }
+    const double head = queue_.top().deliver_at;
+    if (clock_.now() < head) {
+      cv_.wait_until(lock, clock_.to_time_point(head));
+      continue;
+    }
+    Pending p = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(p.msg.to);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      continue;
+    }
+    RtHandler handler = it->second;  // copy: survives concurrent detach
+    delivering_to_ = p.msg.to;
+    ++delivered_;
+    lock.unlock();
+    handler(p.msg);
+    lock.lock();
+    delivering_to_ = net::kInvalidNode;
+    cv_.notify_all();
+  }
+}
+
+std::uint64_t InProcTransport::sent_count() const {
+  std::lock_guard lock(mutex_);
+  return sent_;
+}
+std::uint64_t InProcTransport::delivered_count() const {
+  std::lock_guard lock(mutex_);
+  return delivered_;
+}
+std::uint64_t InProcTransport::dropped_count() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+}  // namespace probemon::runtime

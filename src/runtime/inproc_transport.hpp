@@ -1,0 +1,73 @@
+// In-process datagram transport with delay and loss injection.
+//
+// A single delivery thread owns a deadline-ordered queue; send() draws a
+// uniform latency from [delay_min, delay_max] and may drop the message
+// with probability loss. Handlers run on the delivery thread. detach()
+// synchronizes with in-progress deliveries so a node can be destroyed
+// safely right after detaching.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+
+#include "runtime/transport.hpp"
+#include "util/rng.hpp"
+
+namespace probemon::runtime {
+
+struct InProcTransportConfig {
+  double delay_min = 0.0001;  ///< one-way latency lower bound (s)
+  double delay_max = 0.0005;  ///< one-way latency upper bound (s)
+  double loss = 0.0;          ///< iid loss probability
+  std::uint64_t seed = 42;
+};
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(InProcTransportConfig config = {});
+  ~InProcTransport() override;
+
+  net::NodeId attach(RtHandler handler) override;
+  void detach(net::NodeId id) override;
+  void send(net::Message msg) override;
+  const RtClock& clock() const override { return clock_; }
+
+  std::uint64_t sent_count() const;
+  std::uint64_t delivered_count() const;
+  std::uint64_t dropped_count() const;
+
+ private:
+  struct Pending {
+    double deliver_at;
+    std::uint64_t seq;
+    net::Message msg;
+    bool operator>(const Pending& other) const {
+      if (deliver_at != other.deliver_at) {
+        return deliver_at > other.deliver_at;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void delivery_loop();
+
+  InProcTransportConfig config_;
+  RtClock clock_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
+  std::unordered_map<net::NodeId, RtHandler> handlers_;
+  net::NodeId next_id_ = 1;
+  net::NodeId delivering_to_ = net::kInvalidNode;
+  std::uint64_t next_seq_ = 0;
+  util::Rng rng_;
+  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
+  std::thread worker_;  // last member: starts after everything is ready
+};
+
+}  // namespace probemon::runtime

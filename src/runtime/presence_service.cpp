@@ -1,0 +1,160 @@
+#include "runtime/presence_service.hpp"
+
+#include <utility>
+
+namespace probemon::runtime {
+
+const char* to_string(Presence presence) noexcept {
+  switch (presence) {
+    case Presence::kUnknown: return "unknown";
+    case Presence::kPresent: return "present";
+    case Presence::kAbsent: return "absent";
+  }
+  return "?";
+}
+
+PresenceService::PresenceService(Transport& transport)
+    : transport_(transport) {}
+
+PresenceService::~PresenceService() {
+  // Move the watches out so CP threads join without the lock held
+  // (their callbacks may be blocked on it).
+  std::unordered_map<net::NodeId, Watch> doomed;
+  {
+    std::lock_guard lock(mutex_);
+    doomed = std::move(watches_);
+    watches_.clear();
+    subscribers_.clear();
+  }
+}
+
+std::uint64_t PresenceService::subscribe(EventCallback callback) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t token = next_token_++;
+  subscribers_.emplace(token, std::move(callback));
+  return token;
+}
+
+void PresenceService::unsubscribe(std::uint64_t token) {
+  std::lock_guard lock(mutex_);
+  subscribers_.erase(token);
+}
+
+RtControlPointBase::Callbacks PresenceService::make_callbacks(
+    net::NodeId device) {
+  RtControlPointBase::Callbacks callbacks;
+  callbacks.on_absent = [this, device](net::NodeId, double t) {
+    on_transition(device, Presence::kAbsent, t);
+  };
+  callbacks.on_cycle_success = [this, device](double t, double) {
+    on_transition(device, Presence::kPresent, t);
+  };
+  return callbacks;
+}
+
+void PresenceService::watch_dcpp(net::NodeId device,
+                                 core::DcppCpConfig config) {
+  {
+    std::lock_guard lock(mutex_);
+    if (watches_.contains(device)) return;
+  }
+  auto cp = std::make_unique<RtDcppControlPoint>(transport_, device, config,
+                                                 make_callbacks(device));
+  RtControlPointBase* raw = cp.get();
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = watches_.try_emplace(device);
+    if (!inserted) return;  // raced with another watcher; drop ours
+    it->second.cp = std::move(cp);
+  }
+  raw->start();
+}
+
+void PresenceService::watch_sapp(net::NodeId device,
+                                 core::SappCpConfig config) {
+  {
+    std::lock_guard lock(mutex_);
+    if (watches_.contains(device)) return;
+  }
+  auto cp = std::make_unique<RtSappControlPoint>(transport_, device, config,
+                                                 make_callbacks(device));
+  RtControlPointBase* raw = cp.get();
+  {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = watches_.try_emplace(device);
+    if (!inserted) return;
+    it->second.cp = std::move(cp);
+  }
+  raw->start();
+}
+
+void PresenceService::unwatch(net::NodeId device) {
+  Watch doomed;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = watches_.find(device);
+    if (it == watches_.end()) return;
+    doomed = std::move(it->second);
+    watches_.erase(it);
+  }
+  // Watch (and its CP thread) dies here, outside the lock.
+}
+
+void PresenceService::on_transition(net::NodeId device, Presence state,
+                                    double t) {
+  std::vector<EventCallback> to_notify;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = watches_.find(device);
+    if (it == watches_.end()) return;       // unwatched concurrently
+    if (it->second.state == state) return;  // no transition
+    it->second.state = state;
+    it->second.last_change = t;
+    to_notify.reserve(subscribers_.size());
+    for (const auto& [token, cb] : subscribers_) to_notify.push_back(cb);
+  }
+  const PresenceEvent event{device, state, t};
+  for (const auto& cb : to_notify) cb(event);
+}
+
+Presence PresenceService::presence(net::NodeId device) const {
+  std::lock_guard lock(mutex_);
+  auto it = watches_.find(device);
+  return it == watches_.end() ? Presence::kUnknown : it->second.state;
+}
+
+std::size_t PresenceService::watch_count() const {
+  std::lock_guard lock(mutex_);
+  return watches_.size();
+}
+
+std::vector<net::NodeId> PresenceService::watched_devices() const {
+  std::lock_guard lock(mutex_);
+  std::vector<net::NodeId> out;
+  out.reserve(watches_.size());
+  for (const auto& [id, w] : watches_) out.push_back(id);
+  return out;
+}
+
+std::vector<PresenceEvent> PresenceService::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<PresenceEvent> out;
+  out.reserve(watches_.size());
+  for (const auto& [id, w] : watches_) {
+    out.push_back(PresenceEvent{id, w.state, w.last_change});
+  }
+  return out;
+}
+
+PresenceService::Stats PresenceService::stats() const {
+  std::lock_guard lock(mutex_);
+  Stats s;
+  for (const auto& [id, w] : watches_) {
+    s.probes_sent += w.cp->probes_sent();
+    s.cycles_succeeded += w.cp->cycles_succeeded();
+    s.cycles_failed += w.cp->cycles_failed();
+  }
+  return s;
+}
+
+}  // namespace probemon::runtime

@@ -1,0 +1,112 @@
+// PresenceService: the high-level embedding API of the runtime.
+//
+// An application (a UPnP control point, a smart-home hub) watches many
+// devices at once; each watch runs a protocol-appropriate CP loop, and
+// the service maintains a presence table plus an event stream. This is
+// the facade a downstream user adopts; the per-protocol classes remain
+// available for fine-grained control.
+//
+// Thread-safety: all public methods are safe to call from any thread.
+// Event callbacks fire on internal protocol threads; keep them quick
+// and do not call back into the service from within a callback for the
+// same device being torn down.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "runtime/rt_control_point.hpp"
+#include "runtime/transport.hpp"
+
+namespace probemon::runtime {
+
+/// Presence state of one watched device.
+enum class Presence {
+  kUnknown,  ///< watch started, no reply yet
+  kPresent,  ///< at least one probe cycle succeeded
+  kAbsent,   ///< a probe cycle exhausted all retransmissions
+};
+// Note: a watch whose device was declared absent stops probing (the
+// protocol's behaviour); unwatch() + watch_*() resumes monitoring, e.g.
+// after the device announces itself again via discovery.
+
+const char* to_string(Presence presence) noexcept;
+
+/// A presence transition event.
+struct PresenceEvent {
+  net::NodeId device = net::kInvalidNode;
+  Presence state = Presence::kUnknown;
+  double t = 0.0;  ///< transport-clock time of the transition
+};
+
+class PresenceService {
+ public:
+  using EventCallback = std::function<void(const PresenceEvent&)>;
+
+  /// The service sends and receives through `transport`, which must
+  /// outlive it.
+  explicit PresenceService(Transport& transport);
+  ~PresenceService();
+
+  PresenceService(const PresenceService&) = delete;
+  PresenceService& operator=(const PresenceService&) = delete;
+
+  /// Subscribe to presence transitions (called for every watched
+  /// device). Returns a token for unsubscribe.
+  std::uint64_t subscribe(EventCallback callback);
+  void unsubscribe(std::uint64_t token);
+
+  /// Watch a device with DCPP (the recommended protocol). No-op if the
+  /// device is already watched.
+  void watch_dcpp(net::NodeId device, core::DcppCpConfig config = {});
+  /// Watch a device with SAPP (for interop with legacy devices).
+  void watch_sapp(net::NodeId device, core::SappCpConfig config = {});
+
+  /// Stop watching; forgets the device's state.
+  void unwatch(net::NodeId device);
+
+  /// Current presence verdict (kUnknown if not watched).
+  Presence presence(net::NodeId device) const;
+  /// True only if watched and currently considered present.
+  bool present(net::NodeId device) const {
+    return presence(device) == Presence::kPresent;
+  }
+
+  std::size_t watch_count() const;
+  std::vector<net::NodeId> watched_devices() const;
+
+  /// Point-in-time copy of the presence table.
+  std::vector<PresenceEvent> snapshot() const;
+
+  /// Aggregate probe statistics across all watches.
+  struct Stats {
+    std::uint64_t probes_sent = 0;
+    std::uint64_t cycles_succeeded = 0;
+    std::uint64_t cycles_failed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Watch {
+    std::unique_ptr<RtControlPointBase> cp;
+    Presence state = Presence::kUnknown;
+    double last_change = 0.0;
+  };
+
+  RtControlPointBase::Callbacks make_callbacks(net::NodeId device);
+  void on_transition(net::NodeId device, Presence state, double t);
+
+  Transport& transport_;
+  mutable std::mutex mutex_;
+  std::unordered_map<net::NodeId, Watch> watches_;
+  std::unordered_map<std::uint64_t, EventCallback> subscribers_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace probemon::runtime

@@ -1,0 +1,178 @@
+#include "runtime/rt_control_point.hpp"
+
+namespace probemon::runtime {
+
+RtControlPointBase::RtControlPointBase(Transport& transport,
+                                       net::NodeId device,
+                                       const core::TimeoutConfig& timeouts,
+                                       Callbacks callbacks)
+    : transport_(transport),
+      device_(device),
+      timeouts_(timeouts),
+      callbacks_(std::move(callbacks)) {
+  timeouts_.validate();
+  id_ = transport_.attach([this](const net::Message& msg) { handle(msg); });
+}
+
+RtControlPointBase::~RtControlPointBase() {
+  stop();
+  transport_.detach(id_);
+}
+
+void RtControlPointBase::start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { run(); });
+}
+
+void RtControlPointBase::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RtControlPointBase::handle(const net::Message& msg) {
+  if (msg.kind != net::MessageKind::kReply || msg.from != device_) return;
+  {
+    std::lock_guard lock(mutex_);
+    pending_reply_ = msg;
+  }
+  cv_.notify_all();
+}
+
+void RtControlPointBase::send_probe(std::uint64_t cycle,
+                                    std::uint8_t attempt) {
+  net::Message probe;
+  probe.kind = net::MessageKind::kProbe;
+  probe.from = id_;
+  probe.to = device_;
+  probe.cycle = cycle;
+  probe.attempt = attempt;
+  transport_.send(probe);
+}
+
+void RtControlPointBase::run() {
+  const RtClock& clock = transport_.clock();
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    // ---- probe cycle ----
+    const std::uint64_t cyc = ++cycle_;
+    pending_reply_.reset();
+    bool success = false;
+    net::Message reply;
+    double t_obs = 0;
+    for (int attempt = 0; attempt <= timeouts_.max_retransmissions;
+         ++attempt) {
+      ++probes_sent_;
+      const double sent_at = clock.now();
+      lock.unlock();
+      send_probe(cyc, static_cast<std::uint8_t>(attempt));
+      lock.lock();
+      const double deadline =
+          sent_at + (attempt == 0 ? timeouts_.tof : timeouts_.tos);
+      const bool got = cv_.wait_until(
+          lock, clock.to_time_point(deadline), [this, cyc] {
+            return stop_ ||
+                   (pending_reply_ && pending_reply_->cycle == cyc);
+          });
+      if (stop_) return;
+      if (got && pending_reply_ && pending_reply_->cycle == cyc) {
+        success = true;
+        reply = *pending_reply_;
+        pending_reply_.reset();
+        // Same observation rule as the DES CP: clean success uses the
+        // reply arrival instant, a retransmitted success the send time.
+        t_obs = attempt == 0 ? clock.now() : sent_at;
+        break;
+      }
+      pending_reply_.reset();  // stale reply from an older cycle, if any
+    }
+
+    if (!success) {
+      ++cycles_failed_;
+      device_present_ = false;
+      if (callbacks_.on_absent) {
+        auto cb = callbacks_.on_absent;
+        lock.unlock();
+        cb(device_, clock.now());
+        lock.lock();
+      }
+      return;  // monitoring ends once the device is declared absent
+    }
+
+    ++cycles_succeeded_;
+    device_present_ = true;
+    const double delay = next_delay_locked(reply, t_obs);
+    current_delay_ = delay;
+    if (callbacks_.on_cycle_success) {
+      auto cb = callbacks_.on_cycle_success;
+      lock.unlock();
+      cb(clock.now(), delay);
+      lock.lock();
+      if (stop_) return;
+    }
+    // ---- inter-cycle wait (interruptible) ----
+    cv_.wait_until(lock, clock.to_time_point(clock.now() + delay),
+                   [this] { return stop_; });
+  }
+}
+
+bool RtControlPointBase::device_considered_present() const {
+  std::lock_guard lock(mutex_);
+  return device_present_;
+}
+std::uint64_t RtControlPointBase::cycles_succeeded() const {
+  std::lock_guard lock(mutex_);
+  return cycles_succeeded_;
+}
+std::uint64_t RtControlPointBase::cycles_failed() const {
+  std::lock_guard lock(mutex_);
+  return cycles_failed_;
+}
+std::uint64_t RtControlPointBase::probes_sent() const {
+  std::lock_guard lock(mutex_);
+  return probes_sent_;
+}
+double RtControlPointBase::current_delay() const {
+  std::lock_guard lock(mutex_);
+  return current_delay_;
+}
+
+RtSappControlPoint::RtSappControlPoint(Transport& transport,
+                                       net::NodeId device,
+                                       core::SappCpConfig config,
+                                       Callbacks callbacks)
+    : RtControlPointBase(transport, device, config.timeouts,
+                         std::move(callbacks)),
+      config_(config),
+      adaptation_(config_) {
+  config_.validate();
+}
+
+double RtSappControlPoint::delta() const { return current_delay(); }
+
+double RtSappControlPoint::next_delay_locked(const net::Message& reply,
+                                             double t_obs) {
+  return adaptation_.observe(reply.pc, t_obs);
+}
+
+RtDcppControlPoint::RtDcppControlPoint(Transport& transport,
+                                       net::NodeId device,
+                                       core::DcppCpConfig config,
+                                       Callbacks callbacks)
+    : RtControlPointBase(transport, device, config.timeouts,
+                         std::move(callbacks)),
+      config_(config) {
+  config_.validate();
+}
+
+double RtDcppControlPoint::next_delay_locked(const net::Message& reply,
+                                             double /*t_obs*/) {
+  return reply.grant_delay < 0 ? 0.0 : reply.grant_delay;
+}
+
+}  // namespace probemon::runtime

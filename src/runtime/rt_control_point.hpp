@@ -1,0 +1,118 @@
+// Wall-clock control points: one thread per CP running the bounded-
+// retransmission probe cycle against real deadlines. The SAPP/DCPP
+// difference is confined to next_delay(), mirroring the DES classes.
+//
+// Thread interactions:
+//   * the CP thread owns the protocol loop and sleeps on a condition
+//     variable between cycles;
+//   * the transport's delivery thread feeds replies through handle();
+//   * stop()/destructor shut the loop down and synchronize with the
+//     transport before the object dies.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/config.hpp"
+#include "core/sapp_adaptation.hpp"
+#include "runtime/transport.hpp"
+
+namespace probemon::runtime {
+
+class RtControlPointBase {
+ public:
+  struct Callbacks {
+    /// Invoked (from the CP thread) when the device is declared absent.
+    std::function<void(net::NodeId device, double t)> on_absent;
+    /// Invoked after every successful cycle with the chosen delay.
+    std::function<void(double t, double delay)> on_cycle_success;
+  };
+
+  RtControlPointBase(Transport& transport, net::NodeId device,
+                     const core::TimeoutConfig& timeouts, Callbacks callbacks);
+  virtual ~RtControlPointBase();
+
+  RtControlPointBase(const RtControlPointBase&) = delete;
+  RtControlPointBase& operator=(const RtControlPointBase&) = delete;
+
+  net::NodeId id() const noexcept { return id_; }
+  net::NodeId device() const noexcept { return device_; }
+
+  /// Launch the probing thread. Call at most once.
+  void start();
+  /// Stop the loop and join the thread. Idempotent.
+  void stop();
+
+  bool device_considered_present() const;
+  std::uint64_t cycles_succeeded() const;
+  std::uint64_t cycles_failed() const;
+  std::uint64_t probes_sent() const;
+  double current_delay() const;
+
+ protected:
+  /// Inter-cycle delay after a successful cycle; called on the CP thread
+  /// with the state mutex held.
+  virtual double next_delay_locked(const net::Message& reply,
+                                   double t_obs) = 0;
+
+ private:
+  void handle(const net::Message& msg);
+  void run();
+  void send_probe(std::uint64_t cycle, std::uint8_t attempt);
+
+  Transport& transport_;
+  net::NodeId device_;
+  core::TimeoutConfig timeouts_;
+  Callbacks callbacks_;
+  net::NodeId id_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::uint64_t cycle_ = 0;
+  std::optional<net::Message> pending_reply_;
+  bool device_present_ = true;
+  std::uint64_t cycles_succeeded_ = 0;
+  std::uint64_t cycles_failed_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  double current_delay_ = 0.0;
+  std::thread thread_;
+};
+
+class RtSappControlPoint final : public RtControlPointBase {
+ public:
+  RtSappControlPoint(Transport& transport, net::NodeId device,
+                     core::SappCpConfig config, Callbacks callbacks = {});
+  /// Joins the probing thread before the adaptation state dies (the
+  /// thread virtual-dispatches into this subclass).
+  ~RtSappControlPoint() override { stop(); }
+
+  double delta() const;
+
+ protected:
+  double next_delay_locked(const net::Message& reply, double t_obs) override;
+
+ private:
+  core::SappCpConfig config_;
+  core::SappAdaptation adaptation_;
+};
+
+class RtDcppControlPoint final : public RtControlPointBase {
+ public:
+  RtDcppControlPoint(Transport& transport, net::NodeId device,
+                     core::DcppCpConfig config, Callbacks callbacks = {});
+  ~RtDcppControlPoint() override { stop(); }
+
+ protected:
+  double next_delay_locked(const net::Message& reply, double t_obs) override;
+
+ private:
+  core::DcppCpConfig config_;
+};
+
+}  // namespace probemon::runtime

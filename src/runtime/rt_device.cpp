@@ -1,0 +1,94 @@
+#include "runtime/rt_device.hpp"
+
+#include "core/dcpp_device.hpp"
+
+namespace probemon::runtime {
+
+RtDeviceBase::RtDeviceBase(Transport& transport) : transport_(transport) {
+  id_ = transport_.attach([this](const net::Message& msg) { handle(msg); });
+}
+
+RtDeviceBase::~RtDeviceBase() { shutdown(); }
+
+void RtDeviceBase::shutdown() {
+  if (detached_) return;
+  detached_ = true;
+  transport_.detach(id_);
+}
+
+void RtDeviceBase::go_silent() {
+  std::lock_guard lock(mutex_);
+  present_ = false;
+}
+
+void RtDeviceBase::come_back() {
+  std::lock_guard lock(mutex_);
+  present_ = true;
+}
+
+bool RtDeviceBase::present() const {
+  std::lock_guard lock(mutex_);
+  return present_;
+}
+
+std::uint64_t RtDeviceBase::probes_received() const {
+  std::lock_guard lock(mutex_);
+  return probes_received_;
+}
+
+void RtDeviceBase::handle(const net::Message& msg) {
+  if (msg.kind != net::MessageKind::kProbe) return;
+  net::Message reply;
+  {
+    std::lock_guard lock(mutex_);
+    if (!present_) return;
+    ++probes_received_;
+    reply.kind = net::MessageKind::kReply;
+    reply.from = id_;
+    reply.to = msg.from;
+    reply.cycle = msg.cycle;
+    reply.attempt = msg.attempt;
+    fill_reply_locked(msg, transport_.clock().now(), reply);
+  }
+  transport_.send(reply);
+}
+
+RtSappDevice::RtSappDevice(Transport& transport, core::SappDeviceConfig config)
+    : RtDeviceBase(transport), config_(config), delta_(config.delta()) {
+  config_.validate();
+}
+
+std::uint64_t RtSappDevice::probe_counter() const {
+  std::lock_guard lock(mutex_);
+  return pc_;
+}
+
+void RtSappDevice::set_delta(std::uint64_t delta) {
+  std::lock_guard lock(mutex_);
+  delta_ = delta;
+}
+
+void RtSappDevice::fill_reply_locked(const net::Message& /*probe*/,
+                                     double /*t*/, net::Message& reply) {
+  pc_ += delta_;
+  reply.pc = pc_;
+}
+
+RtDcppDevice::RtDcppDevice(Transport& transport, core::DcppDeviceConfig config)
+    : RtDeviceBase(transport), config_(config) {
+  config_.validate();
+}
+
+double RtDcppDevice::next_slot() const {
+  std::lock_guard lock(mutex_);
+  return nt_;
+}
+
+void RtDcppDevice::fill_reply_locked(const net::Message& /*probe*/, double t,
+                                     net::Message& reply) {
+  const double wait = core::DcppDevice::grant(nt_, t, config_);
+  nt_ = t + wait;
+  reply.grant_delay = wait;
+}
+
+}  // namespace probemon::runtime

@@ -1,0 +1,92 @@
+// Wall-clock devices: the same reply logic as the DES devices, driven by
+// transport callbacks and protected by a mutex (probes from many CP
+// threads can race). Device state machines are small enough that the
+// paper's "implementable on small computing devices" claim is literally
+// visible here: DCPP's handler is a handful of arithmetic operations.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/config.hpp"
+#include "runtime/transport.hpp"
+
+namespace probemon::runtime {
+
+/// Common attach/detach + presence handling.
+class RtDeviceBase {
+ public:
+  RtDeviceBase(Transport& transport);
+  virtual ~RtDeviceBase();
+
+  RtDeviceBase(const RtDeviceBase&) = delete;
+  RtDeviceBase& operator=(const RtDeviceBase&) = delete;
+
+  net::NodeId id() const noexcept { return id_; }
+
+  /// Crash-style departure: stop answering (stays attached).
+  void go_silent();
+  void come_back();
+  bool present() const;
+
+  std::uint64_t probes_received() const;
+
+ protected:
+  /// Protocol-specific reply payload; called with the state mutex held.
+  virtual void fill_reply_locked(const net::Message& probe, double t,
+                                 net::Message& reply) = 0;
+
+  /// Detach from the transport (idempotent). Subclass destructors call
+  /// this so no handler can virtual-dispatch into a half-destroyed
+  /// object.
+  void shutdown();
+
+  mutable std::mutex mutex_;
+
+ private:
+  void handle(const net::Message& msg);
+
+  Transport& transport_;
+  net::NodeId id_;
+  bool detached_ = false;
+  bool present_ = true;
+  std::uint64_t probes_received_ = 0;
+};
+
+/// SAPP device: pc += Delta per probe; reply carries pc.
+class RtSappDevice final : public RtDeviceBase {
+ public:
+  RtSappDevice(Transport& transport, core::SappDeviceConfig config);
+  ~RtSappDevice() override { shutdown(); }
+
+  std::uint64_t probe_counter() const;
+  void set_delta(std::uint64_t delta);
+
+ protected:
+  void fill_reply_locked(const net::Message& probe, double t,
+                         net::Message& reply) override;
+
+ private:
+  core::SappDeviceConfig config_;
+  std::uint64_t pc_ = 0;
+  std::uint64_t delta_;
+};
+
+/// DCPP device: schedules probers via core::DcppDevice::grant.
+class RtDcppDevice final : public RtDeviceBase {
+ public:
+  RtDcppDevice(Transport& transport, core::DcppDeviceConfig config);
+  ~RtDcppDevice() override { shutdown(); }
+
+  double next_slot() const;
+
+ protected:
+  void fill_reply_locked(const net::Message& probe, double t,
+                         net::Message& reply) override;
+
+ private:
+  core::DcppDeviceConfig config_;
+  double nt_ = 0.0;
+};
+
+}  // namespace probemon::runtime

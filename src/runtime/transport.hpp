@@ -1,0 +1,53 @@
+// Wall-clock transport abstraction for the threaded runtime.
+//
+// The DES substrate demonstrates the protocols' *analysis*; this runtime
+// demonstrates their *deployability*: the same protocol logic running on
+// real threads against real timeouts ("can be implemented on large
+// networks of small computing devices"). Transport implementations
+// deliver datagrams asynchronously; handlers are invoked on a transport-
+// owned thread and must be quick and thread-safe.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "net/message.hpp"
+
+namespace probemon::runtime {
+
+/// Seconds since the transport was created (the runtime's time base).
+class RtClock {
+ public:
+  RtClock() : epoch_(std::chrono::steady_clock::now()) {}
+  double now() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+  std::chrono::steady_clock::time_point to_time_point(double t) const {
+    return epoch_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(t));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+using RtHandler = std::function<void(const net::Message&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Register a handler; returns the node's address.
+  virtual net::NodeId attach(RtHandler handler) = 0;
+  /// Deregister. After detach returns, the handler will not be invoked
+  /// again and may be destroyed.
+  virtual void detach(net::NodeId id) = 0;
+  /// Fire-and-forget datagram send.
+  virtual void send(net::Message msg) = 0;
+  /// The transport's clock (shared time base for all nodes).
+  virtual const RtClock& clock() const = 0;
+};
+
+}  // namespace probemon::runtime

@@ -1,0 +1,249 @@
+#include "runtime/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace probemon::runtime {
+
+namespace {
+
+void put_u32(std::uint8_t*& p, std::uint32_t v) {
+  v = htonl(v);
+  std::memcpy(p, &v, 4);
+  p += 4;
+}
+void put_u64(std::uint8_t*& p, std::uint64_t v) {
+  const std::uint32_t hi = static_cast<std::uint32_t>(v >> 32);
+  const std::uint32_t lo = static_cast<std::uint32_t>(v);
+  put_u32(p, hi);
+  put_u32(p, lo);
+}
+std::uint32_t get_u32(const std::uint8_t*& p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  p += 4;
+  return ntohl(v);
+}
+std::uint64_t get_u64(const std::uint8_t*& p) {
+  const std::uint64_t hi = get_u32(p);
+  const std::uint64_t lo = get_u32(p);
+  return (hi << 32) | lo;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+// Wire layout (48 bytes, big-endian):
+//   0  kind (1) | attempt (1) | ttl (1) | reserved (1)
+//   4  from (4) | to (4)
+//  12  cycle (8)
+//  20  pc (8)
+//  28  grant_delay (8, IEEE-754 bits)
+//  36  last_probers[0] (4) | last_probers[1] (4)
+//  44  subject (4)
+std::size_t udp_encode(const net::Message& msg,
+                       std::uint8_t out[kUdpWireSize]) {
+  std::uint8_t* p = out;
+  *p++ = static_cast<std::uint8_t>(msg.kind);
+  *p++ = msg.attempt;
+  *p++ = msg.ttl;
+  *p++ = 0;
+  put_u32(p, msg.from);
+  put_u32(p, msg.to);
+  put_u64(p, msg.cycle);
+  put_u64(p, msg.pc);
+  std::uint64_t grant_bits;
+  static_assert(sizeof(grant_bits) == sizeof(msg.grant_delay));
+  std::memcpy(&grant_bits, &msg.grant_delay, 8);
+  put_u64(p, grant_bits);
+  put_u32(p, msg.last_probers[0]);
+  put_u32(p, msg.last_probers[1]);
+  put_u32(p, msg.subject);
+  return kUdpWireSize;
+}
+
+bool udp_decode(const std::uint8_t in[kUdpWireSize], std::size_t size,
+                net::Message& out) {
+  if (size != kUdpWireSize) return false;
+  const std::uint8_t* p = in;
+  const std::uint8_t kind = *p++;
+  if (kind > static_cast<std::uint8_t>(net::MessageKind::kNotify)) {
+    return false;
+  }
+  out.kind = static_cast<net::MessageKind>(kind);
+  out.attempt = *p++;
+  out.ttl = *p++;
+  ++p;  // reserved
+  out.from = get_u32(p);
+  out.to = get_u32(p);
+  out.cycle = get_u64(p);
+  out.pc = get_u64(p);
+  const std::uint64_t grant_bits = get_u64(p);
+  std::memcpy(&out.grant_delay, &grant_bits, 8);
+  out.last_probers[0] = get_u32(p);
+  out.last_probers[1] = get_u32(p);
+  out.subject = get_u32(p);
+  return true;
+}
+
+UdpTransport::UdpTransport() {
+  if (pipe(wake_fds_) != 0) throw_errno("UdpTransport: pipe");
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+UdpTransport::~UdpTransport() {
+  stop_ = true;
+  wake_receiver();
+  receiver_.join();
+  close(wake_fds_[0]);
+  close(wake_fds_[1]);
+  std::lock_guard lock(mutex_);
+  for (int fd : doomed_fds_) close(fd);
+  for (auto& [id, node] : nodes_) close(node.fd);
+}
+
+void UdpTransport::wake_receiver() {
+  const char byte = 'w';
+  [[maybe_unused]] const ssize_t n = write(wake_fds_[1], &byte, 1);
+}
+
+net::NodeId UdpTransport::attach(RtHandler handler) {
+  if (!handler) throw std::invalid_argument("attach: empty handler");
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw_errno("UdpTransport: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close(fd);
+    throw_errno("UdpTransport: bind");
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    throw_errno("UdpTransport: getsockname");
+  }
+  net::NodeId id;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_id_++;
+    nodes_.emplace(id, Node{fd, ntohs(addr.sin_port), std::move(handler)});
+  }
+  wake_receiver();  // receiver must add the new fd to its poll set
+  return id;
+}
+
+void UdpTransport::detach(net::NodeId id) {
+  {
+    std::unique_lock lock(mutex_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) return;
+    // The receiver thread owns recv(); it closes the fd between poll
+    // iterations so a concurrent recv never races a reused descriptor.
+    doomed_fds_.push_back(it->second.fd);
+    nodes_.erase(it);
+    cv_.wait(lock, [this, id] { return delivering_to_ != id; });
+  }
+  wake_receiver();
+}
+
+void UdpTransport::send(net::Message msg) {
+  std::uint16_t port = 0;
+  int fd = -1;
+  {
+    std::lock_guard lock(mutex_);
+    ++sent_;
+    auto dst = nodes_.find(msg.to);
+    if (dst == nodes_.end()) return;  // unknown destination: dropped
+    port = dst->second.port;
+    auto src = nodes_.find(msg.from);
+    fd = src != nodes_.end() ? src->second.fd : dst->second.fd;
+  }
+  std::uint8_t wire[kUdpWireSize];
+  udp_encode(msg, wire);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // Best-effort datagram: a full socket buffer is packet loss, exactly
+  // what the protocols are built to tolerate.
+  sendto(fd, wire, sizeof wire, 0, reinterpret_cast<sockaddr*>(&addr),
+         sizeof addr);
+}
+
+void UdpTransport::receive_loop() {
+  std::vector<pollfd> fds;
+  std::vector<net::NodeId> ids;
+  for (;;) {
+    if (stop_) return;
+    fds.clear();
+    ids.clear();
+    fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
+    ids.push_back(net::kInvalidNode);
+    {
+      std::lock_guard lock(mutex_);
+      for (int fd : doomed_fds_) close(fd);
+      doomed_fds_.clear();
+      for (const auto& [id, node] : nodes_) {
+        fds.push_back(pollfd{node.fd, POLLIN, 0});
+        ids.push_back(id);
+      }
+    }
+    if (poll(fds.data(), fds.size(), 100) <= 0) continue;
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      [[maybe_unused]] const ssize_t n =
+          read(wake_fds_[0], drain, sizeof drain);
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      std::uint8_t wire[kUdpWireSize + 8];
+      const ssize_t n = recv(fds[i].fd, wire, sizeof wire, MSG_DONTWAIT);
+      if (n <= 0) continue;
+      net::Message msg;
+      if (!udp_decode(wire, static_cast<std::size_t>(n), msg)) continue;
+      RtHandler handler;
+      {
+        std::unique_lock lock(mutex_);
+        auto it = nodes_.find(ids[i]);
+        if (it == nodes_.end()) continue;  // detached meanwhile
+        handler = it->second.handler;
+        delivering_to_ = ids[i];
+        ++delivered_;
+      }
+      handler(msg);
+      {
+        std::lock_guard lock(mutex_);
+        delivering_to_ = net::kInvalidNode;
+      }
+      cv_.notify_all();
+    }
+  }
+}
+
+std::uint64_t UdpTransport::sent_count() const {
+  std::lock_guard lock(mutex_);
+  return sent_;
+}
+std::uint64_t UdpTransport::delivered_count() const {
+  std::lock_guard lock(mutex_);
+  return delivered_;
+}
+std::uint16_t UdpTransport::port_of(net::NodeId id) const {
+  std::lock_guard lock(mutex_);
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.port;
+}
+
+}  // namespace probemon::runtime

@@ -1,0 +1,91 @@
+// CP churn models.
+//
+// Each model drives Experiment::add_cp / remove_* / set_active_cp_count
+// through scheduled events. The paper's scenarios map to:
+//   * StaticChurn          — sections 3's steady-state/transient studies
+//   * BurstLeave           — Fig 4 (18 of 20 CPs leave at once)
+//   * DynamicUniformChurn  — Fig 5 / section 5 worst case: #CPs redrawn
+//                            from U{min..max} at Exp(rate) intervals
+// plus two generic models for extension studies:
+//   * PoissonChurn         — independent join/leave Poisson processes
+//   * ScriptedChurn        — explicit (time, target #CPs) trajectory
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace probemon::scenario {
+
+/// No joins, no leaves after the initial population.
+class StaticChurn final : public Experiment::ChurnModel {
+ public:
+  void install(Experiment&) override {}
+  std::string describe() const override { return "static"; }
+};
+
+/// `leave_count` randomly chosen CPs leave simultaneously at time `at`.
+class BurstLeave final : public Experiment::ChurnModel {
+ public:
+  BurstLeave(double at, std::size_t leave_count);
+  void install(Experiment& exp) override;
+  std::string describe() const override;
+
+ private:
+  double at_;
+  std::size_t leave_count_;
+};
+
+/// Paper Fig 5: redraw the active CP count uniformly from {min..max}
+/// every Exp(rate)-distributed interval (rate 0.05 => mean 20 s).
+class DynamicUniformChurn final : public Experiment::ChurnModel {
+ public:
+  DynamicUniformChurn(std::size_t min_cps, std::size_t max_cps, double rate);
+  void install(Experiment& exp) override;
+  std::string describe() const override;
+
+ private:
+  void schedule_next(Experiment& exp);
+
+  std::size_t min_cps_, max_cps_;
+  double rate_;
+  util::Rng rng_{0};  // re-seeded from the experiment at install
+};
+
+/// Independent Poisson join and leave streams, capped at max_cps and
+/// floored at min_cps.
+class PoissonChurn final : public Experiment::ChurnModel {
+ public:
+  PoissonChurn(double join_rate, double leave_rate, std::size_t min_cps,
+               std::size_t max_cps);
+  void install(Experiment& exp) override;
+  std::string describe() const override;
+
+ private:
+  void schedule_join(Experiment& exp);
+  void schedule_leave(Experiment& exp);
+
+  double join_rate_, leave_rate_;
+  std::size_t min_cps_, max_cps_;
+  util::Rng rng_{0};
+};
+
+/// Explicit (time, target active count) steps, applied in order.
+class ScriptedChurn final : public Experiment::ChurnModel {
+ public:
+  struct Step {
+    double at;
+    std::size_t target;
+  };
+  explicit ScriptedChurn(std::vector<Step> steps);
+  void install(Experiment& exp) override;
+  std::string describe() const override;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace probemon::scenario

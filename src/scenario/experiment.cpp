@@ -1,0 +1,132 @@
+#include "scenario/experiment.hpp"
+
+#include <stdexcept>
+
+namespace probemon::scenario {
+
+const char* to_string(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kSapp: return "SAPP";
+    case Protocol::kDcpp: return "DCPP";
+    case Protocol::kFixedRate: return "FixedRate";
+  }
+  return "?";
+}
+
+Experiment::Experiment(ExperimentConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      metrics_(config_.metrics),
+      fanout_({&metrics_}),
+      churn_rng_(sim_.fork_rng("experiment.churn")),
+      jitter_rng_(sim_.fork_rng("experiment.jitter")) {
+  auto delay = config_.delay_factory ? config_.delay_factory()
+                                     : net::make_three_mode_delay();
+  auto loss =
+      config_.loss_factory ? config_.loss_factory() : net::make_no_loss();
+  network_ = std::make_unique<net::Network>(sim_.scheduler(), sim_.rng(),
+                                            config_.network, std::move(delay),
+                                            std::move(loss));
+
+  switch (config_.protocol) {
+    case Protocol::kSapp:
+    case Protocol::kFixedRate:
+      device_ = std::make_unique<core::SappDevice>(
+          sim_, *network_, config_.sapp_device, &fanout_);
+      break;
+    case Protocol::kDcpp:
+      device_ = std::make_unique<core::DcppDevice>(
+          sim_, *network_, config_.dcpp_device, &fanout_);
+      break;
+  }
+
+  for (std::size_t i = 0; i < config_.initial_cps; ++i) {
+    initial_cp_ids_.push_back(add_cp());
+  }
+}
+
+Experiment::~Experiment() = default;
+
+net::NodeId Experiment::add_cp() {
+  std::unique_ptr<core::ControlPointBase> cp;
+  switch (config_.protocol) {
+    case Protocol::kSapp:
+      cp = std::make_unique<core::SappControlPoint>(
+          sim_, *network_, device_->id(), config_.sapp_cp, &fanout_);
+      break;
+    case Protocol::kDcpp:
+      cp = std::make_unique<core::DcppControlPoint>(
+          sim_, *network_, device_->id(), config_.dcpp_cp, &fanout_);
+      break;
+    case Protocol::kFixedRate:
+      cp = std::make_unique<core::FixedRateControlPoint>(
+          sim_, *network_, device_->id(), config_.fixed_cp, &fanout_);
+      break;
+  }
+  if (config_.dissemination) {
+    cp->enable_dissemination(config_.dissemination_ttl);
+  }
+  const double jitter = config_.join_jitter_max > 0
+                            ? jitter_rng_.uniform(0.0, config_.join_jitter_max)
+                            : 0.0;
+  cp->start(jitter);
+  const net::NodeId id = cp->id();
+  cps_.emplace(id, std::move(cp));
+  metrics_.record_active_cps(sim_.now(), cps_.size());
+  return id;
+}
+
+void Experiment::remove_random_cp() {
+  if (cps_.empty()) return;
+  const auto idx = churn_rng_.uniform_u64(0, cps_.size() - 1);
+  auto it = cps_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(idx));
+  remove_cp(it->first);
+}
+
+void Experiment::remove_cp(net::NodeId id) {
+  auto it = cps_.find(id);
+  if (it == cps_.end()) return;
+  cps_.erase(it);  // CP destructor stops timers and detaches
+  metrics_.record_active_cps(sim_.now(), cps_.size());
+}
+
+void Experiment::set_active_cp_count(std::size_t n) {
+  while (cps_.size() < n) add_cp();
+  while (cps_.size() > n) remove_random_cp();
+}
+
+std::vector<net::NodeId> Experiment::active_cp_ids() const {
+  std::vector<net::NodeId> out;
+  out.reserve(cps_.size());
+  for (const auto& [id, cp] : cps_) out.push_back(id);
+  return out;
+}
+
+const core::ControlPointBase* Experiment::cp(net::NodeId id) const {
+  auto it = cps_.find(id);
+  return it == cps_.end() ? nullptr : it->second.get();
+}
+
+void Experiment::schedule_device_departure(double t, bool graceful) {
+  sim_.at(t, [this, graceful] {
+    metrics_.set_device_departure_time(sim_.now());
+    if (graceful) {
+      device_->leave_gracefully();
+    } else {
+      device_->go_silent();
+    }
+  });
+}
+
+void Experiment::install_churn(std::unique_ptr<ChurnModel> churn) {
+  if (!churn) throw std::invalid_argument("install_churn: null model");
+  churn->install(*this);
+  churn_.push_back(std::move(churn));
+}
+
+void Experiment::run_until(double t) { sim_.run_until(t); }
+
+void Experiment::finish() { metrics_.finish(sim_.now()); }
+
+}  // namespace probemon::scenario

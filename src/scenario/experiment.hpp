@@ -1,0 +1,144 @@
+// Experiment driver: one device, a dynamic population of CPs, a network,
+// and a Metrics collector, wired exactly like the paper's studies
+// ("the entire model ... consists of the parallel composition of a number
+// of CPs, one device, and a network process").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/observer_fanout.hpp"
+#include "core/probemon.hpp"
+#include "scenario/metrics.hpp"
+
+namespace probemon::scenario {
+
+enum class Protocol {
+  kSapp,
+  kDcpp,
+  /// Naive fixed-period probing — the strawman the paper's intro
+  /// dismisses; kept as the experimental baseline (bench A12). Uses a
+  /// SAPP device (the pc payload is simply ignored by the CPs).
+  kFixedRate,
+};
+
+const char* to_string(Protocol protocol) noexcept;
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kSapp;
+  std::uint64_t seed = 1;
+  std::size_t initial_cps = 20;
+
+  core::SappDeviceConfig sapp_device{};
+  core::SappCpConfig sapp_cp{};
+  core::DcppDeviceConfig dcpp_device{};
+  core::DcppCpConfig dcpp_cp{};
+  core::FixedRateCpConfig fixed_cp{};
+
+  net::NetworkConfig network{};
+  MetricsConfig metrics{};
+
+  /// Network model factories; defaults: paper three-mode delay, no loss.
+  std::function<net::DelayModelPtr()> delay_factory;
+  std::function<net::LossModelPtr()> loss_factory;
+
+  /// Max start jitter for joining CPs. CPs power on at independent
+  /// moments in any real network, and a strictly synchronous start
+  /// stampedes the serial device (every first probe of a 20-CP burst
+  /// queues behind up to 0.2 s of computation, blowing the TOF budget).
+  /// Set to 0 to reproduce the paper's deliberate worst-case synchronous
+  /// joins (Fig 5), which stay answerable because DCPP replies are cheap.
+  double join_jitter_max = 1.0;
+
+  /// Gossip absence notifications over the overlay (extension).
+  bool dissemination = false;
+  std::uint8_t dissemination_ttl = 2;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /// Attach an additional protocol-event sink (e.g. a trace::EventLog)
+  /// alongside the built-in Metrics. The sink must outlive the
+  /// experiment; events flow to it from the moment of the call.
+  void add_observer(core::ProtocolObserver& observer) {
+    fanout_.add(&observer);
+  }
+
+  des::Simulation& sim() noexcept { return sim_; }
+  net::Network& network() noexcept { return *network_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  core::DeviceBase& device() noexcept { return *device_; }
+  const ExperimentConfig& config() const noexcept { return config_; }
+
+  // --- CP population control ----------------------------------------------
+  /// Create and start a new CP; returns its network id.
+  net::NodeId add_cp();
+  /// Remove a uniformly random active CP.
+  void remove_random_cp();
+  /// Remove a specific CP (no-op if not active).
+  void remove_cp(net::NodeId id);
+  /// Join/leave CPs until `n` are active (leavers picked at random).
+  void set_active_cp_count(std::size_t n);
+
+  std::size_t active_cp_count() const noexcept { return cps_.size(); }
+  std::vector<net::NodeId> active_cp_ids() const;
+  /// Active CP by id (nullptr if departed / unknown).
+  const core::ControlPointBase* cp(net::NodeId id) const;
+
+  /// Ids of the initially created CPs, in creation order — lets figure
+  /// code label them cp_01, cp_02, ... like the paper's plots.
+  const std::vector<net::NodeId>& initial_cp_ids() const noexcept {
+    return initial_cp_ids_;
+  }
+
+  // --- Scripting ------------------------------------------------------------
+  /// Schedule the device to depart at time t (silently by default);
+  /// also informs Metrics so detection latencies can be computed.
+  void schedule_device_departure(double t, bool graceful = false);
+
+  /// Install a churn model (see churn.hpp); the experiment owns it.
+  /// The model's install() is invoked immediately.
+  class ChurnModel;
+  void install_churn(std::unique_ptr<ChurnModel> churn);
+
+  // --- Running ----------------------------------------------------------------
+  /// Advance virtual time to t.
+  void run_until(double t);
+  /// Flush windowed metrics at the current time. Call once after the
+  /// final run_until.
+  void finish();
+
+ private:
+  ExperimentConfig config_;
+  des::Simulation sim_;
+  Metrics metrics_;
+  core::FanoutObserver fanout_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<core::DeviceBase> device_;
+  std::map<net::NodeId, std::unique_ptr<core::ControlPointBase>> cps_;
+  std::vector<net::NodeId> initial_cp_ids_;
+  std::vector<std::unique_ptr<ChurnModel>> churn_;
+  util::Rng churn_rng_;
+  util::Rng jitter_rng_;
+};
+
+/// Strategy that drives CP joins/leaves over an experiment's lifetime.
+class Experiment::ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  /// Schedule the model's activity on exp.sim(). Called once.
+  virtual void install(Experiment& exp) = 0;
+  virtual std::string describe() const = 0;
+};
+
+}  // namespace probemon::scenario

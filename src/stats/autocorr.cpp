@@ -1,0 +1,37 @@
+#include "stats/autocorr.hpp"
+
+#include <cmath>
+
+namespace probemon::stats {
+
+std::vector<double> autocorrelation(const std::vector<double>& xs,
+                                    std::size_t max_lag) {
+  const std::size_t n = xs.size();
+  std::vector<double> acf(max_lag + 1, 0.0);
+  if (n == 0) return acf;
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  if (var == 0) return acf;  // constant series
+  for (std::size_t k = 0; k <= max_lag && k < n; ++k) {
+    double num = 0;
+    for (std::size_t i = 0; i + k < n; ++i) {
+      num += (xs[i] - mean) * (xs[i + k] - mean);
+    }
+    acf[k] = num / var;
+  }
+  return acf;
+}
+
+std::size_t decorrelation_lag(const std::vector<double>& xs,
+                              std::size_t max_lag, double threshold) {
+  const auto acf = autocorrelation(xs, max_lag);
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    if (std::fabs(acf[k]) < threshold) return k;
+  }
+  return max_lag + 1;
+}
+
+}  // namespace probemon::stats

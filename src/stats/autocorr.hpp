@@ -1,0 +1,20 @@
+// Sample autocorrelation function — diagnostic for batch-size selection
+// in steady-state estimation and for quantifying the oscillation the
+// paper observes in SAPP per-CP delays.
+#pragma once
+
+#include <vector>
+
+namespace probemon::stats {
+
+/// Sample autocorrelation at lags 0..max_lag. acf[0] == 1 by definition
+/// (unless the series is constant, in which case all entries are 0).
+std::vector<double> autocorrelation(const std::vector<double>& xs,
+                                    std::size_t max_lag);
+
+/// Smallest lag k in [1, max_lag] with |acf[k]| < threshold, or max_lag+1
+/// if none — a crude effective decorrelation time.
+std::size_t decorrelation_lag(const std::vector<double>& xs,
+                              std::size_t max_lag, double threshold = 0.1);
+
+}  // namespace probemon::stats

@@ -1,0 +1,85 @@
+#include "stats/batch_means.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/student_t.hpp"
+
+namespace probemon::stats {
+
+BatchMeans::BatchMeans(std::uint64_t batch_size, std::uint64_t warmup)
+    : batch_size_(batch_size), warmup_(warmup) {
+  if (batch_size == 0) {
+    throw std::invalid_argument("BatchMeans: batch_size must be > 0");
+  }
+}
+
+void BatchMeans::add(double x) {
+  if (discarded_ < warmup_) {
+    ++discarded_;
+    return;
+  }
+  ++observations_;
+  current_sum_ += x;
+  if (++current_count_ == batch_size_) {
+    batch_means_.push_back(current_sum_ / static_cast<double>(batch_size_));
+    current_sum_ = 0;
+    current_count_ = 0;
+  }
+}
+
+double BatchMeans::mean() const noexcept {
+  if (batch_means_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double s = 0;
+  for (double m : batch_means_) s += m;
+  return s / static_cast<double>(batch_means_.size());
+}
+
+double BatchMeans::batch_variance() const noexcept {
+  if (batch_means_.size() < 2) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  Welford w;
+  for (double m : batch_means_) w.add(m);
+  return w.variance();
+}
+
+ConfidenceInterval BatchMeans::interval(double confidence) const {
+  if (batch_means_.size() < 2) {
+    throw std::logic_error("BatchMeans::interval: need >= 2 batches");
+  }
+  const auto n = batch_means_.size();
+  const double mu = mean();
+  const double s2 = batch_variance();
+  const double t =
+      student_t_critical(confidence, static_cast<int>(n) - 1);
+  const double hw = t * std::sqrt(s2 / static_cast<double>(n));
+  return ConfidenceInterval{mu, hw, confidence};
+}
+
+bool BatchMeans::converged(double rel_half_width, double confidence,
+                           std::uint64_t min_batches) const {
+  if (batch_means_.size() < std::max<std::uint64_t>(min_batches, 2)) {
+    return false;
+  }
+  const auto ci = interval(confidence);
+  if (ci.mean == 0.0) return ci.half_width <= rel_half_width;
+  return ci.half_width <= rel_half_width * std::fabs(ci.mean);
+}
+
+double BatchMeans::lag1_autocorrelation() const {
+  const auto n = batch_means_.size();
+  if (n < 3) return std::numeric_limits<double>::quiet_NaN();
+  const double mu = mean();
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = batch_means_[i] - mu;
+    den += d * d;
+    if (i + 1 < n) num += d * (batch_means_[i + 1] - mu);
+  }
+  if (den == 0) return 0.0;
+  return num / den;
+}
+
+}  // namespace probemon::stats

@@ -1,0 +1,77 @@
+// Batch-means steady-state estimation.
+//
+// The paper's steady-state results were obtained with MOBIUS' batch-mean
+// technique at confidence level 0.95 and (relative) confidence interval
+// 0.1. This module reimplements that estimator:
+//
+//   * Observations stream in; they are grouped into batches of fixed size.
+//   * Batch means are treated as ~iid samples; mean and Student-t CI are
+//     computed over them.
+//   * `converged(rel_half_width)` implements the sequential stopping rule
+//     "CI half-width <= rel * |grand mean|".
+//   * An optional warm-up (initial-transient) count discards the first W
+//     observations (Welch-style truncation, chosen by the caller).
+//
+// For batch-size adequacy, `lag1_autocorrelation()` exposes the lag-1
+// autocorrelation of the batch means; |rho1| small (< ~0.1) indicates the
+// batches are long enough to be treated as independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/welford.hpp"
+
+namespace probemon::stats {
+
+struct ConfidenceInterval {
+  double mean = 0;
+  double half_width = 0;
+  double confidence = 0;
+  double lo() const noexcept { return mean - half_width; }
+  double hi() const noexcept { return mean + half_width; }
+  bool contains(double x) const noexcept { return lo() <= x && x <= hi(); }
+};
+
+class BatchMeans {
+ public:
+  /// `batch_size` observations per batch; the first `warmup` observations
+  /// are discarded entirely.
+  explicit BatchMeans(std::uint64_t batch_size, std::uint64_t warmup = 0);
+
+  void add(double x);
+
+  std::uint64_t observation_count() const noexcept { return observations_; }
+  std::uint64_t discarded_count() const noexcept { return discarded_; }
+  std::uint64_t batch_count() const noexcept { return batch_means_.size(); }
+  const std::vector<double>& batch_means() const noexcept {
+    return batch_means_;
+  }
+
+  /// Grand mean of completed batches (NaN with no complete batch).
+  double mean() const noexcept;
+  /// Variance across batch means.
+  double batch_variance() const noexcept;
+
+  /// Student-t confidence interval over batch means; requires >= 2 batches.
+  ConfidenceInterval interval(double confidence = 0.95) const;
+
+  /// Sequential stopping rule: at least `min_batches` complete batches and
+  /// CI half-width <= rel_half_width * |mean|.
+  bool converged(double rel_half_width, double confidence = 0.95,
+                 std::uint64_t min_batches = 10) const;
+
+  /// Lag-1 autocorrelation of the batch-mean sequence (NaN if < 3 batches).
+  double lag1_autocorrelation() const;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t warmup_;
+  std::uint64_t discarded_ = 0;
+  std::uint64_t observations_ = 0;
+  double current_sum_ = 0;
+  std::uint64_t current_count_ = 0;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace probemon::stats

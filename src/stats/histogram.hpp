@@ -1,0 +1,64 @@
+// Histograms and streaming quantiles.
+//
+//   * Histogram: fixed-width bins over [lo, hi) with under/overflow bins,
+//     exact count bookkeeping, and interpolated quantiles.
+//   * P2Quantile: Jain & Chlamtac's P^2 algorithm — O(1) memory streaming
+//     estimate of a single quantile; used for detection-latency p99 where
+//     storing all samples would be wasteful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace probemon::stats {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+  /// Interpolated quantile q in [0,1]; counts under/overflow at the edges.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering (for bench/exploratory output).
+  std::string render(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// P^2 single-quantile streaming estimator (Jain & Chlamtac 1985).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double x);
+  std::uint64_t count() const noexcept { return n_; }
+  /// Current estimate; exact for the first five samples.
+  double value() const;
+
+ private:
+  double parabolic(int i, double d) const;
+  double linear(int i, double d) const;
+
+  double q_;
+  std::uint64_t n_ = 0;
+  double heights_[5]{};
+  double positions_[5]{};
+  double desired_[5]{};
+  double increments_[5]{};
+};
+
+}  // namespace probemon::stats

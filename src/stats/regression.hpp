@@ -1,0 +1,63 @@
+// Ordinary least-squares line fit over (x, y) samples.
+//
+// Used to *quantify* trends the paper describes qualitatively: Fig 2's
+// "one CP is probing less and less frequent" is a negative slope of the
+// frequency series; a recovered CP would show slope >= 0.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace probemon::stats {
+
+class LinearFit {
+ public:
+  void add(double x, double y) noexcept {
+    ++n_;
+    sx_ += x;
+    sy_ += y;
+    sxx_ += x * x;
+    sxy_ += x * y;
+    syy_ += y * y;
+  }
+
+  std::uint64_t count() const noexcept { return n_; }
+
+  /// Slope of the least-squares line (NaN with < 2 points or zero x
+  /// variance).
+  double slope() const noexcept {
+    const double n = static_cast<double>(n_);
+    const double denom = n * sxx_ - sx_ * sx_;
+    if (n_ < 2 || denom == 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return (n * sxy_ - sx_ * sy_) / denom;
+  }
+
+  double intercept() const noexcept {
+    if (n_ < 2) return std::numeric_limits<double>::quiet_NaN();
+    const double n = static_cast<double>(n_);
+    return (sy_ - slope() * sx_) / n;
+  }
+
+  /// Pearson correlation coefficient r (NaN if degenerate).
+  double correlation() const noexcept {
+    const double n = static_cast<double>(n_);
+    const double vx = n * sxx_ - sx_ * sx_;
+    const double vy = n * syy_ - sy_ * sy_;
+    if (n_ < 2 || vx <= 0 || vy <= 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return (n * sxy_ - sx_ * sy_) / std::sqrt(vx * vy);
+  }
+
+  /// Predicted y at x.
+  double at(double x) const noexcept { return intercept() + slope() * x; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sx_ = 0, sy_ = 0, sxx_ = 0, sxy_ = 0, syy_ = 0;
+};
+
+}  // namespace probemon::stats

@@ -1,0 +1,132 @@
+#include "stats/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace probemon::stats {
+
+void TimeSeries::add(double t, double value) {
+  if (!samples_.empty() && t < samples_.back().t) {
+    throw std::logic_error("TimeSeries::add: time reversed");
+  }
+  samples_.push_back(Sample{t, value});
+}
+
+TimeSeries TimeSeries::slice(double t0, double t1) const {
+  TimeSeries out(name_);
+  auto lo = std::lower_bound(
+      samples_.begin(), samples_.end(), t0,
+      [](const Sample& s, double t) { return s.t < t; });
+  for (auto it = lo; it != samples_.end() && it->t < t1; ++it) {
+    out.samples_.push_back(*it);
+  }
+  return out;
+}
+
+Welford TimeSeries::summary() const {
+  Welford w;
+  for (const auto& s : samples_) w.add(s.value);
+  return w;
+}
+
+Welford TimeSeries::summary(double t0, double t1) const {
+  Welford w;
+  for (const auto& s : samples_) {
+    if (s.t >= t0 && s.t < t1) w.add(s.value);
+  }
+  return w;
+}
+
+double TimeSeries::value_at(double t) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double tt, const Sample& s) { return tt < s.t; });
+  if (it == samples_.begin()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::prev(it)->value;
+}
+
+TimeSeries TimeSeries::resample(double t0, double t1, double dt) const {
+  if (!(dt > 0)) throw std::invalid_argument("resample: dt > 0");
+  TimeSeries out(name_);
+  for (double t = t0; t <= t1 + 1e-12; t += dt) {
+    out.add(t, value_at(t));
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::decimate(std::size_t max_points) const {
+  if (max_points < 2 || samples_.size() <= max_points) return *this;
+  TimeSeries out(name_);
+  const double stride = static_cast<double>(samples_.size() - 1) /
+                        static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(static_cast<double>(i) * stride));
+    out.samples_.push_back(samples_[std::min(idx, samples_.size() - 1)]);
+  }
+  return out;
+}
+
+RateMeter::RateMeter(double window, double sample_every)
+    : window_(window), sample_every_(sample_every), next_sample_t_(0) {
+  if (!(window > 0)) throw std::invalid_argument("RateMeter: window > 0");
+  if (!(sample_every > 0)) {
+    throw std::invalid_argument("RateMeter: sample_every > 0");
+  }
+}
+
+void RateMeter::record(double t) {
+  flush(t);
+  if (!events_.empty() && t < events_.back()) {
+    throw std::logic_error("RateMeter::record: time reversed");
+  }
+  events_.push_back(t);
+  ++total_events_;
+}
+
+void RateMeter::flush(double t) {
+  if (!started_) {
+    next_sample_t_ = sample_every_;
+    started_ = true;
+  }
+  while (next_sample_t_ <= t) {
+    series_.add(next_sample_t_, rate_at(next_sample_t_));
+    next_sample_t_ += sample_every_;
+    // Garbage-collect events that can no longer matter.
+    const double horizon = next_sample_t_ - window_;
+    while (tail_ < events_.size() && events_[tail_] <= horizon - window_) {
+      ++tail_;
+    }
+    if (tail_ > 65536 && tail_ > events_.size() / 2) {
+      events_.erase(events_.begin(),
+                    events_.begin() + static_cast<std::ptrdiff_t>(tail_));
+      tail_ = 0;
+    }
+  }
+}
+
+double RateMeter::rate_at(double t) const {
+  // Count events in (t - window, t].
+  auto lo = std::upper_bound(events_.begin() + static_cast<std::ptrdiff_t>(tail_),
+                             events_.end(), t - window_);
+  auto hi = std::upper_bound(lo, events_.end(), t);
+  return static_cast<double>(hi - lo) / window_;
+}
+
+double jain_fairness(const std::vector<double>& xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0, sum2 = 0;
+  for (double x : xs) {
+    if (x < 0) throw std::invalid_argument("jain_fairness: negative share");
+    sum += x;
+    sum2 += x * x;
+  }
+  if (sum2 == 0) return 1.0;  // all-zero: vacuously fair
+  return sum * sum / (static_cast<double>(xs.size()) * sum2);
+}
+
+}  // namespace probemon::stats

@@ -1,0 +1,103 @@
+// Time-series recording: the raw material for every figure.
+//
+//   * TimeSeries: append-only (t, value) samples with slicing, resampling,
+//     and summary statistics over windows — used for the per-CP probe
+//     frequency traces in Figs 2-4 and the device-load trace in Fig 5.
+//   * RateMeter: converts point events (probe arrivals) into a windowed
+//     rate signal, i.e. the "device load in probes/s" the paper plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/welford.hpp"
+
+namespace probemon::stats {
+
+struct Sample {
+  double t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Append a sample; time must be non-decreasing.
+  void add(double t, double value);
+
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  const Sample& front() const { return samples_.front(); }
+  const Sample& back() const { return samples_.back(); }
+
+  /// Samples with t in [t0, t1).
+  TimeSeries slice(double t0, double t1) const;
+
+  /// Value-moment summary over all samples (count-weighted).
+  Welford summary() const;
+  /// Summary over a window.
+  Welford summary(double t0, double t1) const;
+
+  /// Piecewise-constant (sample-and-hold) value at time t; NaN before the
+  /// first sample.
+  double value_at(double t) const;
+
+  /// Resample as sample-and-hold on a regular grid [t0, t1] with step dt.
+  TimeSeries resample(double t0, double t1, double dt) const;
+
+  /// Keep at most `max_points` samples via uniform stride decimation
+  /// (first/last always kept). Useful before CSV export of long runs.
+  TimeSeries decimate(std::size_t max_points) const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+/// Sliding/fixed-window event-rate estimator.
+///
+/// `record(t)` marks one event (e.g. a probe arriving at the device).
+/// The instantaneous rate at time t is (#events in (t - window, t]) /
+/// window. `series()` returns the rate sampled every `sample_every`
+/// seconds, which is what Fig 5 plots.
+class RateMeter {
+ public:
+  RateMeter(double window, double sample_every);
+
+  void record(double t);
+  /// Advance measurement to time t (emits rate samples up to t).
+  void flush(double t);
+
+  double window() const noexcept { return window_; }
+  const TimeSeries& series() const noexcept { return series_; }
+  TimeSeries& mutable_series() noexcept { return series_; }
+
+  /// Rate over (t - window, t] given events recorded so far.
+  double rate_at(double t) const;
+
+  std::uint64_t event_count() const noexcept { return total_events_; }
+
+ private:
+  double window_;
+  double sample_every_;
+  double next_sample_t_;
+  bool started_ = false;
+  std::vector<double> events_;  // event times, ascending
+  std::size_t tail_ = 0;        // first event inside current window
+  std::uint64_t total_events_ = 0;
+  TimeSeries series_;
+};
+
+/// Jain's fairness index over non-negative allocations:
+/// (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair, 1/n = one hog.
+double jain_fairness(const std::vector<double>& xs);
+
+}  // namespace probemon::stats

@@ -1,0 +1,86 @@
+#include "stats/student_t.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace probemon::stats {
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("normal_quantile: p must be in (0,1)");
+  }
+  // Peter Acklam's rational approximation with one Halley refinement step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // Halley refinement using the normal CDF via erfc.
+  const double e =
+      0.5 * std::erfc(-x / std::numbers::sqrt2) - p;
+  const double u = e * std::sqrt(2.0 * std::numbers::pi) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double student_t_quantile(double p, int dof) {
+  if (dof < 1) throw std::invalid_argument("student_t_quantile: dof >= 1");
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("student_t_quantile: p must be in (0,1)");
+  }
+  if (dof == 1) {
+    // Cauchy quantile.
+    return std::tan(std::numbers::pi * (p - 0.5));
+  }
+  if (dof == 2) {
+    const double a = 4.0 * p * (1.0 - p);
+    return 2.0 * (p - 0.5) * std::sqrt(2.0 / a);
+  }
+  // Hill's (1970) expansion around the normal quantile.
+  const double z = normal_quantile(p);
+  const double g = static_cast<double>(dof);
+  const double z2 = z * z;
+  const double t1 = z * (z2 + 1.0) / (4.0 * g);
+  const double t2 = z * (5.0 * z2 * z2 + 16.0 * z2 + 3.0) / (96.0 * g * g);
+  const double t3 =
+      z * (3.0 * z2 * z2 * z2 + 19.0 * z2 * z2 + 17.0 * z2 - 15.0) /
+      (384.0 * g * g * g);
+  const double t4 = z *
+                    (79.0 * z2 * z2 * z2 * z2 + 776.0 * z2 * z2 * z2 +
+                     1482.0 * z2 * z2 - 1920.0 * z2 - 945.0) /
+                    (92160.0 * g * g * g * g);
+  return z + t1 + t2 + t3 + t4;
+}
+
+double student_t_critical(double confidence, int dof) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("student_t_critical: confidence in (0,1)");
+  }
+  return student_t_quantile(0.5 + confidence / 2.0, dof);
+}
+
+}  // namespace probemon::stats

@@ -1,0 +1,22 @@
+// Quantiles of the standard normal and Student-t distributions.
+//
+// Needed for batch-means confidence intervals (the paper's steady-state
+// analysis used CI half-width 0.1 at confidence 0.95). We implement:
+//   * normal_quantile: Acklam's rational approximation (|eps| < 1.15e-9).
+//   * student_t_quantile: exact closed forms for dof 1 and 2, and the
+//     Hill (1970) asymptotic expansion otherwise — accurate to ~1e-6 for
+//     dof >= 3, far tighter than any simulation noise here.
+#pragma once
+
+namespace probemon::stats {
+
+/// Inverse CDF of N(0,1); p in (0,1).
+double normal_quantile(double p);
+
+/// Inverse CDF of Student-t with `dof` degrees of freedom; p in (0,1).
+double student_t_quantile(double p, int dof);
+
+/// Two-sided critical value: t such that P(|T| <= t) = confidence.
+double student_t_critical(double confidence, int dof);
+
+}  // namespace probemon::stats

@@ -1,0 +1,77 @@
+// Time-weighted statistics of a piecewise-constant signal.
+//
+// For metrics like "mean network buffer occupancy" (the paper reports
+// ~0.004) the right estimator weights each value by how long the signal
+// held it, not by how many times it changed. Record transitions with
+// set(t, value); query the integral average over the observation window.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace probemon::stats {
+
+class TimeWeighted {
+ public:
+  /// Record that the signal takes `value` from time `t` onward.
+  /// Times must be non-decreasing.
+  void set(double t, double value) {
+    if (has_value_) {
+      if (t < last_t_) throw std::logic_error("TimeWeighted: time reversed");
+      accumulate_to(t);
+    } else {
+      start_t_ = t;
+      min_ = max_ = value;
+    }
+    last_t_ = t;
+    value_ = value;
+    has_value_ = true;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Time-average over [start, t]; requires t >= last set() time.
+  double mean_until(double t) const {
+    if (!has_value_) return std::numeric_limits<double>::quiet_NaN();
+    if (t < last_t_) throw std::logic_error("TimeWeighted: time reversed");
+    const double total = (t - start_t_);
+    if (total <= 0) return value_;
+    const double area = area_ + value_ * (t - last_t_);
+    return area / total;
+  }
+
+  /// Time-weighted variance over [start, t] (population style).
+  double variance_until(double t) const {
+    if (!has_value_) return std::numeric_limits<double>::quiet_NaN();
+    const double total = (t - start_t_);
+    if (total <= 0) return 0.0;
+    const double area = area_ + value_ * (t - last_t_);
+    const double area2 = area2_ + value_ * value_ * (t - last_t_);
+    const double mu = area / total;
+    return std::max(0.0, area2 / total - mu * mu);
+  }
+
+  double current() const noexcept { return value_; }
+  double min() const noexcept {
+    return has_value_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const noexcept {
+    return has_value_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  bool empty() const noexcept { return !has_value_; }
+
+ private:
+  void accumulate_to(double t) {
+    area_ += value_ * (t - last_t_);
+    area2_ += value_ * value_ * (t - last_t_);
+  }
+
+  bool has_value_ = false;
+  double start_t_ = 0, last_t_ = 0;
+  double value_ = 0;
+  double area_ = 0, area2_ = 0;
+  double min_ = 0, max_ = 0;
+};
+
+}  // namespace probemon::stats

@@ -1,0 +1,63 @@
+#include "trace/csv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace probemon::trace {
+
+void write_csv(std::ostream& os, const stats::TimeSeries& series) {
+  os << "t," << (series.name().empty() ? "value" : series.name()) << '\n';
+  for (const auto& s : series.samples()) {
+    os << util::format_double(s.t, 9) << ',' << util::format_double(s.value, 9)
+       << '\n';
+  }
+}
+
+void write_csv_aligned(std::ostream& os,
+                       const std::vector<const stats::TimeSeries*>& series,
+                       double t0, double t1, double dt) {
+  if (!(dt > 0)) throw std::invalid_argument("write_csv_aligned: dt > 0");
+  os << 't';
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    os << ',' << (series[i]->name().empty()
+                      ? "series" + std::to_string(i)
+                      : series[i]->name());
+  }
+  os << '\n';
+  for (double t = t0; t <= t1 + 1e-12; t += dt) {
+    os << util::format_double(t, 9);
+    for (const auto* s : series) {
+      const double v = s->value_at(t);
+      os << ',';
+      if (!std::isnan(v)) os << util::format_double(v, 9);
+    }
+    os << '\n';
+  }
+}
+
+namespace {
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  return f;
+}
+}  // namespace
+
+void write_csv_file(const std::string& path,
+                    const stats::TimeSeries& series) {
+  auto f = open_or_throw(path);
+  write_csv(f, series);
+}
+
+void write_csv_aligned_file(
+    const std::string& path,
+    const std::vector<const stats::TimeSeries*>& series, double t0, double t1,
+    double dt) {
+  auto f = open_or_throw(path);
+  write_csv_aligned(f, series, t0, t1, dt);
+}
+
+}  // namespace probemon::trace

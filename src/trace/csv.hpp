@@ -1,0 +1,32 @@
+// CSV export of recorded time-series — the per-figure bench binaries
+// write their raw traces so the paper's plots can be regenerated with
+// any plotting tool (see trace/gnuplot.hpp for ready-made scripts).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/series.hpp"
+
+namespace probemon::trace {
+
+/// Write one series as "t,value" rows with a header line.
+void write_csv(std::ostream& os, const stats::TimeSeries& series);
+
+/// Write several series column-aligned on a common time grid
+/// [t0, t1] step dt (sample-and-hold interpolation):
+/// "t,name1,name2,...". Empty cells for series not yet started.
+void write_csv_aligned(std::ostream& os,
+                       const std::vector<const stats::TimeSeries*>& series,
+                       double t0, double t1, double dt);
+
+/// Convenience: write to a file path; throws std::runtime_error on
+/// failure to open.
+void write_csv_file(const std::string& path, const stats::TimeSeries& series);
+void write_csv_aligned_file(
+    const std::string& path,
+    const std::vector<const stats::TimeSeries*>& series, double t0, double t1,
+    double dt);
+
+}  // namespace probemon::trace

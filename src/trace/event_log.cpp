@@ -1,0 +1,167 @@
+#include "trace/event_log.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace probemon::trace {
+
+const char* to_tag(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kProbeSent: return "probe_sent";
+    case EventKind::kProbeReceived: return "probe_recv";
+    case EventKind::kCycleSuccess: return "cycle_ok";
+    case EventKind::kDelayUpdated: return "delay";
+    case EventKind::kDeclaredAbsent: return "absent";
+    case EventKind::kAbsenceLearned: return "learned";
+    case EventKind::kDeltaChanged: return "delta";
+  }
+  return "?";
+}
+
+bool from_tag(const std::string& tag, EventKind& out) {
+  static const std::pair<const char*, EventKind> kTags[] = {
+      {"probe_sent", EventKind::kProbeSent},
+      {"probe_recv", EventKind::kProbeReceived},
+      {"cycle_ok", EventKind::kCycleSuccess},
+      {"delay", EventKind::kDelayUpdated},
+      {"absent", EventKind::kDeclaredAbsent},
+      {"learned", EventKind::kAbsenceLearned},
+      {"delta", EventKind::kDeltaChanged},
+  };
+  for (const auto& [name, kind] : kTags) {
+    if (tag == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventLog::on_probe_sent(net::NodeId cp, net::NodeId device, double t,
+                             std::uint8_t attempt) {
+  events_.push_back(Event{EventKind::kProbeSent, t, cp, device, 0, attempt});
+}
+void EventLog::on_probe_received(net::NodeId device, net::NodeId cp,
+                                 double t) {
+  events_.push_back(Event{EventKind::kProbeReceived, t, device, cp, 0, 0});
+}
+void EventLog::on_cycle_success(net::NodeId cp, net::NodeId device, double t,
+                                std::uint8_t attempts) {
+  events_.push_back(
+      Event{EventKind::kCycleSuccess, t, cp, device, 0, attempts});
+}
+void EventLog::on_delay_updated(net::NodeId cp, double t, double delay) {
+  events_.push_back(
+      Event{EventKind::kDelayUpdated, t, cp, net::kInvalidNode, delay, 0});
+}
+void EventLog::on_device_declared_absent(net::NodeId cp, net::NodeId device,
+                                         double t) {
+  events_.push_back(Event{EventKind::kDeclaredAbsent, t, cp, device, 0, 0});
+}
+void EventLog::on_absence_learned(net::NodeId cp, net::NodeId device,
+                                  double t) {
+  events_.push_back(Event{EventKind::kAbsenceLearned, t, cp, device, 0, 0});
+}
+void EventLog::on_delta_changed(net::NodeId device, double t,
+                                std::uint64_t delta) {
+  events_.push_back(
+      Event{EventKind::kDeltaChanged, t, device, net::kInvalidNode, 0, delta});
+}
+
+std::size_t EventLog::count(EventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void EventLog::replay(core::ProtocolObserver& sink) const {
+  for (const auto& e : events_) {
+    switch (e.kind) {
+      case EventKind::kProbeSent:
+        sink.on_probe_sent(e.a, e.b, e.t, static_cast<std::uint8_t>(e.extra));
+        break;
+      case EventKind::kProbeReceived:
+        sink.on_probe_received(e.a, e.b, e.t);
+        break;
+      case EventKind::kCycleSuccess:
+        sink.on_cycle_success(e.a, e.b, e.t,
+                              static_cast<std::uint8_t>(e.extra));
+        break;
+      case EventKind::kDelayUpdated:
+        sink.on_delay_updated(e.a, e.t, e.value);
+        break;
+      case EventKind::kDeclaredAbsent:
+        sink.on_device_declared_absent(e.a, e.b, e.t);
+        break;
+      case EventKind::kAbsenceLearned:
+        sink.on_absence_learned(e.a, e.b, e.t);
+        break;
+      case EventKind::kDeltaChanged:
+        sink.on_delta_changed(e.a, e.t, e.extra);
+        break;
+    }
+  }
+}
+
+void EventLog::save(std::ostream& os) const {
+  for (const auto& e : events_) {
+    os << to_tag(e.kind) << '|' << util::format_double(e.t, 9) << '|' << e.a
+       << '|' << e.b << '|' << util::format_double(e.value, 9) << '|'
+       << e.extra << '\n';
+  }
+}
+
+void EventLog::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  save(f);
+}
+
+EventLog EventLog::load(std::istream& is) {
+  EventLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag, t, a, b, value, extra;
+    if (!std::getline(fields, tag, '|') || !std::getline(fields, t, '|') ||
+        !std::getline(fields, a, '|') || !std::getline(fields, b, '|') ||
+        !std::getline(fields, value, '|') ||
+        !std::getline(fields, extra)) {
+      throw std::runtime_error("event log: malformed line " +
+                               std::to_string(line_no));
+    }
+    Event e;
+    if (!from_tag(tag, e.kind)) {
+      throw std::runtime_error("event log: unknown tag '" + tag +
+                               "' on line " + std::to_string(line_no));
+    }
+    try {
+      e.t = std::stod(t);
+      e.a = static_cast<net::NodeId>(std::stoul(a));
+      e.b = static_cast<net::NodeId>(std::stoul(b));
+      e.value = std::stod(value);
+      e.extra = std::stoull(extra);
+    } catch (const std::exception&) {
+      throw std::runtime_error("event log: bad field on line " +
+                               std::to_string(line_no));
+    }
+    log.events_.push_back(e);
+  }
+  return log;
+}
+
+EventLog EventLog::load_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open for reading: " + path);
+  return load(f);
+}
+
+}  // namespace probemon::trace

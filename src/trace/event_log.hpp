@@ -1,0 +1,89 @@
+// Persistent protocol event log.
+//
+// EventLog is a ProtocolObserver that records every protocol event as a
+// typed row. Logs can be saved to / loaded from a simple line format
+// and *replayed* into any other observer — so a single expensive run
+// can be re-analyzed offline with different Metrics settings, diffed
+// across code versions, or inspected by hand.
+//
+// File format (one event per line, '|'-separated):
+//   kind|t|a|b|value|extra
+// where kind is a stable short tag (see EventKind), a/b are node ids,
+// value is a double (delay/0), extra an integer (attempt/delta/0).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/observer.hpp"
+
+namespace probemon::trace {
+
+enum class EventKind : std::uint8_t {
+  kProbeSent,
+  kProbeReceived,
+  kCycleSuccess,
+  kDelayUpdated,
+  kDeclaredAbsent,
+  kAbsenceLearned,
+  kDeltaChanged,
+};
+
+const char* to_tag(EventKind kind) noexcept;
+/// Returns false if the tag is unknown.
+bool from_tag(const std::string& tag, EventKind& out);
+
+struct Event {
+  EventKind kind;
+  double t = 0;
+  net::NodeId a = net::kInvalidNode;  ///< acting node (CP, or device)
+  net::NodeId b = net::kInvalidNode;  ///< counterpart (device, or CP)
+  double value = 0;                   ///< delay for kDelayUpdated
+  std::uint64_t extra = 0;            ///< attempt / delta
+
+  bool operator==(const Event&) const = default;
+};
+
+class EventLog final : public core::ProtocolObserver {
+ public:
+  // --- ProtocolObserver ---------------------------------------------------
+  void on_probe_sent(net::NodeId cp, net::NodeId device, double t,
+                     std::uint8_t attempt) override;
+  void on_probe_received(net::NodeId device, net::NodeId cp,
+                         double t) override;
+  void on_cycle_success(net::NodeId cp, net::NodeId device, double t,
+                        std::uint8_t attempts) override;
+  void on_delay_updated(net::NodeId cp, double t, double delay) override;
+  void on_device_declared_absent(net::NodeId cp, net::NodeId device,
+                                 double t) override;
+  void on_absence_learned(net::NodeId cp, net::NodeId device,
+                          double t) override;
+  void on_delta_changed(net::NodeId device, double t,
+                        std::uint64_t delta) override;
+
+  // --- Access ---------------------------------------------------------------
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Count of events of one kind.
+  std::size_t count(EventKind kind) const;
+
+  /// Re-issue every recorded event, in order, into `sink`.
+  void replay(core::ProtocolObserver& sink) const;
+
+  // --- Persistence ------------------------------------------------------------
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+  /// Throws std::runtime_error on malformed input.
+  static EventLog load(std::istream& is);
+  static EventLog load_file(const std::string& path);
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace probemon::trace

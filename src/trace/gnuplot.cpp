@@ -1,0 +1,39 @@
+#include "trace/gnuplot.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace probemon::trace {
+
+std::string render_gnuplot(const GnuplotFigure& figure,
+                           const std::string& output_png) {
+  std::ostringstream os;
+  os << "set terminal pngcairo size 900,600\n";
+  os << "set output '" << output_png << "'\n";
+  os << "set title '" << figure.title << "'\n";
+  os << "set xlabel '" << figure.xlabel << "'\n";
+  os << "set ylabel '" << figure.ylabel << "'\n";
+  os << "set datafile separator ','\n";
+  os << "set key outside right\n";
+  if (!figure.xrange.empty()) os << "set xrange " << figure.xrange << '\n';
+  if (!figure.yrange.empty()) os << "set yrange " << figure.yrange << '\n';
+  os << "plot ";
+  for (std::size_t i = 0; i < figure.series.size(); ++i) {
+    const auto& s = figure.series[i];
+    if (i) os << ", \\\n     ";
+    os << "'" << s.csv_path << "' using 1:" << s.column << " with "
+       << figure.style << " title '" << s.title << "'";
+  }
+  os << '\n';
+  return os.str();
+}
+
+void write_gnuplot_file(const std::string& path, const GnuplotFigure& figure,
+                        const std::string& output_png) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << render_gnuplot(figure, output_png);
+}
+
+}  // namespace probemon::trace

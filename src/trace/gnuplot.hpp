@@ -1,0 +1,36 @@
+// Gnuplot script generation — regenerates the paper's figures from the
+// CSV files the bench binaries emit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace probemon::trace {
+
+struct GnuplotSeries {
+  std::string csv_path;  ///< file produced by write_csv / write_csv_aligned
+  int column = 2;        ///< 1-based data column (1 is time)
+  std::string title;
+};
+
+struct GnuplotFigure {
+  std::string title;
+  std::string xlabel = "t (sec)";
+  std::string ylabel;
+  std::vector<GnuplotSeries> series;
+  /// Optional fixed ranges; empty string = auto.
+  std::string xrange;  ///< e.g. "[0:20000]"
+  std::string yrange;  ///< e.g. "[0:14]"
+  /// Plot style: "lines", "steps", "points".
+  std::string style = "steps";
+};
+
+/// Render a .gp script that plots `figure` to <output_png>.
+std::string render_gnuplot(const GnuplotFigure& figure,
+                           const std::string& output_png);
+
+/// Write the script to a file; throws std::runtime_error on I/O failure.
+void write_gnuplot_file(const std::string& path, const GnuplotFigure& figure,
+                        const std::string& output_png);
+
+}  // namespace probemon::trace

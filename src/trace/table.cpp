@@ -1,0 +1,77 @@
+#include "trace/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace probemon::trace {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table::RowBuilder Table::row() { return RowBuilder(*this); }
+
+Table::RowBuilder::~RowBuilder() { table_.add_row(std::move(cells_)); }
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& text) {
+  cells_.push_back(text);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(const char* text) {
+  cells_.emplace_back(text);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(double value, int decimals) {
+  cells_.push_back(util::format_fixed(value, decimals));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::cell(int value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << util::pad_right(cell, widths[c]) << " | ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << " \n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace probemon::trace

@@ -1,0 +1,49 @@
+// Aligned text tables for bench output — every experiment binary prints
+// its paper-vs-measured rows through this.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace probemon::trace {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Convenience for mixed cells: doubles are formatted to `decimals`.
+  class RowBuilder;
+  RowBuilder row();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class Table::RowBuilder {
+ public:
+  explicit RowBuilder(Table& table) : table_(table) {}
+  ~RowBuilder();
+  RowBuilder(const RowBuilder&) = delete;
+  RowBuilder& operator=(const RowBuilder&) = delete;
+
+  RowBuilder& cell(const std::string& text);
+  RowBuilder& cell(const char* text);
+  RowBuilder& cell(double value, int decimals = 3);
+  RowBuilder& cell(std::uint64_t value);
+  RowBuilder& cell(int value);
+
+ private:
+  Table& table_;
+  std::vector<std::string> cells_;
+};
+
+}  // namespace probemon::trace

@@ -1,0 +1,116 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <stdexcept>
+
+namespace probemon::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      errors_.push_back("unexpected positional argument: " + arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::optional<std::string> Cli::raw(const std::string& name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  std::string value = it->second;
+  values_.erase(it);  // consumed; leftovers are unknown options
+  return value;
+}
+
+template <>
+std::string Cli::get(const std::string& name, std::string default_value) {
+  described_.push_back(name);
+  defaults_shown_[name] = default_value;
+  return raw(name).value_or(default_value);
+}
+
+template <>
+double Cli::get(const std::string& name, double default_value) {
+  described_.push_back(name);
+  defaults_shown_[name] = std::to_string(default_value);
+  const auto value = raw(name);
+  if (!value) return default_value;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": not a number: " + *value);
+  }
+}
+
+template <>
+std::uint64_t Cli::get(const std::string& name, std::uint64_t default_value) {
+  described_.push_back(name);
+  defaults_shown_[name] = std::to_string(default_value);
+  const auto value = raw(name);
+  if (!value) return default_value;
+  try {
+    return std::stoull(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": not an integer: " + *value);
+  }
+}
+
+template <>
+std::int64_t Cli::get(const std::string& name, std::int64_t default_value) {
+  described_.push_back(name);
+  defaults_shown_[name] = std::to_string(default_value);
+  const auto value = raw(name);
+  if (!value) return default_value;
+  try {
+    return std::stoll(*value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + name + ": not an integer: " + *value);
+  }
+}
+
+template <>
+bool Cli::get(const std::string& name, bool default_value) {
+  described_.push_back(name);
+  defaults_shown_[name] = default_value ? "true" : "false";
+  const auto value = raw(name);
+  if (!value) return default_value;
+  if (*value == "true" || *value == "1") return true;
+  if (*value == "false" || *value == "0") return false;
+  throw std::invalid_argument("--" + name + ": not a bool: " + *value);
+}
+
+void Cli::finish(const std::string& description) const {
+  if (help_) {
+    std::cout << description << "\nusage: " << program_;
+    for (const auto& name : described_) {
+      std::cout << " [--" << name << "=" << defaults_shown_.at(name) << ']';
+    }
+    std::cout << '\n';
+    std::exit(0);
+  }
+  bool bad = !errors_.empty();
+  for (const auto& error : errors_) std::cerr << error << '\n';
+  for (const auto& [name, value] : values_) {
+    std::cerr << "unknown option --" << name << '\n';
+    bad = true;
+  }
+  if (bad) std::exit(2);
+}
+
+}  // namespace probemon::util

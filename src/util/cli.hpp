@@ -1,0 +1,51 @@
+// Tiny command-line option parser for the bench/ and examples/ binaries.
+//
+// Supports "--name=value" and "--name value" forms plus "--help". Every
+// experiment binary exposes its scenario knobs (seed, duration, k, ...)
+// through this so reviewers can probe robustness without recompiling:
+//
+//   Cli cli(argc, argv);
+//   const auto seed = cli.get<std::uint64_t>("seed", 42);
+//   const auto duration = cli.get<double>("duration", 20000.0);
+//   cli.finish("bench_t1: SAPP steady state");  // errors on unknown args
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace probemon::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Typed lookup with default. Supported T: std::string, double,
+  /// std::uint64_t, std::int64_t, bool ("true"/"false"/"1"/"0"; a bare
+  /// "--flag" reads as true). Throws std::invalid_argument on a value
+  /// that does not parse.
+  template <typename T>
+  T get(const std::string& name, T default_value);
+
+  bool has(const std::string& name) const { return values_.contains(name); }
+  bool help_requested() const noexcept { return help_; }
+
+  /// Print a usage line listing every option that was get()-queried,
+  /// then exit(0) if --help was passed; exit(2) if unknown options
+  /// remain.
+  void finish(const std::string& description) const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::vector<std::string> described_;  // options seen by get()
+  std::map<std::string, std::string> defaults_shown_;
+  bool help_ = false;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace probemon::util

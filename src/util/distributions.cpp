@@ -1,0 +1,195 @@
+#include "util/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace probemon::util {
+
+namespace {
+
+void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+std::string fmt(const char* name, std::initializer_list<double> params) {
+  std::ostringstream os;
+  os << name << '(';
+  bool first = true;
+  for (double p : params) {
+    if (!first) os << ", ";
+    os << p;
+    first = false;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+Constant::Constant(double value) : value_(value) {
+  require(std::isfinite(value), "Constant: value must be finite");
+}
+std::string Constant::describe() const { return fmt("Const", {value_}); }
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  require(std::isfinite(lo) && std::isfinite(hi), "Uniform: bounds finite");
+  require(lo <= hi, "Uniform: lo <= hi");
+}
+std::string Uniform::describe() const { return fmt("U", {lo_, hi_}); }
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  require(std::isfinite(rate) && rate > 0, "Exponential: rate > 0");
+}
+double Exponential::sample(Rng& rng) const {
+  return -std::log(rng.next_double_open0()) / rate_;
+}
+std::string Exponential::describe() const { return fmt("Exp", {rate_}); }
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  require(std::isfinite(mu), "Normal: mu finite");
+  require(std::isfinite(sigma) && sigma >= 0, "Normal: sigma >= 0");
+}
+double Normal::sample(Rng& rng) const {
+  const double u1 = rng.next_double_open0();
+  const double u2 = rng.next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mu_ + sigma_ * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+std::string Normal::describe() const { return fmt("N", {mu_, sigma_}); }
+
+LogNormal::LogNormal(double mu, double sigma)
+    : normal_(mu, sigma), mu_(mu), sigma_(sigma) {}
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(normal_.sample(rng));
+}
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+std::string LogNormal::describe() const { return fmt("LogN", {mu_, sigma_}); }
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  require(xm > 0, "Pareto: xm > 0");
+  require(alpha > 0, "Pareto: alpha > 0");
+}
+double Pareto::sample(Rng& rng) const {
+  return xm_ / std::pow(rng.next_double_open0(), 1.0 / alpha_);
+}
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double a = alpha_;
+  return xm_ * xm_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+std::string Pareto::describe() const { return fmt("Pareto", {xm_, alpha_}); }
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  require(shape > 0, "Weibull: shape > 0");
+  require(scale > 0, "Weibull: scale > 0");
+}
+double Weibull::sample(Rng& rng) const {
+  return scale_ * std::pow(-std::log(rng.next_double_open0()), 1.0 / shape_);
+}
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+std::string Weibull::describe() const {
+  return fmt("Weibull", {shape_, scale_});
+}
+
+Mixture::Mixture(std::vector<Component> components)
+    : components_(std::move(components)), total_weight_(0.0) {
+  require(!components_.empty(), "Mixture: needs >= 1 component");
+  for (const auto& c : components_) {
+    require(c.weight > 0 && std::isfinite(c.weight),
+            "Mixture: weights must be positive and finite");
+    require(c.dist != nullptr, "Mixture: null component distribution");
+    total_weight_ += c.weight;
+  }
+}
+double Mixture::sample(Rng& rng) const {
+  double pick = rng.next_double() * total_weight_;
+  for (const auto& c : components_) {
+    pick -= c.weight;
+    if (pick < 0) return c.dist->sample(rng);
+  }
+  return components_.back().dist->sample(rng);  // fp round-off fallback
+}
+double Mixture::mean() const {
+  double m = 0;
+  for (const auto& c : components_) m += c.weight * c.dist->mean();
+  return m / total_weight_;
+}
+double Mixture::variance() const {
+  // Law of total variance: E[Var] + Var[E].
+  const double mu = mean();
+  double v = 0;
+  for (const auto& c : components_) {
+    const double cm = c.dist->mean();
+    v += c.weight * (c.dist->variance() + (cm - mu) * (cm - mu));
+  }
+  return v / total_weight_;
+}
+std::string Mixture::describe() const {
+  std::ostringstream os;
+  os << "Mix[";
+  bool first = true;
+  for (const auto& c : components_) {
+    if (!first) os << " + ";
+    os << c.weight << '*' << c.dist->describe();
+    first = false;
+  }
+  os << ']';
+  return os.str();
+}
+
+DiscreteUniform::DiscreteUniform(std::int64_t lo, std::int64_t hi)
+    : lo_(lo), hi_(hi) {
+  require(lo <= hi, "DiscreteUniform: lo <= hi");
+}
+std::string DiscreteUniform::describe() const {
+  return fmt("DU", {static_cast<double>(lo_), static_cast<double>(hi_)});
+}
+
+DistributionPtr make_constant(double value) {
+  return std::make_shared<Constant>(value);
+}
+DistributionPtr make_uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistributionPtr make_exponential(double rate) {
+  return std::make_shared<Exponential>(rate);
+}
+DistributionPtr make_normal(double mu, double sigma) {
+  return std::make_shared<Normal>(mu, sigma);
+}
+DistributionPtr make_lognormal(double mu, double sigma) {
+  return std::make_shared<LogNormal>(mu, sigma);
+}
+DistributionPtr make_pareto(double xm, double alpha) {
+  return std::make_shared<Pareto>(xm, alpha);
+}
+DistributionPtr make_weibull(double shape, double scale) {
+  return std::make_shared<Weibull>(shape, scale);
+}
+DistributionPtr make_discrete_uniform(std::int64_t lo, std::int64_t hi) {
+  return std::make_shared<DiscreteUniform>(lo, hi);
+}
+DistributionPtr make_mixture(std::vector<Mixture::Component> components) {
+  return std::make_shared<Mixture>(std::move(components));
+}
+
+}  // namespace probemon::util

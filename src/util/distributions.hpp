@@ -1,0 +1,189 @@
+// Probability distributions with portable, deterministic sampling.
+//
+// Each distribution is a small value type holding its parameters; sampling
+// takes an Rng& explicitly so the same distribution object can be shared
+// across streams. Parameters are validated eagerly (throwing
+// std::invalid_argument) so configuration errors surface at construction,
+// not deep inside a simulation run.
+//
+// A type-erased `AnyDistribution` lets scenario configuration pick a
+// distribution at runtime (e.g. churn inter-arrival law) without templates
+// leaking into public APIs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace probemon::util {
+
+/// Interface for a real-valued random variate.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+  /// Draw one sample.
+  virtual double sample(Rng& rng) const = 0;
+  /// Expected value (NaN if undefined for the parameterization).
+  virtual double mean() const = 0;
+  /// Variance (NaN / infinity where appropriate).
+  virtual double variance() const = 0;
+  /// Human-readable form, e.g. "Exp(rate=0.05)".
+  virtual std::string describe() const = 0;
+};
+
+/// Point mass at `value`. Useful as a degenerate delay/churn law.
+class Constant final : public Distribution {
+ public:
+  explicit Constant(double value);
+  double sample(Rng&) const override { return value_; }
+  double mean() const override { return value_; }
+  double variance() const override { return 0.0; }
+  std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform on [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::string describe() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda). Sampled by inversion.
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double rate);
+  double sample(Rng& rng) const override;
+  double mean() const override { return 1.0 / rate_; }
+  double variance() const override { return 1.0 / (rate_ * rate_); }
+  double rate() const { return rate_; }
+  std::string describe() const override;
+
+ private:
+  double rate_;
+};
+
+/// Normal(mu, sigma). Sampled by Box-Muller (both variates used).
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+  double sample(Rng& rng) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+  std::string describe() const override;
+
+ private:
+  double mu_, sigma_;
+  // Box-Muller produces pairs; cache the spare per-object is NOT safe for
+  // const sampling, so we simply pay two uniforms per sample.
+};
+
+/// LogNormal: exp(Normal(mu, sigma)). Heavy-ish tailed network delays.
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+ private:
+  Normal normal_;
+  double mu_, sigma_;
+};
+
+/// Pareto(xm, alpha): heavy-tailed; models pathological delay outliers.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double xm, double alpha);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Weibull(shape k, scale lambda). k<1 bursty, k=1 exponential.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+ private:
+  double shape_, scale_;
+};
+
+/// Finite mixture: picks component i with probability weight[i]/sum and
+/// samples it. The paper's three-mode network delay is a special case.
+class Mixture final : public Distribution {
+ public:
+  struct Component {
+    double weight;
+    std::shared_ptr<const Distribution> dist;
+  };
+  explicit Mixture(std::vector<Component> components);
+  double sample(Rng& rng) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string describe() const override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_;
+};
+
+/// Uniform over the integers {lo, ..., hi}, returned as double.
+class DiscreteUniform final : public Distribution {
+ public:
+  DiscreteUniform(std::int64_t lo, std::int64_t hi);
+  double sample(Rng& rng) const override {
+    return static_cast<double>(rng.uniform_i64(lo_, hi_));
+  }
+  double mean() const override {
+    return 0.5 * static_cast<double>(lo_ + hi_);
+  }
+  double variance() const override {
+    const double n = static_cast<double>(hi_ - lo_ + 1);
+    return (n * n - 1.0) / 12.0;
+  }
+  std::string describe() const override;
+
+ private:
+  std::int64_t lo_, hi_;
+};
+
+/// Shared-pointer alias used throughout configuration structs.
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Convenience factories.
+DistributionPtr make_constant(double value);
+DistributionPtr make_uniform(double lo, double hi);
+DistributionPtr make_exponential(double rate);
+DistributionPtr make_normal(double mu, double sigma);
+DistributionPtr make_lognormal(double mu, double sigma);
+DistributionPtr make_pareto(double xm, double alpha);
+DistributionPtr make_weibull(double shape, double scale);
+DistributionPtr make_discrete_uniform(std::int64_t lo, std::int64_t hi);
+DistributionPtr make_mixture(std::vector<Mixture::Component> components);
+
+}  // namespace probemon::util

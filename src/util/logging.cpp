@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace probemon::util {
+
+namespace {
+std::mutex g_sink_mutex;
+}
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, const std::string& msg) {
+        std::cerr << '[' << to_string(level) << "] " << msg << '\n';
+      }) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  Sink old = std::move(sink_);
+  sink_ = std::move(sink);
+  return old;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard lock(g_sink_mutex);
+  if (sink_) sink_(level, message);
+}
+
+}  // namespace probemon::util

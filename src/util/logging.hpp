@@ -1,0 +1,72 @@
+// Minimal leveled logger.
+//
+// Simulations are quiet by default (kWarn); examples raise the level to
+// narrate protocol behaviour. Logging goes through a single global sink so
+// tests can capture output. Not intended to be a high-performance logging
+// pipeline: protocol hot paths record metrics through stats::, never here.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace probemon::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* to_string(LogLevel level) noexcept;
+
+/// Global log configuration. Thread-safe for set/get of the level;
+/// sink replacement must happen before concurrent logging starts.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Replace the sink (default writes to stderr). Returns previous sink.
+  Sink set_sink(Sink sink);
+
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement builder; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().log(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace probemon::util
+
+#define PROBEMON_LOG(level)                                       \
+  if (!::probemon::util::Logger::instance().enabled(level)) {     \
+  } else                                                          \
+    ::probemon::util::LogLine(level)
+
+#define PLOG_TRACE PROBEMON_LOG(::probemon::util::LogLevel::kTrace)
+#define PLOG_DEBUG PROBEMON_LOG(::probemon::util::LogLevel::kDebug)
+#define PLOG_INFO PROBEMON_LOG(::probemon::util::LogLevel::kInfo)
+#define PLOG_WARN PROBEMON_LOG(::probemon::util::LogLevel::kWarn)
+#define PLOG_ERROR PROBEMON_LOG(::probemon::util::LogLevel::kError)

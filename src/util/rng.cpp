@@ -1,0 +1,45 @@
+#include "util/rng.hpp"
+
+namespace probemon::util {
+
+void Xoshiro256pp::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+std::uint64_t Rng::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  // Lemire-style bounded draw with rejection to remove modulo bias.
+  const std::uint64_t range = hi - lo;  // inclusive range size - 1
+  if (range == std::numeric_limits<std::uint64_t>::max()) return next_u64();
+  const std::uint64_t n = range + 1;
+  // Rejection threshold: largest multiple of n that fits in 2^64.
+  const std::uint64_t limit = (std::numeric_limits<std::uint64_t>::max() / n) * n;
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return lo + (x % n);
+}
+
+Rng Rng::fork(std::string_view tag) const noexcept {
+  return fork(fnv1a64(tag));
+}
+
+}  // namespace probemon::util

@@ -1,0 +1,148 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in probemon flows through these generators so
+// that every simulation run is exactly reproducible from a single 64-bit
+// seed. We deliberately avoid <random> engines and distributions for the
+// *protocol-relevant* randomness: their output is implementation-defined
+// across standard libraries, which would make regression tests and the
+// EXPERIMENTS.md numbers non-portable.
+//
+// Generators:
+//   SplitMix64   - tiny, used for seeding and stream derivation.
+//   Xoshiro256pp - xoshiro256++ 1.0 (Blackman & Vigna), the workhorse.
+//   Rng          - a seeded Xoshiro256pp plus convenience draws.
+//
+// Stream derivation: Rng::fork(tag) derives an independent generator from
+// the parent seed and a caller-supplied tag, so each node / model in a
+// simulation gets its own stream and adding a node never perturbs the
+// randomness seen by others.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace probemon::util {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state.
+/// Passes BigCrush when used as a generator in its own right.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ 1.0. Public domain reference algorithm by David Blackman
+/// and Sebastiano Vigna, reimplemented here.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// State is expanded from `seed` via SplitMix64 (the seeding procedure
+  /// recommended by the xoshiro authors).
+  explicit constexpr Xoshiro256pp(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Advance 2^128 steps; used to create non-overlapping sequences.
+  void jump() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+/// Seeded random source with the uniform draws every other module builds on.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Raw 64 uniform bits.
+  std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Uniform double in [0, 1). 53-bit resolution.
+  double next_double() noexcept {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in (0, 1]; never returns 0 (safe for log()).
+  double next_double_open0() noexcept {
+    return (static_cast<double>(gen_() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Debiased via rejection.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive), signed convenience.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept { return next_double() < p; }
+
+  /// Derive an independent child generator from this generator's seed and
+  /// a tag. Deterministic: same (seed, tag) -> same child stream.
+  Rng fork(std::uint64_t tag) const noexcept {
+    SplitMix64 sm(seed_ ^ (0x9e3779b97f4a7c15ULL * (tag + 1)));
+    std::uint64_t derived = sm.next() ^ sm.next();
+    return Rng(derived);
+  }
+
+  /// Derive a child stream from a string tag (e.g. "net.delay").
+  Rng fork(std::string_view tag) const noexcept;
+
+ private:
+  Xoshiro256pp gen_;
+  std::uint64_t seed_;
+};
+
+/// FNV-1a 64-bit hash; stable across platforms, used for string stream tags.
+constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace probemon::util

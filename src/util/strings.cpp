@@ -1,0 +1,63 @@
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace probemon::util {
+
+std::string format_double(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string format_fixed(double value, int decimals) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return std::string(buf);
+}
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) return "-" + format_duration(-seconds);
+  const auto total = static_cast<long long>(seconds + 0.5);
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  std::ostringstream os;
+  if (h > 0) os << h << "h ";
+  if (h > 0 || m > 0) os << m << "m ";
+  os << s << "s";
+  return os.str();
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace probemon::util

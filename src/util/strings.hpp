@@ -1,0 +1,28 @@
+// Small string/format helpers shared by trace output and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace probemon::util {
+
+/// Format a double with `precision` significant decimal digits after the
+/// point, trimming trailing zeros ("1.50" -> "1.5", "2.00" -> "2").
+std::string format_double(double value, int precision = 6);
+
+/// Fixed-point formatting, keeps trailing zeros (for aligned tables).
+std::string format_fixed(double value, int decimals);
+
+/// "h:mm:ss" rendering of a duration in seconds (paper figures label runs
+/// like "5h 33m 20s").
+std::string format_duration(double seconds);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Left-pad / right-pad to width with spaces (no truncation).
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+}  // namespace probemon::util

@@ -1,0 +1,99 @@
+// Tests for the naive fixed-rate baseline CP and the LinearFit helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/probemon.hpp"
+#include "scenario/experiment.hpp"
+#include "stats/regression.hpp"
+#include "util/rng.hpp"
+
+namespace probemon {
+namespace {
+
+TEST(LinearFit, ExactLine) {
+  stats::LinearFit fit;
+  for (int i = 0; i < 10; ++i) {
+    fit.add(i, 3.0 * i - 2.0);
+  }
+  EXPECT_NEAR(fit.slope(), 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept(), -2.0, 1e-9);
+  EXPECT_NEAR(fit.correlation(), 1.0, 1e-9);
+  EXPECT_NEAR(fit.at(100.0), 298.0, 1e-6);
+}
+
+TEST(LinearFit, NoisyLineRecoversSlope) {
+  util::Rng rng(1);
+  stats::LinearFit fit;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    fit.add(x, -0.5 * x + 7.0 + rng.uniform(-1.0, 1.0));
+  }
+  EXPECT_NEAR(fit.slope(), -0.5, 0.01);
+  EXPECT_NEAR(fit.intercept(), 7.0, 0.1);
+  EXPECT_LT(fit.correlation(), -0.99);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  stats::LinearFit fit;
+  EXPECT_TRUE(std::isnan(fit.slope()));
+  fit.add(1.0, 2.0);
+  EXPECT_TRUE(std::isnan(fit.slope()));
+  fit.add(1.0, 3.0);  // zero x-variance
+  EXPECT_TRUE(std::isnan(fit.slope()));
+}
+
+TEST(FixedRateCp, ProbesAtConfiguredPeriod) {
+  des::Simulation sim(1);
+  auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
+  core::SappDevice device(sim, *net, core::SappDeviceConfig{});
+  core::FixedRateCpConfig config;
+  config.period = 0.5;
+  core::FixedRateControlPoint cp(sim, *net, device.id(), config);
+  cp.start();
+  sim.run_until(100.0);
+  // ~2 cycles/s for 100 s.
+  EXPECT_NEAR(static_cast<double>(cp.cycle().cycles_succeeded()), 200.0,
+              10.0);
+  EXPECT_DOUBLE_EQ(cp.current_delay(), 0.5);
+}
+
+TEST(FixedRateCp, LoadGrowsLinearlyWithPopulation) {
+  auto load_for = [](std::size_t k) {
+    scenario::ExperimentConfig config;
+    config.protocol = scenario::Protocol::kFixedRate;
+    config.seed = 50 + k;
+    config.initial_cps = k;
+    config.fixed_cp.period = 1.0;
+    config.metrics.record_delay_series = false;
+    scenario::Experiment exp(config);
+    exp.run_until(200.0);
+    exp.finish();
+    return static_cast<double>(exp.device().probes_received()) / 200.0;
+  };
+  EXPECT_NEAR(load_for(3), 3.0, 0.4);
+  EXPECT_NEAR(load_for(9), 9.0, 0.8);
+}
+
+TEST(FixedRateCp, Validation) {
+  core::FixedRateCpConfig config;
+  config.period = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FixedRateCp, DetectsAbsence) {
+  des::Simulation sim(2);
+  auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
+  core::SappDevice device(sim, *net, core::SappDeviceConfig{});
+  core::FixedRateControlPoint cp(sim, *net, device.id(),
+                                 core::FixedRateCpConfig{});
+  cp.start();
+  sim.run_until(50.0);
+  device.go_silent();
+  sim.run_until(55.0);
+  EXPECT_FALSE(cp.device_considered_present());
+  EXPECT_LE(cp.absence_time(), 50.0 + 1.0 + 0.1);
+}
+
+}  // namespace
+}  // namespace probemon

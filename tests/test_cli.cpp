@@ -1,0 +1,76 @@
+// Tests for the bench/example command-line helper.
+#include <gtest/gtest.h>
+
+#include "util/cli.hpp"
+
+namespace probemon::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  auto cli = make({"--seed=7", "--duration=12.5"});
+  EXPECT_EQ(cli.get<std::uint64_t>("seed", 1), 7u);
+  EXPECT_EQ(cli.get<double>("duration", 1.0), 12.5);
+}
+
+TEST(Cli, SpaceForm) {
+  auto cli = make({"--seed", "9"});
+  EXPECT_EQ(cli.get<std::uint64_t>("seed", 1), 9u);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  auto cli = make({});
+  EXPECT_EQ(cli.get<std::uint64_t>("seed", 42), 42u);
+  EXPECT_EQ(cli.get<double>("duration", 3.5), 3.5);
+  EXPECT_EQ(cli.get<std::string>("name", "x"), "x");
+  EXPECT_FALSE(cli.get<bool>("verbose", false));
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  auto cli = make({"--verbose"});
+  EXPECT_TRUE(cli.get<bool>("verbose", false));
+}
+
+TEST(Cli, BoolParsing) {
+  EXPECT_TRUE(make({"--x=1"}).get<bool>("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get<bool>("x", true));
+  auto cli = make({"--x=maybe"});
+  EXPECT_THROW(cli.get<bool>("x", false), std::invalid_argument);
+}
+
+TEST(Cli, SignedIntegers) {
+  auto cli = make({"--offset=-12"});
+  EXPECT_EQ(cli.get<std::int64_t>("offset", 0), -12);
+}
+
+TEST(Cli, BadNumberThrows) {
+  auto cli = make({"--seed=abc"});
+  EXPECT_THROW(cli.get<std::uint64_t>("seed", 1), std::invalid_argument);
+  auto cli2 = make({"--duration=xyz"});
+  EXPECT_THROW(cli2.get<double>("duration", 1.0), std::invalid_argument);
+}
+
+TEST(Cli, HelpDetected) {
+  EXPECT_TRUE(make({"--help"}).help_requested());
+  EXPECT_TRUE(make({"-h"}).help_requested());
+  EXPECT_FALSE(make({"--seed=1"}).help_requested());
+}
+
+TEST(Cli, HasReportsPresence) {
+  auto cli = make({"--seed=1"});
+  EXPECT_TRUE(cli.has("seed"));
+  EXPECT_FALSE(cli.has("duration"));
+}
+
+TEST(Cli, StringValuesPassThrough) {
+  auto cli = make({"--out=dir/file.csv"});
+  EXPECT_EQ(cli.get<std::string>("out", ""), "dir/file.csv");
+}
+
+}  // namespace
+}  // namespace probemon::util

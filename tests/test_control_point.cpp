@@ -1,0 +1,251 @@
+// Tests for ControlPointBase behaviours not covered by the protocol
+// suites: dissemination (gossip), bye handling, overlay learning, stop
+// semantics, and the device-side service queue.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/probemon.hpp"
+
+namespace probemon::core {
+namespace {
+
+struct World {
+  des::Simulation sim{11};
+  std::unique_ptr<net::Network> net =
+      net::Network::make_paper_default(sim.scheduler(), sim.rng());
+};
+
+TEST(ControlPoint, StopDetachesAndSilences) {
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  cp.start();
+  w.sim.run_until(5.0);
+  const auto cycles = cp.cycle().cycles_succeeded();
+  EXPECT_GT(cycles, 0u);
+  cp.stop();
+  EXPECT_FALSE(cp.running());
+  w.sim.run_until(20.0);
+  EXPECT_EQ(cp.cycle().cycles_succeeded(), cycles);
+  EXPECT_FALSE(w.net->attached(cp.id()));
+}
+
+TEST(ControlPoint, StartIsIdempotent) {
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  cp.start();
+  cp.start();  // second start must not double-probe
+  w.sim.run_until(1.0);
+  EXPECT_EQ(cp.cycle().cycles_started(), cp.cycle().cycles_succeeded());
+}
+
+TEST(ControlPoint, StartJitterDelaysFirstProbe) {
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  cp.start(2.0);
+  w.sim.run_until(1.9);
+  EXPECT_EQ(cp.cycle().cycles_started(), 0u);
+  w.sim.run_until(2.5);
+  EXPECT_EQ(cp.cycle().cycles_started(), 1u);
+}
+
+TEST(ControlPoint, ByeFromOtherDeviceIgnored) {
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  cp.start();
+  w.sim.run_until(2.0);
+  net::Message bye;
+  bye.kind = net::MessageKind::kBye;
+  bye.from = 4242;  // unrelated sender, unrelated subject
+  bye.to = cp.id();
+  bye.subject = 4242;
+  // Deliver directly (sender isn't attached).
+  const_cast<DcppControlPoint&>(cp).on_message(bye);
+  EXPECT_TRUE(cp.device_considered_present());
+}
+
+TEST(ControlPoint, NotifyMarksAbsentAndStopsProbing) {
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  cp.start();
+  w.sim.run_until(2.0);
+  const auto cycles = cp.cycle().cycles_started();
+  net::Message notify;
+  notify.kind = net::MessageKind::kNotify;
+  notify.from = 77;
+  notify.to = cp.id();
+  notify.subject = device.id();
+  notify.ttl = 1;
+  cp.on_message(notify);
+  EXPECT_FALSE(cp.device_considered_present());
+  w.sim.run_until(10.0);
+  EXPECT_LE(cp.cycle().cycles_started(), cycles + 1);
+}
+
+TEST(ControlPoint, GossipForwardsWithTtl) {
+  // Three CPs on one device with dissemination: when the device goes
+  // silent, the first detector's notify reaches the others through the
+  // overlay.
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  std::vector<std::unique_ptr<DcppControlPoint>> cps;
+  for (int i = 0; i < 3; ++i) {
+    cps.push_back(std::make_unique<DcppControlPoint>(
+        w.sim, *w.net, device.id(), DcppCpConfig{}));
+    cps.back()->enable_dissemination(2);
+    cps.back()->start(0.05 * i);
+  }
+  w.sim.run_until(10.0);  // overlay converges
+  for (const auto& cp : cps) {
+    EXPECT_FALSE(cp->overlay_neighbors().empty());
+  }
+  device.go_silent();
+  w.sim.run_until(12.0);
+  for (const auto& cp : cps) {
+    EXPECT_FALSE(cp->device_considered_present());
+  }
+}
+
+TEST(ControlPoint, OverlayCapsAtFourNeighbors) {
+  World w;
+  DcppDeviceConfig device_config;
+  device_config.delta_min = 0.01;
+  device_config.d_min = 0.02;
+  DcppDevice device(w.sim, *w.net, device_config);
+  std::vector<std::unique_ptr<DcppControlPoint>> cps;
+  for (int i = 0; i < 8; ++i) {
+    cps.push_back(std::make_unique<DcppControlPoint>(
+        w.sim, *w.net, device.id(), DcppCpConfig{}));
+    cps.back()->start(0.002 * i);
+  }
+  w.sim.run_until(30.0);
+  for (const auto& cp : cps) {
+    EXPECT_LE(cp->overlay_neighbors().size(), 4u);
+  }
+}
+
+TEST(Device, ServiceQueueDrainsAndBoundsTurnaround) {
+  World w;
+  SappDevice device(w.sim, *w.net, SappDeviceConfig{});
+
+  struct Sink final : net::INetworkClient {
+    std::vector<double> reply_times;
+    des::Simulation* sim = nullptr;
+    void on_message(const net::Message& m) override {
+      if (m.kind == net::MessageKind::kReply) {
+        reply_times.push_back(sim->now());
+      }
+    }
+  } sink;
+  sink.sim = &w.sim;
+  const net::NodeId sink_id = w.net->attach(sink);
+
+  // Burst of 10 probes at the same instant: the serial device answers
+  // them one by one; the last reply must come after >= 10 * compute_min.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    net::Message probe;
+    probe.kind = net::MessageKind::kProbe;
+    probe.from = sink_id;
+    probe.to = device.id();
+    probe.cycle = i;
+    w.net->send(probe);
+  }
+  w.sim.run_until(0.0001);
+  EXPECT_GT(device.service_queue_length(), 0u);
+  w.sim.run_until(5.0);
+  ASSERT_EQ(sink.reply_times.size(), 10u);
+  EXPECT_GE(sink.reply_times.back(), 10 * 0.001);
+  EXPECT_EQ(device.service_queue_length(), 0u);
+  // Replies are ordered (FIFO service).
+  for (std::size_t i = 1; i < sink.reply_times.size(); ++i) {
+    EXPECT_LE(sink.reply_times[i - 1], sink.reply_times[i]);
+  }
+}
+
+TEST(Device, GoSilentMidComputationSuppressesReply) {
+  World w;
+  SappDevice device(w.sim, *w.net, SappDeviceConfig{});
+  struct Sink final : net::INetworkClient {
+    int replies = 0;
+    void on_message(const net::Message& m) override {
+      if (m.kind == net::MessageKind::kReply) ++replies;
+    }
+  } sink;
+  const net::NodeId sink_id = w.net->attach(sink);
+  net::Message probe;
+  probe.kind = net::MessageKind::kProbe;
+  probe.from = sink_id;
+  probe.to = device.id();
+  w.net->send(probe);
+  w.sim.run_until(0.0008);  // probe delivered, computation in progress
+  device.go_silent();
+  device.come_back();  // even coming back must not resurrect the reply
+  w.sim.run_until(5.0);
+  EXPECT_EQ(sink.replies, 0);
+}
+
+TEST(Device, GracefulLeaveSendsByeToLastTwoProbers) {
+  World w;
+  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppControlPoint cp1(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppControlPoint cp2(w.sim, *w.net, device.id(), DcppCpConfig{});
+  cp1.start();
+  cp2.start(0.1);
+  w.sim.run_until(5.0);
+  device.leave_gracefully();
+  w.sim.run_until(5.1);
+  EXPECT_FALSE(cp1.device_considered_present());
+  EXPECT_FALSE(cp2.device_considered_present());
+  // Learned via bye, i.e. faster than a failed cycle (< 85 ms tail).
+  EXPECT_LT(cp1.absence_time(), 5.05);
+  EXPECT_LT(cp2.absence_time(), 5.05);
+}
+
+TEST(ControlPoint, DeviceFlappingIsTracked) {
+  // A device that goes silent and comes back repeatedly: a CP with
+  // continue_after_absence keeps probing and its presence verdict must
+  // track the device's true state at each phase boundary.
+  World w;
+  DcppDeviceConfig device_config;
+  device_config.delta_min = 0.05;
+  device_config.d_min = 0.1;  // fast probing: verdicts update quickly
+  DcppDevice device(w.sim, *w.net, device_config);
+  DcppCpConfig cp_config;
+  cp_config.continue_after_absence = true;
+  DcppControlPoint cp(w.sim, *w.net, device.id(), cp_config);
+  cp.start();
+
+  for (int round = 0; round < 4; ++round) {
+    w.sim.run_until(w.sim.now() + 10.0);
+    EXPECT_TRUE(cp.device_considered_present()) << "round " << round;
+    device.go_silent();
+    w.sim.run_until(w.sim.now() + 10.0);
+    EXPECT_FALSE(cp.device_considered_present()) << "round " << round;
+    device.come_back();
+  }
+  EXPECT_GT(cp.cycle().cycles_failed(), 0u);
+  EXPECT_GT(cp.cycle().cycles_succeeded(), 100u);
+}
+
+TEST(Determinism, SameSeedSameTrajectory) {
+  auto run = [](std::uint64_t seed) {
+    des::Simulation sim(seed);
+    auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
+    SappDevice device(sim, *net, SappDeviceConfig{});
+    SappControlPoint cp(sim, *net, device.id(), SappCpConfig{});
+    cp.start();
+    sim.run_until(500.0);
+    return std::make_tuple(device.probe_counter(),
+                           cp.cycle().cycles_succeeded(), cp.delta());
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(124));
+}
+
+}  // namespace
+}  // namespace probemon::core

@@ -1,0 +1,235 @@
+// DCPP tests: the pure grant function (paper section 4's Delta(nt, t)),
+// device scheduling invariants, and CP/device integration including the
+// paper's fairness and load-cap claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/probemon.hpp"
+#include "stats/series.hpp"
+
+namespace probemon::core {
+namespace {
+
+DcppDeviceConfig paper_device() {
+  DcppDeviceConfig c;
+  c.delta_min = 0.1;  // L_nom = 10
+  c.d_min = 0.5;      // f_max = 2
+  return c;
+}
+
+// --- grant() (pure scheduling rule) -----------------------------------------
+
+TEST(DcppGrant, IdleDeviceGrantsDmin) {
+  // Schedule frontier in the past: the CP may come back after d_min.
+  const auto config = paper_device();
+  EXPECT_DOUBLE_EQ(DcppDevice::grant(0.0, 100.0, config), 0.5);
+}
+
+TEST(DcppGrant, BusyDeviceGrantsBacklogPlusDeltaMin) {
+  const auto config = paper_device();
+  // Frontier 2 s ahead: backlog 2 >= d_min, so spacing rule dominates.
+  EXPECT_NEAR(DcppDevice::grant(102.0, 100.0, config), 2.1, 1e-9);
+}
+
+TEST(DcppGrant, TransitionRegionTopsUpToDmin) {
+  const auto config = paper_device();
+  // Backlog 0.3 < d_min: grant = 0.3 + (0.5 - 0.3)... Delta = max(0.1,
+  // 0.2) = 0.2 -> grant = 0.5 exactly.
+  EXPECT_DOUBLE_EQ(DcppDevice::grant(100.3, 100.0, config), 0.5);
+}
+
+TEST(DcppGrant, GrantNeverBelowDmin) {
+  // Property (paper constraint ii): no CP is asked to probe sooner than
+  // d_min after its current probe.
+  const auto config = paper_device();
+  util::Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    const double t = rng.uniform(0.0, 1000.0);
+    const double nt = t + rng.uniform(-50.0, 50.0);
+    ASSERT_GE(DcppDevice::grant(nt, t, config), config.d_min - 1e-12);
+  }
+}
+
+TEST(DcppGrant, ConsecutiveSlotsAtLeastDeltaMinApart) {
+  // Property (paper constraint i): replaying any probe arrival sequence,
+  // granted slot instants are >= delta_min apart.
+  const auto config = paper_device();
+  util::Rng rng(2);
+  double nt = 0.0;
+  double t = 0.0;
+  double prev_slot = -1e9;
+  for (int i = 0; i < 100000; ++i) {
+    t += rng.uniform(0.0, 0.3);
+    const double wait = DcppDevice::grant(nt, t, config);
+    const double slot = t + wait;
+    ASSERT_GE(slot - prev_slot, config.delta_min - 1e-9);
+    prev_slot = slot;
+    nt = slot;
+  }
+}
+
+TEST(DcppGrant, SteadyStateLoadCapsAtLnom) {
+  // Saturated frontier: each arrival advances nt by exactly delta_min,
+  // i.e. at most L_nom grants per second.
+  const auto config = paper_device();
+  double nt = 100.0;
+  const double t = 10.0;
+  for (int i = 0; i < 100; ++i) {
+    const double wait = DcppDevice::grant(nt, t, config);
+    const double next = t + wait;
+    EXPECT_NEAR(next - nt, config.delta_min, 1e-12);
+    nt = next;
+  }
+}
+
+// --- Device ------------------------------------------------------------------
+
+TEST(DcppDevice, ReplyCarriesGrantAndAdvancesFrontier) {
+  des::Simulation sim(1);
+  auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
+  DcppDevice device(sim, *net, paper_device());
+
+  struct Probe final : net::INetworkClient {
+    std::vector<net::Message> replies;
+    void on_message(const net::Message& m) override { replies.push_back(m); }
+  } cp;
+  const net::NodeId cp_id = net->attach(cp);
+
+  net::Message probe;
+  probe.kind = net::MessageKind::kProbe;
+  probe.from = cp_id;
+  probe.to = device.id();
+  probe.cycle = 1;
+  net->send(probe);
+  sim.run_until(1.0);
+  ASSERT_EQ(cp.replies.size(), 1u);
+  EXPECT_NEAR(cp.replies[0].grant_delay, 0.5, 1e-9);
+  EXPECT_GT(device.next_slot(), 0.0);
+}
+
+TEST(DcppDeviceConfig, Validation) {
+  DcppDeviceConfig c;
+  c.delta_min = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = DcppDeviceConfig{};
+  c.d_min = c.delta_min / 2;  // d_min must be >= delta_min
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = DcppDeviceConfig{};
+  EXPECT_DOUBLE_EQ(c.l_nom(), 10.0);
+  EXPECT_DOUBLE_EQ(c.f_max(), 2.0);
+}
+
+// --- Integration --------------------------------------------------------------
+
+struct DcppWorld {
+  des::Simulation sim;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<DcppDevice> device;
+  std::vector<std::unique_ptr<DcppControlPoint>> cps;
+
+  explicit DcppWorld(std::uint64_t seed, std::size_t k)
+      : sim(seed),
+        net(net::Network::make_paper_default(sim.scheduler(), sim.rng())) {
+    device = std::make_unique<DcppDevice>(sim, *net, paper_device());
+    for (std::size_t i = 0; i < k; ++i) {
+      cps.push_back(std::make_unique<DcppControlPoint>(
+          sim, *net, device->id(), DcppCpConfig{}));
+      cps.back()->start(0.01 * static_cast<double>(i));
+    }
+  }
+};
+
+TEST(DcppIntegration, LoadNeverExceedsLnomInSteadyState) {
+  DcppWorld world(3, 20);
+  world.sim.run_until(50.0);
+  const auto before = world.device->probes_received();
+  world.sim.run_until(250.0);
+  const double load =
+      static_cast<double>(world.device->probes_received() - before) / 200.0;
+  EXPECT_LE(load, 10.0 * 1.05);
+  EXPECT_GT(load, 8.0);
+}
+
+TEST(DcppIntegration, FewCpsProbeAtFmax) {
+  DcppWorld world(4, 2);
+  world.sim.run_until(200.0);
+  // k * f_max = 4 < L_nom: each CP probes every d_min = 0.5 s.
+  for (const auto& cp : world.cps) {
+    EXPECT_NEAR(cp->current_delay(), 0.5, 0.05);
+    EXPECT_NEAR(static_cast<double>(cp->cycle().cycles_succeeded()) / 200.0,
+                2.0, 0.2);
+  }
+}
+
+TEST(DcppIntegration, ManyCpsShareEqually) {
+  constexpr std::size_t k = 20;
+  DcppWorld world(5, k);
+  world.sim.run_until(100.0);
+  std::vector<std::uint64_t> before;
+  for (const auto& cp : world.cps) {
+    before.push_back(cp->cycle().cycles_succeeded());
+  }
+  world.sim.run_until(300.0);
+  std::vector<double> shares;
+  for (std::size_t i = 0; i < k; ++i) {
+    shares.push_back(static_cast<double>(
+        world.cps[i]->cycle().cycles_succeeded() - before[i]));
+  }
+  EXPECT_GT(stats::jain_fairness(shares), 0.99);
+  // Per-CP period converges to k * delta_min = 2 s.
+  for (const auto& cp : world.cps) {
+    EXPECT_NEAR(cp->current_delay(), 2.0, 0.2);
+  }
+}
+
+TEST(DcppIntegration, AllCpsDetectSilentDeviceWithinBound) {
+  constexpr std::size_t k = 10;
+  DcppWorld world(6, k);
+  world.sim.run_until(100.0);
+  world.device->go_silent();
+  world.sim.run_until(110.0);
+  const double bound =
+      std::max(static_cast<double>(k) * 0.1, 0.5) + 0.022 + 3 * 0.021 + 0.05;
+  for (const auto& cp : world.cps) {
+    EXPECT_FALSE(cp->device_considered_present());
+    EXPECT_LE(cp->absence_time() - 100.0, bound);
+  }
+}
+
+TEST(DcppIntegration, JoiningBurstIsAbsorbed) {
+  DcppWorld world(7, 5);
+  world.sim.run_until(50.0);
+  // 40 CPs join at the same instant (paper's worst case).
+  for (int i = 0; i < 40; ++i) {
+    world.cps.push_back(std::make_unique<DcppControlPoint>(
+        world.sim, *world.net, world.device->id(), DcppCpConfig{}));
+    world.cps.back()->start();
+  }
+  world.sim.run_until(60.0);
+  // Every CP must have been incorporated (no false absences).
+  for (const auto& cp : world.cps) {
+    EXPECT_TRUE(cp->device_considered_present());
+    EXPECT_GT(cp->cycle().cycles_succeeded(), 0u);
+  }
+  // Post-burst load settles back to <= L_nom.
+  const auto before = world.device->probes_received();
+  world.sim.run_until(160.0);
+  const double load =
+      static_cast<double>(world.device->probes_received() - before) / 100.0;
+  EXPECT_LE(load, 10.5);
+}
+
+TEST(DcppIntegration, OverlayNeighborsLearnedFromReplies) {
+  DcppWorld world(8, 3);
+  world.sim.run_until(30.0);
+  // With three CPs interleaving, each should have heard of the others.
+  std::size_t with_neighbors = 0;
+  for (const auto& cp : world.cps) {
+    if (!cp->overlay_neighbors().empty()) ++with_neighbors;
+  }
+  EXPECT_GE(with_neighbors, 2u);
+}
+
+}  // namespace
+}  // namespace probemon::core

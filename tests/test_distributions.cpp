@@ -1,0 +1,165 @@
+// Tests for util::Distribution implementations: parameter validation,
+// sample-moment consistency (law of large numbers checks against the
+// analytic mean/variance), and shape properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "util/distributions.hpp"
+
+namespace probemon::util {
+namespace {
+
+constexpr int kSamples = 200000;
+
+struct MomentCase {
+  const char* name;
+  DistributionPtr dist;
+  double mean_tol;     // absolute tolerance on the sample mean
+  double var_rel_tol;  // relative tolerance on the sample variance
+};
+
+class DistributionMoments : public ::testing::TestWithParam<MomentCase> {};
+
+TEST_P(DistributionMoments, SampleMomentsMatchAnalytic) {
+  const auto& param = GetParam();
+  Rng rng(fnv1a64(param.name));
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = param.dist->sample(rng);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum2 / kSamples - mean * mean;
+  EXPECT_NEAR(mean, param.dist->mean(), param.mean_tol) << param.name;
+  EXPECT_NEAR(var, param.dist->variance(),
+              param.var_rel_tol * param.dist->variance() + 1e-12)
+      << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionMoments,
+    ::testing::Values(
+        MomentCase{"constant", make_constant(3.5), 1e-12, 1e-12},
+        MomentCase{"uniform", make_uniform(-1.0, 5.0), 0.02, 0.05},
+        MomentCase{"exponential", make_exponential(0.05), 0.3, 0.05},
+        MomentCase{"normal", make_normal(10.0, 2.0), 0.03, 0.05},
+        MomentCase{"lognormal", make_lognormal(0.0, 0.5), 0.02, 0.10},
+        MomentCase{"pareto", make_pareto(1.0, 4.0), 0.02, 0.25},
+        MomentCase{"weibull", make_weibull(2.0, 3.0), 0.02, 0.05},
+        MomentCase{"discrete_uniform", make_discrete_uniform(1, 60), 0.1,
+                   0.05},
+        MomentCase{"mixture",
+                   make_mixture({{1.0, make_uniform(0.0, 1.0)},
+                                 {2.0, make_uniform(10.0, 12.0)}}),
+                   0.05, 0.05}),
+    [](const ::testing::TestParamInfo<MomentCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Distributions, ConstantAlwaysReturnsValue) {
+  Rng rng(1);
+  Constant c(42.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(c.sample(rng), 42.0);
+}
+
+TEST(Distributions, UniformStaysInRange) {
+  Rng rng(2);
+  Uniform u(3.0, 7.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = u.sample(rng);
+    ASSERT_GE(x, 3.0);
+    ASSERT_LT(x, 7.0);
+  }
+}
+
+TEST(Distributions, ExponentialIsPositive) {
+  Rng rng(3);
+  Exponential e(2.0);
+  for (int i = 0; i < 10000; ++i) ASSERT_GT(e.sample(rng), 0.0);
+}
+
+TEST(Distributions, ExponentialMemorylessTail) {
+  // P(X > 2m) should be about P(X > m)^2.
+  Rng rng(4);
+  Exponential e(1.0);
+  int over_1 = 0, over_2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = e.sample(rng);
+    if (x > 1.0) ++over_1;
+    if (x > 2.0) ++over_2;
+  }
+  const double p1 = static_cast<double>(over_1) / n;
+  const double p2 = static_cast<double>(over_2) / n;
+  EXPECT_NEAR(p2, p1 * p1, 0.01);
+}
+
+TEST(Distributions, ParetoRespectsMinimum) {
+  Rng rng(5);
+  Pareto p(2.0, 3.0);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(p.sample(rng), 2.0);
+}
+
+TEST(Distributions, ParetoInfiniteMomentsReported) {
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 0.5).mean()));
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 1.5).variance()));
+}
+
+TEST(Distributions, WeibullShapeOneIsExponential) {
+  // Weibull(k=1, lambda) == Exponential(1/lambda).
+  Weibull w(1.0, 2.0);
+  EXPECT_NEAR(w.mean(), 2.0, 1e-9);
+  EXPECT_NEAR(w.variance(), 4.0, 1e-9);
+}
+
+TEST(Distributions, DiscreteUniformCoversSupport) {
+  Rng rng(6);
+  DiscreteUniform d(-2, 2);
+  std::set<double> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(d.sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Distributions, MixtureRespectsWeights) {
+  Rng rng(7);
+  // 1:3 weighting of two point masses.
+  Mixture m({{1.0, make_constant(0.0)}, {3.0, make_constant(1.0)}});
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += m.sample(rng);
+  EXPECT_NEAR(sum / n, 0.75, 0.01);
+}
+
+TEST(Distributions, ValidationRejectsBadParameters) {
+  EXPECT_THROW(Uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+  EXPECT_THROW(Normal(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Weibull(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DiscreteUniform(5, 2), std::invalid_argument);
+  EXPECT_THROW(Mixture({}), std::invalid_argument);
+  EXPECT_THROW(Mixture({{0.0, make_constant(1.0)}}), std::invalid_argument);
+  EXPECT_THROW(Mixture({{1.0, nullptr}}), std::invalid_argument);
+}
+
+TEST(Distributions, DescribeMentionsParameters) {
+  EXPECT_NE(make_exponential(0.05)->describe().find("0.05"),
+            std::string::npos);
+  EXPECT_NE(make_uniform(1.0, 2.0)->describe().find("1"), std::string::npos);
+  EXPECT_NE(make_mixture({{1.0, make_constant(7.0)}})->describe().find("7"),
+            std::string::npos);
+}
+
+TEST(Distributions, SamplingIsDeterministicPerSeed) {
+  Exponential e(1.0);
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(e.sample(a), e.sample(b));
+}
+
+}  // namespace
+}  // namespace probemon::util

@@ -1,0 +1,142 @@
+// Tests for the protocol event log: recording, persistence round-trip,
+// and replay into fresh metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/observer_fanout.hpp"
+#include "scenario/experiment.hpp"
+#include "trace/event_log.hpp"
+
+namespace probemon::trace {
+namespace {
+
+TEST(EventLog, RecordsTypedEvents) {
+  EventLog log;
+  log.on_probe_sent(1, 2, 0.5, 0);
+  log.on_probe_received(2, 1, 0.51);
+  log.on_cycle_success(1, 2, 0.52, 1);
+  log.on_delay_updated(1, 0.52, 2.5);
+  log.on_device_declared_absent(1, 2, 9.0);
+  log.on_absence_learned(3, 2, 9.1);
+  log.on_delta_changed(2, 10.0, 200000);
+  EXPECT_EQ(log.size(), 7u);
+  EXPECT_EQ(log.count(EventKind::kProbeSent), 1u);
+  EXPECT_EQ(log.count(EventKind::kDelayUpdated), 1u);
+  EXPECT_EQ(log.events()[3].value, 2.5);
+  EXPECT_EQ(log.events()[6].extra, 200000u);
+}
+
+TEST(EventLog, SaveLoadRoundTrip) {
+  EventLog log;
+  log.on_probe_sent(1, 2, 0.5, 3);
+  log.on_delay_updated(7, 123.456789, 0.021);
+  log.on_delta_changed(2, 10.0, 12345678901ULL);
+  std::stringstream buffer;
+  log.save(buffer);
+  const EventLog loaded = EventLog::load(buffer);
+  ASSERT_EQ(loaded.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(loaded.events()[i], log.events()[i]) << "event " << i;
+  }
+}
+
+TEST(EventLog, LoadRejectsGarbage) {
+  std::stringstream bad1("not_a_tag|1|2|3|4|5\n");
+  EXPECT_THROW(EventLog::load(bad1), std::runtime_error);
+  std::stringstream bad2("delay|1|2\n");
+  EXPECT_THROW(EventLog::load(bad2), std::runtime_error);
+  std::stringstream bad3("delay|xyz|2|3|4|5\n");
+  EXPECT_THROW(EventLog::load(bad3), std::runtime_error);
+  std::stringstream empty("");
+  EXPECT_EQ(EventLog::load(empty).size(), 0u);
+}
+
+TEST(EventLog, TagsRoundTrip) {
+  for (auto kind :
+       {EventKind::kProbeSent, EventKind::kProbeReceived,
+        EventKind::kCycleSuccess, EventKind::kDelayUpdated,
+        EventKind::kDeclaredAbsent, EventKind::kAbsenceLearned,
+        EventKind::kDeltaChanged}) {
+    EventKind parsed;
+    ASSERT_TRUE(from_tag(to_tag(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  EventKind sink;
+  EXPECT_FALSE(from_tag("bogus", sink));
+}
+
+TEST(EventLog, ReplayReproducesMetrics) {
+  // Record a live run through Experiment::add_observer, then replay the
+  // log into a fresh Metrics and compare against the live one.
+  scenario::ExperimentConfig config;
+  config.protocol = scenario::Protocol::kDcpp;
+  config.seed = 5;
+  config.initial_cps = 4;
+  scenario::Experiment exp(config);
+  EventLog log;
+  exp.add_observer(log);
+  exp.schedule_device_departure(30.0);
+  exp.run_until(40.0);
+  exp.finish();
+
+  scenario::Metrics replayed(config.metrics);
+  log.replay(replayed);
+  replayed.set_device_departure_time(30.0);
+  replayed.finish(40.0);
+
+  EXPECT_EQ(replayed.total_probes_sent(), exp.metrics().total_probes_sent());
+  EXPECT_EQ(replayed.total_probes_received(),
+            exp.metrics().total_probes_received());
+  EXPECT_EQ(replayed.detection_latencies().size(),
+            exp.metrics().detection_latencies().size());
+  ASSERT_EQ(replayed.mean_delays().size(), exp.metrics().mean_delays().size());
+  for (std::size_t i = 0; i < replayed.mean_delays().size(); ++i) {
+    EXPECT_DOUBLE_EQ(replayed.mean_delays()[i],
+                     exp.metrics().mean_delays()[i]);
+  }
+}
+
+TEST(EventLog, ReplayAllowsDifferentAnalysisWindow) {
+  // The point of the log: reanalyze one run with different metric
+  // settings (here: a warmup cutoff) without re-simulating.
+  scenario::ExperimentConfig config;
+  config.protocol = scenario::Protocol::kDcpp;
+  config.seed = 6;
+  config.initial_cps = 3;
+  scenario::Experiment exp(config);
+  EventLog log;
+  exp.add_observer(log);
+  exp.run_until(60.0);
+  exp.finish();
+
+  scenario::MetricsConfig strict;
+  strict.warmup = 30.0;
+  scenario::Metrics late(strict);
+  log.replay(late);
+  // Post-warmup moments must have fewer samples than the full run.
+  std::uint64_t full = 0, trimmed = 0;
+  for (const auto& [id, m] : exp.metrics().per_cp()) {
+    full += m.delay_moments.count();
+  }
+  for (const auto& [id, m] : late.per_cp()) {
+    trimmed += m.delay_moments.count();
+  }
+  EXPECT_LT(trimmed, full);
+  EXPECT_GT(trimmed, 0u);
+}
+
+TEST(FanoutObserver, BroadcastsToAllSinks) {
+  EventLog a, b;
+  core::FanoutObserver fan({&a, &b});
+  fan.add(nullptr);  // ignored
+  EXPECT_EQ(fan.size(), 2u);
+  fan.on_probe_sent(1, 2, 0.1, 0);
+  fan.on_delay_updated(1, 0.2, 5.0);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.events()[1], b.events()[1]);
+}
+
+}  // namespace
+}  // namespace probemon::trace

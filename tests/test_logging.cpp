@@ -1,0 +1,89 @@
+// Tests for the logging facility: level gating, sink capture, macros.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace probemon::util {
+namespace {
+
+struct SinkCapture {
+  std::vector<std::pair<LogLevel, std::string>> lines;
+  Logger::Sink previous;
+  LogLevel previous_level;
+
+  SinkCapture() {
+    previous_level = Logger::instance().level();
+    previous = Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& msg) {
+          lines.emplace_back(level, msg);
+        });
+  }
+  ~SinkCapture() {
+    Logger::instance().set_sink(std::move(previous));
+    Logger::instance().set_level(previous_level);
+  }
+};
+
+TEST(Logging, LevelGatesOutput) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kWarn);
+  PLOG_DEBUG << "hidden";
+  PLOG_INFO << "hidden too";
+  PLOG_WARN << "visible";
+  PLOG_ERROR << "also visible";
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].first, LogLevel::kWarn);
+  EXPECT_EQ(capture.lines[0].second, "visible");
+  EXPECT_EQ(capture.lines[1].first, LogLevel::kError);
+}
+
+TEST(Logging, StreamFormatting) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kTrace);
+  PLOG_INFO << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "x=42 y=1.5");
+}
+
+TEST(Logging, OffSilencesEverything) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kOff);
+  PLOG_ERROR << "nope";
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(Logging, EnabledReflectsLevel) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::kError));
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+// The guard in PROBEMON_LOG must not evaluate the stream expression
+// when the level is disabled (cheap hot paths).
+TEST(Logging, DisabledLevelSkipsEvaluation) {
+  SinkCapture capture;
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "value";
+  };
+  PLOG_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  PLOG_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+}  // namespace
+}  // namespace probemon::util

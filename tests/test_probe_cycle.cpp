@@ -1,0 +1,191 @@
+// Tests for the bounded-retransmission probe-cycle FSM (paper Fig 1):
+// TOF/TOS timing, the 4-probe budget, stale-reply rejection, counters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/probe_cycle.hpp"
+#include "des/scheduler.hpp"
+
+namespace probemon::core {
+namespace {
+
+struct Harness {
+  des::Scheduler sched;
+  std::vector<std::pair<std::uint64_t, std::uint8_t>> sent;
+  std::vector<double> send_times;
+  int successes = 0;
+  int failures = 0;
+  net::Message last_reply;
+
+  ProbeCycle::Callbacks callbacks() {
+    return ProbeCycle::Callbacks{
+        [this](std::uint64_t cycle, std::uint8_t attempt) {
+          sent.emplace_back(cycle, attempt);
+          send_times.push_back(sched.now());
+        },
+        [this](const net::Message& reply) {
+          ++successes;
+          last_reply = reply;
+        },
+        [this] { ++failures; }};
+  }
+
+  net::Message reply_for(std::uint64_t cycle, std::uint8_t attempt = 0) {
+    net::Message m;
+    m.kind = net::MessageKind::kReply;
+    m.cycle = cycle;
+    m.attempt = attempt;
+    return m;
+  }
+};
+
+constexpr double kTof = 0.022;
+constexpr double kTos = 0.021;
+
+TEST(ProbeCycle, FirstProbeSentImmediatelyOnStart) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0], std::make_pair(std::uint64_t{1}, std::uint8_t{0}));
+  EXPECT_TRUE(cycle.active());
+}
+
+TEST(ProbeCycle, ReplyEndsCycleSuccessfully) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  EXPECT_TRUE(cycle.offer_reply(h.reply_for(1)));
+  EXPECT_EQ(h.successes, 1);
+  EXPECT_FALSE(cycle.active());
+  // Timeout must not fire afterwards.
+  h.sched.run_until(1.0);
+  EXPECT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.failures, 0);
+  EXPECT_EQ(cycle.cycles_succeeded(), 1u);
+}
+
+TEST(ProbeCycle, RetransmitsWithTofThenTos) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  h.sched.run_until(10.0);  // nothing answers
+  ASSERT_EQ(h.sent.size(), 4u);  // 1 + 3 retransmissions
+  EXPECT_NEAR(h.send_times[1] - h.send_times[0], kTof, 1e-12);
+  EXPECT_NEAR(h.send_times[2] - h.send_times[1], kTos, 1e-12);
+  EXPECT_NEAR(h.send_times[3] - h.send_times[2], kTos, 1e-12);
+  EXPECT_EQ(h.failures, 1);
+  EXPECT_EQ(h.successes, 0);
+  EXPECT_EQ(cycle.cycles_failed(), 1u);
+  EXPECT_EQ(cycle.probes_sent(), 4u);
+}
+
+TEST(ProbeCycle, AttemptNumbersIncrease) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  h.sched.run_until(10.0);
+  for (std::uint8_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.sent[i].second, i);
+  }
+}
+
+TEST(ProbeCycle, ZeroRetransmissionsFailsAfterOneProbe) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 0, h.callbacks());
+  cycle.start();
+  h.sched.run_until(10.0);
+  EXPECT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.failures, 1);
+}
+
+TEST(ProbeCycle, ReplyDuringRetransmissionPhaseAccepted) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  h.sched.run_until(kTof + 0.001);  // one retransmission out
+  ASSERT_EQ(h.sent.size(), 2u);
+  EXPECT_TRUE(cycle.offer_reply(h.reply_for(1, 1)));
+  EXPECT_EQ(h.successes, 1);
+  h.sched.run_until(10.0);
+  EXPECT_EQ(h.sent.size(), 2u);  // no further probes
+}
+
+TEST(ProbeCycle, StaleReplyFromPreviousCycleRejected) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  EXPECT_TRUE(cycle.offer_reply(h.reply_for(1)));
+  cycle.start();  // cycle 2
+  EXPECT_FALSE(cycle.offer_reply(h.reply_for(1)));  // duplicate of cycle 1
+  EXPECT_EQ(h.successes, 1);
+  EXPECT_TRUE(cycle.active());
+  EXPECT_TRUE(cycle.offer_reply(h.reply_for(2)));
+  EXPECT_EQ(h.successes, 2);
+}
+
+TEST(ProbeCycle, ReplyWhenInactiveRejected) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  EXPECT_FALSE(cycle.offer_reply(h.reply_for(0)));
+  EXPECT_FALSE(cycle.offer_reply(h.reply_for(1)));
+}
+
+TEST(ProbeCycle, AbortStopsWithoutCallbacks) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  cycle.abort();
+  h.sched.run_until(10.0);
+  EXPECT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.successes, 0);
+  EXPECT_EQ(h.failures, 0);
+  EXPECT_FALSE(cycle.active());
+}
+
+TEST(ProbeCycle, StartWhileActiveThrows) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  EXPECT_THROW(cycle.start(), std::logic_error);
+}
+
+TEST(ProbeCycle, CycleNumbersIncrement) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  for (std::uint64_t c = 1; c <= 5; ++c) {
+    cycle.start();
+    EXPECT_EQ(cycle.cycle(), c);
+    cycle.offer_reply(h.reply_for(c));
+  }
+  EXPECT_EQ(cycle.cycles_started(), 5u);
+  EXPECT_EQ(cycle.cycles_succeeded(), 5u);
+}
+
+TEST(ProbeCycle, LastSendTimeTracksRetransmissions) {
+  Harness h;
+  ProbeCycle cycle(h.sched, kTof, kTos, 3, h.callbacks());
+  cycle.start();
+  EXPECT_EQ(cycle.cycle_start_time(), 0.0);
+  h.sched.run_until(kTof + kTos + 0.001);  // two retransmissions out
+  EXPECT_NEAR(cycle.last_send_time(), kTof + kTos, 1e-12);
+  EXPECT_EQ(cycle.cycle_start_time(), 0.0);
+}
+
+TEST(ProbeCycle, ValidatesConstruction) {
+  Harness h;
+  EXPECT_THROW(ProbeCycle(h.sched, 0.0, kTos, 3, h.callbacks()),
+               std::invalid_argument);
+  EXPECT_THROW(ProbeCycle(h.sched, kTof, -1.0, 3, h.callbacks()),
+               std::invalid_argument);
+  EXPECT_THROW(ProbeCycle(h.sched, kTof, kTos, -1, h.callbacks()),
+               std::invalid_argument);
+  auto bad = h.callbacks();
+  bad.on_success = nullptr;
+  EXPECT_THROW(ProbeCycle(h.sched, kTof, kTos, 3, std::move(bad)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace probemon::core

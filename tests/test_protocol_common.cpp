@@ -1,0 +1,112 @@
+// Parameterized suite: behaviours every probe protocol must share,
+// run across SAPP, DCPP and the fixed-rate baseline.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace probemon::scenario {
+namespace {
+
+class ProtocolCommon : public ::testing::TestWithParam<Protocol> {
+ protected:
+  ExperimentConfig config(std::uint64_t seed, std::size_t cps) const {
+    ExperimentConfig c;
+    c.protocol = GetParam();
+    c.seed = seed;
+    c.initial_cps = cps;
+    c.metrics.record_delay_series = false;
+    return c;
+  }
+};
+
+TEST_P(ProtocolCommon, EveryCpReachesTheDevice) {
+  Experiment exp(config(1, 6));
+  exp.run_until(60.0);
+  exp.finish();
+  for (net::NodeId id : exp.initial_cp_ids()) {
+    const auto* cp = exp.cp(id);
+    ASSERT_NE(cp, nullptr);
+    EXPECT_GT(cp->cycle().cycles_succeeded(), 0u);
+    EXPECT_TRUE(cp->device_considered_present());
+  }
+}
+
+TEST_P(ProtocolCommon, SilentDeviceIsDetectedByAll) {
+  Experiment exp(config(2, 6));
+  exp.schedule_device_departure(100.0);
+  exp.run_until(130.0);
+  exp.finish();
+  EXPECT_EQ(exp.metrics().detection_latencies().size(), 6u);
+  for (double latency : exp.metrics().detection_latencies()) {
+    EXPECT_GT(latency, 0.0);
+    // One probing period (<= max(10s SAPP delta_max, 1s fixed, 0.6s
+    // DCPP)) plus the failed-cycle tail.
+    EXPECT_LT(latency, 11.0);
+  }
+}
+
+TEST_P(ProtocolCommon, NoFalseAlarmsInQuietSteadyState) {
+  Experiment exp(config(3, 8));
+  exp.run_until(300.0);
+  exp.finish();
+  for (const auto& [id, m] : exp.metrics().per_cp()) {
+    EXPECT_FALSE(m.declared_absent_at.has_value())
+        << "false alarm by CP " << id;
+  }
+}
+
+TEST_P(ProtocolCommon, GracefulByeBeatsProbeTimeout) {
+  Experiment exp(config(4, 4));
+  exp.schedule_device_departure(50.0, /*graceful=*/true);
+  exp.run_until(60.0);
+  exp.finish();
+  // The last two probers get a bye within a network delay; the rest
+  // detect by probing. Everyone must know by 60 s.
+  std::size_t know = 0;
+  for (const auto& [id, m] : exp.metrics().per_cp()) {
+    if (m.declared_absent_at || m.learned_absent_at) ++know;
+  }
+  EXPECT_EQ(know, 4u);
+}
+
+TEST_P(ProtocolCommon, ChurnSafeRemoveDuringFlight) {
+  // Removing CPs mid-run must not crash, deadlock, or corrupt others.
+  Experiment exp(config(5, 10));
+  for (int round = 0; round < 5; ++round) {
+    exp.run_until(exp.sim().now() + 10.0);
+    exp.remove_random_cp();
+    exp.add_cp();
+  }
+  exp.run_until(exp.sim().now() + 20.0);
+  exp.finish();
+  EXPECT_EQ(exp.active_cp_count(), 10u);
+  EXPECT_GT(exp.metrics().total_probes_received(), 50u);
+}
+
+TEST_P(ProtocolCommon, DeterministicAcrossRuns) {
+  // Fingerprint with full floating-point resolution: coarse counters are
+  // not enough (DCPP's schedule sends an *identical number* of probes
+  // under different seeds — the protocol is that deterministic).
+  auto fingerprint = [this](std::uint64_t seed) {
+    Experiment exp(config(seed, 5));
+    exp.run_until(100.0);
+    exp.finish();
+    double acc = 0;
+    for (const auto& [id, m] : exp.metrics().per_cp()) {
+      acc += m.delay_moments.mean() + m.delay_moments.variance();
+    }
+    return std::make_tuple(exp.metrics().total_probes_sent(), acc);
+  };
+  EXPECT_EQ(fingerprint(9), fingerprint(9));
+  EXPECT_NE(fingerprint(9), fingerprint(10));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, ProtocolCommon,
+                         ::testing::Values(Protocol::kSapp, Protocol::kDcpp,
+                                           Protocol::kFixedRate),
+                         [](const ::testing::TestParamInfo<Protocol>& param) {
+                           return to_string(param.param);
+                         });
+
+}  // namespace
+}  // namespace probemon::scenario

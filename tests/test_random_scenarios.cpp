@@ -1,0 +1,120 @@
+// Randomized scenario sweep: generate varied configurations (protocol,
+// population, churn, loss, outages, departures) from a seed and check
+// global invariants that must hold in EVERY run. This is the fuzzing
+// net under the hand-written suites.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "scenario/churn.hpp"
+#include "scenario/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace probemon {
+namespace {
+
+class RandomScenario : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomScenario, GlobalInvariantsHold) {
+  util::Rng gen(GetParam());
+
+  scenario::ExperimentConfig config;
+  const auto protocol_pick = gen.uniform_u64(0, 2);
+  config.protocol = protocol_pick == 0   ? scenario::Protocol::kSapp
+                    : protocol_pick == 1 ? scenario::Protocol::kDcpp
+                                         : scenario::Protocol::kFixedRate;
+  config.seed = gen.next_u64();
+  config.initial_cps = static_cast<std::size_t>(gen.uniform_u64(1, 25));
+  config.join_jitter_max = gen.uniform(0.0, 2.0);
+  config.dissemination = gen.bernoulli(0.3);
+  config.metrics.record_delay_series = false;
+  if (gen.bernoulli(0.4)) {
+    const double p = gen.uniform(0.0, 0.1);
+    config.loss_factory = [p] { return net::make_bernoulli_loss(p); };
+  }
+  // Keep the fixed-rate baseline's population small enough that the
+  // serial device stays stable (its collapse at high k is measured
+  // deliberately in bench A12, not fuzzed here).
+  if (config.protocol == scenario::Protocol::kFixedRate) {
+    config.initial_cps = std::min<std::size_t>(config.initial_cps, 8);
+    config.fixed_cp.continue_after_absence = true;
+  }
+
+  scenario::Experiment exp(config);
+
+  const double duration = gen.uniform(150.0, 400.0);
+  // Optional churn.
+  if (gen.bernoulli(0.5)) {
+    exp.install_churn(std::make_unique<scenario::DynamicUniformChurn>(
+        1, static_cast<std::size_t>(gen.uniform_u64(5, 30)),
+        gen.uniform(0.02, 0.3)));
+  }
+  // Optional transient outage (shorter than the run).
+  const bool had_outage = gen.bernoulli(0.4);
+  if (had_outage) {
+    const double t0 = gen.uniform(50.0, duration * 0.5);
+    exp.network().schedule_outage(t0, t0 + gen.uniform(0.01, 2.0));
+  }
+  // Optional device departure near the end.
+  const bool departs = gen.bernoulli(0.5);
+  const double depart_at = duration - 30.0;
+  if (departs) exp.schedule_device_departure(depart_at, gen.bernoulli(0.3));
+
+  exp.run_until(duration);
+  exp.finish();
+
+  // --- Invariant 1: message conservation at quiescence. ---
+  // Drain any still-scheduled deliveries/timers bounded by a horizon.
+  const auto& c = exp.network().counters();
+  EXPECT_EQ(c.sent, c.delivered + c.dropped_loss + c.dropped_overflow +
+                        c.dropped_unknown + c.dropped_outage +
+                        exp.network().in_flight())
+      << "message conservation violated";
+
+  // --- Invariant 2: the device never over-commits (DCPP only). ---
+  if (config.protocol == scenario::Protocol::kDcpp) {
+    const double load =
+        static_cast<double>(exp.metrics().total_probes_received()) /
+        duration;
+    // Mean load can exceed L_nom only through join-burst first probes
+    // and retransmissions; give them 30 % headroom.
+    EXPECT_LE(load, exp.config().dcpp_device.l_nom() * 1.3);
+  }
+
+  // --- Invariant 3: departure is eventually detected by someone. ---
+  // Skipped when an outage was injected: CPs that (correctly, by the
+  // protocol's rules) declared absence during the blackout stop probing
+  // and will not witness the real departure.
+  if (departs && !had_outage) {
+    bool someone_knows = false;
+    for (const auto& [id, m] : exp.metrics().per_cp()) {
+      if ((m.declared_absent_at && *m.declared_absent_at >= depart_at) ||
+          (m.learned_absent_at && *m.learned_absent_at >= depart_at)) {
+        someone_knows = true;
+        break;
+      }
+    }
+    if (exp.active_cp_count() > 0) {
+      EXPECT_TRUE(someone_knows) << "silent departure went unnoticed";
+    }
+  }
+
+  // --- Invariant 4: per-CP accounting is consistent. ---
+  for (const auto& [id, m] : exp.metrics().per_cp()) {
+    EXPECT_GE(m.probes_sent, m.cycles_succeeded);
+    if (m.declared_absent_at) {
+      EXPECT_GE(*m.declared_absent_at, 0.0);
+      EXPECT_LE(*m.declared_absent_at, duration);
+    }
+  }
+
+  // --- Invariant 5: the buffer respected its capacity. ---
+  EXPECT_LE(exp.network().max_buffer_occupancy(),
+            static_cast<double>(exp.config().network.buffer_capacity));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomScenario,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace probemon

@@ -1,0 +1,141 @@
+// Unit and statistical tests for the RNG substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace probemon::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256pp, Deterministic) {
+  Xoshiro256pp a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256pp, JumpProducesDisjointStream) {
+  Xoshiro256pp a(99);
+  Xoshiro256pp b(99);
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 1000; ++i) from_a.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(from_a.contains(b()));
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleOpen0NeverZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.next_double_open0(), 0.0);
+    ASSERT_LE(rng.next_double_open0(), 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.01);
+}
+
+TEST(Rng, UniformU64CoversRangeInclusive) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(rng.uniform_u64(3, 7));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(Rng, UniformU64DegenerateRange) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_u64(42, 42), 42u);
+}
+
+TEST(Rng, UniformI64HandlesNegatives) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_i64(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIsDeterministicInTag) {
+  Rng root(12);
+  Rng a = root.fork(1);
+  Rng b = root.fork(1);
+  Rng c = root.fork(2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, ForkByStringMatchesHash) {
+  Rng root(13);
+  Rng a = root.fork("net.delay");
+  Rng b = root.fork(fnv1a64("net.delay"));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkedStreamsLookIndependent) {
+  Rng root(14);
+  Rng a = root.fork("a");
+  Rng b = root.fork("b");
+  // Correlation of the two streams should be near zero.
+  const int n = 50000;
+  double sa = 0, sb = 0, sab = 0, saa = 0, sbb = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.next_double();
+    const double y = b.next_double();
+    sa += x;
+    sb += y;
+    sab += x * y;
+    saa += x * x;
+    sbb += y * y;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double var_a = saa / n - (sa / n) * (sa / n);
+  const double var_b = sbb / n - (sb / n) * (sb / n);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::fabs(corr), 0.02);
+}
+
+TEST(Fnv1a64, StableKnownValues) {
+  // FNV-1a 64 reference: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a64("a"), fnv1a64("b"));
+}
+
+}  // namespace
+}  // namespace probemon::util

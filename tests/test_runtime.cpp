@@ -1,0 +1,246 @@
+// Tests for the wall-clock runtime: in-process transport semantics and
+// the threaded device/CP protocol loops. Timings are kept small so the
+// whole file runs in a few seconds of real time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/inproc_transport.hpp"
+#include "runtime/rt_control_point.hpp"
+#include "runtime/rt_device.hpp"
+
+namespace probemon::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+InProcTransportConfig fast_net() {
+  InProcTransportConfig config;
+  config.delay_min = 0.0001;
+  config.delay_max = 0.0005;
+  config.loss = 0.0;
+  return config;
+}
+
+core::TimeoutConfig fast_timeouts() {
+  core::TimeoutConfig t;
+  t.tof = 0.020;
+  t.tos = 0.015;
+  return t;
+}
+
+TEST(InProcTransport, DeliversToHandler) {
+  InProcTransport transport(fast_net());
+  std::atomic<int> received{0};
+  const net::NodeId a = transport.attach([&](const net::Message&) {});
+  const net::NodeId b =
+      transport.attach([&](const net::Message&) { ++received; });
+  net::Message m;
+  m.kind = net::MessageKind::kProbe;
+  m.from = a;
+  m.to = b;
+  for (int i = 0; i < 100; ++i) transport.send(m);
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (received < 100 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(received, 100);
+  EXPECT_EQ(transport.delivered_count(), 100u);
+  EXPECT_EQ(transport.sent_count(), 100u);
+}
+
+TEST(InProcTransport, UnknownDestinationCountsDropped) {
+  InProcTransport transport(fast_net());
+  const net::NodeId a = transport.attach([](const net::Message&) {});
+  net::Message m;
+  m.kind = net::MessageKind::kProbe;
+  m.from = a;
+  m.to = 9999;
+  transport.send(m);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(transport.dropped_count(), 1u);
+}
+
+TEST(InProcTransport, LossDropsStatistically) {
+  auto config = fast_net();
+  config.loss = 0.5;
+  InProcTransport transport(config);
+  std::atomic<int> received{0};
+  const net::NodeId a = transport.attach([](const net::Message&) {});
+  const net::NodeId b =
+      transport.attach([&](const net::Message&) { ++received; });
+  net::Message m;
+  m.kind = net::MessageKind::kProbe;
+  m.from = a;
+  m.to = b;
+  for (int i = 0; i < 2000; ++i) transport.send(m);
+  std::this_thread::sleep_for(300ms);
+  EXPECT_NEAR(static_cast<double>(received), 1000.0, 150.0);
+  EXPECT_EQ(transport.dropped_count() + transport.delivered_count(), 2000u);
+}
+
+TEST(InProcTransport, DetachStopsDelivery) {
+  InProcTransport transport(fast_net());
+  std::atomic<int> received{0};
+  const net::NodeId a = transport.attach([](const net::Message&) {});
+  const net::NodeId b =
+      transport.attach([&](const net::Message&) { ++received; });
+  transport.detach(b);
+  net::Message m;
+  m.kind = net::MessageKind::kProbe;
+  m.from = a;
+  m.to = b;
+  transport.send(m);
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(InProcTransport, ValidatesConfig) {
+  InProcTransportConfig bad;
+  bad.delay_min = 0.5;
+  bad.delay_max = 0.1;
+  EXPECT_THROW(InProcTransport{bad}, std::invalid_argument);
+  bad = InProcTransportConfig{};
+  bad.loss = 1.5;
+  EXPECT_THROW(InProcTransport{bad}, std::invalid_argument);
+}
+
+TEST(RtDcpp, EndToEndProbingRespectsGrants) {
+  InProcTransport transport(fast_net());
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.01;  // 100 probes/s cap
+  device_config.d_min = 0.05;      // 20 probes/s per CP
+  RtDcppDevice device(transport, device_config);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts = fast_timeouts();
+  RtDcppControlPoint cp(transport, device.id(), cp_config);
+  cp.start();
+  std::this_thread::sleep_for(500ms);
+  cp.stop();
+
+  // Lone CP probes at ~1/d_min = 20 Hz: expect ~10 cycles in 0.5 s.
+  EXPECT_GT(cp.cycles_succeeded(), 5u);
+  EXPECT_LT(cp.cycles_succeeded(), 15u);
+  EXPECT_TRUE(cp.device_considered_present());
+  EXPECT_NEAR(cp.current_delay(), 0.05, 0.02);
+}
+
+TEST(RtDcpp, MultipleCpsShareDeviceFairly) {
+  InProcTransport transport(fast_net());
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.005;  // 200 probes/s cap
+  device_config.d_min = 0.02;
+  RtDcppDevice device(transport, device_config);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts = fast_timeouts();
+  std::vector<std::unique_ptr<RtDcppControlPoint>> cps;
+  for (int i = 0; i < 4; ++i) {
+    cps.push_back(std::make_unique<RtDcppControlPoint>(
+        transport, device.id(), cp_config));
+    cps.back()->start();
+  }
+  std::this_thread::sleep_for(600ms);
+  for (auto& cp : cps) cp->stop();
+
+  std::uint64_t min_cycles = UINT64_MAX, max_cycles = 0;
+  for (const auto& cp : cps) {
+    min_cycles = std::min(min_cycles, cp->cycles_succeeded());
+    max_cycles = std::max(max_cycles, cp->cycles_succeeded());
+  }
+  EXPECT_GT(min_cycles, 5u);
+  // Fair sharing: no CP gets more than ~2x another.
+  EXPECT_LT(max_cycles, 2 * min_cycles + 5);
+}
+
+TEST(RtDcpp, DetectsSilentDevice) {
+  InProcTransport transport(fast_net());
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.01;
+  device_config.d_min = 0.05;
+  RtDcppDevice device(transport, device_config);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts = fast_timeouts();
+  std::atomic<int> absences{0};
+  RtControlPointBase::Callbacks callbacks;
+  callbacks.on_absent = [&](net::NodeId, double) { ++absences; };
+  RtDcppControlPoint cp(transport, device.id(), cp_config, callbacks);
+  cp.start();
+  std::this_thread::sleep_for(200ms);
+  EXPECT_TRUE(cp.device_considered_present());
+  device.go_silent();
+  std::this_thread::sleep_for(300ms);
+  EXPECT_FALSE(cp.device_considered_present());
+  EXPECT_EQ(absences, 1);
+  EXPECT_EQ(cp.cycles_failed(), 1u);
+}
+
+TEST(RtSapp, ProbeCounterAdvancesAndCpAdapts) {
+  InProcTransport transport(fast_net());
+  core::SappDeviceConfig device_config;  // Delta = 1e5
+  RtSappDevice device(transport, device_config);
+
+  core::SappCpConfig cp_config;
+  cp_config.timeouts = fast_timeouts();
+  cp_config.delta_min = 0.02;
+  cp_config.initial_delay = 0.1;
+  RtSappControlPoint cp(transport, device.id(), cp_config);
+  cp.start();
+  std::this_thread::sleep_for(500ms);
+  cp.stop();
+
+  EXPECT_GT(cp.cycles_succeeded(), 2u);
+  EXPECT_EQ(device.probe_counter(),
+            device.probes_received() * device_config.delta());
+  // A lone CP at 10 Hz sees L_exp = 1e5 * 10 = 1e6: inside the band, so
+  // the delay must stay within [delta_min, delta_max].
+  EXPECT_GE(cp.current_delay(), cp_config.delta_min);
+  EXPECT_LE(cp.current_delay(), cp_config.delta_max);
+}
+
+TEST(RtSapp, CallbackReportsCycleSuccess) {
+  InProcTransport transport(fast_net());
+  RtSappDevice device(transport, core::SappDeviceConfig{});
+  core::SappCpConfig cp_config;
+  cp_config.timeouts = fast_timeouts();
+  cp_config.initial_delay = 0.05;
+  cp_config.delta_min = 0.02;
+  std::atomic<int> successes{0};
+  RtControlPointBase::Callbacks callbacks;
+  callbacks.on_cycle_success = [&](double, double) { ++successes; };
+  RtSappControlPoint cp(transport, device.id(), cp_config, callbacks);
+  cp.start();
+  std::this_thread::sleep_for(300ms);
+  cp.stop();
+  EXPECT_GT(successes, 2);
+}
+
+TEST(RtLossy, RetransmissionsCoverLoss) {
+  auto net_config = fast_net();
+  net_config.loss = 0.10;
+  InProcTransport transport(net_config);
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.01;
+  device_config.d_min = 0.04;
+  RtDcppDevice device(transport, device_config);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts = fast_timeouts();
+  RtDcppControlPoint cp(transport, device.id(), cp_config);
+  cp.start();
+  std::this_thread::sleep_for(800ms);
+  cp.stop();
+  // 10% loss must not cause a false absence: 4 probes/cycle make the
+  // cycle failure probability ~1e-4.
+  EXPECT_TRUE(cp.device_considered_present());
+  EXPECT_GT(cp.cycles_succeeded(), 8u);
+  // Some retransmissions happened.
+  EXPECT_GT(cp.probes_sent(), cp.cycles_succeeded());
+}
+
+}  // namespace
+}  // namespace probemon::runtime

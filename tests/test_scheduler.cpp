@@ -1,0 +1,235 @@
+// Tests for the DES kernel: event ordering, cancellation, horizons,
+// timers and periodic processes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "des/scheduler.hpp"
+#include "des/simulation.hpp"
+#include "des/timer.hpp"
+#include "util/rng.hpp"
+
+namespace probemon::des {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(3.0, [&] { order.push_back(3); });
+  sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(2.0, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 3.0);
+}
+
+TEST(Scheduler, SameTimeEventsFireFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sched.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, PropertyRandomScheduleFiresSorted) {
+  // Property: however events are inserted (including from inside other
+  // events), execution times are non-decreasing.
+  util::Rng rng(12345);
+  Scheduler sched;
+  std::vector<double> fired;
+  std::function<void()> spawn = [&] {
+    fired.push_back(sched.now());
+    if (fired.size() < 2000) {
+      sched.schedule_after(rng.uniform(0.0, 10.0),
+                           [&] { spawn(); });
+      if (rng.bernoulli(0.5)) {
+        sched.schedule_after(rng.uniform(0.0, 5.0), [&] { spawn(); });
+      }
+    }
+  };
+  sched.schedule_at(0.0, spawn);
+  sched.run_until(1e9);
+  ASSERT_GE(fired.size(), 2000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler sched;
+  sched.schedule_at(5.0, [] {});
+  sched.run_all();
+  EXPECT_EQ(sched.now(), 5.0);
+  EXPECT_THROW(sched.schedule_at(4.0, [] {}), std::logic_error);
+  EXPECT_THROW(sched.schedule_after(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, NonFiniteTimeThrows) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_at(kTimeInfinity, [] {}), std::logic_error);
+  EXPECT_THROW(sched.schedule_at(std::nan(""), [] {}), std::logic_error);
+}
+
+TEST(Scheduler, EmptyCallbackThrows) {
+  Scheduler sched;
+  EXPECT_THROW(sched.schedule_at(1.0, Scheduler::Callback{}),
+               std::logic_error);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  bool fired = false;
+  const EventId id = sched.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sched.pending(id));
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.pending(id));
+  EXPECT_FALSE(sched.cancel(id));  // second cancel is a no-op
+  sched.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelAfterFireReturnsFalse) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(1.0, [] {});
+  sched.run_all();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Scheduler sched;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sched.schedule_at(static_cast<double>(i), [&] { ++count; });
+  }
+  sched.run_until(5.5);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.now(), 5.5);
+  sched.run_until(100.0);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, RunUntilHonorsEventsScheduledDuringRun) {
+  Scheduler sched;
+  std::vector<double> fired;
+  sched.schedule_at(1.0, [&] {
+    fired.push_back(sched.now());
+    sched.schedule_after(1.0, [&] { fired.push_back(sched.now()); });
+  });
+  sched.run_until(3.0);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Scheduler, NextTimeSkipsCancelled) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  sched.cancel(a);
+  EXPECT_EQ(sched.next_time(), 2.0);
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(1.0, [] {});
+  sched.schedule_at(2.0, [] {});
+  EXPECT_EQ(sched.pending_count(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending_count(), 1u);
+  sched.run_all();
+  EXPECT_EQ(sched.pending_count(), 0u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, RunAllCapThrowsOnRunaway) {
+  Scheduler sched;
+  std::function<void()> loop = [&] { sched.schedule_after(1.0, loop); };
+  sched.schedule_at(0.0, loop);
+  EXPECT_THROW(sched.run_all(1000), std::runtime_error);
+}
+
+TEST(Timer, FiresOnceAfterDelay) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&] { ++fired; });
+  timer.arm(2.0);
+  EXPECT_TRUE(timer.armed());
+  sched.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(Timer, DisarmCancels) {
+  Scheduler sched;
+  int fired = 0;
+  Timer timer(sched, [&] { ++fired; });
+  timer.arm(2.0);
+  timer.disarm();
+  sched.run_until(10.0);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RearmSupersedesPreviousDeadline) {
+  Scheduler sched;
+  std::vector<double> fire_times;
+  Timer timer(sched, [&] { fire_times.push_back(sched.now()); });
+  timer.arm(2.0);
+  timer.arm(5.0);  // re-arm before expiry
+  sched.run_until(10.0);
+  EXPECT_EQ(fire_times, std::vector<double>{5.0});
+}
+
+TEST(Timer, CallbackMayRearm) {
+  Scheduler sched;
+  int fired = 0;
+  Timer* self = nullptr;
+  Timer timer(sched, [&] {
+    if (++fired < 3) self->arm(1.0);
+  });
+  self = &timer;
+  timer.arm(1.0);
+  sched.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, PeriodicFiresAtPeriodUntilStopped) {
+  Simulation sim(1);
+  std::vector<double> at;
+  auto periodic = sim.every(1.0, [&](double t) { at.push_back(t); });
+  sim.run_until(3.5);
+  periodic->stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(at, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(Simulation, PeriodicRespectsUntil) {
+  Simulation sim(1);
+  int count = 0;
+  auto periodic = sim.every(1.0, [&](double) { ++count; }, 2.5);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+  (void)periodic;
+}
+
+TEST(Simulation, PeriodicDestructionStopsFiring) {
+  Simulation sim(1);
+  int count = 0;
+  {
+    auto periodic = sim.every(1.0, [&](double) { ++count; });
+    sim.run_until(2.5);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulation, ForkRngIsStableAcrossCalls) {
+  Simulation sim(7);
+  auto a = sim.fork_rng("x");
+  auto b = sim.fork_rng("x");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+}  // namespace
+}  // namespace probemon::des

@@ -1,0 +1,149 @@
+// Tests for TimeSeries, RateMeter, and the Jain fairness index.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/series.hpp"
+
+namespace probemon::stats {
+namespace {
+
+TEST(TimeSeries, AppendAndAccess) {
+  TimeSeries s("x");
+  s.add(1.0, 10.0);
+  s.add(2.0, 20.0);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.front().value, 10.0);
+  EXPECT_EQ(s.back().t, 2.0);
+  EXPECT_EQ(s.name(), "x");
+}
+
+TEST(TimeSeries, RejectsTimeReversal) {
+  TimeSeries s;
+  s.add(2.0, 1.0);
+  EXPECT_THROW(s.add(1.0, 1.0), std::logic_error);
+  s.add(2.0, 2.0);  // equal times are fine
+}
+
+TEST(TimeSeries, SliceIsHalfOpen) {
+  TimeSeries s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i), i * 1.0);
+  const auto mid = s.slice(3.0, 6.0);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid.front().t, 3.0);
+  EXPECT_EQ(mid.back().t, 5.0);
+}
+
+TEST(TimeSeries, ValueAtSampleAndHold) {
+  TimeSeries s;
+  s.add(1.0, 10.0);
+  s.add(3.0, 30.0);
+  EXPECT_TRUE(std::isnan(s.value_at(0.5)));
+  EXPECT_EQ(s.value_at(1.0), 10.0);
+  EXPECT_EQ(s.value_at(2.9), 10.0);
+  EXPECT_EQ(s.value_at(3.0), 30.0);
+  EXPECT_EQ(s.value_at(100.0), 30.0);
+}
+
+TEST(TimeSeries, ResampleOnGrid) {
+  TimeSeries s;
+  s.add(0.0, 1.0);
+  s.add(2.0, 2.0);
+  const auto grid = s.resample(0.0, 4.0, 1.0);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_EQ(grid[0].value, 1.0);
+  EXPECT_EQ(grid[1].value, 1.0);
+  EXPECT_EQ(grid[2].value, 2.0);
+  EXPECT_EQ(grid[4].value, 2.0);
+}
+
+TEST(TimeSeries, DecimateKeepsEndpointsAndBound) {
+  TimeSeries s;
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<double>(i), i * 1.0);
+  const auto d = s.decimate(100);
+  EXPECT_LE(d.size(), 100u);
+  EXPECT_EQ(d.front().t, 0.0);
+  EXPECT_EQ(d.back().t, 999.0);
+  // Short series pass through untouched.
+  EXPECT_EQ(s.decimate(5000).size(), 1000u);
+}
+
+TEST(TimeSeries, WindowSummary) {
+  TimeSeries s;
+  for (int i = 0; i < 10; ++i) s.add(static_cast<double>(i), i * 1.0);
+  const auto w = s.summary(2.0, 5.0);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_NEAR(w.mean(), 3.0, 1e-12);
+}
+
+TEST(RateMeter, ConstantRateSignal) {
+  RateMeter meter(1.0, 1.0);
+  // 10 events/s for 20 s.
+  for (int i = 0; i < 200; ++i) meter.record(0.1 * (i + 1));
+  meter.flush(20.0);
+  const auto& series = meter.series();
+  ASSERT_GE(series.size(), 18u);
+  // Skip the first sample (partial window effects at the boundary).
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_NEAR(series[i].value, 10.0, 1.0);
+  }
+  EXPECT_EQ(meter.event_count(), 200u);
+}
+
+TEST(RateMeter, BurstShowsUpAsSpike) {
+  RateMeter meter(1.0, 1.0);
+  // Quiet, then 50 events within 0.1 s at t ~ 5.
+  for (int i = 0; i < 50; ++i) meter.record(5.0 + 0.001 * i);
+  meter.flush(10.0);
+  double peak = 0;
+  for (const auto& s : meter.series().samples()) peak = std::max(peak, s.value);
+  EXPECT_NEAR(peak, 50.0, 1.0);
+  // Rate returns to zero after the burst leaves the window.
+  EXPECT_EQ(meter.series().back().value, 0.0);
+}
+
+TEST(RateMeter, RejectsBadConfigAndReversedTime) {
+  EXPECT_THROW(RateMeter(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(RateMeter(1.0, 0.0), std::invalid_argument);
+  RateMeter meter(1.0, 1.0);
+  meter.record(5.0);
+  EXPECT_THROW(meter.record(4.0), std::logic_error);
+}
+
+TEST(RateMeter, LongRunGarbageCollectionKeepsAnswersRight) {
+  RateMeter meter(1.0, 1.0);
+  // Enough events to trigger internal GC (> 65536 expired).
+  double t = 0;
+  for (int i = 0; i < 200000; ++i) {
+    t += 0.01;
+    meter.record(t);
+  }
+  meter.flush(t);
+  EXPECT_NEAR(meter.series().back().value, 100.0, 2.0);
+  EXPECT_EQ(meter.event_count(), 200000u);
+}
+
+TEST(JainFairness, PerfectlyFair) {
+  EXPECT_NEAR(jain_fairness({1.0, 1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_NEAR(jain_fairness({5.0}), 1.0, 1e-12);
+}
+
+TEST(JainFairness, SingleHogIsOneOverN) {
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x * 17.0);
+  EXPECT_NEAR(jain_fairness(a), jain_fairness(b), 1e-12);
+}
+
+TEST(JainFairness, EdgeCases) {
+  EXPECT_TRUE(std::isnan(jain_fairness({})));
+  EXPECT_EQ(jain_fairness({0.0, 0.0}), 1.0);
+  EXPECT_THROW(jain_fairness({-1.0, 1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace probemon::stats

@@ -1,0 +1,139 @@
+// Tests for CSV export, text tables, gnuplot script generation, and the
+// string helpers they rely on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/series.hpp"
+#include "trace/csv.hpp"
+#include "trace/gnuplot.hpp"
+#include "trace/table.hpp"
+#include "util/strings.hpp"
+
+namespace probemon::trace {
+namespace {
+
+TEST(Csv, SingleSeriesFormat) {
+  stats::TimeSeries s("load");
+  s.add(1.0, 10.5);
+  s.add(2.5, 11.0);
+  std::ostringstream os;
+  write_csv(os, s);
+  EXPECT_EQ(os.str(), "t,load\n1,10.5\n2.5,11\n");
+}
+
+TEST(Csv, UnnamedSeriesGetsDefaultHeader) {
+  stats::TimeSeries s;
+  s.add(0.0, 1.0);
+  std::ostringstream os;
+  write_csv(os, s);
+  EXPECT_EQ(os.str().substr(0, 8), "t,value\n");
+}
+
+TEST(Csv, AlignedSeriesSampleAndHold) {
+  stats::TimeSeries a("a"), b("b");
+  a.add(0.0, 1.0);
+  a.add(2.0, 3.0);
+  b.add(1.0, 5.0);
+  std::ostringstream os;
+  write_csv_aligned(os, {&a, &b}, 0.0, 2.0, 1.0);
+  EXPECT_EQ(os.str(), "t,a,b\n0,1,\n1,1,5\n2,3,5\n");
+}
+
+TEST(Csv, AlignedRejectsBadStep) {
+  stats::TimeSeries a("a");
+  std::ostringstream os;
+  EXPECT_THROW(write_csv_aligned(os, {&a}, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Csv, FileWriteFailsLoudly) {
+  stats::TimeSeries s("x");
+  EXPECT_THROW(write_csv_file("/nonexistent_dir_zz/out.csv", s),
+               std::runtime_error);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row().cell("x").cell(1.5, 1);
+  t.row().cell("longer-name").cell(22.25, 2);
+  const std::string out = t.to_string();
+  // Header and both rows present, aligned pipes.
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| x           | 1.5   |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22.25 |"), std::string::npos);
+}
+
+TEST(Table, MissingCellsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string out = t.to_string();
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Table, IntegerAndUnsignedCells) {
+  Table t({"i", "u"});
+  t.row().cell(-3).cell(std::uint64_t{7});
+  EXPECT_NE(t.to_string().find("-3"), std::string::npos);
+  EXPECT_NE(t.to_string().find("7"), std::string::npos);
+}
+
+TEST(Gnuplot, ScriptContainsAllSeries) {
+  GnuplotFigure fig;
+  fig.title = "Load and #CPs over 30 min";
+  fig.ylabel = "probes/s";
+  fig.xrange = "[1000:2800]";
+  fig.series.push_back({"data.csv", 2, "Device Load"});
+  fig.series.push_back({"data.csv", 3, "#Control Points"});
+  const std::string script = render_gnuplot(fig, "out.png");
+  EXPECT_NE(script.find("set output 'out.png'"), std::string::npos);
+  EXPECT_NE(script.find("set xrange [1000:2800]"), std::string::npos);
+  EXPECT_NE(script.find("using 1:2"), std::string::npos);
+  EXPECT_NE(script.find("using 1:3"), std::string::npos);
+  EXPECT_NE(script.find("Device Load"), std::string::npos);
+  EXPECT_NE(script.find("separator ','"), std::string::npos);
+}
+
+TEST(Gnuplot, DefaultStyleIsSteps) {
+  GnuplotFigure fig;
+  fig.series.push_back({"x.csv", 2, "x"});
+  EXPECT_NE(render_gnuplot(fig, "o.png").find("with steps"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace probemon::trace
+
+namespace probemon::util {
+namespace {
+
+TEST(Strings, FormatDoubleTrimsZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.123456789, 4), "0.1235");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  EXPECT_EQ(format_double(INFINITY), "inf");
+}
+
+TEST(Strings, FormatFixedKeepsZeros) {
+  EXPECT_EQ(format_fixed(1.5, 3), "1.500");
+  EXPECT_EQ(format_fixed(-2.0, 1), "-2.0");
+}
+
+TEST(Strings, FormatDuration) {
+  EXPECT_EQ(format_duration(5.0), "5s");
+  EXPECT_EQ(format_duration(65.0), "1m 5s");
+  EXPECT_EQ(format_duration(20000.0), "5h 33m 20s");  // the paper's Fig 2
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+  EXPECT_EQ(pad_left("xyzw", 3), "xyzw");  // no truncation
+}
+
+}  // namespace
+}  // namespace probemon::util

@@ -1,0 +1,153 @@
+// Tests for the UDP loopback transport: wire codec round-trips and the
+// full protocol stack over real sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/rt_control_point.hpp"
+#include "runtime/rt_device.hpp"
+#include "runtime/udp_transport.hpp"
+
+namespace probemon::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(UdpWire, EncodeDecodeRoundTrip) {
+  net::Message msg;
+  msg.kind = net::MessageKind::kReply;
+  msg.from = 3;
+  msg.to = 4;
+  msg.cycle = 0x1122334455667788ULL;
+  msg.attempt = 2;
+  msg.pc = 0xAABBCCDDEEFF0011ULL;
+  msg.grant_delay = 0.31415926;
+  msg.last_probers = {7, 9};
+  msg.subject = 12;
+  msg.ttl = 5;
+
+  std::uint8_t wire[kUdpWireSize];
+  EXPECT_EQ(udp_encode(msg, wire), kUdpWireSize);
+
+  net::Message decoded;
+  ASSERT_TRUE(udp_decode(wire, kUdpWireSize, decoded));
+  EXPECT_EQ(decoded.kind, msg.kind);
+  EXPECT_EQ(decoded.from, msg.from);
+  EXPECT_EQ(decoded.to, msg.to);
+  EXPECT_EQ(decoded.cycle, msg.cycle);
+  EXPECT_EQ(decoded.attempt, msg.attempt);
+  EXPECT_EQ(decoded.pc, msg.pc);
+  EXPECT_DOUBLE_EQ(decoded.grant_delay, msg.grant_delay);
+  EXPECT_EQ(decoded.last_probers, msg.last_probers);
+  EXPECT_EQ(decoded.subject, msg.subject);
+  EXPECT_EQ(decoded.ttl, msg.ttl);
+}
+
+TEST(UdpWire, RejectsMalformedInput) {
+  std::uint8_t wire[kUdpWireSize] = {};
+  net::Message out;
+  EXPECT_FALSE(udp_decode(wire, kUdpWireSize - 1, out));  // short datagram
+  wire[0] = 0xFF;                                         // bogus kind
+  EXPECT_FALSE(udp_decode(wire, kUdpWireSize, out));
+}
+
+TEST(UdpTransport, DeliversBetweenNodes) {
+  UdpTransport transport;
+  std::atomic<int> received{0};
+  net::Message last;
+  std::mutex m;
+  const net::NodeId a = transport.attach([](const net::Message&) {});
+  const net::NodeId b = transport.attach([&](const net::Message& msg) {
+    std::lock_guard lock(m);
+    last = msg;
+    ++received;
+  });
+  EXPECT_NE(transport.port_of(a), 0);
+  EXPECT_NE(transport.port_of(b), 0);
+  EXPECT_NE(transport.port_of(a), transport.port_of(b));
+
+  net::Message msg;
+  msg.kind = net::MessageKind::kProbe;
+  msg.from = a;
+  msg.to = b;
+  msg.cycle = 42;
+  transport.send(msg);
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (received == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(received, 1);
+  std::lock_guard lock(m);
+  EXPECT_EQ(last.cycle, 42u);
+  EXPECT_EQ(last.from, a);
+}
+
+TEST(UdpTransport, DetachStopsDelivery) {
+  UdpTransport transport;
+  std::atomic<int> received{0};
+  const net::NodeId a = transport.attach([](const net::Message&) {});
+  const net::NodeId b =
+      transport.attach([&](const net::Message&) { ++received; });
+  transport.detach(b);
+  net::Message msg;
+  msg.kind = net::MessageKind::kProbe;
+  msg.from = a;
+  msg.to = b;
+  transport.send(msg);
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(received, 0);
+}
+
+TEST(UdpTransport, DcppOverRealSockets) {
+  UdpTransport transport;
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.005;
+  device_config.d_min = 0.02;  // 50 probes/s per CP
+  RtDcppDevice device(transport, device_config);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts.tof = 0.050;  // generous: loopback + poll latency
+  cp_config.timeouts.tos = 0.030;
+  std::vector<std::unique_ptr<RtDcppControlPoint>> cps;
+  for (int i = 0; i < 3; ++i) {
+    cps.push_back(std::make_unique<RtDcppControlPoint>(
+        transport, device.id(), cp_config));
+    cps.back()->start();
+  }
+  std::this_thread::sleep_for(600ms);
+  for (auto& cp : cps) cp->stop();
+
+  for (const auto& cp : cps) {
+    EXPECT_TRUE(cp->device_considered_present());
+    EXPECT_GT(cp->cycles_succeeded(), 5u);
+  }
+  EXPECT_GT(device.probes_received(), 20u);
+}
+
+TEST(UdpTransport, DetectsSilentDeviceOverSockets) {
+  UdpTransport transport;
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.005;
+  device_config.d_min = 0.02;
+  RtDcppDevice device(transport, device_config);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts.tof = 0.050;
+  cp_config.timeouts.tos = 0.030;
+  RtDcppControlPoint cp(transport, device.id(), cp_config);
+  cp.start();
+  std::this_thread::sleep_for(200ms);
+  ASSERT_TRUE(cp.device_considered_present());
+  device.go_silent();
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (cp.device_considered_present() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  EXPECT_FALSE(cp.device_considered_present());
+}
+
+}  // namespace
+}  // namespace probemon::runtime
