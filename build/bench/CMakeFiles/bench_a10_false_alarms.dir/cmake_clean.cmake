@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a10_false_alarms.dir/bench_a10_false_alarms.cpp.o"
+  "CMakeFiles/bench_a10_false_alarms.dir/bench_a10_false_alarms.cpp.o.d"
+  "bench_a10_false_alarms"
+  "bench_a10_false_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a10_false_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a10_false_alarms.
+# This may be replaced when dependencies are built.

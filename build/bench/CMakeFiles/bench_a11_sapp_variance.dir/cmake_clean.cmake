@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a11_sapp_variance.dir/bench_a11_sapp_variance.cpp.o"
+  "CMakeFiles/bench_a11_sapp_variance.dir/bench_a11_sapp_variance.cpp.o.d"
+  "bench_a11_sapp_variance"
+  "bench_a11_sapp_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a11_sapp_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_fairness.dir/bench_a1_fairness.cpp.o"
+  "CMakeFiles/bench_a1_fairness.dir/bench_a1_fairness.cpp.o.d"
+  "bench_a1_fairness"
+  "bench_a1_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

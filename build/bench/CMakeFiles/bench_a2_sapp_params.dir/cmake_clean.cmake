@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_sapp_params.dir/bench_a2_sapp_params.cpp.o"
+  "CMakeFiles/bench_a2_sapp_params.dir/bench_a2_sapp_params.cpp.o.d"
+  "bench_a2_sapp_params"
+  "bench_a2_sapp_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_sapp_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_dcpp_loss.dir/bench_a3_dcpp_loss.cpp.o"
+  "CMakeFiles/bench_a3_dcpp_loss.dir/bench_a3_dcpp_loss.cpp.o.d"
+  "bench_a3_dcpp_loss"
+  "bench_a3_dcpp_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_dcpp_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

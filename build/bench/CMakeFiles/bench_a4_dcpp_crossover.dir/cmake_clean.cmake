@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_dcpp_crossover.dir/bench_a4_dcpp_crossover.cpp.o"
+  "CMakeFiles/bench_a4_dcpp_crossover.dir/bench_a4_dcpp_crossover.cpp.o.d"
+  "bench_a4_dcpp_crossover"
+  "bench_a4_dcpp_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_dcpp_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_detection.dir/bench_a5_detection.cpp.o"
+  "CMakeFiles/bench_a5_detection.dir/bench_a5_detection.cpp.o.d"
+  "bench_a5_detection"
+  "bench_a5_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_sapp_adaptive_delta.dir/bench_a6_sapp_adaptive_delta.cpp.o"
+  "CMakeFiles/bench_a6_sapp_adaptive_delta.dir/bench_a6_sapp_adaptive_delta.cpp.o.d"
+  "bench_a6_sapp_adaptive_delta"
+  "bench_a6_sapp_adaptive_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_sapp_adaptive_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

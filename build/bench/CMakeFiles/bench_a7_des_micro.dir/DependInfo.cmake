@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a7_des_micro.cpp" "bench/CMakeFiles/bench_a7_des_micro.dir/bench_a7_des_micro.cpp.o" "gcc" "bench/CMakeFiles/bench_a7_des_micro.dir/bench_a7_des_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

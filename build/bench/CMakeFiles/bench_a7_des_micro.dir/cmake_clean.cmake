@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_des_micro.dir/bench_a7_des_micro.cpp.o"
+  "CMakeFiles/bench_a7_des_micro.dir/bench_a7_des_micro.cpp.o.d"
+  "bench_a7_des_micro"
+  "bench_a7_des_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_des_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

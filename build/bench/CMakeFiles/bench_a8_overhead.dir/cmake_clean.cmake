@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_overhead.dir/bench_a8_overhead.cpp.o"
+  "CMakeFiles/bench_a8_overhead.dir/bench_a8_overhead.cpp.o.d"
+  "bench_a8_overhead"
+  "bench_a8_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a9_dissemination.dir/bench_a9_dissemination.cpp.o"
+  "CMakeFiles/bench_a9_dissemination.dir/bench_a9_dissemination.cpp.o.d"
+  "bench_a9_dissemination"
+  "bench_a9_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

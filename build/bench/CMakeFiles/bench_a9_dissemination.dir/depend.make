@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a9_dissemination.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_sapp_3cps.dir/bench_f2_sapp_3cps.cpp.o"
+  "CMakeFiles/bench_f2_sapp_3cps.dir/bench_f2_sapp_3cps.cpp.o.d"
+  "bench_f2_sapp_3cps"
+  "bench_f2_sapp_3cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_sapp_3cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

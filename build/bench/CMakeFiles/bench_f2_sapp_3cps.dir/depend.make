@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f2_sapp_3cps.
+# This may be replaced when dependencies are built.

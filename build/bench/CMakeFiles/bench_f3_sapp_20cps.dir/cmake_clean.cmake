@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_sapp_20cps.dir/bench_f3_sapp_20cps.cpp.o"
+  "CMakeFiles/bench_f3_sapp_20cps.dir/bench_f3_sapp_20cps.cpp.o.d"
+  "bench_f3_sapp_20cps"
+  "bench_f3_sapp_20cps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_sapp_20cps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f3_sapp_20cps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_sapp_leave.dir/bench_f4_sapp_leave.cpp.o"
+  "CMakeFiles/bench_f4_sapp_leave.dir/bench_f4_sapp_leave.cpp.o.d"
+  "bench_f4_sapp_leave"
+  "bench_f4_sapp_leave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_sapp_leave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f5_dcpp_dynamic.cpp" "bench/CMakeFiles/bench_f5_dcpp_dynamic.dir/bench_f5_dcpp_dynamic.cpp.o" "gcc" "bench/CMakeFiles/bench_f5_dcpp_dynamic.dir/bench_f5_dcpp_dynamic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/probemon_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/probemon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/probemon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_dcpp_dynamic.dir/bench_f5_dcpp_dynamic.cpp.o"
+  "CMakeFiles/bench_f5_dcpp_dynamic.dir/bench_f5_dcpp_dynamic.cpp.o.d"
+  "bench_f5_dcpp_dynamic"
+  "bench_f5_dcpp_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_dcpp_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

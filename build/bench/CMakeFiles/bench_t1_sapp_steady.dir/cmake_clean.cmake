@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_sapp_steady.dir/bench_t1_sapp_steady.cpp.o"
+  "CMakeFiles/bench_t1_sapp_steady.dir/bench_t1_sapp_steady.cpp.o.d"
+  "bench_t1_sapp_steady"
+  "bench_t1_sapp_steady.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_sapp_steady.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_t1_sapp_steady.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_v1_substrate_validation.dir/bench_v1_substrate_validation.cpp.o"
+  "CMakeFiles/bench_v1_substrate_validation.dir/bench_v1_substrate_validation.cpp.o.d"
+  "bench_v1_substrate_validation"
+  "bench_v1_substrate_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_v1_substrate_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

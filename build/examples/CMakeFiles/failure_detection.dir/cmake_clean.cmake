@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_detection.dir/failure_detection.cpp.o"
+  "CMakeFiles/failure_detection.dir/failure_detection.cpp.o.d"
+  "failure_detection"
+  "failure_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presence_dashboard.dir/presence_dashboard.cpp.o"
+  "CMakeFiles/presence_dashboard.dir/presence_dashboard.cpp.o.d"
+  "presence_dashboard"
+  "presence_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presence_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_runtime.dir/realtime_runtime.cpp.o"
+  "CMakeFiles/realtime_runtime.dir/realtime_runtime.cpp.o.d"
+  "realtime_runtime"
+  "realtime_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

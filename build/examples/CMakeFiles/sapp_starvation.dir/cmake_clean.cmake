@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sapp_starvation.dir/sapp_starvation.cpp.o"
+  "CMakeFiles/sapp_starvation.dir/sapp_starvation.cpp.o.d"
+  "sapp_starvation"
+  "sapp_starvation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sapp_starvation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

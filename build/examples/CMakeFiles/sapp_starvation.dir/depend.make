@@ -1,0 +1,2 @@
+# Empty dependencies file for sapp_starvation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_home_churn.dir/smart_home_churn.cpp.o"
+  "CMakeFiles/smart_home_churn.dir/smart_home_churn.cpp.o.d"
+  "smart_home_churn"
+  "smart_home_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_home_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

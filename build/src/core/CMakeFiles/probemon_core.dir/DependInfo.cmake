@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/control_point_base.cpp" "src/core/CMakeFiles/probemon_core.dir/control_point_base.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/control_point_base.cpp.o.d"
+  "/root/repo/src/core/dcpp_control_point.cpp" "src/core/CMakeFiles/probemon_core.dir/dcpp_control_point.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/dcpp_control_point.cpp.o.d"
+  "/root/repo/src/core/dcpp_device.cpp" "src/core/CMakeFiles/probemon_core.dir/dcpp_device.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/dcpp_device.cpp.o.d"
+  "/root/repo/src/core/device_base.cpp" "src/core/CMakeFiles/probemon_core.dir/device_base.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/device_base.cpp.o.d"
+  "/root/repo/src/core/probe_cycle.cpp" "src/core/CMakeFiles/probemon_core.dir/probe_cycle.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/probe_cycle.cpp.o.d"
+  "/root/repo/src/core/sapp_control_point.cpp" "src/core/CMakeFiles/probemon_core.dir/sapp_control_point.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/sapp_control_point.cpp.o.d"
+  "/root/repo/src/core/sapp_device.cpp" "src/core/CMakeFiles/probemon_core.dir/sapp_device.cpp.o" "gcc" "src/core/CMakeFiles/probemon_core.dir/sapp_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_core.dir/control_point_base.cpp.o"
+  "CMakeFiles/probemon_core.dir/control_point_base.cpp.o.d"
+  "CMakeFiles/probemon_core.dir/dcpp_control_point.cpp.o"
+  "CMakeFiles/probemon_core.dir/dcpp_control_point.cpp.o.d"
+  "CMakeFiles/probemon_core.dir/dcpp_device.cpp.o"
+  "CMakeFiles/probemon_core.dir/dcpp_device.cpp.o.d"
+  "CMakeFiles/probemon_core.dir/device_base.cpp.o"
+  "CMakeFiles/probemon_core.dir/device_base.cpp.o.d"
+  "CMakeFiles/probemon_core.dir/probe_cycle.cpp.o"
+  "CMakeFiles/probemon_core.dir/probe_cycle.cpp.o.d"
+  "CMakeFiles/probemon_core.dir/sapp_control_point.cpp.o"
+  "CMakeFiles/probemon_core.dir/sapp_control_point.cpp.o.d"
+  "CMakeFiles/probemon_core.dir/sapp_device.cpp.o"
+  "CMakeFiles/probemon_core.dir/sapp_device.cpp.o.d"
+  "libprobemon_core.a"
+  "libprobemon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/des/scheduler.cpp" "src/des/CMakeFiles/probemon_des.dir/scheduler.cpp.o" "gcc" "src/des/CMakeFiles/probemon_des.dir/scheduler.cpp.o.d"
+  "/root/repo/src/des/simulation.cpp" "src/des/CMakeFiles/probemon_des.dir/simulation.cpp.o" "gcc" "src/des/CMakeFiles/probemon_des.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

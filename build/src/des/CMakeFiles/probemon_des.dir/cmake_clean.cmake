@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_des.dir/scheduler.cpp.o"
+  "CMakeFiles/probemon_des.dir/scheduler.cpp.o.d"
+  "CMakeFiles/probemon_des.dir/simulation.cpp.o"
+  "CMakeFiles/probemon_des.dir/simulation.cpp.o.d"
+  "libprobemon_des.a"
+  "libprobemon_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/delay_model.cpp" "src/net/CMakeFiles/probemon_net.dir/delay_model.cpp.o" "gcc" "src/net/CMakeFiles/probemon_net.dir/delay_model.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/net/CMakeFiles/probemon_net.dir/loss_model.cpp.o" "gcc" "src/net/CMakeFiles/probemon_net.dir/loss_model.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/probemon_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/probemon_net.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_net.dir/delay_model.cpp.o"
+  "CMakeFiles/probemon_net.dir/delay_model.cpp.o.d"
+  "CMakeFiles/probemon_net.dir/loss_model.cpp.o"
+  "CMakeFiles/probemon_net.dir/loss_model.cpp.o.d"
+  "CMakeFiles/probemon_net.dir/network.cpp.o"
+  "CMakeFiles/probemon_net.dir/network.cpp.o.d"
+  "libprobemon_net.a"
+  "libprobemon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

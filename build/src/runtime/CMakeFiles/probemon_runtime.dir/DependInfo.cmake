@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/inproc_transport.cpp" "src/runtime/CMakeFiles/probemon_runtime.dir/inproc_transport.cpp.o" "gcc" "src/runtime/CMakeFiles/probemon_runtime.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/runtime/presence_service.cpp" "src/runtime/CMakeFiles/probemon_runtime.dir/presence_service.cpp.o" "gcc" "src/runtime/CMakeFiles/probemon_runtime.dir/presence_service.cpp.o.d"
+  "/root/repo/src/runtime/rt_control_point.cpp" "src/runtime/CMakeFiles/probemon_runtime.dir/rt_control_point.cpp.o" "gcc" "src/runtime/CMakeFiles/probemon_runtime.dir/rt_control_point.cpp.o.d"
+  "/root/repo/src/runtime/rt_device.cpp" "src/runtime/CMakeFiles/probemon_runtime.dir/rt_device.cpp.o" "gcc" "src/runtime/CMakeFiles/probemon_runtime.dir/rt_device.cpp.o.d"
+  "/root/repo/src/runtime/udp_transport.cpp" "src/runtime/CMakeFiles/probemon_runtime.dir/udp_transport.cpp.o" "gcc" "src/runtime/CMakeFiles/probemon_runtime.dir/udp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/probemon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_runtime.dir/inproc_transport.cpp.o"
+  "CMakeFiles/probemon_runtime.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/probemon_runtime.dir/presence_service.cpp.o"
+  "CMakeFiles/probemon_runtime.dir/presence_service.cpp.o.d"
+  "CMakeFiles/probemon_runtime.dir/rt_control_point.cpp.o"
+  "CMakeFiles/probemon_runtime.dir/rt_control_point.cpp.o.d"
+  "CMakeFiles/probemon_runtime.dir/rt_device.cpp.o"
+  "CMakeFiles/probemon_runtime.dir/rt_device.cpp.o.d"
+  "CMakeFiles/probemon_runtime.dir/udp_transport.cpp.o"
+  "CMakeFiles/probemon_runtime.dir/udp_transport.cpp.o.d"
+  "libprobemon_runtime.a"
+  "libprobemon_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

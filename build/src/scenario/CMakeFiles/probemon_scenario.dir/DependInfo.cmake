@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/churn.cpp" "src/scenario/CMakeFiles/probemon_scenario.dir/churn.cpp.o" "gcc" "src/scenario/CMakeFiles/probemon_scenario.dir/churn.cpp.o.d"
+  "/root/repo/src/scenario/experiment.cpp" "src/scenario/CMakeFiles/probemon_scenario.dir/experiment.cpp.o" "gcc" "src/scenario/CMakeFiles/probemon_scenario.dir/experiment.cpp.o.d"
+  "/root/repo/src/scenario/metrics.cpp" "src/scenario/CMakeFiles/probemon_scenario.dir/metrics.cpp.o" "gcc" "src/scenario/CMakeFiles/probemon_scenario.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/probemon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_scenario.dir/churn.cpp.o"
+  "CMakeFiles/probemon_scenario.dir/churn.cpp.o.d"
+  "CMakeFiles/probemon_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/probemon_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/probemon_scenario.dir/metrics.cpp.o"
+  "CMakeFiles/probemon_scenario.dir/metrics.cpp.o.d"
+  "libprobemon_scenario.a"
+  "libprobemon_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

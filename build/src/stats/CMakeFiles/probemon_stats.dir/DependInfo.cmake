@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/probemon_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/probemon_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/probemon_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/probemon_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/probemon_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/probemon_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/series.cpp" "src/stats/CMakeFiles/probemon_stats.dir/series.cpp.o" "gcc" "src/stats/CMakeFiles/probemon_stats.dir/series.cpp.o.d"
+  "/root/repo/src/stats/student_t.cpp" "src/stats/CMakeFiles/probemon_stats.dir/student_t.cpp.o" "gcc" "src/stats/CMakeFiles/probemon_stats.dir/student_t.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_stats.dir/autocorr.cpp.o"
+  "CMakeFiles/probemon_stats.dir/autocorr.cpp.o.d"
+  "CMakeFiles/probemon_stats.dir/batch_means.cpp.o"
+  "CMakeFiles/probemon_stats.dir/batch_means.cpp.o.d"
+  "CMakeFiles/probemon_stats.dir/histogram.cpp.o"
+  "CMakeFiles/probemon_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/probemon_stats.dir/series.cpp.o"
+  "CMakeFiles/probemon_stats.dir/series.cpp.o.d"
+  "CMakeFiles/probemon_stats.dir/student_t.cpp.o"
+  "CMakeFiles/probemon_stats.dir/student_t.cpp.o.d"
+  "libprobemon_stats.a"
+  "libprobemon_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprobemon_stats.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cpp" "src/trace/CMakeFiles/probemon_trace.dir/csv.cpp.o" "gcc" "src/trace/CMakeFiles/probemon_trace.dir/csv.cpp.o.d"
+  "/root/repo/src/trace/event_log.cpp" "src/trace/CMakeFiles/probemon_trace.dir/event_log.cpp.o" "gcc" "src/trace/CMakeFiles/probemon_trace.dir/event_log.cpp.o.d"
+  "/root/repo/src/trace/gnuplot.cpp" "src/trace/CMakeFiles/probemon_trace.dir/gnuplot.cpp.o" "gcc" "src/trace/CMakeFiles/probemon_trace.dir/gnuplot.cpp.o.d"
+  "/root/repo/src/trace/table.cpp" "src/trace/CMakeFiles/probemon_trace.dir/table.cpp.o" "gcc" "src/trace/CMakeFiles/probemon_trace.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/probemon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

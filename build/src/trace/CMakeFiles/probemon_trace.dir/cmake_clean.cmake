@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_trace.dir/csv.cpp.o"
+  "CMakeFiles/probemon_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/probemon_trace.dir/event_log.cpp.o"
+  "CMakeFiles/probemon_trace.dir/event_log.cpp.o.d"
+  "CMakeFiles/probemon_trace.dir/gnuplot.cpp.o"
+  "CMakeFiles/probemon_trace.dir/gnuplot.cpp.o.d"
+  "CMakeFiles/probemon_trace.dir/table.cpp.o"
+  "CMakeFiles/probemon_trace.dir/table.cpp.o.d"
+  "libprobemon_trace.a"
+  "libprobemon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

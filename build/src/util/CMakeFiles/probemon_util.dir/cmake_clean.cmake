@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probemon_util.dir/cli.cpp.o"
+  "CMakeFiles/probemon_util.dir/cli.cpp.o.d"
+  "CMakeFiles/probemon_util.dir/distributions.cpp.o"
+  "CMakeFiles/probemon_util.dir/distributions.cpp.o.d"
+  "CMakeFiles/probemon_util.dir/logging.cpp.o"
+  "CMakeFiles/probemon_util.dir/logging.cpp.o.d"
+  "CMakeFiles/probemon_util.dir/rng.cpp.o"
+  "CMakeFiles/probemon_util.dir/rng.cpp.o.d"
+  "CMakeFiles/probemon_util.dir/strings.cpp.o"
+  "CMakeFiles/probemon_util.dir/strings.cpp.o.d"
+  "libprobemon_util.a"
+  "libprobemon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probemon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprobemon_util.a"
+)

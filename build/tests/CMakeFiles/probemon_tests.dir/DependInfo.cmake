@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline_and_regression.cpp" "tests/CMakeFiles/probemon_tests.dir/test_baseline_and_regression.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_baseline_and_regression.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/probemon_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_control_point.cpp" "tests/CMakeFiles/probemon_tests.dir/test_control_point.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_control_point.cpp.o.d"
+  "/root/repo/tests/test_dcpp.cpp" "tests/CMakeFiles/probemon_tests.dir/test_dcpp.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_dcpp.cpp.o.d"
+  "/root/repo/tests/test_distributions.cpp" "tests/CMakeFiles/probemon_tests.dir/test_distributions.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_distributions.cpp.o.d"
+  "/root/repo/tests/test_event_log.cpp" "tests/CMakeFiles/probemon_tests.dir/test_event_log.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_event_log.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/probemon_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_logging.cpp" "tests/CMakeFiles/probemon_tests.dir/test_logging.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_logging.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/probemon_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_presence_service.cpp" "tests/CMakeFiles/probemon_tests.dir/test_presence_service.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_presence_service.cpp.o.d"
+  "/root/repo/tests/test_probe_cycle.cpp" "tests/CMakeFiles/probemon_tests.dir/test_probe_cycle.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_probe_cycle.cpp.o.d"
+  "/root/repo/tests/test_protocol_common.cpp" "tests/CMakeFiles/probemon_tests.dir/test_protocol_common.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_protocol_common.cpp.o.d"
+  "/root/repo/tests/test_random_scenarios.cpp" "tests/CMakeFiles/probemon_tests.dir/test_random_scenarios.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_random_scenarios.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/probemon_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/probemon_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_sapp.cpp" "tests/CMakeFiles/probemon_tests.dir/test_sapp.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_sapp.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/probemon_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/probemon_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_series.cpp" "tests/CMakeFiles/probemon_tests.dir/test_series.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_series.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/probemon_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/probemon_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_udp_transport.cpp" "tests/CMakeFiles/probemon_tests.dir/test_udp_transport.cpp.o" "gcc" "tests/CMakeFiles/probemon_tests.dir/test_udp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/probemon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/probemon_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/probemon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/probemon_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/probemon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/des/CMakeFiles/probemon_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/probemon_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/probemon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
