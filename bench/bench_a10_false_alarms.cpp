@@ -63,6 +63,7 @@ int main(int argc, char** argv) {
       "already means 'absent': outages longer than a CP's probing period "
       "+ 85 ms make every active CP raise a false alarm");
 
+  benchutil::JsonSummary summary_json("bench_a10_false_alarms");
   trace::Table table(
       {"outage (s)", "protocol", "false-alarm fraction", "mean alarm t (s)"});
   for (double outage : {0.0, 0.05, 0.2, 0.5, 1.0, 3.0, 12.0}) {
@@ -74,6 +75,16 @@ int main(int argc, char** argv) {
           .cell(scenario::to_string(protocol))
           .cell(o.false_alarm_fraction, 2)
           .cell(o.mean_alarm_time, 3);
+      std::string tag = std::to_string(outage).substr(0, 4);
+      for (char& c : tag) {
+        if (c == '.') c = '_';
+      }
+      const std::string prefix =
+          std::string(protocol == scenario::Protocol::kSapp ? "sapp" : "dcpp") +
+          "_outage" + tag + "_";
+      summary_json.set(prefix + "false_alarm_fraction",
+                       o.false_alarm_fraction);
+      summary_json.set(prefix + "mean_alarm_time_s", o.mean_alarm_time);
     }
   }
   table.print(std::cout);

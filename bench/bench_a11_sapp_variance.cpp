@@ -97,6 +97,15 @@ int main(int argc, char** argv) {
   expect.print(std::cout);
   std::cout << "\n(freq slope column is scaled by 1e3; a starving CP's "
                "frequency decays, so its slope is negative.)\n";
+
+  benchutil::JsonSummary summary_json("bench_a11_sapp_variance");
+  summary_json.set("cps", static_cast<std::uint64_t>(k));
+  summary_json.set("duration_s", duration);
+  summary_json.set("min_delay_variance", min_var);
+  summary_json.set("max_delay_variance", max_var);
+  summary_json.set("starved_cps_with_negative_trend",
+                   static_cast<std::uint64_t>(starving_trends));
+
   benchutil::print_footer();
   return 0;
 }

@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
       "fixed-rate load grows as k/period and tramples the device's "
       "L_nom = 10; SAPP and DCPP keep it bounded at every k");
 
+  benchutil::JsonSummary summary_json("bench_a12_naive_baseline");
   trace::Table table({"k CPs", "protocol", "device load (cap 10)",
                       "mean detection latency (s)", "false alarms"});
   for (std::size_t k : {2u, 5u, 10u, 20u, 40u, 80u}) {
@@ -85,6 +86,16 @@ int main(int argc, char** argv) {
           .cell(o.load, 2)
           .cell(o.detection_mean, 3)
           .cell(static_cast<std::uint64_t>(o.false_alarms));
+      const char* proto_tag =
+          protocol == scenario::Protocol::kFixedRate
+              ? "fixed"
+              : (protocol == scenario::Protocol::kSapp ? "sapp" : "dcpp");
+      const std::string prefix =
+          "k" + std::to_string(k) + "_" + proto_tag + "_";
+      summary_json.set(prefix + "load", o.load);
+      summary_json.set(prefix + "mean_detection_s", o.detection_mean);
+      summary_json.set(prefix + "false_alarms",
+                       static_cast<std::uint64_t>(o.false_alarms));
     }
   }
   table.print(std::cout);

@@ -46,6 +46,7 @@ int main() {
       "SAPP fair only for k <= 2 (paper: \"for one or two CPs the probe "
       "frequencies were balanced\"); DCPP fair for all k (section 5)");
 
+  benchutil::JsonSummary summary_json("bench_a1_fairness");
   trace::Table table({"k CPs", "SAPP Jain", "SAPP load", "DCPP Jain",
                       "DCPP load", "fair protocol"});
   for (std::size_t k : {1u, 2u, 3u, 5u, 10u, 20u, 40u}) {
@@ -58,6 +59,11 @@ int main() {
         .cell(dcpp.jain, 3)
         .cell(dcpp.load, 2)
         .cell(dcpp.jain >= sapp.jain ? "DCPP" : "SAPP");
+    const std::string prefix = "k" + std::to_string(k) + "_";
+    summary_json.set(prefix + "sapp_jain", sapp.jain);
+    summary_json.set(prefix + "dcpp_jain", dcpp.jain);
+    summary_json.set(prefix + "sapp_load", sapp.load);
+    summary_json.set(prefix + "dcpp_load", dcpp.load);
   }
   table.print(std::cout);
   std::cout << "\nExpected shape: SAPP Jain degrades sharply with k while "

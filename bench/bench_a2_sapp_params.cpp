@@ -5,7 +5,9 @@
 // measure starvation and fairness at k = 10. The paper argues the
 // problem is structural ("inherent fairness problem"), so no setting
 // should rescue it.
+#include <algorithm>
 #include <iostream>
+#include <iterator>
 
 #include "experiment_common.hpp"
 #include "scenario/experiment.hpp"
@@ -72,11 +74,16 @@ int main() {
       {1.5, 1.25, 2.0, "all gentle"},
   };
 
+  benchutil::JsonSummary summary_json("bench_a2_sapp_params");
   trace::Table table({"alpha_inc", "alpha_dec", "beta", "note", "Jain",
                       "#starved (of 10)", "device load"});
   std::uint64_t seed = 1000;
+  double best_jain = 0.0;
+  std::size_t min_starved = 10;
   for (const auto& c : combos) {
     const Outcome o = run(c.ai, c.ad, c.b, seed++);
+    best_jain = std::max(best_jain, o.jain);
+    min_starved = std::min(min_starved, o.starved);
     table.row()
         .cell(c.ai, 2)
         .cell(c.ad, 2)
@@ -87,6 +94,10 @@ int main() {
         .cell(o.load, 2);
   }
   table.print(std::cout);
+  summary_json.set("combos", static_cast<std::uint64_t>(std::size(combos)));
+  summary_json.set("best_jain_across_combos", best_jain);
+  summary_json.set("min_starved_across_combos",
+                   static_cast<std::uint64_t>(min_starved));
   std::cout << "\nExpected: no combination reaches the fair Jain ~1.0 that "
                "DCPP achieves (see A1); device load stays near L_nom.\n";
   benchutil::print_footer();

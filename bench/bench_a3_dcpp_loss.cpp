@@ -95,9 +95,13 @@ int main() {
        [] { return net::make_gilbert_elliott_loss(0.02, 0.30, 0.001, 0.8); }},
   };
 
+  benchutil::JsonSummary summary_json("bench_a3_dcpp_loss");
+  const char* keys[] = {"no_loss", "bernoulli_1pct", "bernoulli_5pct",
+                        "bernoulli_15pct", "gilbert_elliott"};
   trace::Table table({"loss model", "mean load", "load var", "max load",
                       "mean spike width (s)", "frac > 1.5*L_nom"});
   std::uint64_t seed = 55;  // same base seed as F5
+  std::size_t case_index = 0;
   for (const auto& c : cases) {
     const Outcome o = run(c.factory, seed);
     table.row()
@@ -107,6 +111,11 @@ int main() {
         .cell(o.max, 1)
         .cell(o.spike_width, 2)
         .cell(o.frac_over, 4);
+    const std::string prefix = std::string(keys[case_index++]) + "_";
+    summary_json.set(prefix + "mean_load", o.mean);
+    summary_json.set(prefix + "load_var", o.var);
+    summary_json.set(prefix + "max_load", o.max);
+    summary_json.set(prefix + "spike_width_s", o.spike_width);
   }
   table.print(std::cout);
   std::cout << "\nMeasured shape: the mean load stays pinned near L_nom "

@@ -23,6 +23,7 @@ int main() {
   constexpr double kDuration = 600.0;
   constexpr double kWarmup = 100.0;
 
+  benchutil::JsonSummary summary_json("bench_a4_dcpp_crossover");
   trace::Table table({"k CPs", "predicted load", "measured load",
                       "predicted period (s)", "measured mean period", "Jain"});
   for (std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u, 20u}) {
@@ -58,6 +59,12 @@ int main() {
         .cell(predicted_period, 2)
         .cell(periods.mean(), 3)
         .cell(exp.metrics().frequency_fairness(), 4);
+    const std::string prefix = "k" + std::to_string(k) + "_";
+    summary_json.set(prefix + "predicted_load", predicted_load);
+    summary_json.set(prefix + "measured_load", load.mean());
+    summary_json.set(prefix + "predicted_period_s", predicted_period);
+    summary_json.set(prefix + "measured_period_s", periods.mean());
+    summary_json.set(prefix + "jain", exp.metrics().frequency_fairness());
   }
   table.print(std::cout);
   std::cout << "\nExpected: measured tracks predicted on both sides of the "

@@ -99,6 +99,20 @@ int main() {
   std::cout << "\nExpected: every CP detects; DCPP's last detection well "
                "under its bound; SAPP's spread is much larger because "
                "starved CPs probe rarely.\n";
+
+  benchutil::JsonSummary summary_json("bench_a5_detection");
+  summary_json.set("cps", static_cast<std::uint64_t>(k));
+  summary_json.set("sapp_detectors", static_cast<std::uint64_t>(sapp.detectors));
+  summary_json.set("sapp_first_detection_s", sapp.first);
+  summary_json.set("sapp_mean_detection_s", sapp.mean);
+  summary_json.set("sapp_last_detection_s", sapp.max);
+  summary_json.set("dcpp_detectors", static_cast<std::uint64_t>(dcpp.detectors));
+  summary_json.set("dcpp_first_detection_s", dcpp.first);
+  summary_json.set("dcpp_mean_detection_s", dcpp.mean);
+  summary_json.set("dcpp_last_detection_s", dcpp.max);
+  summary_json.set("dcpp_analytic_bound_s",
+                   std::max(static_cast<double>(k) * 0.1, 0.5) + tail);
+
   benchutil::print_footer();
   return 0;
 }

@@ -83,6 +83,16 @@ int main() {
   std::cout << "\nExpected: with adaptation ON the late load is roughly "
                "half the OFF load and within the device's capacity band; "
                "Delta ends above its base value.\n";
+
+  benchutil::JsonSummary summary_json("bench_a6_sapp_adaptive_delta");
+  summary_json.set("off_early_load", off.early_load);
+  summary_json.set("off_late_load", off.late_load);
+  summary_json.set("off_final_delta", off.final_delta);
+  summary_json.set("on_early_load", on.early_load);
+  summary_json.set("on_late_load", on.late_load);
+  summary_json.set("on_final_delta", on.final_delta);
+  summary_json.set("on_within_capacity_band", on.late_load <= 5.0 * 1.3);
+
   benchutil::print_footer();
   return 0;
 }

@@ -5,6 +5,7 @@
 // protocol behaviour.
 #include <benchmark/benchmark.h>
 
+#include "benchmark_json.hpp"
 #include "des/scheduler.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
@@ -107,3 +108,10 @@ void BM_NetworkSendDeliver(benchmark::State& state) {
 BENCHMARK(BM_NetworkSendDeliver);
 
 }  // namespace
+
+// Custom main (instead of benchmark_main) so results also land in
+// bench_out/bench_a7_des_micro.json like every other bench.
+int main(int argc, char** argv) {
+  return benchutil::run_benchmarks_with_json(argc, argv,
+                                             "bench_a7_des_micro");
+}

@@ -57,6 +57,7 @@ int main() {
       "conclusion section: SAPP's fast CPs waste packets and computation; "
       "DCPP sends just what the schedule needs");
 
+  benchutil::JsonSummary summary_json("bench_a8_overhead");
   trace::Table table({"k CPs", "protocol", "probes/s (min needed = 10)",
                       "retransmissions/s", "delay updates/s"});
   for (std::size_t k : {5u, 10u, 20u, 40u}) {
@@ -69,6 +70,12 @@ int main() {
           .cell(o.probes_per_s, 2)
           .cell(o.retransmit_per_s, 3)
           .cell(o.adaptations_per_s, 2);
+      const std::string prefix =
+          "k" + std::to_string(k) + "_" +
+          (protocol == scenario::Protocol::kSapp ? "sapp" : "dcpp") + "_";
+      summary_json.set(prefix + "probes_per_s", o.probes_per_s);
+      summary_json.set(prefix + "retransmissions_per_s", o.retransmit_per_s);
+      summary_json.set(prefix + "delay_updates_per_s", o.adaptations_per_s);
     }
   }
   table.print(std::cout);

@@ -68,6 +68,8 @@ int main() {
       "case knowledge latency well below the probing-period bound");
 
   constexpr std::size_t k = 20;
+  benchutil::JsonSummary summary_json("bench_a9_dissemination");
+  summary_json.set("cps", static_cast<std::uint64_t>(k));
   trace::Table table({"gossip TTL", "mean latency (s)", "worst latency (s)",
                       "learned via gossip"});
   for (std::uint8_t ttl : {0, 1, 2, 3, 4}) {
@@ -77,6 +79,10 @@ int main() {
         .cell(o.mean_latency, 3)
         .cell(o.worst_latency, 3)
         .cell(o.gossip_fraction, 2);
+    const std::string prefix = "ttl" + std::to_string(ttl) + "_";
+    summary_json.set(prefix + "mean_latency_s", o.mean_latency);
+    summary_json.set(prefix + "worst_latency_s", o.worst_latency);
+    summary_json.set(prefix + "gossip_fraction", o.gossip_fraction);
   }
   table.print(std::cout);
   std::cout << "\nNo-gossip bound for k = 20: period max(k*0.1, 0.5) + "

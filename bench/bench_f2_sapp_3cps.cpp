@@ -92,6 +92,17 @@ int main() {
   trace::write_gnuplot_file(dir + "/f2_sapp_3cps.gp", fig,
                             dir + "/f2_sapp_3cps.png");
   std::cout << "\ntraces: " << dir << "/f2_sapp_3cps.csv (+ .gp)\n";
+
+  benchutil::JsonSummary summary_json("bench_f2_sapp_3cps");
+  summary_json.set("duration_s", kDuration);
+  summary_json.set("starved_cps", static_cast<std::uint64_t>(starved_count));
+  for (const auto& f : freq) {
+    const auto tail = f.summary(kDuration - 5000.0, kDuration);
+    summary_json.set(f.name() + "_final_freq",
+                     f.empty() ? 0.0 : f.back().value);
+    summary_json.set(f.name() + "_tail_mean_freq", tail.mean());
+  }
+
   benchutil::print_footer();
   return 0;
 }

@@ -124,6 +124,15 @@ int main() {
   trace::write_gnuplot_file(dir + "/f3_sapp_20cps.gp", fig,
                             dir + "/f3_sapp_20cps.png");
   std::cout << "\ntraces: " << dir << "/f3_sapp_20cps.csv (+ .gp)\n";
+
+  benchutil::JsonSummary summary_json("bench_f3_sapp_20cps");
+  summary_json.set("window_start_s", kWindowStart);
+  summary_json.set("window_end_s", kWindowEnd);
+  summary_json.set("shown_cps", static_cast<std::uint64_t>(shown.size()));
+  summary_json.set("window_min_freq", global_min);
+  summary_json.set("window_max_freq", global_max);
+  summary_json.set("window_freq_spread", global_max - global_min);
+
   benchutil::print_footer();
   return 0;
 }

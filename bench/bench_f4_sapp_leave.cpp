@@ -117,6 +117,15 @@ int main() {
   trace::write_gnuplot_file(dir + "/f4_sapp_leave.gp", fig,
                             dir + "/f4_sapp_leave.png");
   std::cout << "\ntraces: " << dir << "/f4_sapp_leave.csv (+ .gp)\n";
+
+  benchutil::JsonSummary summary_json("bench_f4_sapp_leave");
+  summary_json.set("leave_at_s", kLeaveAt);
+  summary_json.set("duration_s", kDuration);
+  summary_json.set("survivor1_mean_freq", survivor_freqs[0]);
+  summary_json.set("survivor2_mean_freq", survivor_freqs[1]);
+  summary_json.set("survivor_freq_ratio", ratio);
+  summary_json.set("static_2cp_reference_jain", ref_jain);
+
   benchutil::print_footer();
   return 0;
 }

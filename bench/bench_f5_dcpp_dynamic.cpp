@@ -79,6 +79,18 @@ int main(int argc, char** argv) {
   trace::write_gnuplot_file(dir + "/f5_dcpp_dynamic.gp", fig,
                             dir + "/f5_dcpp_dynamic.png");
   std::cout << "\ntraces: " << dir << "/f5_dcpp_dynamic.csv (+ .gp)\n";
+
+  benchutil::JsonSummary summary_json("bench_f5_dcpp_dynamic");
+  summary_json.set("duration_s", kDuration);
+  summary_json.set("max_cps", static_cast<std::uint64_t>(max_cps));
+  summary_json.set("churn_rate", churn_rate);
+  summary_json.set("paper_mean_load", 9.7);
+  summary_json.set("mean_load", w.mean());
+  summary_json.set("paper_load_variance", 20.0);
+  summary_json.set("load_variance", w.variance());
+  summary_json.set("load_stddev", w.stddev());
+  summary_json.set("max_load_sample", w.max());
+
   benchutil::print_footer();
   return 0;
 }

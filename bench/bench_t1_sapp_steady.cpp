@@ -112,6 +112,18 @@ int main(int argc, char** argv) {
             << " lag1(batch means)=" << load_bm.lag1_autocorrelation()
             << " converged(rel 0.1)="
             << (load_bm.converged(0.1) ? "yes" : "no") << '\n';
+
+  benchutil::JsonSummary summary_json("bench_t1_sapp_steady");
+  summary_json.set("cps", static_cast<std::uint64_t>(k));
+  summary_json.set("duration_s", kDuration);
+  summary_json.set("starved_cps", static_cast<std::uint64_t>(starved));
+  summary_json.set("fast_cps", static_cast<std::uint64_t>(fast));
+  summary_json.set("device_load_mean", load_ci.mean);
+  summary_json.set("device_load_ci_half_width", load_ci.half_width);
+  summary_json.set("mean_buffer_length", buffer_mean);
+  summary_json.set("frequency_fairness", metrics.frequency_fairness());
+  summary_json.set("load_batches_converged", load_bm.converged(0.1));
+
   benchutil::print_footer();
   return 0;
 }

@@ -96,6 +96,8 @@ int main(int argc, char** argv) {
       "the DSN'05 authors stress trustworthy simulation semantics; this "
       "binary checks our kernel against closed-form queueing results");
 
+  benchutil::JsonSummary summary_json("bench_v1_substrate_validation");
+  summary_json.set("horizon_s", horizon);
   trace::Table table({"check", "analytic", "simulated", "rel err"});
 
   {
@@ -116,6 +118,10 @@ int main(int argc, char** argv) {
         .cell(w_analytic, 4)
         .cell(r.mean_wait, 4)
         .cell(std::fabs(r.mean_wait - w_analytic) / w_analytic, 4);
+    summary_json.set("mm1_l_rel_err",
+                     std::fabs(r.mean_in_system - l_analytic) / l_analytic);
+    summary_json.set("mm1_w_rel_err",
+                     std::fabs(r.mean_wait - w_analytic) / w_analytic);
   }
   {
     // M/D/1, lambda = 0.7, deterministic service 1.0.
@@ -130,6 +136,8 @@ int main(int argc, char** argv) {
         .cell(w_analytic, 4)
         .cell(r.mean_wait, 4)
         .cell(std::fabs(r.mean_wait - w_analytic) / w_analytic, 4);
+    summary_json.set("md1_w_rel_err",
+                     std::fabs(r.mean_wait - w_analytic) / w_analytic);
   }
   {
     // Batch-means CI coverage on an autocorrelated stream (AR(1)).
@@ -151,6 +159,7 @@ int main(int argc, char** argv) {
         .cell(0.95, 2)
         .cell(coverage, 3)
         .cell(std::fabs(coverage - 0.95) / 0.95, 3);
+    summary_json.set("batch_means_ci_coverage", coverage);
   }
   {
     // Three-mode delay mean: average of the three band midpoints.
@@ -167,6 +176,8 @@ int main(int argc, char** argv) {
         .cell(analytic * 1e3, 4)
         .cell(w.mean() * 1e3, 4)
         .cell(std::fabs(w.mean() - analytic) / analytic, 4);
+    summary_json.set("three_mode_delay_rel_err",
+                     std::fabs(w.mean() - analytic) / analytic);
   }
   table.print(std::cout);
   std::cout << "\nAll relative errors should be < ~0.02 (the M/M/1 rows "

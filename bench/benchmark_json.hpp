@@ -1,0 +1,96 @@
+// Shared main() body for the google-benchmark binaries: run with the
+// normal console output AND capture every run into
+// bench_out/<name>.json, so the micro-benches emit machine-readable
+// summaries exactly like the experiment binaries do. (We cannot use
+// benchmark::JSONReporter as the file reporter directly — the library
+// rejects a file reporter unless --benchmark_out is also passed.)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "experiment_common.hpp"
+#include "telemetry/json.hpp"
+
+namespace benchutil {
+
+/// Console reporter that additionally keeps each finished run.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    std::int64_t iterations;
+    double real_time;
+    double cpu_time;
+    std::string time_unit;
+    double items_per_second;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.iterations = run.iterations;
+      e.real_time = run.GetAdjustedRealTime();
+      e.cpu_time = run.GetAdjustedCPUTime();
+      e.time_unit = benchmark::GetTimeUnitString(run.time_unit);
+      e.items_per_second =
+          run.counters.count("items_per_second")
+              ? static_cast<double>(run.counters.at("items_per_second"))
+              : 0.0;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Run all registered benchmarks; write bench_out/<name>.json.
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const std::string& name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  probemon::telemetry::JsonWriter json;
+  json.begin_object();
+  json.key("experiment");
+  json.value(name);
+  json.key("benchmarks");
+  json.begin_array();
+  for (const auto& e : reporter.entries()) {
+    json.begin_object();
+    json.key("name");
+    json.value(e.name);
+    json.key("iterations");
+    json.value(e.iterations);
+    json.key("real_time");
+    json.value(e.real_time);
+    json.key("cpu_time");
+    json.value(e.cpu_time);
+    json.key("time_unit");
+    json.value(e.time_unit);
+    if (e.items_per_second > 0) {
+      json.key("items_per_second");
+      json.value(e.items_per_second);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  std::ofstream out(out_dir() + "/" + name + ".json");
+  out << json.str() << '\n';
+  return 0;
+}
+
+}  // namespace benchutil

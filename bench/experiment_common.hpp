@@ -4,13 +4,21 @@
 //   * a header naming the paper artifact it regenerates,
 //   * the scenario parameters,
 //   * a paper-vs-measured table,
-// and (when it has a time-series) writes CSV traces plus a gnuplot script
-// into ./bench_out/ so the figure can be re-plotted.
+// writes (when it has a time-series) CSV traces plus a gnuplot script
+// into ./bench_out/ so the figure can be re-plotted, and emits a
+// machine-readable ./bench_out/<name>.json metrics summary
+// (JsonSummary) so CI and notebooks can diff headline numbers without
+// scraping stdout.
 #pragma once
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/json.hpp"
 
 namespace benchutil {
 
@@ -33,5 +41,71 @@ inline void print_header(const std::string& experiment_id,
 }
 
 inline void print_footer() { std::cout << '\n'; }
+
+/// Machine-readable metrics summary of one experiment run. Collects
+/// (key, value) pairs in insertion order and writes
+/// bench_out/<name>.json on write() — or from the destructor, so a
+/// bench cannot forget to emit its summary. Values keep their JSON
+/// type (numbers stay numbers).
+class JsonSummary {
+ public:
+  explicit JsonSummary(std::string name) : name_(std::move(name)) {}
+
+  JsonSummary(const JsonSummary&) = delete;
+  JsonSummary& operator=(const JsonSummary&) = delete;
+
+  ~JsonSummary() {
+    if (!written_) write();
+  }
+
+  void set(const std::string& key, double value) {
+    entries_.emplace_back(key, probemon::telemetry::json_number(value));
+  }
+  void set(const std::string& key, int value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& value) {
+    std::string quoted;
+    probemon::telemetry::json_escape(quoted, value);
+    entries_.emplace_back(key, std::move(quoted));
+  }
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
+
+  /// Raw JSON fragment (e.g. an array built elsewhere); caller
+  /// guarantees validity.
+  void set_raw(const std::string& key, std::string json) {
+    entries_.emplace_back(key, std::move(json));
+  }
+
+  std::string path() const { return out_dir() + "/" + name_ + ".json"; }
+
+  void write() {
+    written_ = true;
+    std::string doc = "{\n  \"experiment\": ";
+    probemon::telemetry::json_escape(doc, name_);
+    for (const auto& [key, value] : entries_) {
+      doc += ",\n  ";
+      probemon::telemetry::json_escape(doc, key);
+      doc += ": ";
+      doc += value;
+    }
+    doc += "\n}\n";
+    std::ofstream out(path());
+    out << doc;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  bool written_ = false;
+};
 
 }  // namespace benchutil

@@ -1,0 +1,128 @@
+// Telemetry export — one registry observing both halves of the repo:
+// the threaded runtime (transport, devices, PresenceService with
+// per-watch RTT histograms and a probe-cycle tracer) and a DES run
+// (scheduler event counters, speedup ratio). Ends by dumping the
+// Prometheus text exposition to stdout — exactly what a scrape
+// endpoint would serve — plus the JSON snapshot and the traced probe
+// cycles to files under telemetry_out/. Wall-clock runtime: ~2 s.
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "des/simulation.hpp"
+#include "runtime/inproc_transport.hpp"
+#include "runtime/presence_service.hpp"
+#include "runtime/rt_device.hpp"
+#include "telemetry/bridges.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/probe_tracer.hpp"
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+using namespace probemon;
+using namespace std::chrono_literals;
+
+int main() {
+  util::Logger::instance().set_level(util::LogLevel::kInfo);
+  telemetry::Registry registry;
+  telemetry::ProbeCycleTracer tracer(512);
+
+  // ---- Part 1: the threaded runtime under observation. ----
+  runtime::InProcTransportConfig net_config;
+  net_config.delay_min = 0.0002;
+  net_config.delay_max = 0.002;
+  net_config.loss = 0.02;  // some loss, so retransmission counters move
+  runtime::InProcTransport transport(net_config);
+  transport.instrument(registry);
+
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.02;
+  device_config.d_min = 0.08;
+  std::vector<std::unique_ptr<runtime::RtDcppDevice>> devices;
+  for (int i = 0; i < 3; ++i) {
+    devices.push_back(
+        std::make_unique<runtime::RtDcppDevice>(transport, device_config));
+    devices.back()->instrument(registry);
+  }
+
+  runtime::PresenceService::TelemetryOptions wiring;
+  wiring.registry = &registry;
+  wiring.tracer = &tracer;
+  runtime::PresenceService service(transport, wiring);
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts.tof = 0.030;
+  cp_config.timeouts.tos = 0.020;
+  for (const auto& device : devices) {
+    service.watch_dcpp(device->id(), cp_config);
+  }
+
+  // The operator's live view: human-readable snapshots through the
+  // logger while the run is in flight.
+  telemetry::PeriodicReporter reporter(registry, /*period_s=*/0.5);
+  reporter.start();
+
+  std::cout << "watching " << service.watch_count()
+            << " devices over the threaded runtime...\n";
+  std::this_thread::sleep_for(700ms);
+
+  std::cout << "device " << devices[1]->id()
+            << " goes silent (exercises retransmissions, the absence "
+               "counter and the detection-latency histogram)...\n";
+  devices[1]->go_silent();
+  std::this_thread::sleep_for(700ms);
+  reporter.stop();
+
+  // ---- Part 2: a DES run bound into the same registry. ----
+  des::Simulation sim(7);
+  telemetry::instrument_simulation(registry, sim, {{"run", "example"}});
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sim.after(0.001 * i, [&fired] { ++fired; });
+  }
+  sim.run_all();
+  std::cout << "DES run executed " << fired << " events at "
+            << sim.speedup_ratio() << "x realtime\n\n";
+
+  // ---- Export. ----
+  const std::string prometheus = telemetry::to_prometheus(registry);
+  std::cout << "---- Prometheus text exposition ----\n" << prometheus;
+
+  std::filesystem::create_directories("telemetry_out");
+  {
+    std::ofstream out("telemetry_out/metrics.json");
+    out << telemetry::to_json(registry) << '\n';
+  }
+  {
+    std::ofstream out("telemetry_out/probe_cycles.json");
+    out << tracer.to_json() << '\n';
+  }
+  std::cout << "\nwrote telemetry_out/metrics.json and "
+            << "telemetry_out/probe_cycles.json (" << tracer.recorded()
+            << " probe cycles traced)\n";
+
+  // Self-check: the exposition must cover all instrumented layers.
+  const char* required[] = {
+      "probemon_watch_probes_sent_total",
+      "probemon_watch_rtt_seconds_bucket",
+      "probemon_device_experienced_load",
+      "probemon_des_events_executed_total",
+      "probemon_transport_datagrams_sent_total",
+      "probemon_presence_transitions_total",
+  };
+  bool ok = true;
+  for (const char* name : required) {
+    if (prometheus.find(name) == std::string::npos) {
+      std::cout << "MISSING metric family: " << name << '\n';
+      ok = false;
+    }
+  }
+  std::cout << (ok ? "all expected metric families present."
+                   : "exposition incomplete!")
+            << '\n';
+  return ok ? 0 : 1;
+}

@@ -17,6 +17,7 @@ EventId Scheduler::schedule_at(Time t, Callback fn) {
   const std::uint64_t seq = next_seq_++;
   queue_.push(Entry{t, seq, seq, std::move(fn)});
   live_.insert(seq);
+  if (live_.size() > high_water_) high_water_ = live_.size();
   return EventId(seq);
 }
 

@@ -98,6 +98,10 @@ class Scheduler {
   /// Total events executed over the scheduler's lifetime.
   std::uint64_t executed_count() const noexcept { return executed_; }
 
+  /// Peak live pending-event count over the scheduler's lifetime (queue
+  /// depth high-water mark; a capacity-planning signal for big models).
+  std::size_t queue_high_water() const noexcept { return high_water_; }
+
  private:
   struct Entry {
     Time time;
@@ -120,6 +124,7 @@ class Scheduler {
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace probemon::des

@@ -1,8 +1,28 @@
 #include "des/simulation.hpp"
 
+#include <chrono>
+
 namespace probemon::des {
 
 Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+
+std::uint64_t Simulation::run_until(Time horizon) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t n = scheduler_.run_until(horizon);
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return n;
+}
+
+std::uint64_t Simulation::run_all() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t n = scheduler_.run_all();
+  wall_seconds_ += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  return n;
+}
 
 Simulation::Periodic::Periodic(Scheduler& scheduler, Time period,
                                std::function<void(Time)> fn, Time until)

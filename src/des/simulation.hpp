@@ -45,13 +45,22 @@ class Simulation {
                                   Time until = kTimeInfinity);
 
   /// Run until virtual time `horizon`.
-  std::uint64_t run_until(Time horizon) { return scheduler_.run_until(horizon); }
+  std::uint64_t run_until(Time horizon);
   /// Run until the event queue drains.
-  std::uint64_t run_all() { return scheduler_.run_all(); }
+  std::uint64_t run_all();
+
+  /// Wall-clock seconds spent inside run_until()/run_all() so far.
+  double wall_seconds() const noexcept { return wall_seconds_; }
+  /// Virtual seconds simulated per wall-clock second (how much faster
+  /// than real time the model runs); NaN before the first run call.
+  double speedup_ratio() const noexcept {
+    return scheduler_.now() / wall_seconds_;
+  }
 
  private:
   Scheduler scheduler_;
   util::Rng rng_;
+  double wall_seconds_ = 0.0;
 };
 
 /// Handle for a periodic activity; destroying it stops the repetition.

@@ -41,15 +41,31 @@ void InProcTransport::detach(net::NodeId id) {
   cv_.wait(lock, [this, id] { return delivering_to_ != id; });
 }
 
+void InProcTransport::instrument(telemetry::Registry& registry) {
+  const telemetry::Labels labels{{"transport", "inproc"}};
+  std::lock_guard lock(mutex_);
+  tele_sent_ =
+      &registry.counter("probemon_transport_datagrams_sent_total",
+                        "Datagrams handed to the transport", labels);
+  tele_delivered_ =
+      &registry.counter("probemon_transport_datagrams_delivered_total",
+                        "Datagrams delivered to a handler", labels);
+  tele_dropped_ = &registry.counter(
+      "probemon_transport_datagrams_dropped_total",
+      "Datagrams lost (injected loss or unknown destination)", labels);
+}
+
 void InProcTransport::send(net::Message msg) {
   double delay;
   bool lost;
   {
     std::lock_guard lock(mutex_);
     ++sent_;
+    if (tele_sent_) tele_sent_->inc();
     lost = rng_.bernoulli(config_.loss);
     if (lost) {
       ++dropped_;
+      if (tele_dropped_) tele_dropped_->inc();
       return;
     }
     delay = rng_.uniform(config_.delay_min, config_.delay_max);
@@ -76,11 +92,13 @@ void InProcTransport::delivery_loop() {
     auto it = handlers_.find(p.msg.to);
     if (it == handlers_.end()) {
       ++dropped_;
+      if (tele_dropped_) tele_dropped_->inc();
       continue;
     }
     RtHandler handler = it->second;  // copy: survives concurrent detach
     delivering_to_ = p.msg.to;
     ++delivered_;
+    if (tele_delivered_) tele_delivered_->inc();
     lock.unlock();
     handler(p.msg);
     lock.lock();

@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 #include "runtime/transport.hpp"
+#include "telemetry/registry.hpp"
 #include "util/rng.hpp"
 
 namespace probemon::runtime {
@@ -39,6 +40,11 @@ class InProcTransport final : public Transport {
   std::uint64_t sent_count() const;
   std::uint64_t delivered_count() const;
   std::uint64_t dropped_count() const;
+
+  /// Mirror datagram counts into `registry` (label transport="inproc"):
+  /// probemon_transport_datagrams_{sent,delivered,dropped}_total. The
+  /// registry must outlive the transport.
+  void instrument(telemetry::Registry& registry);
 
  private:
   struct Pending {
@@ -67,6 +73,9 @@ class InProcTransport final : public Transport {
   std::uint64_t next_seq_ = 0;
   util::Rng rng_;
   std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
+  telemetry::Counter* tele_sent_ = nullptr;
+  telemetry::Counter* tele_delivered_ = nullptr;
+  telemetry::Counter* tele_dropped_ = nullptr;
   std::thread worker_;  // last member: starts after everything is ready
 };
 

@@ -13,8 +13,30 @@ const char* to_string(Presence presence) noexcept {
   return "?";
 }
 
-PresenceService::PresenceService(Transport& transport)
-    : transport_(transport) {}
+PresenceService::PresenceService(Transport& transport,
+                                 TelemetryOptions telemetry)
+    : transport_(transport), telemetry_(telemetry) {
+  if (telemetry_.registry) {
+    auto& r = *telemetry_.registry;
+    transitions_present_ =
+        &r.counter("probemon_presence_transitions_total",
+                   "Presence state transitions observed by the service",
+                   {{"state", "present"}});
+    transitions_absent_ = &r.counter("probemon_presence_transitions_total", "",
+                                     {{"state", "absent"}});
+    cycles_success_ =
+        &r.counter("probemon_watch_cycles_total",
+                   "Completed probe cycles across all watches",
+                   {{"result", "success"}});
+    cycles_failure_ = &r.counter("probemon_watch_cycles_total", "",
+                                 {{"result", "failure"}});
+    detection_latency_ = &r.histogram(
+        "probemon_detection_latency_seconds",
+        telemetry::Histogram::exponential_buckets(0.01, 2.0, 11),
+        "First unanswered probe to absence declaration");
+    watches_gauge_ = &r.gauge("probemon_watches", "Currently watched devices");
+  }
+}
 
 PresenceService::~PresenceService() {
   // Move the watches out so CP threads join without the lock held
@@ -49,6 +71,44 @@ RtControlPointBase::Callbacks PresenceService::make_callbacks(
   callbacks.on_cycle_success = [this, device](double t, double) {
     on_transition(device, Presence::kPresent, t);
   };
+  if (!telemetry_.registry && !telemetry_.tracer) return callbacks;
+
+  // Per-watch instances are registered once here (watch time) so the
+  // per-cycle path below never touches the registry map.
+  telemetry::Counter* probes = nullptr;
+  telemetry::Counter* retransmissions = nullptr;
+  telemetry::Histogram* rtt = nullptr;
+  if (telemetry_.registry) {
+    auto& r = *telemetry_.registry;
+    const telemetry::Labels labels{{"device", std::to_string(device)}};
+    probes = &r.counter("probemon_watch_probes_sent_total",
+                        "Probes transmitted for this watch", labels);
+    retransmissions =
+        &r.counter("probemon_watch_retransmissions_total",
+                   "Probe retransmissions for this watch", labels);
+    rtt = &r.histogram(
+        "probemon_watch_rtt_seconds",
+        telemetry::Histogram::exponential_buckets(0.0005, 2.0, 11),
+        "Probe send to reply acceptance latency", labels);
+  }
+  callbacks.on_cycle_trace =
+      [this, probes, retransmissions,
+       rtt](const telemetry::ProbeCycleTrace& trace) {
+        if (telemetry_.tracer) telemetry_.tracer->record(trace);
+        if (probes) probes->inc(trace.attempts);
+        if (retransmissions && trace.attempts > 1) {
+          retransmissions->inc(trace.attempts - 1u);
+        }
+        if (trace.success) {
+          if (rtt) rtt->observe(trace.rtt);
+          if (cycles_success_) cycles_success_->inc();
+        } else {
+          if (cycles_failure_) cycles_failure_->inc();
+          if (detection_latency_) {
+            detection_latency_->observe(trace.end - trace.start);
+          }
+        }
+      };
   return callbacks;
 }
 
@@ -66,6 +126,9 @@ void PresenceService::watch_dcpp(net::NodeId device,
     auto [it, inserted] = watches_.try_emplace(device);
     if (!inserted) return;  // raced with another watcher; drop ours
     it->second.cp = std::move(cp);
+    if (watches_gauge_) {
+      watches_gauge_->set(static_cast<double>(watches_.size()));
+    }
   }
   raw->start();
 }
@@ -84,6 +147,9 @@ void PresenceService::watch_sapp(net::NodeId device,
     auto [it, inserted] = watches_.try_emplace(device);
     if (!inserted) return;
     it->second.cp = std::move(cp);
+    if (watches_gauge_) {
+      watches_gauge_->set(static_cast<double>(watches_.size()));
+    }
   }
   raw->start();
 }
@@ -96,6 +162,9 @@ void PresenceService::unwatch(net::NodeId device) {
     if (it == watches_.end()) return;
     doomed = std::move(it->second);
     watches_.erase(it);
+    if (watches_gauge_) {
+      watches_gauge_->set(static_cast<double>(watches_.size()));
+    }
   }
   // Watch (and its CP thread) dies here, outside the lock.
 }
@@ -110,6 +179,12 @@ void PresenceService::on_transition(net::NodeId device, Presence state,
     if (it->second.state == state) return;  // no transition
     it->second.state = state;
     it->second.last_change = t;
+    if (state == Presence::kPresent && transitions_present_) {
+      transitions_present_->inc();
+    }
+    if (state == Presence::kAbsent && transitions_absent_) {
+      transitions_absent_->inc();
+    }
     to_notify.reserve(subscribers_.size());
     for (const auto& [token, cb] : subscribers_) to_notify.push_back(cb);
   }

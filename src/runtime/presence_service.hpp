@@ -23,6 +23,8 @@
 #include "core/config.hpp"
 #include "runtime/rt_control_point.hpp"
 #include "runtime/transport.hpp"
+#include "telemetry/probe_tracer.hpp"
+#include "telemetry/registry.hpp"
 
 namespace probemon::runtime {
 
@@ -49,9 +51,29 @@ class PresenceService {
  public:
   using EventCallback = std::function<void(const PresenceEvent&)>;
 
+  /// Optional observability wiring. When `registry` is set, the service
+  /// maintains (metric names documented in docs/observability.md):
+  ///   * probemon_watch_probes_sent_total{device=...} /
+  ///     probemon_watch_retransmissions_total{device=...}
+  ///   * probemon_watch_rtt_seconds{device=...} (per-watch histogram)
+  ///   * probemon_watch_cycles_total{result=success|failure}
+  ///   * probemon_presence_transitions_total{state=present|absent}
+  ///   * probemon_detection_latency_seconds (first unanswered probe ->
+  ///     absence declaration; a lower bound on the paper's detection
+  ///     latency, which additionally spans the final inter-cycle wait)
+  ///   * probemon_watches (gauge)
+  /// When `tracer` is set, every completed probe cycle is recorded.
+  /// Both must outlive the service.
+  struct TelemetryOptions {
+    telemetry::Registry* registry = nullptr;
+    telemetry::ProbeCycleTracer* tracer = nullptr;
+  };
+
   /// The service sends and receives through `transport`, which must
   /// outlive it.
-  explicit PresenceService(Transport& transport);
+  explicit PresenceService(Transport& transport)
+      : PresenceService(transport, TelemetryOptions()) {}
+  PresenceService(Transport& transport, TelemetryOptions telemetry);
   ~PresenceService();
 
   PresenceService(const PresenceService&) = delete;
@@ -103,6 +125,15 @@ class PresenceService {
   void on_transition(net::NodeId device, Presence state, double t);
 
   Transport& transport_;
+  TelemetryOptions telemetry_;
+  // Service-wide metric instances (null when telemetry is off).
+  telemetry::Counter* transitions_present_ = nullptr;
+  telemetry::Counter* transitions_absent_ = nullptr;
+  telemetry::Counter* cycles_success_ = nullptr;
+  telemetry::Counter* cycles_failure_ = nullptr;
+  telemetry::Histogram* detection_latency_ = nullptr;
+  telemetry::Gauge* watches_gauge_ = nullptr;
+
   mutable std::mutex mutex_;
   std::unordered_map<net::NodeId, Watch> watches_;
   std::unordered_map<std::uint64_t, EventCallback> subscribers_;

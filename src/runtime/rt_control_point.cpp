@@ -65,10 +65,16 @@ void RtControlPointBase::run() {
     bool success = false;
     net::Message reply;
     double t_obs = 0;
+    telemetry::ProbeCycleTrace trace;
+    trace.cp = id_;
+    trace.device = device_;
+    trace.cycle = cyc;
     for (int attempt = 0; attempt <= timeouts_.max_retransmissions;
          ++attempt) {
       ++probes_sent_;
       const double sent_at = clock.now();
+      if (attempt == 0) trace.start = sent_at;
+      trace.attempts = static_cast<std::uint8_t>(attempt + 1);
       lock.unlock();
       send_probe(cyc, static_cast<std::uint8_t>(attempt));
       lock.lock();
@@ -87,18 +93,24 @@ void RtControlPointBase::run() {
         // Same observation rule as the DES CP: clean success uses the
         // reply arrival instant, a retransmitted success the send time.
         t_obs = attempt == 0 ? clock.now() : sent_at;
+        trace.rtt = clock.now() - sent_at;
         break;
       }
       pending_reply_.reset();  // stale reply from an older cycle, if any
     }
 
+    trace.end = clock.now();
+    trace.success = success;
+
     if (!success) {
       ++cycles_failed_;
       device_present_ = false;
-      if (callbacks_.on_absent) {
-        auto cb = callbacks_.on_absent;
+      if (callbacks_.on_cycle_trace || callbacks_.on_absent) {
+        auto trace_cb = callbacks_.on_cycle_trace;
+        auto absent_cb = callbacks_.on_absent;
         lock.unlock();
-        cb(device_, clock.now());
+        if (trace_cb) trace_cb(trace);
+        if (absent_cb) absent_cb(device_, clock.now());
         lock.lock();
       }
       return;  // monitoring ends once the device is declared absent
@@ -108,10 +120,12 @@ void RtControlPointBase::run() {
     device_present_ = true;
     const double delay = next_delay_locked(reply, t_obs);
     current_delay_ = delay;
-    if (callbacks_.on_cycle_success) {
-      auto cb = callbacks_.on_cycle_success;
+    if (callbacks_.on_cycle_trace || callbacks_.on_cycle_success) {
+      auto trace_cb = callbacks_.on_cycle_trace;
+      auto success_cb = callbacks_.on_cycle_success;
       lock.unlock();
-      cb(clock.now(), delay);
+      if (trace_cb) trace_cb(trace);
+      if (success_cb) success_cb(clock.now(), delay);
       lock.lock();
       if (stop_) return;
     }

@@ -20,6 +20,7 @@
 #include "core/config.hpp"
 #include "core/sapp_adaptation.hpp"
 #include "runtime/transport.hpp"
+#include "telemetry/probe_tracer.hpp"
 
 namespace probemon::runtime {
 
@@ -30,6 +31,11 @@ class RtControlPointBase {
     std::function<void(net::NodeId device, double t)> on_absent;
     /// Invoked after every successful cycle with the chosen delay.
     std::function<void(double t, double delay)> on_cycle_success;
+    /// Invoked (from the CP thread) once per completed cycle — success
+    /// or absence declaration — with the full span record: first-send /
+    /// resolution instants, attempts used, reply RTT. Feed it to a
+    /// telemetry::ProbeCycleTracer or Registry.
+    std::function<void(const telemetry::ProbeCycleTrace&)> on_cycle_trace;
   };
 
   RtControlPointBase(Transport& transport, net::NodeId device,

@@ -1,5 +1,8 @@
 #include "runtime/rt_device.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "core/dcpp_device.hpp"
 
 namespace probemon::runtime {
@@ -36,6 +39,50 @@ std::uint64_t RtDeviceBase::probes_received() const {
   return probes_received_;
 }
 
+double RtDeviceBase::experienced_load() const {
+  std::lock_guard lock(mutex_);
+  const double now = transport_.clock().now();
+  std::size_t in_window = 0;
+  for (auto it = recent_probe_times_.rbegin();
+       it != recent_probe_times_.rend() && *it > now - load_window_; ++it) {
+    ++in_window;
+  }
+  // Before a full window has elapsed, divide by the elapsed time so the
+  // estimate is not biased low at startup.
+  const double span = std::min(load_window_, now);
+  return span > 0 ? static_cast<double>(in_window) / span : 0.0;
+}
+
+double RtDeviceBase::load_window() const {
+  std::lock_guard lock(mutex_);
+  return load_window_;
+}
+
+void RtDeviceBase::set_load_window(double seconds) {
+  if (!(seconds > 0)) {
+    throw std::invalid_argument("set_load_window: seconds > 0");
+  }
+  std::lock_guard lock(mutex_);
+  load_window_ = seconds;
+}
+
+void RtDeviceBase::instrument(telemetry::Registry& registry,
+                              double nominal_load) {
+  const telemetry::Labels labels{{"device", std::to_string(id_)}};
+  registry.gauge_callback(
+      "probemon_device_experienced_load",
+      [this] { return experienced_load(); },
+      "Probes/s accepted over the trailing load window (live Fig 5)",
+      labels);
+  registry.gauge("probemon_device_nominal_load",
+                 "Protocol nominal load cap L_nom (probes/s)", labels)
+      .set(nominal_load);
+  registry.counter_callback(
+      "probemon_device_probes_received_total",
+      [this] { return static_cast<double>(probes_received()); },
+      "Probes accepted by the device", labels);
+}
+
 void RtDeviceBase::handle(const net::Message& msg) {
   if (msg.kind != net::MessageKind::kProbe) return;
   net::Message reply;
@@ -43,6 +90,12 @@ void RtDeviceBase::handle(const net::Message& msg) {
     std::lock_guard lock(mutex_);
     if (!present_) return;
     ++probes_received_;
+    const double now = transport_.clock().now();
+    recent_probe_times_.push_back(now);
+    while (!recent_probe_times_.empty() &&
+           recent_probe_times_.front() <= now - load_window_) {
+      recent_probe_times_.pop_front();
+    }
     reply.kind = net::MessageKind::kReply;
     reply.from = id_;
     reply.to = msg.from;

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 
 #include "core/config.hpp"
 #include "runtime/transport.hpp"
+#include "telemetry/registry.hpp"
 
 namespace probemon::runtime {
 
@@ -31,6 +33,21 @@ class RtDeviceBase {
 
   std::uint64_t probes_received() const;
 
+  /// Probes accepted per second over the trailing `load_window()` — the
+  /// live runtime counterpart of the paper's Fig-5 device-load curve.
+  double experienced_load() const;
+  /// Load-measurement window, seconds (default 5).
+  double load_window() const;
+  void set_load_window(double seconds);
+
+  /// Register this device's load view on `registry` (labels get
+  /// device=<id> appended): probemon_device_experienced_load and
+  /// probemon_device_nominal_load gauges (callback-backed), plus a
+  /// probemon_device_probes_received_total counter. `nominal_load` is
+  /// the protocol's L_nom cap (probes/s). The device must outlive the
+  /// registry entries.
+  void instrument(telemetry::Registry& registry, double nominal_load);
+
  protected:
   /// Protocol-specific reply payload; called with the state mutex held.
   virtual void fill_reply_locked(const net::Message& probe, double t,
@@ -51,6 +68,8 @@ class RtDeviceBase {
   bool detached_ = false;
   bool present_ = true;
   std::uint64_t probes_received_ = 0;
+  double load_window_ = 5.0;
+  std::deque<double> recent_probe_times_;  ///< within the trailing window
 };
 
 /// SAPP device: pc += Delta per probe; reply carries pc.
@@ -61,6 +80,12 @@ class RtSappDevice final : public RtDeviceBase {
 
   std::uint64_t probe_counter() const;
   void set_delta(std::uint64_t delta);
+
+  /// instrument() with the SAPP nominal load from the config.
+  using RtDeviceBase::instrument;
+  void instrument(telemetry::Registry& registry) {
+    RtDeviceBase::instrument(registry, config_.l_nom);
+  }
 
  protected:
   void fill_reply_locked(const net::Message& probe, double t,
@@ -79,6 +104,12 @@ class RtDcppDevice final : public RtDeviceBase {
   ~RtDcppDevice() override { shutdown(); }
 
   double next_slot() const;
+
+  /// instrument() with L_nom = 1/delta_min from the config.
+  using RtDeviceBase::instrument;
+  void instrument(telemetry::Registry& registry) {
+    RtDeviceBase::instrument(registry, config_.l_nom());
+  }
 
  protected:
   void fill_reply_locked(const net::Message& probe, double t,

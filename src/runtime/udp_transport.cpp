@@ -158,12 +158,27 @@ void UdpTransport::detach(net::NodeId id) {
   wake_receiver();
 }
 
+void UdpTransport::instrument(telemetry::Registry& registry) {
+  const telemetry::Labels labels{{"transport", "udp"}};
+  std::lock_guard lock(mutex_);
+  tele_sent_ =
+      &registry.counter("probemon_transport_datagrams_sent_total",
+                        "Datagrams handed to the transport", labels);
+  tele_delivered_ =
+      &registry.counter("probemon_transport_datagrams_delivered_total",
+                        "Datagrams delivered to a handler", labels);
+  tele_send_errors_ =
+      &registry.counter("probemon_transport_send_errors_total",
+                        "sendto() failures (best-effort loss)", labels);
+}
+
 void UdpTransport::send(net::Message msg) {
   std::uint16_t port = 0;
   int fd = -1;
   {
     std::lock_guard lock(mutex_);
     ++sent_;
+    if (tele_sent_) tele_sent_->inc();
     auto dst = nodes_.find(msg.to);
     if (dst == nodes_.end()) return;  // unknown destination: dropped
     port = dst->second.port;
@@ -178,8 +193,12 @@ void UdpTransport::send(net::Message msg) {
   addr.sin_port = htons(port);
   // Best-effort datagram: a full socket buffer is packet loss, exactly
   // what the protocols are built to tolerate.
-  sendto(fd, wire, sizeof wire, 0, reinterpret_cast<sockaddr*>(&addr),
-         sizeof addr);
+  if (sendto(fd, wire, sizeof wire, 0, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    std::lock_guard lock(mutex_);
+    ++send_errors_;
+    if (tele_send_errors_) tele_send_errors_->inc();
+  }
 }
 
 void UdpTransport::receive_loop() {
@@ -221,6 +240,7 @@ void UdpTransport::receive_loop() {
         handler = it->second.handler;
         delivering_to_ = ids[i];
         ++delivered_;
+        if (tele_delivered_) tele_delivered_->inc();
       }
       handler(msg);
       {
@@ -239,6 +259,10 @@ std::uint64_t UdpTransport::sent_count() const {
 std::uint64_t UdpTransport::delivered_count() const {
   std::lock_guard lock(mutex_);
   return delivered_;
+}
+std::uint64_t UdpTransport::send_error_count() const {
+  std::lock_guard lock(mutex_);
+  return send_errors_;
 }
 std::uint16_t UdpTransport::port_of(net::NodeId id) const {
   std::lock_guard lock(mutex_);

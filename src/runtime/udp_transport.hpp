@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "runtime/transport.hpp"
+#include "telemetry/registry.hpp"
 
 namespace probemon::runtime {
 
@@ -37,6 +38,14 @@ class UdpTransport final : public Transport {
 
   std::uint64_t sent_count() const;
   std::uint64_t delivered_count() const;
+  /// sendto() failures (full socket buffer etc.) — best-effort loss.
+  std::uint64_t send_error_count() const;
+
+  /// Mirror datagram counts into `registry` (label transport="udp"):
+  /// probemon_transport_datagrams_{sent,delivered}_total and
+  /// probemon_transport_send_errors_total. The registry must outlive
+  /// the transport.
+  void instrument(telemetry::Registry& registry);
 
   /// UDP port of a node's socket (0 if unknown) — exposed for tests.
   std::uint16_t port_of(net::NodeId id) const;
@@ -62,6 +71,10 @@ class UdpTransport final : public Transport {
   int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll()
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t send_errors_ = 0;
+  telemetry::Counter* tele_sent_ = nullptr;
+  telemetry::Counter* tele_delivered_ = nullptr;
+  telemetry::Counter* tele_send_errors_ = nullptr;
   std::thread receiver_;
 };
 

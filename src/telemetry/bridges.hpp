@@ -1,0 +1,57 @@
+// Bridges: bind existing components' internal tallies into a Registry.
+//
+// Components that already count things (the DES scheduler, simulations,
+// runtime devices) should not grow a telemetry dependency; instead these
+// helpers register *callback* metrics that read the component's inline
+// accessors at snapshot time. The component must outlive the registry
+// entries (remove() them first otherwise).
+//
+// Header-only on purpose: everything called here is an inline accessor,
+// so the telemetry library keeps zero link dependencies on des/.
+#pragma once
+
+#include <string>
+
+#include "des/scheduler.hpp"
+#include "des/simulation.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::telemetry {
+
+/// Scheduler health: events executed, live queue depth, and the queue's
+/// high-water mark (peak outstanding events — the DES analogue of a
+/// server's max in-flight requests).
+inline void instrument_scheduler(Registry& registry,
+                                 const des::Scheduler& scheduler,
+                                 const Labels& labels = {}) {
+  registry.counter_callback(
+      "probemon_des_events_executed_total",
+      [&scheduler] { return static_cast<double>(scheduler.executed_count()); },
+      "Events executed by the DES scheduler", labels);
+  registry.gauge_callback(
+      "probemon_des_queue_depth",
+      [&scheduler] { return static_cast<double>(scheduler.pending_count()); },
+      "Live (non-cancelled) pending events", labels);
+  registry.gauge_callback(
+      "probemon_des_queue_high_water",
+      [&scheduler] {
+        return static_cast<double>(scheduler.queue_high_water());
+      },
+      "Peak live pending events over the scheduler lifetime", labels);
+}
+
+/// Everything instrument_scheduler binds, plus virtual time and the
+/// sim-time/wall-time speedup ratio of run_until()/run_all() calls.
+inline void instrument_simulation(Registry& registry,
+                                  const des::Simulation& sim,
+                                  const Labels& labels = {}) {
+  instrument_scheduler(registry, sim.scheduler(), labels);
+  registry.gauge_callback(
+      "probemon_des_sim_time_seconds", [&sim] { return sim.now(); },
+      "Current virtual time", labels);
+  registry.gauge_callback(
+      "probemon_des_speedup_ratio", [&sim] { return sim.speedup_ratio(); },
+      "Virtual seconds simulated per wall-clock second", labels);
+}
+
+}  // namespace probemon::telemetry

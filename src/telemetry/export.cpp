@@ -1,0 +1,215 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+
+namespace probemon::telemetry {
+
+namespace {
+
+/// Prometheus sample-value formatting: integral values without decimals,
+/// non-finite values as the spec's literals.
+std::string fmt_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return json_number(v);
+}
+
+/// Prometheus label-value escaping: \, ", and newline.
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_block(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += escape_label(v);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Labels + one extra pair appended (histogram `le`).
+std::string label_block_with(const Labels& labels, const std::string& key,
+                             const std::string& value) {
+  Labels extended = labels;
+  extended.emplace_back(key, value);
+  return label_block(extended);
+}
+
+void emit_family_header(std::string& out, const Sample& s,
+                        std::string& last_name) {
+  if (s.name == last_name) return;
+  last_name = s.name;
+  if (!s.help.empty()) {
+    out += "# HELP " + s.name + ' ' + s.help + '\n';
+  }
+  out += "# TYPE " + s.name + ' ';
+  out += to_string(s.type);
+  out += '\n';
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  const auto samples = registry.snapshot();
+  std::string out;
+  std::string last_name;
+  for (const Sample& s : samples) {
+    emit_family_header(out, s, last_name);
+    if (s.type != MetricType::kHistogram) {
+      out += s.name + label_block(s.labels) + ' ' + fmt_value(s.value) + '\n';
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      cumulative += s.buckets[i];
+      const std::string le =
+          i < s.bounds.size() ? fmt_value(s.bounds[i]) : "+Inf";
+      out += s.name + "_bucket" + label_block_with(s.labels, "le", le) + ' ' +
+             std::to_string(cumulative) + '\n';
+    }
+    out += s.name + "_sum" + label_block(s.labels) + ' ' + fmt_value(s.sum) +
+           '\n';
+    out += s.name + "_count" + label_block(s.labels) + ' ' +
+           std::to_string(s.count) + '\n';
+  }
+  return out;
+}
+
+std::string to_json(const Registry& registry) {
+  const auto samples = registry.snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics");
+  w.begin_array();
+  for (const Sample& s : samples) {
+    w.begin_object();
+    w.key("name");
+    w.value(s.name);
+    w.key("type");
+    w.value(to_string(s.type));
+    if (!s.labels.empty()) {
+      w.key("labels");
+      w.begin_object();
+      for (const auto& [k, v] : s.labels) {
+        w.key(k);
+        w.value(v);
+      }
+      w.end_object();
+    }
+    if (s.type != MetricType::kHistogram) {
+      w.key("value");
+      w.value(s.value);
+    } else {
+      w.key("count");
+      w.value(s.count);
+      w.key("sum");
+      w.value(s.sum);
+      w.key("bounds");
+      w.begin_array();
+      for (double b : s.bounds) w.value(b);
+      w.end_array();
+      w.key("buckets");
+      w.begin_array();
+      for (std::uint64_t c : s.buckets) w.value(c);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string render_human(const Registry& registry) {
+  const auto samples = registry.snapshot();
+  // Align the value column on the longest name+labels.
+  std::size_t width = 0;
+  std::vector<std::string> keys;
+  keys.reserve(samples.size());
+  for (const Sample& s : samples) {
+    keys.push_back(s.name + label_block(s.labels));
+    width = std::max(width, keys.back().size());
+  }
+  std::string out;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    out += keys[i];
+    out.append(width - keys[i].size() + 2, ' ');
+    if (s.type != MetricType::kHistogram) {
+      out += fmt_value(s.value);
+    } else {
+      const double mean =
+          s.count ? s.sum / static_cast<double>(s.count) : 0.0;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "count=%llu mean=%.6g sum=%.6g",
+                    static_cast<unsigned long long>(s.count), mean, s.sum);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+PeriodicReporter::PeriodicReporter(const Registry& registry, double period_s,
+                                   util::LogLevel level)
+    : registry_(registry), period_s_(period_s), level_(level) {}
+
+PeriodicReporter::~PeriodicReporter() { stop(); }
+
+void PeriodicReporter::start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void PeriodicReporter::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mutex_);
+  started_ = false;
+}
+
+void PeriodicReporter::run() {
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(period_s_));
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
+    lock.unlock();
+    PROBEMON_LOG(level_) << "telemetry snapshot\n" << render_human(registry_);
+    lock.lock();
+  }
+}
+
+}  // namespace probemon::telemetry

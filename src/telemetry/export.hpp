@@ -1,0 +1,61 @@
+// Exporters: turn a Registry snapshot into something a consumer reads.
+//
+//   * to_prometheus() — Prometheus text exposition format 0.0.4, the
+//     de-facto scrape format (HELP/TYPE headers, `le`-labelled
+//     cumulative histogram buckets, _sum/_count series).
+//   * to_json()       — machine-readable snapshot for bench summaries
+//     and offline diffing.
+//   * render_human()  — aligned plain text for humans and log files.
+//   * PeriodicReporter — a background thread that logs render_human()
+//     output through util::Logger at a fixed period; the poor
+//     operator's dashboard until a real scrape endpoint exists.
+#pragma once
+
+#include <string>
+#include <thread>
+#include <condition_variable>
+#include <mutex>
+
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+namespace probemon::telemetry {
+
+/// Prometheus text exposition (version 0.0.4) of the whole registry.
+std::string to_prometheus(const Registry& registry);
+
+/// JSON snapshot: array of metric objects under {"metrics": [...]}.
+std::string to_json(const Registry& registry);
+
+/// Aligned human-readable rendering (one line per metric; histograms
+/// summarized as count/mean/max-bucket).
+std::string render_human(const Registry& registry);
+
+/// Logs render_human() every `period_s` seconds via PLOG at `level`.
+/// start() idempotent; stop() (or destruction) joins the thread.
+class PeriodicReporter {
+ public:
+  PeriodicReporter(const Registry& registry, double period_s,
+                   util::LogLevel level = util::LogLevel::kInfo);
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  void start();
+  void stop();
+
+ private:
+  void run();
+
+  const Registry& registry_;
+  const double period_s_;
+  const util::LogLevel level_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace probemon::telemetry

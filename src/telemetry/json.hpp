@@ -1,0 +1,116 @@
+// Minimal JSON writer (header-only).
+//
+// Exists so the telemetry exporters and the bench JSON summaries don't
+// each hand-roll escaping. Emission only — this repo never parses JSON.
+// Numbers print with up to 17 significant digits (round-trip exact for
+// doubles); NaN and infinities, which JSON cannot represent, emit null.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace probemon::telemetry {
+
+/// Append `s` as a quoted JSON string to `out`.
+inline void json_escape(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline std::string json_number(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  // Integral doubles print without exponent/decimals: counters stay
+  // readable ("42" not "4.2e+01").
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Incremental writer for one JSON document. Tracks comma placement;
+/// nesting correctness is the caller's job (kept deliberately dumb).
+class JsonWriter {
+ public:
+  void begin_object() {
+    comma();
+    out_ += '{';
+    first_ = true;
+  }
+  void end_object() {
+    out_ += '}';
+    first_ = false;
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    first_ = true;
+  }
+  void end_array() {
+    out_ += ']';
+    first_ = false;
+  }
+  void key(const std::string& k) {
+    comma();
+    json_escape(out_, k);
+    out_ += ':';
+    first_ = true;  // value follows without a comma
+  }
+  void value(const std::string& v) {
+    comma();
+    json_escape(out_, v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v) {
+    comma();
+    out_ += json_number(v);
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+
+  const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace probemon::telemetry

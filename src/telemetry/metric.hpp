@@ -1,0 +1,141 @@
+// Metric primitives: the lock-free hot path of the telemetry subsystem.
+//
+// Protocol threads (CP loops, transport delivery threads, device
+// handlers) record through these objects; snapshotting, naming and
+// exposition live in registry.hpp / export.hpp. Everything here is a
+// plain atomic update so instrumentation can sit on paths that fire
+// tens of thousands of times per second:
+//
+//   * Counter    — monotonically increasing u64 (relaxed fetch_add).
+//   * Gauge      — last-written double (relaxed store; add() via CAS).
+//   * Histogram  — fixed upper-bound buckets, Prometheus `le` semantics
+//                  (observation x lands in the first bucket with
+//                  x <= upper_bound, else the implicit +Inf bucket),
+//                  plus an exact count and CAS-accumulated sum. This is
+//                  the concurrent sibling of stats::Histogram: same
+//                  bucket bookkeeping, no interpolated quantiles (those
+//                  belong to offline analysis).
+//
+// Relaxed ordering is deliberate: metrics are monitoring data, not
+// synchronization. Cross-metric skew in a snapshot (a counter read a few
+// nanoseconds before its sibling) is acceptable; each individual value
+// is always exact because every increment uses an atomic RMW.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace probemon::telemetry {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void sub(double d) noexcept { add(-d); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; a final
+  /// +Inf bucket is implicit.
+  explicit Histogram(std::vector<double> upper_bounds)
+      : bounds_(std::move(upper_bounds)) {
+    if (bounds_.empty()) {
+      throw std::invalid_argument("Histogram: no buckets");
+    }
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      if (!(bounds_[i] > bounds_[i - 1])) {
+        throw std::invalid_argument("Histogram: bounds must increase");
+      }
+    }
+    counts_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+
+  void observe(double x) noexcept {
+    std::size_t lo = 0, hi = bounds_.size();  // branchless-ish binary search
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (x <= bounds_[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    counts_[lo].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + x,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
+  /// Number of buckets including the implicit +Inf one.
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  /// Non-cumulative count of bucket i (i == bucket_count()-1 is +Inf).
+  std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i).load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// `count` buckets at start, start+width, ... (Prometheus helper).
+  static std::vector<double> linear_buckets(double start, double width,
+                                            std::size_t count) {
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(start + width * static_cast<double>(i));
+    }
+    return out;
+  }
+  /// `count` buckets at start, start*factor, ... ; factor > 1.
+  static std::vector<double> exponential_buckets(double start, double factor,
+                                                 std::size_t count) {
+    std::vector<double> out;
+    out.reserve(count);
+    double b = start;
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(b);
+      b *= factor;
+    }
+    return out;
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace probemon::telemetry

@@ -1,0 +1,51 @@
+// ObserverAdapter: DES protocol events -> telemetry metrics.
+//
+// scenario::Metrics answers the paper's offline questions (fairness
+// tables, figure traces); this adapter answers the operational ones —
+// the same quantities, but as live counters/histograms a snapshot can
+// export mid-run. It implements core::ProtocolObserver so a DES
+// experiment and the threaded runtime report through one metric
+// vocabulary (see docs/observability.md).
+//
+// Use alongside scenario::Metrics via core::ObserverFanout when both
+// views are wanted.
+#pragma once
+
+#include "core/observer.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::telemetry {
+
+class ObserverAdapter final : public core::ProtocolObserver {
+ public:
+  /// Registers its metric families on `registry` (which must outlive
+  /// the adapter). `labels` is attached to every family, e.g.
+  /// {{"protocol", "sapp"}}.
+  explicit ObserverAdapter(Registry& registry, const Labels& labels = {});
+
+  void on_probe_sent(net::NodeId cp, net::NodeId device, double t,
+                     std::uint8_t attempt) override;
+  void on_probe_received(net::NodeId device, net::NodeId cp,
+                         double t) override;
+  void on_cycle_success(net::NodeId cp, net::NodeId device, double t,
+                        std::uint8_t attempts) override;
+  void on_delay_updated(net::NodeId cp, double t, double delay) override;
+  void on_device_declared_absent(net::NodeId cp, net::NodeId device,
+                                 double t) override;
+  void on_absence_learned(net::NodeId cp, net::NodeId device,
+                          double t) override;
+  void on_delta_changed(net::NodeId device, double t,
+                        std::uint64_t delta) override;
+
+ private:
+  Counter& probes_sent_;
+  Counter& retransmissions_;
+  Counter& probes_received_;
+  Counter& cycles_succeeded_;
+  Counter& absences_declared_;
+  Counter& absences_learned_;
+  Counter& delta_changes_;
+  Histogram& delay_;
+};
+
+}  // namespace probemon::telemetry

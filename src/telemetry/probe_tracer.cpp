@@ -1,0 +1,72 @@
+#include "telemetry/probe_tracer.hpp"
+
+#include <algorithm>
+
+#include "telemetry/json.hpp"
+
+namespace probemon::telemetry {
+
+ProbeCycleTracer::ProbeCycleTracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(capacity_);
+}
+
+void ProbeCycleTracer::record(const ProbeCycleTrace& trace) {
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(trace);
+  } else {
+    ring_[next_] = trace;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ProbeCycleTrace> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: insertion order is age order
+  } else {
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t ProbeCycleTracer::recorded() const {
+  std::lock_guard lock(mutex_);
+  return recorded_;
+}
+
+std::string ProbeCycleTracer::to_json() const {
+  const auto traces = snapshot();
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& t : traces) {
+    w.begin_object();
+    w.key("cp");
+    w.value(static_cast<std::uint64_t>(t.cp));
+    w.key("device");
+    w.value(static_cast<std::uint64_t>(t.device));
+    w.key("cycle");
+    w.value(t.cycle);
+    w.key("start");
+    w.value(t.start);
+    w.key("end");
+    w.value(t.end);
+    w.key("attempts");
+    w.value(static_cast<std::uint64_t>(t.attempts));
+    w.key("success");
+    w.value(t.success);
+    w.key("rtt");
+    w.value(t.rtt);
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+}  // namespace probemon::telemetry

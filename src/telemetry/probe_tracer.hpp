@@ -1,0 +1,62 @@
+// ProbeCycleTracer: span-like records of individual probe cycles.
+//
+// Metrics aggregate; traces explain. One ProbeCycleTrace covers a full
+// bounded-retransmission cycle (paper Fig 1) from the first probe send
+// to its resolution — reply accepted, or the device declared absent
+// after exhausting retransmissions:
+//
+//   start ──probe──► (timeout ──probe──►)*  ──► end
+//                                              success? rtt, attempts
+//
+// The tracer keeps the most recent N records in a ring buffer behind a
+// mutex. Commit happens once per cycle (≥ tens of milliseconds apart per
+// CP), so a mutex is plenty; the hot per-probe path stays in
+// telemetry::Counter territory.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace probemon::telemetry {
+
+struct ProbeCycleTrace {
+  net::NodeId cp = net::kInvalidNode;      ///< probing control point
+  net::NodeId device = net::kInvalidNode;  ///< probed device
+  std::uint64_t cycle = 0;                 ///< CP-local cycle sequence no.
+  double start = 0.0;     ///< transport-clock time of the first send
+  double end = 0.0;       ///< reply acceptance / absence declaration
+  std::uint8_t attempts = 0;  ///< probes sent (1 = no retransmission)
+  bool success = false;       ///< false = device declared absent
+  /// Last-probe-send → reply latency (seconds); 0 for failed cycles.
+  double rtt = 0.0;
+};
+
+class ProbeCycleTracer {
+ public:
+  explicit ProbeCycleTracer(std::size_t capacity = 1024);
+
+  void record(const ProbeCycleTrace& trace);
+
+  /// Retained traces, oldest first.
+  std::vector<ProbeCycleTrace> snapshot() const;
+
+  /// Total traces ever recorded (≥ snapshot().size()).
+  std::uint64_t recorded() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Snapshot as a JSON array (one object per trace).
+  std::string to_json() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<ProbeCycleTrace> ring_;
+  std::size_t next_ = 0;       ///< ring slot the next record lands in
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace probemon::telemetry

@@ -1,0 +1,181 @@
+#include "telemetry/registry.hpp"
+
+#include <stdexcept>
+
+namespace probemon::telemetry {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  return valid_metric_name(name) && name.find(':') == std::string::npos;
+}
+
+/// Map key: name + label pairs with unprintable separators so distinct
+/// label sets can never collide with a crafted name.
+std::string make_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+const char* to_string(MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name,
+                                          const std::string& help,
+                                          const Labels& labels,
+                                          MetricType type, bool is_callback) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("Registry: invalid metric name '" + name +
+                                "'");
+  }
+  for (const auto& [k, v] : labels) {
+    if (!valid_label_name(k)) {
+      throw std::invalid_argument("Registry: invalid label name '" + k + "'");
+    }
+  }
+  auto [it, inserted] = entries_.try_emplace(make_key(name, labels));
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.name = name;
+    entry.help = help;
+    entry.labels = labels;
+    entry.type = type;
+    return entry;
+  }
+  if (entry.type != type) {
+    throw std::logic_error("Registry: '" + name + "' already registered as " +
+                           std::string(to_string(entry.type)));
+  }
+  const bool was_callback = static_cast<bool>(entry.callback);
+  if (was_callback != is_callback) {
+    throw std::logic_error("Registry: '" + name +
+                           "' mixes owned and callback registration");
+  }
+  if (entry.help.empty()) entry.help = help;
+  return entry;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& entry =
+      find_or_create(name, help, labels, MetricType::kCounter, false);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create(name, help, labels, MetricType::kGauge, false);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& help, const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  Entry& entry =
+      find_or_create(name, help, labels, MetricType::kHistogram, false);
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *entry.histogram;
+}
+
+void Registry::gauge_callback(const std::string& name,
+                              std::function<double()> fn,
+                              const std::string& help, const Labels& labels) {
+  if (!fn) throw std::invalid_argument("Registry: empty callback");
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create(name, help, labels, MetricType::kGauge, true);
+  entry.callback = std::move(fn);
+}
+
+void Registry::counter_callback(const std::string& name,
+                                std::function<double()> fn,
+                                const std::string& help,
+                                const Labels& labels) {
+  if (!fn) throw std::invalid_argument("Registry: empty callback");
+  std::lock_guard lock(mutex_);
+  Entry& entry =
+      find_or_create(name, help, labels, MetricType::kCounter, true);
+  entry.callback = std::move(fn);
+}
+
+bool Registry::remove(const std::string& name, const Labels& labels) {
+  std::lock_guard lock(mutex_);
+  return entries_.erase(make_key(name, labels)) > 0;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    Sample s;
+    s.name = entry.name;
+    s.help = entry.help;
+    s.labels = entry.labels;
+    s.type = entry.type;
+    if (entry.callback) {
+      s.value = entry.callback();
+    } else if (entry.counter) {
+      s.value = static_cast<double>(entry.counter->value());
+    } else if (entry.gauge) {
+      s.value = entry.gauge->value();
+    } else if (entry.histogram) {
+      const Histogram& h = *entry.histogram;
+      s.bounds = h.upper_bounds();
+      s.buckets.reserve(h.bucket_count());
+      for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+        s.buckets.push_back(h.bucket(i));
+      }
+      s.count = h.count();
+      s.sum = h.sum();
+    }
+    out.push_back(std::move(s));
+  }
+  // std::map iterates keys in order; key order == (name, labels) order.
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace probemon::telemetry

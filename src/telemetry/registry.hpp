@@ -1,0 +1,119 @@
+// Registry: named, labelled metric instances with point-in-time snapshots.
+//
+// Registration (finding or creating a metric by name + labels) takes a
+// mutex and returns a stable reference; callers hold that reference and
+// update it lock-free afterwards. The intended pattern is therefore
+// "register once at setup, increment forever":
+//
+//   auto& probes = registry.counter("probemon_cp_probes_sent_total",
+//                                   "Probes transmitted by CPs",
+//                                   {{"device", "7"}});
+//   ...
+//   probes.inc();                      // hot path, no registry involved
+//
+// Besides owned metrics, the registry accepts *callback* metrics — a
+// function evaluated at snapshot time — for values some component
+// already tracks (scheduler event counts, device load). The callback's
+// captures must outlive the registry or be removed via remove().
+//
+// Naming follows Prometheus conventions: names match
+// [a-zA-Z_:][a-zA-Z0-9_:]*, label names [a-zA-Z_][a-zA-Z0-9_]*, and the
+// same name must always carry the same type and help text (enforced,
+// throws std::logic_error on conflict).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metric.hpp"
+
+namespace probemon::telemetry {
+
+/// Label set, e.g. {{"device", "7"}, {"protocol", "dcpp"}}. Order given
+/// at registration is preserved in exposition.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricType type) noexcept;
+
+/// Point-in-time value of one metric instance.
+struct Sample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;  ///< counter / gauge reading
+  // Histogram-only:
+  std::vector<double> bounds;           ///< finite upper bounds
+  std::vector<std::uint64_t> buckets;   ///< non-cumulative, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create. Throws std::invalid_argument on a malformed name or
+  /// label, std::logic_error if the name is already registered with a
+  /// different type.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {});
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "",
+                       const Labels& labels = {});
+
+  /// Callback metrics: `fn` is evaluated under the registry mutex at
+  /// snapshot time. Re-registering the same name+labels replaces the
+  /// callback (so a reconstructed component can rebind safely).
+  void gauge_callback(const std::string& name, std::function<double()> fn,
+                      const std::string& help = "", const Labels& labels = {});
+  void counter_callback(const std::string& name, std::function<double()> fn,
+                        const std::string& help = "",
+                        const Labels& labels = {});
+
+  /// Drop one metric instance. Returns true if it existed. Use before a
+  /// callback's captures die.
+  bool remove(const std::string& name, const Labels& labels = {});
+
+  std::size_t size() const;
+
+  /// Consistent point-in-time copy, sorted by (name, labels).
+  std::vector<Sample> snapshot() const;
+
+  /// Process-wide default registry (independent instances remain first
+  /// class; the global is a convenience for examples and ad-hoc tools).
+  static Registry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricType type = MetricType::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;  ///< exclusive with the three above
+  };
+
+  Entry& find_or_create(const std::string& name, const std::string& help,
+                        const Labels& labels, MetricType type,
+                        bool is_callback);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;  ///< key = name + encoded labels
+};
+
+}  // namespace probemon::telemetry

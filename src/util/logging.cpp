@@ -1,5 +1,8 @@
 #include "util/logging.hpp"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 
@@ -7,7 +10,33 @@ namespace probemon::util {
 
 namespace {
 std::mutex g_sink_mutex;
+
+/// JSON string escaping (duplicated from telemetry/json.hpp to keep
+/// util free of upward dependencies; the set of escapes is fixed by the
+/// JSON grammar, so divergence is not a risk).
+void json_escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
 }
+}  // namespace
 
 const char* to_string(LogLevel level) noexcept {
   switch (level) {
@@ -21,10 +50,44 @@ const char* to_string(LogLevel level) noexcept {
   return "?";
 }
 
-Logger::Logger()
-    : sink_([](LogLevel level, const std::string& msg) {
-        std::cerr << '[' << to_string(level) << "] " << msg << '\n';
-      }) {}
+std::string log_timestamp() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+Logger::Sink make_stderr_sink() {
+  return [](LogLevel level, const std::string& msg) {
+    std::cerr << log_timestamp() << " [" << to_string(level) << "] " << msg
+              << '\n';
+  };
+}
+
+Logger::Sink make_json_sink(std::ostream& out) {
+  return [&out](LogLevel level, const std::string& msg) {
+    std::string line = "{\"ts\":";
+    json_escape_into(line, log_timestamp());
+    line += ",\"level\":";
+    json_escape_into(line, to_string(level));
+    line += ",\"msg\":";
+    json_escape_into(line, msg);
+    line += "}\n";
+    out << line;
+    out.flush();
+  };
+}
+
+Logger::Logger() : sink_(make_stderr_sink()) {}
 
 Logger& Logger::instance() {
   static Logger logger;

@@ -6,7 +6,9 @@
 // pipeline: protocol hot paths record metrics through stats::, never here.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <iosfwd>
 #include <sstream>
 #include <string>
 
@@ -16,28 +18,46 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 const char* to_string(LogLevel level) noexcept;
 
-/// Global log configuration. Thread-safe for set/get of the level;
-/// sink replacement must happen before concurrent logging starts.
+/// Global log configuration. Level set/get is lock-free (relaxed
+/// atomic); sink replacement and log emission are serialized by an
+/// internal mutex, so both are safe at any time from any thread.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
 
   static Logger& instance();
 
-  void set_level(LogLevel level) noexcept { level_ = level; }
-  LogLevel level() const noexcept { return level_; }
-  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+  void set_level(LogLevel level) noexcept {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  bool enabled(LogLevel level) const noexcept { return level >= this->level(); }
 
-  /// Replace the sink (default writes to stderr). Returns previous sink.
+  /// Replace the sink (default: make_stderr_sink()). Returns previous
+  /// sink. Thread-safe; never races an in-flight log() call.
   Sink set_sink(Sink sink);
 
   void log(LogLevel level, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   Sink sink_;
 };
+
+/// Wall-clock timestamp "YYYY-MM-DDTHH:MM:SS.mmm" (local time), as
+/// prefixed by the default stderr sink.
+std::string log_timestamp();
+
+/// The default sink: "<timestamp> [LEVEL] message" to stderr.
+Logger::Sink make_stderr_sink();
+
+/// Structured JSON-lines sink for log ingestion: one
+/// {"ts":...,"level":...,"msg":...} object per line on `out`. The
+/// stream must outlive the sink; writes are serialized by the logger.
+Logger::Sink make_json_sink(std::ostream& out);
 
 /// Stream-style log statement builder; emits on destruction.
 class LogLine {

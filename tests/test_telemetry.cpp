@@ -1,0 +1,500 @@
+// Tests for the telemetry subsystem: metric primitives under
+// concurrency, registry semantics, exporter golden output, the probe
+// cycle tracer, and the PresenceService instrumentation agreeing with
+// its own Stats.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runtime/inproc_transport.hpp"
+#include "runtime/presence_service.hpp"
+#include "runtime/rt_device.hpp"
+#include "telemetry/bridges.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metric.hpp"
+#include "telemetry/probe_tracer.hpp"
+#include "telemetry/registry.hpp"
+#include "util/logging.hpp"
+
+namespace probemon::telemetry {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, ConcurrentAddsSumExactly) {
+  Gauge gauge;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, BucketBoundariesFollowLeSemantics) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // <= 1.0 -> bucket 0
+  h.observe(1.0);  // exactly at the bound -> still bucket 0 (le)
+  h.observe(1.5);  // bucket 1
+  h.observe(4.0);  // bucket 2
+  h.observe(9.0);  // above the last bound -> +Inf bucket
+  ASSERT_EQ(h.bucket_count(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(Histogram, ConcurrentObservationsCountExactly) {
+  Histogram h(Histogram::linear_buckets(0.0, 1.0, 10));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>((t + i) % 12));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucket_total += h.bucket(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketHelpers) {
+  EXPECT_EQ(Histogram::linear_buckets(0.0, 0.5, 3),
+            (std::vector<double>{0.0, 0.5, 1.0}));
+  EXPECT_EQ(Histogram::exponential_buckets(1.0, 2.0, 4),
+            (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(Registry, FindOrCreateReturnsSameInstance) {
+  Registry registry;
+  auto& a = registry.counter("probemon_test_total", "help");
+  auto& b = registry.counter("probemon_test_total", "help");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, LabelsDistinguishInstances) {
+  Registry registry;
+  auto& a = registry.counter("probemon_test_total", "", {{"device", "1"}});
+  auto& b = registry.counter("probemon_test_total", "", {{"device", "2"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, TypeConflictThrows) {
+  Registry registry;
+  registry.counter("probemon_test_total");
+  EXPECT_THROW(registry.gauge("probemon_test_total"), std::logic_error);
+}
+
+TEST(Registry, InvalidNamesAndLabelsThrow) {
+  Registry registry;
+  EXPECT_THROW(registry.counter("0starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("ok_name", "", {{"bad-label", "v"}}),
+               std::invalid_argument);
+}
+
+TEST(Registry, ConcurrentRegistrationAndIncrementSumExactly) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread resolves the same metric, then hammers it.
+      auto& counter = registry.counter("probemon_shared_total", "help");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value,
+                   static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(Registry, CallbackMetricsEvaluateAtSnapshot) {
+  Registry registry;
+  double load = 1.5;
+  registry.gauge_callback("probemon_test_load", [&load] { return load; });
+  EXPECT_DOUBLE_EQ(registry.snapshot()[0].value, 1.5);
+  load = 7.25;
+  EXPECT_DOUBLE_EQ(registry.snapshot()[0].value, 7.25);
+}
+
+TEST(Registry, RemoveDropsTheInstance) {
+  Registry registry;
+  registry.counter("probemon_test_total", "", {{"device", "1"}});
+  EXPECT_TRUE(registry.remove("probemon_test_total", {{"device", "1"}}));
+  EXPECT_FALSE(registry.remove("probemon_test_total", {{"device", "1"}}));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Registry, SnapshotSortsByNameThenLabels) {
+  Registry registry;
+  registry.counter("probemon_b_total");
+  registry.counter("probemon_a_total", "", {{"device", "2"}});
+  registry.counter("probemon_a_total", "", {{"device", "1"}});
+  const auto samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "probemon_a_total");
+  EXPECT_EQ(samples[0].labels[0].second, "1");
+  EXPECT_EQ(samples[1].labels[0].second, "2");
+  EXPECT_EQ(samples[2].name, "probemon_b_total");
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(Exporters, PrometheusGoldenOutput) {
+  Registry registry;
+  registry.counter("probemon_probes_total", "Probes sent", {{"device", "7"}})
+      .inc(42);
+  registry.gauge("probemon_load", "Device load").set(9.5);
+  auto& h = registry.histogram("probemon_rtt_seconds", {0.25, 2.0},
+                               "Round trip time");
+  h.observe(0.125);  // exact binary fractions: the _sum line stays clean
+  h.observe(0.125);
+  h.observe(4.0);
+
+  const std::string expected =
+      "# HELP probemon_load Device load\n"
+      "# TYPE probemon_load gauge\n"
+      "probemon_load 9.5\n"
+      "# HELP probemon_probes_total Probes sent\n"
+      "# TYPE probemon_probes_total counter\n"
+      "probemon_probes_total{device=\"7\"} 42\n"
+      "# HELP probemon_rtt_seconds Round trip time\n"
+      "# TYPE probemon_rtt_seconds histogram\n"
+      "probemon_rtt_seconds_bucket{le=\"0.25\"} 2\n"
+      "probemon_rtt_seconds_bucket{le=\"2\"} 2\n"
+      "probemon_rtt_seconds_bucket{le=\"+Inf\"} 3\n"
+      "probemon_rtt_seconds_sum 4.25\n"
+      "probemon_rtt_seconds_count 3\n";
+  EXPECT_EQ(to_prometheus(registry), expected);
+}
+
+TEST(Exporters, PrometheusEscapesLabelValues) {
+  Registry registry;
+  registry.counter("probemon_test_total", "", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(Exporters, JsonGoldenOutput) {
+  Registry registry;
+  registry.counter("probemon_probes_total", "Probes", {{"device", "7"}})
+      .inc(3);
+  auto& h = registry.histogram("probemon_rtt_seconds", {0.5});
+  h.observe(0.25);
+  const std::string expected =
+      "{\"metrics\":["
+      "{\"name\":\"probemon_probes_total\",\"type\":\"counter\","
+      "\"labels\":{\"device\":\"7\"},\"value\":3},"
+      "{\"name\":\"probemon_rtt_seconds\",\"type\":\"histogram\","
+      "\"count\":1,\"sum\":0.25,\"bounds\":[0.5],\"buckets\":[1,0]}"
+      "]}";
+  EXPECT_EQ(to_json(registry), expected);
+}
+
+TEST(Exporters, RenderHumanIncludesEveryInstance) {
+  Registry registry;
+  registry.counter("probemon_a_total").inc(5);
+  registry.gauge("probemon_b").set(1.25);
+  const std::string text = render_human(registry);
+  EXPECT_NE(text.find("probemon_a_total"), std::string::npos);
+  EXPECT_NE(text.find('5'), std::string::npos);
+  EXPECT_NE(text.find("1.25"), std::string::npos);
+}
+
+TEST(Exporters, PeriodicReporterLogsSnapshots) {
+  Registry registry;
+  registry.counter("probemon_tick_total").inc();
+  std::atomic<int> logged{0};
+  auto previous_level = util::Logger::instance().level();
+  util::Logger::instance().set_level(util::LogLevel::kInfo);
+  auto previous =
+      util::Logger::instance().set_sink([&logged](util::LogLevel,
+                                                  const std::string& msg) {
+        if (msg.find("probemon_tick_total") != std::string::npos) ++logged;
+      });
+  {
+    PeriodicReporter reporter(registry, 0.02);
+    reporter.start();
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (logged == 0 && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+  }  // destructor stops the thread
+  util::Logger::instance().set_sink(std::move(previous));
+  util::Logger::instance().set_level(previous_level);
+  EXPECT_GE(logged, 1);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(ProbeCycleTracer, KeepsMostRecentInOrder) {
+  ProbeCycleTracer tracer(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ProbeCycleTrace trace;
+    trace.cp = 1;
+    trace.device = 2;
+    trace.cycle = i;
+    trace.success = true;
+    tracer.record(trace);
+  }
+  EXPECT_EQ(tracer.recorded(), 10u);
+  const auto kept = tracer.snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept.front().cycle, 6u);  // oldest retained
+  EXPECT_EQ(kept.back().cycle, 9u);   // newest
+}
+
+TEST(ProbeCycleTracer, ToJsonIsWellFormedArray) {
+  ProbeCycleTracer tracer(8);
+  ProbeCycleTrace trace;
+  trace.cp = 3;
+  trace.device = 4;
+  trace.attempts = 2;
+  trace.rtt = 0.004;
+  trace.success = true;
+  tracer.record(trace);
+  const std::string json = tracer.to_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"success\":true"), std::string::npos);
+}
+
+// ------------------------------------------------- end-to-end (runtime)
+
+struct RuntimeFixture {
+  runtime::InProcTransport transport;
+  core::DcppDeviceConfig device_config;
+  core::DcppCpConfig cp_config;
+
+  RuntimeFixture() : transport(fast_net()) {
+    device_config.delta_min = 0.005;
+    device_config.d_min = 0.02;
+    cp_config.timeouts.tof = 0.020;
+    cp_config.timeouts.tos = 0.015;
+  }
+
+  static runtime::InProcTransportConfig fast_net() {
+    runtime::InProcTransportConfig config;
+    config.delay_min = 0.0001;
+    config.delay_max = 0.0005;
+    return config;
+  }
+};
+
+double sample_value(const std::vector<Sample>& samples,
+                    const std::string& name, const Labels& labels = {}) {
+  for (const auto& s : samples) {
+    if (s.name == name && s.labels == labels) return s.value;
+  }
+  return -1.0;
+}
+
+TEST(PresenceServiceTelemetry, CountersMatchStats) {
+  RuntimeFixture f;
+  Registry registry;
+  ProbeCycleTracer tracer(256);
+  runtime::RtDcppDevice device(f.transport, f.device_config);
+
+  runtime::PresenceService::TelemetryOptions wiring;
+  wiring.registry = &registry;
+  wiring.tracer = &tracer;
+  runtime::PresenceService service(f.transport, wiring);
+
+  std::atomic<int> absent_events{0};
+  service.subscribe([&](const runtime::PresenceEvent& event) {
+    if (event.state == runtime::Presence::kAbsent) ++absent_events;
+  });
+
+  service.watch_dcpp(device.id(), f.cp_config);
+  std::this_thread::sleep_for(150ms);
+  device.go_silent();
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (absent_events == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(absent_events, 1);
+
+  const auto stats = service.stats();
+  const auto samples = registry.snapshot();
+  const Labels device_label = {{"device", std::to_string(device.id())}};
+
+  EXPECT_DOUBLE_EQ(
+      sample_value(samples, "probemon_watch_probes_sent_total", device_label),
+      static_cast<double>(stats.probes_sent));
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_watch_cycles_total",
+                                {{"result", "success"}}),
+                   static_cast<double>(stats.cycles_succeeded));
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_watch_cycles_total",
+                                {{"result", "failure"}}),
+                   static_cast<double>(stats.cycles_failed));
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_presence_transitions_total",
+                                {{"state", "present"}}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_presence_transitions_total",
+                                {{"state", "absent"}}),
+                   1.0);
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_watches"), 1.0);
+
+  // RTT histogram observed every successful cycle.
+  for (const auto& s : samples) {
+    if (s.name == "probemon_watch_rtt_seconds" && s.labels == device_label) {
+      EXPECT_EQ(s.count, stats.cycles_succeeded);
+    }
+  }
+
+  // The tracer saw the same cycles the counters did.
+  std::uint64_t traced_success = 0, traced_failure = 0;
+  for (const auto& trace : tracer.snapshot()) {
+    (trace.success ? traced_success : traced_failure) += 1;
+  }
+  EXPECT_EQ(traced_success, stats.cycles_succeeded);
+  EXPECT_EQ(traced_failure, stats.cycles_failed);
+}
+
+TEST(TransportTelemetry, InprocCountersTrackTransportTallies) {
+  RuntimeFixture f;
+  Registry registry;
+  f.transport.instrument(registry);
+  runtime::RtDcppDevice device(f.transport, f.device_config);
+  device.instrument(registry);
+  runtime::PresenceService service(f.transport);
+  service.watch_dcpp(device.id(), f.cp_config);
+  std::this_thread::sleep_for(200ms);
+  service.unwatch(device.id());
+
+  const auto samples = registry.snapshot();
+  const Labels transport_label = {{"transport", "inproc"}};
+  const double sent = sample_value(
+      samples, "probemon_transport_datagrams_sent_total", transport_label);
+  const double delivered = sample_value(
+      samples, "probemon_transport_datagrams_delivered_total",
+      transport_label);
+  EXPECT_GT(sent, 0.0);
+  EXPECT_GT(delivered, 0.0);
+  EXPECT_LE(delivered, sent);
+
+  // Device-side gauges: nominal load is config-derived, experienced load
+  // was sampled from real probe arrivals.
+  const Labels device_label = {{"device", std::to_string(device.id())}};
+  EXPECT_DOUBLE_EQ(
+      sample_value(samples, "probemon_device_nominal_load", device_label),
+      f.device_config.l_nom());
+  EXPECT_GT(sample_value(samples, "probemon_device_probes_received_total",
+                         device_label),
+            0.0);
+}
+
+TEST(SchedulerTelemetry, BridgeBindsEventCounters) {
+  Registry registry;
+  des::Simulation sim(1);
+  instrument_simulation(registry, sim);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.after(0.01 * i, [&fired] { ++fired; });
+  }
+  sim.run_all();
+  const auto samples = registry.snapshot();
+  EXPECT_DOUBLE_EQ(
+      sample_value(samples, "probemon_des_events_executed_total"), 100.0);
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_des_queue_depth"), 0.0);
+  EXPECT_DOUBLE_EQ(sample_value(samples, "probemon_des_queue_high_water"),
+                   100.0);
+  EXPECT_GT(sample_value(samples, "probemon_des_sim_time_seconds"), 0.0);
+}
+
+// ---------------------------------------------------------------- logging
+
+TEST(LoggingSinks, TimestampHasWallClockShape) {
+  const std::string ts = util::log_timestamp();
+  // "YYYY-MM-DDTHH:MM:SS.mmm"
+  ASSERT_EQ(ts.size(), 23u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], '.');
+}
+
+TEST(LoggingSinks, JsonSinkEmitsOneObjectPerLine) {
+  std::ostringstream out;
+  auto sink = util::make_json_sink(out);
+  sink(util::LogLevel::kWarn, "hello \"quoted\"\nworld");
+  const std::string line = out.str();
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"level\":\"WARN\""), std::string::npos);
+  EXPECT_NE(line.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), line.size() - 1);  // no raw newlines inside
+}
+
+TEST(LoggingSinks, LevelChangesAreSafeFromOtherThreads) {
+  auto& logger = util::Logger::instance();
+  const auto previous = logger.level();
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    while (!stop.load()) {
+      logger.set_level(util::LogLevel::kDebug);
+      logger.set_level(util::LogLevel::kError);
+    }
+  });
+  for (int i = 0; i < 100000; ++i) {
+    const auto level = logger.level();
+    EXPECT_TRUE(level == util::LogLevel::kDebug ||
+                level == util::LogLevel::kError ||
+                level == previous);
+  }
+  stop = true;
+  toggler.join();
+  logger.set_level(previous);
+}
+
+}  // namespace
+}  // namespace probemon::telemetry
