@@ -1,21 +1,63 @@
 // Presence dashboard — the PresenceService facade watching a fleet of
-// devices over the threaded runtime: some devices crash, one says
-// goodbye politely, the dashboard's event stream and snapshot show it
-// all. Wall-clock runtime: about 2 seconds.
+// devices over the threaded runtime: some devices crash, the event
+// stream announces it, and the table is rendered straight from
+// PresenceService::snapshotWatches() — the same accessor the /watches
+// HTTP route serves (pass --http-port to scrape it live with curl).
+// Wall-clock runtime: about 2 seconds plus --linger.
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <iostream>
+#include <memory>
 #include <thread>
+#include <vector>
 
+#include "runtime/http_routes.hpp"
 #include "runtime/inproc_transport.hpp"
 #include "runtime/presence_service.hpp"
 #include "runtime/rt_device.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/probe_tracer.hpp"
+#include "telemetry/registry.hpp"
 #include "trace/table.hpp"
+#include "util/cli.hpp"
 
 using namespace probemon;
 using namespace std::chrono_literals;
 
-int main() {
+namespace {
+
+std::string fmt(double v, const char* unit = "") {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.4g%s", v, unit);
+  return buf;
+}
+
+/// The dashboard's table, straight from the service's snapshot — no
+/// state duplicated through observer callbacks.
+void print_watch_table(const runtime::PresenceService& service) {
+  trace::Table table({"device", "presence", "last rtt", "fails", "probes",
+                      "next probe due"});
+  for (const auto& info : service.snapshotWatches()) {
+    table.row()
+        .cell(std::to_string(info.device))
+        .cell(to_string(info.state))
+        .cell(info.last_rtt > 0 ? fmt(info.last_rtt, " s") : "-")
+        .cell(std::to_string(info.consecutive_failures))
+        .cell(std::to_string(info.probes_sent))
+        .cell(info.next_probe_due > 0 ? fmt(info.next_probe_due, " s") : "-");
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto http_port = cli.get<std::int64_t>("http-port", -1);
+  const auto linger_s = cli.get<double>("linger", 0.0);
+  cli.finish("presence_dashboard: PresenceService watching a device fleet");
+
   runtime::InProcTransportConfig net_config;
   net_config.delay_min = 0.0002;
   net_config.delay_max = 0.002;
@@ -32,13 +74,29 @@ int main() {
         std::make_unique<runtime::RtDcppDevice>(transport, device_config));
   }
 
-  runtime::PresenceService service(transport);
+  telemetry::Registry registry;
+  telemetry::ProbeCycleTracer tracer(1024);
+  runtime::PresenceService::TelemetryOptions wiring;
+  wiring.registry = &registry;
+  wiring.tracer = &tracer;
+  runtime::PresenceService service(transport, wiring);
+
   std::atomic<int> events{0};
   service.subscribe([&](const runtime::PresenceEvent& event) {
     ++events;
     std::cout << "  [t=" << event.t << "s] device " << event.device << " -> "
               << to_string(event.state) << '\n';
   });
+
+  telemetry::HttpServer http(
+      {.port = static_cast<std::uint16_t>(http_port > 0 ? http_port : 0)});
+  if (http_port >= 0) {
+    runtime::register_observability_routes(http,
+                                           {&registry, &tracer, &service});
+    http.start();
+    std::cout << "dashboard also at http://127.0.0.1:" << http.port()
+              << "/watches\n";
+  }
 
   core::DcppCpConfig cp_config;
   cp_config.timeouts.tof = 0.030;
@@ -54,12 +112,7 @@ int main() {
   devices[4]->go_silent();
   std::this_thread::sleep_for(600ms);
 
-  trace::Table table({"device", "presence"});
-  for (const auto& entry : service.snapshot()) {
-    table.row().cell(std::to_string(entry.device)).cell(
-        to_string(entry.state));
-  }
-  table.print(std::cout);
+  print_watch_table(service);
 
   const auto stats = service.stats();
   std::cout << "\nservice totals: " << stats.probes_sent << " probes, "
@@ -68,11 +121,17 @@ int main() {
             << " presence events\n";
 
   std::size_t absent = 0;
-  for (const auto& entry : service.snapshot()) {
-    if (entry.state == runtime::Presence::kAbsent) ++absent;
+  for (const auto& info : service.snapshotWatches()) {
+    if (info.state == runtime::Presence::kAbsent) ++absent;
   }
   std::cout << (absent == 2 ? "dashboard agrees with reality."
                             : "UNEXPECTED presence table!")
             << '\n';
+
+  if (http_port >= 0 && linger_s > 0) {
+    std::cout << "serving for " << linger_s << " more seconds...\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_s));
+  }
+  http.stop();
   return absent == 2 ? 0 : 1;
 }

@@ -1,10 +1,12 @@
 // Telemetry export — one registry observing both halves of the repo:
 // the threaded runtime (transport, devices, PresenceService with
-// per-watch RTT histograms and a probe-cycle tracer) and a DES run
-// (scheduler event counters, speedup ratio). Ends by dumping the
-// Prometheus text exposition to stdout — exactly what a scrape
-// endpoint would serve — plus the JSON snapshot and the traced probe
-// cycles to files under telemetry_out/. Wall-clock runtime: ~2 s.
+// per-watch RTT histograms and a probe-cycle tracer) and a DES DCPP run
+// (scheduler event counters plus the same probe-cycle traces,
+// reassembled from protocol observer events). Ends by dumping the
+// Prometheus text exposition to stdout — exactly what the HTTP
+// /metrics route serves — plus the JSON snapshot and both trace rings
+// (JSON and Chrome trace-event format, loadable in Perfetto /
+// chrome://tracing) under telemetry_out/. Wall-clock runtime: ~2 s.
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -13,20 +15,30 @@
 #include <thread>
 #include <vector>
 
+#include "core/probemon.hpp"
 #include "des/simulation.hpp"
 #include "runtime/inproc_transport.hpp"
 #include "runtime/presence_service.hpp"
 #include "runtime/rt_device.hpp"
 #include "telemetry/bridges.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/observer_adapter.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
+#include "util/cli.hpp"
 #include "util/logging.hpp"
 
 using namespace probemon;
 using namespace std::chrono_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  // One-shot "dump the DES run as a Chrome trace" path; the runtime's
+  // ring lands next to it with a .runtime suffix.
+  const auto chrome_path = cli.get<std::string>(
+      "chrome-trace", "telemetry_out/des_trace.chrome.json");
+  cli.finish("telemetry_export: registry + tracer export demo");
+
   util::Logger::instance().set_level(util::LogLevel::kInfo);
   telemetry::Registry registry;
   telemetry::ProbeCycleTracer tracer(512);
@@ -62,8 +74,11 @@ int main() {
   }
 
   // The operator's live view: human-readable snapshots through the
-  // logger while the run is in flight.
+  // logger while the run is in flight, plus a Prometheus snapshot kept
+  // current on disk — the post-mortem artifact for long runs.
+  std::filesystem::create_directories("telemetry_out");
   telemetry::PeriodicReporter reporter(registry, /*period_s=*/0.5);
+  reporter.set_snapshot_file("telemetry_out/metrics.prom");
   reporter.start();
 
   std::cout << "watching " << service.watch_count()
@@ -77,22 +92,40 @@ int main() {
   std::this_thread::sleep_for(700ms);
   reporter.stop();
 
-  // ---- Part 2: a DES run bound into the same registry. ----
+  // ---- Part 2: a DES run bound into the same registry. The protocol
+  // events are reassembled into ProbeCycleTrace records by
+  // CycleTraceObserver, so the simulation yields the same trace
+  // artifact as the runtime above. ----
   des::Simulation sim(7);
   telemetry::instrument_simulation(registry, sim, {{"run", "example"}});
-  std::uint64_t fired = 0;
-  for (int i = 0; i < 20000; ++i) {
-    sim.after(0.001 * i, [&fired] { ++fired; });
+  telemetry::ProbeCycleTracer des_tracer(4096);
+  telemetry::CycleTraceObserver des_observer(des_tracer);
+
+  auto network = net::Network::make_paper_default(sim.scheduler(), sim.rng());
+  core::DcppDevice sim_device(sim, *network, core::DcppDeviceConfig{},
+                              &des_observer);
+  std::vector<std::unique_ptr<core::DcppControlPoint>> sim_cps;
+  for (int i = 0; i < 5; ++i) {
+    sim_cps.push_back(std::make_unique<core::DcppControlPoint>(
+        sim, *network, sim_device.id(), core::DcppCpConfig{}, &des_observer));
+    sim_cps.back()->start(0.01 * i);
   }
-  sim.run_all();
-  std::cout << "DES run executed " << fired << " events at "
-            << sim.speedup_ratio() << "x realtime\n\n";
+  sim.run_until(30.0);
+  sim_device.go_silent();
+  sim.run_until(40.0);  // every CP declares absence -> failed cycles too
+  std::cout << "DES run traced " << des_tracer.recorded()
+            << " probe cycles at " << sim.speedup_ratio()
+            << "x realtime\n\n";
 
   // ---- Export. ----
   const std::string prometheus = telemetry::to_prometheus(registry);
   std::cout << "---- Prometheus text exposition ----\n" << prometheus;
 
   std::filesystem::create_directories("telemetry_out");
+  if (const auto dir = std::filesystem::path(chrome_path).parent_path();
+      !dir.empty()) {
+    std::filesystem::create_directories(dir);
+  }
   {
     std::ofstream out("telemetry_out/metrics.json");
     out << telemetry::to_json(registry) << '\n';
@@ -101,9 +134,22 @@ int main() {
     std::ofstream out("telemetry_out/probe_cycles.json");
     out << tracer.to_json() << '\n';
   }
-  std::cout << "\nwrote telemetry_out/metrics.json and "
+  // Chrome trace-event dumps: open either file in Perfetto
+  // (https://ui.perfetto.dev) or chrome://tracing.
+  {
+    std::ofstream out(chrome_path);
+    out << des_tracer.to_chrome_trace() << '\n';
+  }
+  {
+    std::ofstream out("telemetry_out/runtime_trace.chrome.json");
+    out << tracer.to_chrome_trace() << '\n';
+  }
+  std::cout << "\nwrote telemetry_out/metrics.json, "
             << "telemetry_out/probe_cycles.json (" << tracer.recorded()
-            << " probe cycles traced)\n";
+            << " runtime cycles), " << chrome_path << " ("
+            << des_tracer.recorded()
+            << " DES cycles, Chrome trace-event format) and "
+            << "telemetry_out/runtime_trace.chrome.json\n";
 
   // Self-check: the exposition must cover all instrumented layers.
   const char* required[] = {

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 build + ctest, then a bench smoke whose JSON summaries
+# are diffed so regressions fail loudly.
+#
+#   scripts/ci.sh                       # build, test, smoke, self-diff
+#   BENCH_BASELINE_DIR=path scripts/ci.sh   # additionally diff against
+#                                           # a stored baseline
+#
+# The self-diff runs the (deterministic, seeded) smoke benches twice and
+# requires identical summaries -- it catches accidental nondeterminism
+# and validates the tools/bench_diff.py pipeline on every run, even when
+# no stored baseline exists. With BENCH_BASELINE_DIR set, the first
+# smoke pass is also compared against that baseline at a looser
+# threshold (override with BENCH_DIFF_THRESHOLD, percent).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+THRESHOLD="${BENCH_DIFF_THRESHOLD:-15}"
+
+# Short-duration, seeded smoke runs; one DES bench per protocol family.
+SMOKE_BENCHES=(
+  # t1 needs enough post-warmup samples for >= 2 batch means.
+  "bench_t1_sapp_steady --seed=7 --duration=1000 --warmup=200"
+  "bench_f5_dcpp_dynamic --seed=7"
+  "bench_a5_detection --seed=7"
+)
+
+echo "==> configure + build (${BUILD})"
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" -j >/dev/null
+
+echo "==> tier-1 ctest"
+ctest --test-dir "$BUILD" --output-on-failure -j
+
+run_smoke() {
+  # $1: scratch dir; benches write bench_out/ relative to cwd.
+  local dir="$1"
+  mkdir -p "$dir"
+  for spec in "${SMOKE_BENCHES[@]}"; do
+    # shellcheck disable=SC2086  # intentional word-split of the spec
+    set -- $spec
+    local bench="$1"; shift
+    echo "    $bench $*"
+    (cd "$dir" && "$BUILD/bench/$bench" "$@" >/dev/null)
+  done
+}
+
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "==> bench smoke (pass 1)"
+run_smoke "$SCRATCH/run1"
+echo "==> bench smoke (pass 2, same seeds)"
+run_smoke "$SCRATCH/run2"
+
+echo "==> determinism diff (pass 1 vs pass 2, threshold 0%)"
+python3 "$ROOT/tools/bench_diff.py" \
+  "$SCRATCH/run1/bench_out" "$SCRATCH/run2/bench_out" --threshold 0
+
+if [[ -n "${BENCH_BASELINE_DIR:-}" ]]; then
+  echo "==> baseline diff ($BENCH_BASELINE_DIR, threshold ${THRESHOLD}%)"
+  python3 "$ROOT/tools/bench_diff.py" \
+    "$BENCH_BASELINE_DIR" "$SCRATCH/run1/bench_out" --threshold "$THRESHOLD"
+else
+  echo "==> no BENCH_BASELINE_DIR set; skipped stored-baseline diff"
+  echo "    (seed one with: cp -r $SCRATCH/run1/bench_out <baseline-dir>)"
+fi
+
+echo "==> ci.sh OK"

@@ -1,0 +1,100 @@
+#include "runtime/http_routes.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace probemon::runtime {
+
+std::string watches_to_json(const PresenceService& service) {
+  const auto watches = service.snapshotWatches();
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("watches");
+  w.begin_array();
+  for (const auto& info : watches) {
+    w.begin_object();
+    w.key("device");
+    w.value(static_cast<std::uint64_t>(info.device));
+    w.key("state");
+    w.value(to_string(info.state));
+    w.key("last_change");
+    w.value(info.last_change);
+    w.key("last_rtt");
+    w.value(info.last_rtt);
+    w.key("consecutive_failures");
+    w.value(static_cast<std::uint64_t>(info.consecutive_failures));
+    w.key("probes_sent");
+    w.value(info.probes_sent);
+    w.key("cycles_succeeded");
+    w.value(info.cycles_succeeded);
+    w.key("cycles_failed");
+    w.value(info.cycles_failed);
+    w.key("next_probe_due");
+    w.value(info.next_probe_due);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void register_watch_routes(telemetry::HttpServer& server,
+                           const PresenceService& service) {
+  server.handle("/watches", [&service](const telemetry::HttpRequest&) {
+    return telemetry::HttpResponse{200, "application/json",
+                                   watches_to_json(service)};
+  });
+}
+
+void register_healthz_route(telemetry::HttpServer& server,
+                            ObservabilitySources sources) {
+  server.handle("/healthz", [&server, sources](
+                                const telemetry::HttpRequest&) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("status");
+    w.value("ok");
+    w.key("uptime_seconds");
+    w.value(server.uptime_seconds());
+    w.key("requests_served");
+    w.value(server.requests_served());
+    if (sources.registry) {
+      w.key("registry_metrics");
+      w.value(static_cast<std::uint64_t>(sources.registry->size()));
+    }
+    if (sources.tracer) {
+      w.key("tracer_recorded");
+      w.value(sources.tracer->recorded());
+      w.key("tracer_capacity");
+      w.value(static_cast<std::uint64_t>(sources.tracer->capacity()));
+    }
+    if (sources.service) {
+      w.key("watches");
+      w.value(static_cast<std::uint64_t>(sources.service->watch_count()));
+    }
+    w.end_object();
+    return telemetry::HttpResponse{200, "application/json", w.str()};
+  });
+}
+
+void register_observability_routes(telemetry::HttpServer& server,
+                                   ObservabilitySources sources) {
+  if (sources.registry) {
+    telemetry::register_metrics_routes(server, *sources.registry);
+  }
+  if (sources.tracer) {
+    telemetry::register_trace_routes(server, *sources.tracer);
+  }
+  if (sources.service) register_watch_routes(server, *sources.service);
+  register_healthz_route(server, sources);
+  server.handle("/", [&server](const telemetry::HttpRequest&) {
+    std::string body = "probemon observability endpoint\n\nroutes:\n";
+    for (const auto& route : server.routes()) {
+      body += "  " + route + '\n';
+    }
+    body += "\n/trace takes ?format=chrome for Perfetto / "
+            "chrome://tracing\n";
+    return telemetry::HttpResponse{200, "text/plain; charset=utf-8", body};
+  });
+}
+
+}  // namespace probemon::runtime

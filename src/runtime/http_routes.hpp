@@ -1,0 +1,57 @@
+// Observability HTTP routes over a running probe runtime.
+//
+// telemetry::HttpServer knows how to serve a Registry and a
+// ProbeCycleTracer; this header adds the runtime-level routes —
+// `/watches` (the PresenceService presence table) and `/healthz`
+// (liveness plus registry/tracer/service stats) — and bundles the whole
+// set behind one call, so an example or embedding application does:
+//
+//   telemetry::HttpServer server({.port = http_port});
+//   runtime::register_observability_routes(
+//       server, {&registry, &tracer, &service});
+//   server.start();
+//
+// Routes (all GET, Connection: close):
+//   /          route index (text)
+//   /metrics   Prometheus text exposition 0.0.4
+//   /metrics.json  JSON snapshot of the registry
+//   /healthz   liveness JSON
+//   /watches   presence table JSON (from snapshotWatches())
+//   /trace     probe-cycle ring: JSON, or ?format=chrome for Perfetto
+#pragma once
+
+#include "runtime/presence_service.hpp"
+#include "telemetry/http_server.hpp"
+
+namespace probemon::runtime {
+
+/// Pointers may be null: routes whose source is missing are simply not
+/// registered (a /healthz with partial stats is always registered).
+/// Everything referenced must outlive the server.
+struct ObservabilitySources {
+  const telemetry::Registry* registry = nullptr;
+  const telemetry::ProbeCycleTracer* tracer = nullptr;
+  const PresenceService* service = nullptr;
+};
+
+/// `/watches`: one JSON object per watch — device id, presence state,
+/// last transition instant, last RTT, consecutive failures, probe/cycle
+/// tallies and the next probe's due time.
+void register_watch_routes(telemetry::HttpServer& server,
+                           const PresenceService& service);
+
+/// `/healthz`: {"status":"ok", uptime, requests served, and per-source
+/// stats for whichever of registry/tracer/service are wired}.
+void register_healthz_route(telemetry::HttpServer& server,
+                            ObservabilitySources sources);
+
+/// The full route set ("/", /metrics, /metrics.json, /healthz,
+/// /watches, /trace) for whichever sources are non-null.
+void register_observability_routes(telemetry::HttpServer& server,
+                                   ObservabilitySources sources);
+
+/// JSON rendering of snapshotWatches() (exposed for tests and for
+/// non-HTTP dumps).
+std::string watches_to_json(const PresenceService& service);
+
+}  // namespace probemon::runtime

@@ -1,5 +1,6 @@
 #include "runtime/presence_service.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace probemon::runtime {
@@ -71,7 +72,13 @@ RtControlPointBase::Callbacks PresenceService::make_callbacks(
   callbacks.on_cycle_success = [this, device](double t, double) {
     on_transition(device, Presence::kPresent, t);
   };
-  if (!telemetry_.registry && !telemetry_.tracer) return callbacks;
+  if (!telemetry_.registry && !telemetry_.tracer) {
+    callbacks.on_cycle_trace =
+        [this, device](const telemetry::ProbeCycleTrace& trace) {
+          on_cycle_for_watch(device, trace);
+        };
+    return callbacks;
+  }
 
   // Per-watch instances are registered once here (watch time) so the
   // per-cycle path below never touches the registry map.
@@ -92,8 +99,9 @@ RtControlPointBase::Callbacks PresenceService::make_callbacks(
         "Probe send to reply acceptance latency", labels);
   }
   callbacks.on_cycle_trace =
-      [this, probes, retransmissions,
+      [this, device, probes, retransmissions,
        rtt](const telemetry::ProbeCycleTrace& trace) {
+        on_cycle_for_watch(device, trace);
         if (telemetry_.tracer) telemetry_.tracer->record(trace);
         if (probes) probes->inc(trace.attempts);
         if (retransmissions && trace.attempts > 1) {
@@ -169,6 +177,24 @@ void PresenceService::unwatch(net::NodeId device) {
   // Watch (and its CP thread) dies here, outside the lock.
 }
 
+void PresenceService::on_cycle_for_watch(
+    net::NodeId device, const telemetry::ProbeCycleTrace& trace) {
+  std::lock_guard lock(mutex_);
+  auto it = watches_.find(device);
+  if (it == watches_.end()) return;  // unwatched concurrently
+  Watch& watch = it->second;
+  if (trace.success) {
+    watch.last_rtt = trace.rtt;
+    watch.consecutive_failures = trace.attempts > 0 ? trace.attempts - 1u : 0u;
+    // current_delay() was updated by the CP before this callback fired,
+    // so end-of-cycle + delay is the next cycle's start instant.
+    watch.next_probe_due = trace.end + watch.cp->current_delay();
+  } else {
+    watch.consecutive_failures = trace.attempts;
+    watch.next_probe_due = 0.0;  // absence declared: probing stops
+  }
+}
+
 void PresenceService::on_transition(net::NodeId device, Presence state,
                                     double t) {
   std::vector<EventCallback> to_notify;
@@ -218,6 +244,31 @@ std::vector<PresenceEvent> PresenceService::snapshot() const {
   for (const auto& [id, w] : watches_) {
     out.push_back(PresenceEvent{id, w.state, w.last_change});
   }
+  return out;
+}
+
+std::vector<PresenceService::WatchInfo> PresenceService::snapshotWatches()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<WatchInfo> out;
+  out.reserve(watches_.size());
+  for (const auto& [id, w] : watches_) {
+    WatchInfo info;
+    info.device = id;
+    info.state = w.state;
+    info.last_change = w.last_change;
+    info.last_rtt = w.last_rtt;
+    info.consecutive_failures = w.consecutive_failures;
+    info.probes_sent = w.cp->probes_sent();
+    info.cycles_succeeded = w.cp->cycles_succeeded();
+    info.cycles_failed = w.cp->cycles_failed();
+    info.next_probe_due = w.next_probe_due;
+    out.push_back(info);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WatchInfo& a, const WatchInfo& b) {
+              return a.device < b.device;
+            });
   return out;
 }
 

@@ -106,6 +106,33 @@ class PresenceService {
   /// Point-in-time copy of the presence table.
   std::vector<PresenceEvent> snapshot() const;
 
+  /// Everything an operator dashboard wants to show about one watch.
+  /// Times are transport-clock seconds (RtClock).
+  struct WatchInfo {
+    net::NodeId device = net::kInvalidNode;
+    Presence state = Presence::kUnknown;
+    double last_change = 0.0;  ///< instant of the last state transition
+    /// Reply latency of the most recent successful cycle; 0 before the
+    /// first reply.
+    double last_rtt = 0.0;
+    /// Unanswered probes closing the most recent completed cycle:
+    /// retransmissions needed before the last reply, or every attempt
+    /// of the final cycle once the device is declared absent.
+    std::uint32_t consecutive_failures = 0;
+    std::uint64_t probes_sent = 0;
+    std::uint64_t cycles_succeeded = 0;
+    std::uint64_t cycles_failed = 0;
+    /// When the next probe cycle starts (last cycle end + inter-cycle
+    /// delay); 0 while no cycle has completed or once the watch stopped
+    /// probing (device absent).
+    double next_probe_due = 0.0;
+  };
+
+  /// Point-in-time rows of the presence table, sorted by device id —
+  /// the accessor behind the `/watches` HTTP route and the dashboard
+  /// example.
+  std::vector<WatchInfo> snapshotWatches() const;
+
   /// Aggregate probe statistics across all watches.
   struct Stats {
     std::uint64_t probes_sent = 0;
@@ -119,10 +146,16 @@ class PresenceService {
     std::unique_ptr<RtControlPointBase> cp;
     Presence state = Presence::kUnknown;
     double last_change = 0.0;
+    // Dashboard bookkeeping, updated from the cycle-trace callback.
+    double last_rtt = 0.0;
+    std::uint32_t consecutive_failures = 0;
+    double next_probe_due = 0.0;
   };
 
   RtControlPointBase::Callbacks make_callbacks(net::NodeId device);
   void on_transition(net::NodeId device, Presence state, double t);
+  void on_cycle_for_watch(net::NodeId device,
+                          const telemetry::ProbeCycleTrace& trace);
 
   Transport& transport_;
   TelemetryOptions telemetry_;

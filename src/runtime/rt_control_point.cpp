@@ -75,6 +75,7 @@ void RtControlPointBase::run() {
       const double sent_at = clock.now();
       if (attempt == 0) trace.start = sent_at;
       trace.attempts = static_cast<std::uint8_t>(attempt + 1);
+      trace.sends.push_back(sent_at);
       lock.unlock();
       send_probe(cyc, static_cast<std::uint8_t>(attempt));
       lock.lock();

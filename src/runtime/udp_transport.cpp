@@ -170,6 +170,9 @@ void UdpTransport::instrument(telemetry::Registry& registry) {
   tele_send_errors_ =
       &registry.counter("probemon_transport_send_errors_total",
                         "sendto() failures (best-effort loss)", labels);
+  tele_recv_errors_ = &registry.counter(
+      "probemon_transport_recv_errors_total",
+      "recv() failures and truncated/undecodable datagrams", labels);
 }
 
 void UdpTransport::send(net::Message msg) {
@@ -229,9 +232,19 @@ void UdpTransport::receive_loop() {
       if (!(fds[i].revents & POLLIN)) continue;
       std::uint8_t wire[kUdpWireSize + 8];
       const ssize_t n = recv(fds[i].fd, wire, sizeof wire, MSG_DONTWAIT);
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        count_recv_error();
+        continue;
+      }
       if (n <= 0) continue;
       net::Message msg;
-      if (!udp_decode(wire, static_cast<std::size_t>(n), msg)) continue;
+      if (!udp_decode(wire, static_cast<std::size_t>(n), msg)) {
+        // Wrong size (truncated or oversized datagram) or a garbage
+        // kind byte: arrived, but not deliverable.
+        count_recv_error();
+        continue;
+      }
       RtHandler handler;
       {
         std::unique_lock lock(mutex_);
@@ -252,6 +265,12 @@ void UdpTransport::receive_loop() {
   }
 }
 
+void UdpTransport::count_recv_error() {
+  std::lock_guard lock(mutex_);
+  ++recv_errors_;
+  if (tele_recv_errors_) tele_recv_errors_->inc();
+}
+
 std::uint64_t UdpTransport::sent_count() const {
   std::lock_guard lock(mutex_);
   return sent_;
@@ -263,6 +282,10 @@ std::uint64_t UdpTransport::delivered_count() const {
 std::uint64_t UdpTransport::send_error_count() const {
   std::lock_guard lock(mutex_);
   return send_errors_;
+}
+std::uint64_t UdpTransport::recv_error_count() const {
+  std::lock_guard lock(mutex_);
+  return recv_errors_;
 }
 std::uint16_t UdpTransport::port_of(net::NodeId id) const {
   std::lock_guard lock(mutex_);

@@ -40,11 +40,15 @@ class UdpTransport final : public Transport {
   std::uint64_t delivered_count() const;
   /// sendto() failures (full socket buffer etc.) — best-effort loss.
   std::uint64_t send_error_count() const;
+  /// Receive-path failures: recv() errors plus truncated or otherwise
+  /// undecodable datagrams (anything that arrived but could not be
+  /// delivered as a Message).
+  std::uint64_t recv_error_count() const;
 
   /// Mirror datagram counts into `registry` (label transport="udp"):
   /// probemon_transport_datagrams_{sent,delivered}_total and
-  /// probemon_transport_send_errors_total. The registry must outlive
-  /// the transport.
+  /// probemon_transport_{send,recv}_errors_total. The registry must
+  /// outlive the transport.
   void instrument(telemetry::Registry& registry);
 
   /// UDP port of a node's socket (0 if unknown) — exposed for tests.
@@ -59,6 +63,7 @@ class UdpTransport final : public Transport {
 
   void receive_loop();
   void wake_receiver();
+  void count_recv_error();
 
   RtClock clock_;
   mutable std::mutex mutex_;
@@ -72,9 +77,11 @@ class UdpTransport final : public Transport {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t send_errors_ = 0;
+  std::uint64_t recv_errors_ = 0;
   telemetry::Counter* tele_sent_ = nullptr;
   telemetry::Counter* tele_delivered_ = nullptr;
   telemetry::Counter* tele_send_errors_ = nullptr;
+  telemetry::Counter* tele_recv_errors_ = nullptr;
   std::thread receiver_;
 };
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "telemetry/json.hpp"
 
@@ -179,6 +182,39 @@ PeriodicReporter::PeriodicReporter(const Registry& registry, double period_s,
 
 PeriodicReporter::~PeriodicReporter() { stop(); }
 
+void PeriodicReporter::set_snapshot_file(std::string path) {
+  std::lock_guard lock(mutex_);
+  snapshot_path_ = std::move(path);
+}
+
+void PeriodicReporter::write_snapshot_file() {
+  std::string path;
+  {
+    std::lock_guard lock(mutex_);
+    path = snapshot_path_;
+  }
+  if (path.empty()) return;
+  // Write-then-rename so a reader (or a crash mid-write) never sees a
+  // half-written exposition.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      PROBEMON_LOG(util::LogLevel::kWarn)
+          << "PeriodicReporter: cannot write " << tmp;
+      return;
+    }
+    out << to_prometheus(registry_);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    PROBEMON_LOG(util::LogLevel::kWarn)
+        << "PeriodicReporter: rename to " << path << " failed: "
+        << ec.message();
+  }
+}
+
 void PeriodicReporter::start() {
   std::lock_guard lock(mutex_);
   if (started_) return;
@@ -195,6 +231,7 @@ void PeriodicReporter::stop() {
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  write_snapshot_file();  // final state, even if no tick ever fired
   std::lock_guard lock(mutex_);
   started_ = false;
 }
@@ -208,6 +245,7 @@ void PeriodicReporter::run() {
     if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
     lock.unlock();
     PROBEMON_LOG(level_) << "telemetry snapshot\n" << render_human(registry_);
+    write_snapshot_file();
     lock.lock();
   }
 }

@@ -33,6 +33,12 @@ std::string render_human(const Registry& registry);
 
 /// Logs render_human() every `period_s` seconds via PLOG at `level`.
 /// start() idempotent; stop() (or destruction) joins the thread.
+///
+/// With set_snapshot_file(), each tick additionally writes the
+/// Prometheus exposition to a file (replaced atomically via a temp file
+/// + rename), and once more on stop() — so a long run always leaves an
+/// up-to-date post-mortem artifact on disk even if the process is later
+/// killed.
 class PeriodicReporter {
  public:
   PeriodicReporter(const Registry& registry, double period_s,
@@ -42,17 +48,23 @@ class PeriodicReporter {
   PeriodicReporter(const PeriodicReporter&) = delete;
   PeriodicReporter& operator=(const PeriodicReporter&) = delete;
 
+  /// Snapshot-to-disk target (empty = disabled, the default). Safe to
+  /// call any time; takes effect from the next tick.
+  void set_snapshot_file(std::string path);
+
   void start();
   void stop();
 
  private:
   void run();
+  void write_snapshot_file();
 
   const Registry& registry_;
   const double period_s_;
   const util::LogLevel level_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::string snapshot_path_;
   bool stop_ = false;
   bool started_ = false;
   std::thread thread_;

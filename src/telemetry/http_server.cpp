@@ -1,0 +1,344 @@
+#include "telemetry/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "telemetry/export.hpp"
+
+namespace probemon::telemetry {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Status";
+  }
+}
+
+/// Split "path?a=1&b=2" into request.path / request.query. No
+/// percent-decoding: every route this server exists for uses plain
+/// token values (`format=chrome`).
+void parse_target(const std::string& target, HttpRequest& request) {
+  const std::size_t qmark = target.find('?');
+  request.path = target.substr(0, qmark);
+  if (qmark == std::string::npos) return;
+  std::size_t pos = qmark + 1;
+  while (pos <= target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.query[pair] = "";
+      } else {
+        request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+    pos = amp + 1;
+  }
+}
+
+/// Parse the request line out of the buffered head. Returns false on a
+/// malformed line.
+bool parse_request_line(const std::string& head, HttpRequest& request) {
+  const std::size_t eol = head.find("\r\n");
+  const std::string line =
+      head.substr(0, eol == std::string::npos ? head.size() : eol);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request.method = line.substr(0, sp1);
+  const std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+  if (line.compare(sp2 + 1, 5, "HTTP/") != 0) return false;
+  parse_target(target, request);
+  return true;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void write_response(int fd, const HttpResponse& response,
+                    const std::string& allow = "") {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
+                     status_text(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  if (!allow.empty()) head += "Allow: " + allow + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  write_all(fd, head + response.body);
+}
+
+}  // namespace
+
+HttpServer::HttpServer() : HttpServer(Config{}) {}
+
+HttpServer::HttpServer(Config config) : config_(config) {
+  if (config_.workers < 1) {
+    throw std::invalid_argument("HttpServer: need at least one worker");
+  }
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& path, HttpHandler handler) {
+  if (path.empty() || path[0] != '/') {
+    throw std::invalid_argument("HttpServer: route must start with '/'");
+  }
+  if (!handler) throw std::invalid_argument("HttpServer: empty handler");
+  std::lock_guard lock(mutex_);
+  handlers_[path] = std::move(handler);
+}
+
+void HttpServer::start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "HttpServer: socket");
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      listen(fd, 16) != 0) {
+    const int err = errno;
+    close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "HttpServer: bind/listen");
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "HttpServer: getsockname");
+  }
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  running_ = true;
+  stopping_ = false;
+  started_at_ = std::chrono::steady_clock::now();
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void HttpServer::stop() {
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    // Closing the listen socket kicks accept_loop out of poll/accept.
+    close(listen_fd_);
+    listen_fd_ = -1;
+    acceptor = std::move(acceptor_);
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  cv_.notify_all();
+  if (acceptor.joinable()) acceptor.join();
+  for (auto& w : workers) w.join();
+  std::lock_guard lock(mutex_);
+  for (int fd : pending_) close(fd);
+  pending_.clear();
+  running_ = false;
+  stopping_ = false;
+  port_ = 0;
+}
+
+bool HttpServer::running() const {
+  std::lock_guard lock(mutex_);
+  return running_ && !stopping_;
+}
+
+std::uint16_t HttpServer::port() const {
+  std::lock_guard lock(mutex_);
+  return port_;
+}
+
+std::uint64_t HttpServer::requests_served() const {
+  std::lock_guard lock(mutex_);
+  return requests_;
+}
+
+double HttpServer::uptime_seconds() const {
+  std::lock_guard lock(mutex_);
+  if (!running_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
+std::vector<std::string> HttpServer::routes() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(handlers_.size());
+  for (const auto& [path, handler] : handlers_) out.push_back(path);
+  return out;
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    int fd;
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) return;
+      fd = listen_fd_;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int conn = accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;  // stop() closed the socket, or a stray error
+    // Bound how long a silent client can pin a worker.
+    timeval timeout{2, 0};
+    setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
+    bool enqueued = false;
+    {
+      std::lock_guard lock(mutex_);
+      if (!stopping_ && pending_.size() < config_.max_pending) {
+        pending_.push_back(conn);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      cv_.notify_one();
+    } else {
+      close(conn);  // overload (or shutdown): shed instead of queueing
+    }
+  }
+}
+
+void HttpServer::worker_loop() {
+  for (;;) {
+    int fd;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read until the end of the header block; the request body (which
+  // GETs don't carry) is ignored.
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > config_.max_request_bytes) {
+      write_response(fd, {431, "text/plain; charset=utf-8",
+                          "request head too large\n"});
+      return;
+    }
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // client vanished or stalled past SO_RCVTIMEO
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpRequest request;
+  if (!parse_request_line(head, request)) {
+    write_response(fd, {400, "text/plain; charset=utf-8",
+                        "malformed request line\n"});
+    return;
+  }
+
+  HttpHandler handler;
+  {
+    std::lock_guard lock(mutex_);
+    ++requests_;
+    auto it = handlers_.find(request.path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (request.method != "GET") {
+    write_response(fd, {405, "text/plain; charset=utf-8",
+                        "only GET is supported\n"},
+                   "GET");
+    return;
+  }
+  if (!handler) {
+    write_response(fd, {404, "text/plain; charset=utf-8",
+                        "no route for " + request.path + "\n"});
+    return;
+  }
+  try {
+    write_response(fd, handler(request));
+  } catch (const std::exception& e) {
+    write_response(fd, {500, "text/plain; charset=utf-8",
+                        std::string("handler error: ") + e.what() + "\n"});
+  }
+}
+
+void register_metrics_routes(HttpServer& server, const Registry& registry) {
+  server.handle("/metrics", [&registry](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                        to_prometheus(registry)};
+  });
+  server.handle("/metrics.json", [&registry](const HttpRequest&) {
+    return HttpResponse{200, "application/json", to_json(registry)};
+  });
+}
+
+void register_trace_routes(HttpServer& server,
+                           const ProbeCycleTracer& tracer) {
+  server.handle("/trace", [&tracer](const HttpRequest& request) {
+    auto it = request.query.find("format");
+    const std::string format = it == request.query.end() ? "json" : it->second;
+    if (format == "chrome") {
+      return HttpResponse{200, "application/json", tracer.to_chrome_trace()};
+    }
+    if (format == "json") {
+      return HttpResponse{200, "application/json", tracer.to_json()};
+    }
+    return HttpResponse{400, "text/plain; charset=utf-8",
+                        "unknown format '" + format +
+                            "' (expected json or chrome)\n"};
+  });
+}
+
+}  // namespace probemon::telemetry

@@ -1,0 +1,126 @@
+// HttpServer: a dependency-free HTTP/1.1 endpoint for live telemetry.
+//
+// The exporters (export.hpp) turn a Registry into text; this server
+// puts that text on a socket so a running system can be inspected with
+// curl, a Prometheus scraper, or a browser while it runs. Scope is
+// deliberately tiny — GET-only, exact-path routes, Connection: close —
+// because the consumer is an operator or a scraper, not a web app.
+//
+// Threading: start() spawns one blocking accept loop plus a small fixed
+// pool of workers draining a bounded connection queue (connections
+// beyond the bound are closed immediately — overload sheds instead of
+// queueing without limit). Handlers run on worker threads and must be
+// thread-safe; the telemetry snapshot paths they typically call
+// (Registry::snapshot(), ProbeCycleTracer::snapshot()) already are.
+// stop() (or destruction) closes the listen socket, drains the queue
+// and joins every thread; it is idempotent and safe to call while
+// requests are in flight.
+//
+//   HttpServer server({.port = 0});        // 0 = ephemeral
+//   register_metrics_routes(server, registry);
+//   register_trace_routes(server, tracer);
+//   server.start();
+//   std::cout << "serving on :" << server.port() << '\n';
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/probe_tracer.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::telemetry {
+
+struct HttpRequest {
+  std::string method;  ///< upper-case as received, e.g. "GET"
+  std::string path;    ///< request target without the query string
+  std::map<std::string, std::string> query;  ///< parsed ?k=v&k2=v2
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+class HttpServer {
+ public:
+  struct Config {
+    std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+    int workers = 2;         ///< connection-handling threads
+    /// Accepted connections waiting for a worker beyond this are closed.
+    std::size_t max_pending = 64;
+    /// Request head (request line + headers) size cap; larger -> 431.
+    std::size_t max_request_bytes = 8192;
+  };
+
+  HttpServer();  // all-default Config
+  explicit HttpServer(Config config);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register (or replace) the GET handler for an exact path. Safe to
+  /// call before start() or while serving.
+  void handle(const std::string& path, HttpHandler handler);
+
+  /// Bind 127.0.0.1, start the accept loop and workers. Throws
+  /// std::system_error if the port cannot be bound. Idempotent.
+  void start();
+  /// Shut down and join all threads. Idempotent; called by ~HttpServer.
+  void stop();
+
+  bool running() const;
+  /// Bound port (valid after start(); 0 before).
+  std::uint16_t port() const;
+  /// Requests answered (any status) since construction.
+  std::uint64_t requests_served() const;
+  /// Seconds since start() (0 when not running).
+  double uptime_seconds() const;
+
+  /// Registered paths, sorted — lets an index route list its siblings.
+  std::vector<std::string> routes() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  const Config config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, HttpHandler> handlers_;
+  std::deque<int> pending_;  ///< accepted fds awaiting a worker
+  bool running_ = false;
+  bool stopping_ = false;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t requests_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+/// `/metrics` (Prometheus text exposition 0.0.4) and `/metrics.json`
+/// (the to_json() snapshot) over `registry`, which must outlive the
+/// server.
+void register_metrics_routes(HttpServer& server, const Registry& registry);
+
+/// `/trace` over `tracer` (must outlive the server): the probe-cycle
+/// ring as a JSON array by default, or Chrome trace-event format for
+/// `?format=chrome` (load the saved body in Perfetto or
+/// chrome://tracing). Unknown formats -> 400.
+void register_trace_routes(HttpServer& server, const ProbeCycleTracer& tracer);
+
+}  // namespace probemon::telemetry

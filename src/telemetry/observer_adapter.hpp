@@ -11,7 +11,10 @@
 // views are wanted.
 #pragma once
 
+#include <unordered_map>
+
 #include "core/observer.hpp"
+#include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
 
 namespace probemon::telemetry {
@@ -46,6 +49,38 @@ class ObserverAdapter final : public core::ProtocolObserver {
   Counter& absences_learned_;
   Counter& delta_changes_;
   Histogram& delay_;
+};
+
+/// CycleTraceObserver: DES protocol events -> ProbeCycleTrace records.
+///
+/// Assembles the per-probe observer stream back into full cycle spans
+/// (first send, retransmissions, resolution) and commits each completed
+/// cycle to a ProbeCycleTracer — so a simulation run yields the same
+/// trace artifact as the threaded runtime, and the Chrome-trace export
+/// (`ProbeCycleTracer::to_chrome_trace()`) works on both.
+///
+/// Not internally synchronized: the DES kernel delivers observer events
+/// from its single run loop. The tracer itself is thread-safe, so
+/// snapshotting concurrently from another thread is fine.
+class CycleTraceObserver final : public core::ProtocolObserver {
+ public:
+  /// `tracer` must outlive the observer.
+  explicit CycleTraceObserver(ProbeCycleTracer& tracer) : tracer_(tracer) {}
+
+  void on_probe_sent(net::NodeId cp, net::NodeId device, double t,
+                     std::uint8_t attempt) override;
+  void on_cycle_success(net::NodeId cp, net::NodeId device, double t,
+                        std::uint8_t attempts) override;
+  void on_device_declared_absent(net::NodeId cp, net::NodeId device,
+                                 double t) override;
+
+  /// Cycles currently in flight (first send seen, no resolution yet).
+  std::size_t open_cycles() const { return open_.size(); }
+
+ private:
+  ProbeCycleTracer& tracer_;
+  std::unordered_map<net::NodeId, ProbeCycleTrace> open_;  ///< keyed by CP
+  std::unordered_map<net::NodeId, std::uint64_t> next_cycle_;
 };
 
 }  // namespace probemon::telemetry

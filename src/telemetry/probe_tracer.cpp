@@ -63,9 +63,120 @@ std::string ProbeCycleTracer::to_json() const {
     w.value(t.success);
     w.key("rtt");
     w.value(t.rtt);
+    if (!t.sends.empty()) {
+      w.key("sends");
+      w.begin_array();
+      for (double s : t.sends) w.value(s);
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();
+  return w.str();
+}
+
+namespace {
+
+/// Transport-clock seconds -> trace-event microseconds.
+double to_us(double t) { return t * 1e6; }
+
+void chrome_event_common(JsonWriter& w, const char* name, const char* cat,
+                         const char* ph, double ts, net::NodeId pid,
+                         net::NodeId tid) {
+  w.key("name");
+  w.value(name);
+  w.key("cat");
+  w.value(cat);
+  w.key("ph");
+  w.value(ph);
+  w.key("ts");
+  w.value(ts);
+  w.key("pid");
+  w.value(static_cast<std::uint64_t>(pid));
+  w.key("tid");
+  w.value(static_cast<std::uint64_t>(tid));
+}
+
+void chrome_metadata(JsonWriter& w, const char* name, net::NodeId pid,
+                     net::NodeId tid, const std::string& label) {
+  w.begin_object();
+  w.key("name");
+  w.value(name);
+  w.key("ph");
+  w.value("M");
+  w.key("ts");
+  w.value(0.0);
+  w.key("pid");
+  w.value(static_cast<std::uint64_t>(pid));
+  w.key("tid");
+  w.value(static_cast<std::uint64_t>(tid));
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value(label);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string ProbeCycleTracer::to_chrome_trace() const {
+  const auto traces = snapshot();
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  // Metadata: one "process" per device, one "thread" per probing CP,
+  // emitted once per distinct track.
+  std::vector<std::pair<net::NodeId, net::NodeId>> seen;
+  for (const auto& t : traces) {
+    const std::pair<net::NodeId, net::NodeId> track{t.device, t.cp};
+    if (std::find(seen.begin(), seen.end(), track) != seen.end()) continue;
+    if (std::find_if(seen.begin(), seen.end(), [&](const auto& s) {
+          return s.first == t.device;
+        }) == seen.end()) {
+      chrome_metadata(w, "process_name", t.device, 0,
+                      "device " + std::to_string(t.device));
+    }
+    chrome_metadata(w, "thread_name", t.device, t.cp,
+                    "cp " + std::to_string(t.cp));
+    seen.push_back(track);
+  }
+  for (const auto& t : traces) {
+    // The cycle span: first send -> resolution.
+    w.begin_object();
+    chrome_event_common(w, t.success ? "probe cycle" : "absence declared",
+                        "probe_cycle", "X", to_us(t.start), t.device, t.cp);
+    w.key("dur");
+    w.value(to_us(t.end - t.start));
+    w.key("args");
+    w.begin_object();
+    w.key("cycle");
+    w.value(t.cycle);
+    w.key("attempts");
+    w.value(static_cast<std::uint64_t>(t.attempts));
+    w.key("success");
+    w.value(t.success);
+    w.key("rtt_s");
+    w.value(t.rtt);
+    w.end_object();
+    w.end_object();
+    // Instant markers for every probe send; retransmissions stand out
+    // as extra ticks inside the span.
+    for (std::size_t a = 0; a < t.sends.size(); ++a) {
+      w.begin_object();
+      chrome_event_common(w, a == 0 ? "probe" : "retransmission",
+                          "probe_send", "i", to_us(t.sends[a]), t.device,
+                          t.cp);
+      w.key("s");
+      w.value("t");
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
   return w.str();
 }
 

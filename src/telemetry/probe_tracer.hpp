@@ -33,6 +33,10 @@ struct ProbeCycleTrace {
   bool success = false;       ///< false = device declared absent
   /// Last-probe-send → reply latency (seconds); 0 for failed cycles.
   double rtt = 0.0;
+  /// Per-attempt send instants (size == attempts when populated;
+  /// sends[0] == start). Lets the Chrome-trace export mark each
+  /// retransmission inside the cycle span.
+  std::vector<double> sends;
 };
 
 class ProbeCycleTracer {
@@ -50,6 +54,14 @@ class ProbeCycleTracer {
 
   /// Snapshot as a JSON array (one object per trace).
   std::string to_json() const;
+
+  /// Snapshot in Chrome trace-event format (JSON object with a
+  /// `traceEvents` array), loadable in Perfetto / chrome://tracing.
+  /// Each cycle becomes a complete event (ph "X") on track pid=device,
+  /// tid=cp, with instant events (ph "i") for every probe send;
+  /// metadata events name the tracks. Timestamps are the transport
+  /// clock converted to microseconds.
+  std::string to_chrome_trace() const;
 
  private:
   const std::size_t capacity_;

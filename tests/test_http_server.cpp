@@ -1,0 +1,357 @@
+// Loopback tests for the HTTP observability endpoint: golden bodies
+// for every route, error handling (400/404/405), lifecycle hygiene and
+// concurrent GETs (the latter is what the TSan build exercises).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/http_routes.hpp"
+#include "runtime/inproc_transport.hpp"
+#include "runtime/presence_service.hpp"
+#include "runtime/rt_device.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/probe_tracer.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::telemetry {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Minimal blocking HTTP client: one request, read to EOF.
+std::string http_request(std::uint16_t port, const std::string& raw) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << "connect to port " << port << ": " << std::strerror(errno);
+  std::size_t off = 0;
+  while (off < raw.size()) {
+    const ssize_t n = send(fd, raw.data() + off, raw.size() - off, 0);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string http_get(std::uint16_t port, const std::string& target) {
+  return http_request(port, "GET " + target +
+                                " HTTP/1.1\r\nHost: localhost\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t sep = response.find("\r\n\r\n");
+  return sep == std::string::npos ? "" : response.substr(sep + 4);
+}
+
+std::string status_line(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+TEST(HttpServer, StartStopRestartIsClean) {
+  HttpServer server;
+  EXPECT_EQ(server.port(), 0);
+  EXPECT_FALSE(server.running());
+  server.start();
+  EXPECT_TRUE(server.running());
+  const std::uint16_t port = server.port();
+  EXPECT_NE(port, 0);
+  server.start();  // idempotent
+  EXPECT_EQ(server.port(), port);
+  server.stop();
+  server.stop();  // idempotent
+  EXPECT_FALSE(server.running());
+  server.start();  // restart after stop
+  EXPECT_TRUE(server.running());
+  EXPECT_NE(server.port(), 0);
+}
+
+TEST(HttpServer, MetricsRouteServesPrometheusGolden) {
+  Registry registry;
+  registry.counter("probemon_watch_cycles_total", "Completed cycles",
+                   {{"result", "success"}})
+      .inc(5);
+  registry.gauge("probemon_watches", "Watched devices").set(3);
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+
+  const std::string response = http_get(server.port(), "/metrics");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // No concurrent writers, so the body must equal the exporter output.
+  EXPECT_EQ(body_of(response), to_prometheus(registry));
+  EXPECT_NE(body_of(response).find(
+                "probemon_watch_cycles_total{result=\"success\"} 5"),
+            std::string::npos);
+}
+
+TEST(HttpServer, MetricsJsonRouteServesSnapshot) {
+  Registry registry;
+  registry.counter("probemon_test_total", "A counter").inc(2);
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+
+  const std::string response = http_get(server.port(), "/metrics.json");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_EQ(body_of(response), to_json(registry));
+}
+
+TEST(HttpServer, TraceRouteServesJsonAndChromeFormats) {
+  ProbeCycleTracer tracer(16);
+  ProbeCycleTrace trace;
+  trace.cp = 4;
+  trace.device = 1;
+  trace.cycle = 9;
+  trace.start = 1.0;
+  trace.end = 1.25;
+  trace.attempts = 2;
+  trace.success = true;
+  trace.rtt = 0.01;
+  trace.sends = {1.0, 1.2};
+  tracer.record(trace);
+
+  HttpServer server;
+  register_trace_routes(server, tracer);
+  server.start();
+
+  const std::string json = http_get(server.port(), "/trace");
+  EXPECT_EQ(status_line(json), "HTTP/1.1 200 OK");
+  EXPECT_EQ(body_of(json), tracer.to_json());
+
+  const std::string chrome =
+      http_get(server.port(), "/trace?format=chrome");
+  EXPECT_EQ(status_line(chrome), "HTTP/1.1 200 OK");
+  const std::string chrome_body = body_of(chrome);
+  EXPECT_EQ(chrome_body, tracer.to_chrome_trace());
+  // Structural Chrome trace-event checks: a traceEvents array whose
+  // events carry ph/ts/pid (what Perfetto needs to load the file).
+  EXPECT_NE(chrome_body.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome_body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome_body.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(chrome_body.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(chrome_body.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(chrome_body.find("\"tid\":4"), std::string::npos);
+  // The span starts at the first send (1.0 s -> 1e6 us) and lasts
+  // 0.25 s -> 250000 us.
+  EXPECT_NE(chrome_body.find("\"ts\":1000000"), std::string::npos);
+  EXPECT_NE(chrome_body.find("\"dur\":250000"), std::string::npos);
+
+  const std::string bad = http_get(server.port(), "/trace?format=xml");
+  EXPECT_EQ(status_line(bad), "HTTP/1.1 400 Bad Request");
+}
+
+TEST(HttpServer, NotFoundUnknownRoute) {
+  HttpServer server;
+  server.start();
+  const std::string response = http_get(server.port(), "/nope");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(body_of(response).find("/nope"), std::string::npos);
+}
+
+TEST(HttpServer, MethodNotAllowedForNonGet) {
+  Registry registry;
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+  const std::string response = http_request(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_NE(response.find("Allow: GET"), std::string::npos);
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  HttpServer server;
+  server.start();
+  const std::string response =
+      http_request(server.port(), "garbage\r\n\r\n");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 400 Bad Request");
+}
+
+TEST(HttpServer, OversizedRequestHeadIs431) {
+  HttpServer server({.port = 0, .workers = 1, .max_pending = 4,
+                     .max_request_bytes = 256});
+  server.start();
+  const std::string response = http_request(
+      server.port(), "GET /" + std::string(1024, 'a') + " HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(status_line(response),
+            "HTTP/1.1 431 Request Header Fields Too Large");
+}
+
+TEST(HttpServer, CountsRequestsAndReportsUptime) {
+  HttpServer server;
+  server.handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "pong"};
+  });
+  server.start();
+  EXPECT_EQ(server.requests_served(), 0u);
+  http_get(server.port(), "/ping");
+  http_get(server.port(), "/ping");
+  EXPECT_EQ(server.requests_served(), 2u);
+  EXPECT_GE(server.uptime_seconds(), 0.0);
+}
+
+TEST(HttpServer, QueryParametersReachHandlers) {
+  HttpServer server;
+  server.handle("/echo", [](const HttpRequest& request) {
+    std::string out;
+    for (const auto& [k, v] : request.query) out += k + '=' + v + ';';
+    return HttpResponse{200, "text/plain", out};
+  });
+  server.start();
+  const std::string response =
+      http_get(server.port(), "/echo?b=2&a=1&flag");
+  EXPECT_EQ(body_of(response), "a=1;b=2;flag=;");
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  HttpServer server;
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaput");
+  });
+  server.start();
+  const std::string response = http_get(server.port(), "/boom");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 500 Internal Server Error");
+  EXPECT_NE(body_of(response).find("kaput"), std::string::npos);
+}
+
+// The TSan target: many clients hammering every route while the
+// registry keeps moving underneath, then a stop with requests possibly
+// in flight.
+TEST(HttpServer, ConcurrentGetsAcrossRoutesAreRaceFree) {
+  Registry registry;
+  auto& counter = registry.counter("probemon_test_total", "moving target");
+  ProbeCycleTracer tracer(64);
+  HttpServer server({.port = 0, .workers = 4, .max_pending = 64,
+                     .max_request_bytes = 8192});
+  register_metrics_routes(server, registry);
+  register_trace_routes(server, tracer);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop) {
+      counter.inc();
+      ProbeCycleTrace trace;
+      trace.cp = 1;
+      trace.device = 2;
+      trace.cycle = ++i;
+      trace.sends = {0.1 * static_cast<double>(i)};
+      tracer.record(trace);
+      std::this_thread::sleep_for(100us);
+    }
+  });
+
+  constexpr int kClients = 6;
+  constexpr int kRequests = 15;
+  const char* targets[] = {"/metrics", "/metrics.json", "/trace",
+                           "/trace?format=chrome", "/missing"};
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRequests; ++r) {
+        const std::string response =
+            http_get(port, targets[(c + r) % std::size(targets)]);
+        if (!response.empty()) ++ok;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop = true;
+  writer.join();
+  EXPECT_EQ(ok.load(), kClients * kRequests);
+  EXPECT_GE(server.requests_served(),
+            static_cast<std::uint64_t>(kClients * kRequests));
+  server.stop();
+}
+
+// ------------------------------------------------- runtime route wiring
+
+TEST(HttpRoutes, WatchesAndHealthzOverLiveService) {
+  runtime::InProcTransportConfig net_config;
+  net_config.delay_min = 0.0001;
+  net_config.delay_max = 0.0005;
+  runtime::InProcTransport transport(net_config);
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = 0.005;
+  device_config.d_min = 0.02;
+  runtime::RtDcppDevice device(transport, device_config);
+
+  Registry registry;
+  ProbeCycleTracer tracer(128);
+  runtime::PresenceService::TelemetryOptions wiring;
+  wiring.registry = &registry;
+  wiring.tracer = &tracer;
+  runtime::PresenceService service(transport, wiring);
+
+  HttpServer server;
+  runtime::register_observability_routes(server,
+                                         {&registry, &tracer, &service});
+  server.start();
+
+  core::DcppCpConfig cp_config;
+  cp_config.timeouts.tof = 0.020;
+  cp_config.timeouts.tos = 0.015;
+  service.watch_dcpp(device.id(), cp_config);
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (!service.present(device.id()) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(service.present(device.id()));
+
+  const std::string watches = body_of(http_get(server.port(), "/watches"));
+  EXPECT_EQ(watches, runtime::watches_to_json(service));
+  EXPECT_NE(watches.find("\"device\":" + std::to_string(device.id())),
+            std::string::npos);
+  EXPECT_NE(watches.find("\"state\":\"present\""), std::string::npos);
+
+  const std::string healthz = body_of(http_get(server.port(), "/healthz"));
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"watches\":1"), std::string::npos);
+  EXPECT_NE(healthz.find("\"registry_metrics\":"), std::string::npos);
+  EXPECT_NE(healthz.find("\"tracer_capacity\":128"), std::string::npos);
+
+  // The acceptance-criteria metric family must be served live.
+  const std::string metrics = body_of(http_get(server.port(), "/metrics"));
+  EXPECT_NE(metrics.find("probemon_watch_cycles_total"), std::string::npos);
+
+  const std::string index = body_of(http_get(server.port(), "/"));
+  for (const char* route :
+       {"/metrics", "/metrics.json", "/healthz", "/watches", "/trace"}) {
+    EXPECT_NE(index.find(route), std::string::npos) << route;
+  }
+}
+
+}  // namespace
+}  // namespace probemon::telemetry

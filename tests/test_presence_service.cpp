@@ -152,6 +152,49 @@ TEST(PresenceService, StatsAggregateAcrossWatches) {
   EXPECT_EQ(stats.cycles_failed, 0u);
 }
 
+TEST(PresenceService, SnapshotWatchesReportsLiveCycleState) {
+  Fixture f;
+  RtDcppDevice a(f.transport, f.device_config);
+  RtDcppDevice b(f.transport, f.device_config);
+  PresenceService service(f.transport);
+  EXPECT_TRUE(service.snapshotWatches().empty());
+  service.watch_dcpp(a.id(), f.cp_config);
+  service.watch_dcpp(b.id(), f.cp_config);
+  std::this_thread::sleep_for(250ms);
+
+  auto watches = service.snapshotWatches();
+  ASSERT_EQ(watches.size(), 2u);
+  // Sorted by device id for stable display.
+  EXPECT_LT(watches[0].device, watches[1].device);
+  for (const auto& w : watches) {
+    EXPECT_EQ(w.state, Presence::kPresent);
+    EXPECT_GT(w.probes_sent, 0u);
+    EXPECT_GT(w.cycles_succeeded, 0u);
+    EXPECT_EQ(w.cycles_failed, 0u);
+    EXPECT_GT(w.last_rtt, 0.0);           // replies carry a real latency
+    EXPECT_EQ(w.consecutive_failures, 0u);  // no loss on the inproc net
+    EXPECT_GT(w.next_probe_due, 0.0);
+  }
+
+  // Kill one device: its row flips to absent with the failed cycle's
+  // attempt count; the other keeps running.
+  b.go_silent();
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (service.presence(b.id()) != Presence::kAbsent &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_EQ(service.presence(b.id()), Presence::kAbsent);
+  watches = service.snapshotWatches();
+  const auto& dead =
+      watches[0].device == b.id() ? watches[0] : watches[1];
+  EXPECT_EQ(dead.state, Presence::kAbsent);
+  EXPECT_GT(dead.cycles_failed, 0u);
+  // max_retransmissions=3 default: the failed cycle sent 4 probes.
+  EXPECT_EQ(dead.consecutive_failures, 4u);
+  EXPECT_EQ(dead.next_probe_due, 0.0);  // probing stopped
+}
+
 TEST(PresenceService, DestructorJoinsCleanly) {
   Fixture f;
   RtDcppDevice device(f.transport, f.device_config);

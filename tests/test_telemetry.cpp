@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/metric.hpp"
+#include "telemetry/observer_adapter.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
 #include "util/logging.hpp"
@@ -307,6 +310,115 @@ TEST(ProbeCycleTracer, ToJsonIsWellFormedArray) {
   EXPECT_EQ(json.back(), ']');
   EXPECT_NE(json.find("\"attempts\":2"), std::string::npos);
   EXPECT_NE(json.find("\"success\":true"), std::string::npos);
+}
+
+TEST(ProbeCycleTracer, ToChromeTraceHasPerfettoStructure) {
+  ProbeCycleTracer tracer(8);
+  ProbeCycleTrace trace;
+  trace.cp = 7;
+  trace.device = 3;
+  trace.cycle = 1;
+  trace.start = 2.0;
+  trace.end = 2.5;
+  trace.attempts = 3;
+  trace.success = false;
+  trace.sends = {2.0, 2.1, 2.2};
+  tracer.record(trace);
+
+  const std::string chrome = tracer.to_chrome_trace();
+  // What Perfetto / chrome://tracing needs: a traceEvents array of
+  // objects carrying ph, ts and pid.
+  EXPECT_NE(chrome.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"M\""), std::string::npos);  // track names
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);  // cycle span
+  EXPECT_NE(chrome.find("\"ph\":\"i\""), std::string::npos);  // send marks
+  EXPECT_NE(chrome.find("\"pid\":3"), std::string::npos);
+  EXPECT_NE(chrome.find("\"tid\":7"), std::string::npos);
+  // 2.0 s -> 2000000 us start, 0.5 s -> 500000 us duration.
+  EXPECT_NE(chrome.find("\"ts\":2000000"), std::string::npos);
+  EXPECT_NE(chrome.find("\"dur\":500000"), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"absence declared\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"retransmission\""), std::string::npos);
+}
+
+// CycleTraceObserver reassembles DES observer callbacks into cycle
+// traces; drive the hooks directly (the DES calls them the same way).
+TEST(CycleTraceObserver, ReassemblesCyclesFromObserverEvents) {
+  ProbeCycleTracer tracer(16);
+  CycleTraceObserver observer(tracer);
+
+  // Cycle 1 on CP 10: first probe answered -- one attempt, success.
+  observer.on_probe_sent(10, 20, 1.00, 0);
+  EXPECT_EQ(observer.open_cycles(), 1u);
+  observer.on_cycle_success(10, 20, 1.01, 1);
+  EXPECT_EQ(observer.open_cycles(), 0u);
+
+  // Cycle 2: two retransmissions, then success.
+  observer.on_probe_sent(10, 20, 2.00, 0);
+  observer.on_probe_sent(10, 20, 2.02, 1);
+  observer.on_probe_sent(10, 20, 2.04, 2);
+  observer.on_cycle_success(10, 20, 2.05, 3);
+
+  // A different CP declares its device absent.
+  observer.on_probe_sent(11, 21, 3.00, 0);
+  observer.on_probe_sent(11, 21, 3.02, 1);
+  observer.on_device_declared_absent(11, 21, 3.05);
+
+  const auto traces = tracer.snapshot();
+  ASSERT_EQ(traces.size(), 3u);
+
+  EXPECT_EQ(traces[0].cp, 10u);
+  EXPECT_EQ(traces[0].cycle, 1u);
+  EXPECT_EQ(traces[0].attempts, 1u);
+  EXPECT_TRUE(traces[0].success);
+  EXPECT_NEAR(traces[0].rtt, 0.01, 1e-12);
+  ASSERT_EQ(traces[0].sends.size(), 1u);
+
+  EXPECT_EQ(traces[1].cycle, 2u);  // per-CP cycle numbering
+  EXPECT_EQ(traces[1].attempts, 3u);
+  ASSERT_EQ(traces[1].sends.size(), 3u);
+  EXPECT_DOUBLE_EQ(traces[1].sends[2], 2.04);
+  // RTT is measured from the send that was answered.
+  EXPECT_NEAR(traces[1].rtt, 0.01, 1e-12);
+
+  EXPECT_EQ(traces[2].cp, 11u);
+  EXPECT_EQ(traces[2].cycle, 1u);
+  EXPECT_FALSE(traces[2].success);
+  EXPECT_EQ(traces[2].attempts, 2u);
+  EXPECT_DOUBLE_EQ(traces[2].end, 3.05);
+}
+
+TEST(Exporters, PeriodicReporterWritesSnapshotFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "probemon_snapshot_test";
+  fs::create_directories(dir);
+  const fs::path path = dir / "metrics.prom";
+  fs::remove(path);
+
+  Registry registry;
+  registry.counter("probemon_snapshot_total", "A snapshot counter").inc(3);
+  {
+    PeriodicReporter reporter(registry, 0.02);
+    reporter.set_snapshot_file(path.string());
+    reporter.start();
+    const auto deadline = std::chrono::steady_clock::now() + 2s;
+    while (!fs::exists(path) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(5ms);
+    }
+    reporter.stop();  // also writes a final snapshot
+  }
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream in(path);
+  const std::string contents((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  // The file is the Prometheus exposition, written atomically.
+  EXPECT_NE(contents.find("# TYPE probemon_snapshot_total counter"),
+            std::string::npos);
+  EXPECT_NE(contents.find("probemon_snapshot_total 3"), std::string::npos);
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  fs::remove_all(dir);
 }
 
 // ------------------------------------------------- end-to-end (runtime)

@@ -2,6 +2,11 @@
 // full protocol stack over real sockets.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -9,6 +14,7 @@
 #include "runtime/rt_control_point.hpp"
 #include "runtime/rt_device.hpp"
 #include "runtime/udp_transport.hpp"
+#include "telemetry/registry.hpp"
 
 namespace probemon::runtime {
 namespace {
@@ -98,6 +104,60 @@ TEST(UdpTransport, DetachStopsDelivery) {
   transport.send(msg);
   std::this_thread::sleep_for(100ms);
   EXPECT_EQ(received, 0);
+}
+
+TEST(UdpTransport, CountsUndecodableDatagramsAsRecvErrors) {
+  telemetry::Registry registry;
+  UdpTransport transport;
+  transport.instrument(registry);
+  std::atomic<int> delivered{0};
+  const net::NodeId node =
+      transport.attach([&](const net::Message&) { ++delivered; });
+  EXPECT_EQ(transport.recv_error_count(), 0u);
+
+  // Throw a truncated/garbage datagram at the node's port from a raw
+  // socket: it must be counted as a recv error, not delivered.
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(transport.port_of(node));
+  const char junk[] = {0x01, 0x02, 0x03};
+  ASSERT_EQ(sendto(fd, junk, sizeof junk, 0,
+                   reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            static_cast<ssize_t>(sizeof junk));
+  close(fd);
+
+  const auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (transport.recv_error_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(transport.recv_error_count(), 1u);
+  EXPECT_EQ(delivered, 0);
+
+  // The counter is mirrored into the registry for /metrics.
+  double counted = -1.0;
+  for (const auto& sample : registry.snapshot()) {
+    if (sample.name == "probemon_transport_recv_errors_total") {
+      counted = sample.value;
+    }
+  }
+  EXPECT_EQ(counted, 1.0);
+
+  // A valid message still flows afterwards.
+  const net::NodeId sender = transport.attach([](const net::Message&) {});
+  net::Message msg;
+  msg.kind = net::MessageKind::kProbe;
+  msg.from = sender;
+  msg.to = node;
+  transport.send(msg);
+  const auto deadline2 = std::chrono::steady_clock::now() + 2s;
+  while (delivered == 0 && std::chrono::steady_clock::now() < deadline2) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(delivered, 1);
 }
 
 TEST(UdpTransport, DcppOverRealSockets) {

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Compare two directories of bench_out/*.json summaries.
+
+Every binary under bench/ writes a flat JSON summary (see
+benchutil::JsonSummary) -- the headline paper-vs-measured numbers -- and
+the google-benchmark binaries write a {"benchmarks": [...]} list. This
+tool diffs two such directories metric by metric, prints the deltas, and
+exits non-zero when any relative change exceeds the threshold, so a CI
+run fails loudly on a regression:
+
+    tools/bench_diff.py baseline_dir current_dir --threshold 10
+
+Timing-noise keys (real_time, cpu_time, iterations, items_per_second)
+are ignored by default; pass --ignore '' to gate on them too, or a
+custom regex to ignore more.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import re
+import sys
+
+DEFAULT_IGNORE = r"(^|\.)(real_time|cpu_time|iterations|items_per_second)$"
+
+
+def flatten(value, prefix=""):
+    """Yield (key_path, scalar) pairs from nested JSON.
+
+    Lists of objects carrying a "name" field (google-benchmark entries)
+    are keyed by that name; other lists by index.
+    """
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            yield from flatten(sub, f"{prefix}{key}.")
+    elif isinstance(value, list):
+        for i, sub in enumerate(value):
+            tag = sub.get("name", str(i)) if isinstance(sub, dict) else str(i)
+            yield from flatten(sub, f"{prefix}{tag}.")
+    else:
+        yield prefix.rstrip("."), value
+
+
+def load_summary(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return dict(flatten(doc))
+
+
+def fmt(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def diff_file(name, base, cur, args, report):
+    failures = 0
+    keys = sorted(set(base) | set(cur))
+    ignore = re.compile(args.ignore) if args.ignore else None
+    for key in keys:
+        if key == "experiment":
+            continue
+        if ignore and ignore.search(key):
+            continue
+        if key not in base:
+            report.append(f"  {name}:{key}: NEW (current={fmt(cur[key])})")
+            continue
+        if key not in cur:
+            report.append(f"  {name}:{key}: MISSING from current "
+                          f"(baseline={fmt(base[key])})")
+            failures += 1
+            continue
+        b, c = base[key], cur[key]
+        numeric = isinstance(b, (int, float)) and isinstance(c, (int, float)) \
+            and not isinstance(b, bool) and not isinstance(c, bool)
+        if not numeric:
+            if b != c:
+                report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)}")
+                failures += 1
+            continue
+        delta = c - b
+        if b == 0:
+            if abs(delta) > args.abs_tolerance:
+                report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
+                              f"(baseline 0, |delta| > {args.abs_tolerance})"
+                              "  FAIL")
+                failures += 1
+            continue
+        pct = 100.0 * delta / abs(b)
+        if math.isnan(pct) or abs(pct) > args.threshold:
+            report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
+                          f"({pct:+.2f}%)  FAIL")
+            failures += 1
+        elif args.verbose and delta != 0:
+            report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
+                          f"({pct:+.2f}%)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline", help="directory of baseline *.json summaries")
+    parser.add_argument("current", help="directory of current *.json summaries")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max allowed relative change in %% (default 10)")
+    parser.add_argument("--abs-tolerance", type=float, default=1e-9,
+                        help="max allowed |delta| when the baseline is 0")
+    parser.add_argument("--ignore", default=DEFAULT_IGNORE,
+                        help="regex of metric keys to skip ('' = none; "
+                             "default skips micro-bench timing keys)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="also print in-threshold changes")
+    args = parser.parse_args()
+
+    base_files = {os.path.basename(p): p
+                  for p in glob.glob(os.path.join(args.baseline, "*.json"))}
+    cur_files = {os.path.basename(p): p
+                 for p in glob.glob(os.path.join(args.current, "*.json"))}
+    if not base_files:
+        print(f"bench_diff: no *.json in baseline dir {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    report = []
+    for name in sorted(set(base_files) | set(cur_files)):
+        if name not in cur_files:
+            report.append(f"  {name}: MISSING from current")
+            failures += 1
+            continue
+        if name not in base_files:
+            report.append(f"  {name}: NEW (not in baseline)")
+            continue
+        try:
+            base = load_summary(base_files[name])
+            cur = load_summary(cur_files[name])
+        except (json.JSONDecodeError, OSError) as err:
+            report.append(f"  {name}: unreadable ({err})")
+            failures += 1
+            continue
+        failures += diff_file(name, base, cur, args, report)
+
+    compared = len(set(base_files) & set(cur_files))
+    print(f"bench_diff: compared {compared} summaries "
+          f"(threshold {args.threshold}%)")
+    for line in report:
+        print(line)
+    if failures:
+        print(f"bench_diff: {failures} metric(s) beyond threshold -- FAIL")
+        return 1
+    print("bench_diff: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
