@@ -3,6 +3,8 @@
 # are diffed so regressions fail loudly.
 #
 #   scripts/ci.sh                       # build, test, smoke, self-diff
+#   scripts/ci.sh --full                # + static analysis & sanitizer
+#                                       #   matrix (see below)
 #   BENCH_BASELINE_DIR=path scripts/ci.sh   # additionally diff against
 #                                           # a stored baseline
 #
@@ -12,11 +14,31 @@
 # no stored baseline exists. With BENCH_BASELINE_DIR set, the first
 # smoke pass is also compared against that baseline at a looser
 # threshold (override with BENCH_DIFF_THRESHOLD, percent).
+#
+# --full appends the analysis matrix (docs/static_analysis.md):
+#   * clang-tidy over src/ (skipped with a notice when not installed)
+#   * tools/lint.py project rules, plus a self-test that seeds a rand()
+#     call in a scratch tree and requires the linter to catch it
+#   * scripts/check_format.sh (diff-only; skipped when clang-format is
+#     not installed)
+#   * an ASan+UBSan build with PROBEMON_CHECKED=ON running the full
+#     ctest suite -- every Experiment self-audits its protocol
+#     invariants and aborts the test on a violation
+#   * a checked DES smoke (bench under the sanitized+checked build)
+#   * CI_TSAN=1 additionally runs a thread,undefined build + ctest
+# and writes bench_out/analysis_summary.json with machine-readable
+# results (invariant violations, tidy warning count, lint findings).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 THRESHOLD="${BENCH_DIFF_THRESHOLD:-15}"
+
+FULL=0
+if [[ "${1:-}" == "--full" ]]; then
+  FULL=1
+  shift
+fi
 
 # Short-duration, seeded smoke runs; one DES bench per protocol family.
 SMOKE_BENCHES=(
@@ -65,6 +87,88 @@ if [[ -n "${BENCH_BASELINE_DIR:-}" ]]; then
 else
   echo "==> no BENCH_BASELINE_DIR set; skipped stored-baseline diff"
   echo "    (seed one with: cp -r $SCRATCH/run1/bench_out <baseline-dir>)"
+fi
+
+if [[ "$FULL" -eq 1 ]]; then
+  echo "==> full analysis matrix"
+  SUMMARY_DIR="$ROOT/bench_out"
+  mkdir -p "$SUMMARY_DIR"
+
+  # --- static: clang-tidy (best-effort where the toolchain lacks clang)
+  TIDY_COUNT_FILE="$SCRATCH/tidy_count" "$ROOT/scripts/run_tidy.sh"
+  TIDY_COUNT="$(cat "$SCRATCH/tidy_count" 2>/dev/null || echo skipped)"
+
+  # --- static: project lint (fatal on findings)
+  echo "==> tools/lint.py"
+  python3 "$ROOT/tools/lint.py" --json "$SCRATCH/lint.json"
+
+  # --- static: lint self-test -- seed a rand() call in a scratch tree
+  # and require the linter to catch it (guards against the linter
+  # silently rotting into a no-op).
+  echo "==> lint self-test (seeded rand() must be caught)"
+  mkdir -p "$SCRATCH/lint_selftest/src/des"
+  cat > "$SCRATCH/lint_selftest/src/des/seeded.cpp" <<'EOF'
+#include <cstdlib>
+int nondeterministic() { return rand(); }
+EOF
+  if python3 "$ROOT/tools/lint.py" --root "$SCRATCH/lint_selftest" \
+       > "$SCRATCH/lint_selftest.out" 2>&1; then
+    echo "    FAILED: linter missed the seeded rand() call" >&2
+    cat "$SCRATCH/lint_selftest.out" >&2
+    exit 1
+  fi
+  grep -q 'no-wall-clock' "$SCRATCH/lint_selftest.out" || {
+    echo "    FAILED: linter flagged something, but not no-wall-clock" >&2
+    cat "$SCRATCH/lint_selftest.out" >&2
+    exit 1
+  }
+  echo "    OK (no-wall-clock finding produced)"
+
+  # --- static: formatting, diff-only (advisory skip when absent)
+  "$ROOT/scripts/check_format.sh"
+
+  # --- dynamic: ASan+UBSan build with the invariant auditor armed
+  ASAN_BUILD="${ASAN_BUILD_DIR:-$ROOT/build-asan}"
+  echo "==> sanitizer matrix: address,undefined + PROBEMON_CHECKED (${ASAN_BUILD})"
+  cmake -B "$ASAN_BUILD" -S "$ROOT" \
+    -DPROBEMON_SANITIZE=address -DPROBEMON_CHECKED=ON >/dev/null
+  cmake --build "$ASAN_BUILD" -j >/dev/null
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure -j
+
+  # --- dynamic: checked DES smoke (auditor attached, abort on violation)
+  echo "==> checked DES smoke (auditor armed)"
+  mkdir -p "$SCRATCH/checked_smoke"
+  (cd "$SCRATCH/checked_smoke" &&
+     "$ASAN_BUILD/bench/bench_a5_detection" --seed=7 >/dev/null)
+
+  # --- optional: thread,undefined matrix leg (slow; opt-in)
+  if [[ "${CI_TSAN:-0}" == "1" ]]; then
+    TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+    echo "==> sanitizer matrix: thread,undefined (${TSAN_BUILD})"
+    cmake -B "$TSAN_BUILD" -S "$ROOT" \
+      -DPROBEMON_SANITIZE=thread,undefined >/dev/null
+    cmake --build "$TSAN_BUILD" -j >/dev/null
+    ctest --test-dir "$TSAN_BUILD" --output-on-failure -j
+  fi
+
+  # --- machine-readable summary. The checked suite aborts on any
+  # invariant violation, so reaching this line means the tally is 0.
+  python3 - "$SUMMARY_DIR/analysis_summary.json" "$SCRATCH/lint.json" \
+    "$TIDY_COUNT" <<'EOF'
+import json, sys
+out, lint_path, tidy = sys.argv[1], sys.argv[2], sys.argv[3]
+lint = json.load(open(lint_path))
+json.dump({
+    "invariant_violations": 0,
+    "checked_suite": "passed",
+    "sanitizers": ["address", "undefined"],
+    "tidy_warnings": None if tidy == "skipped" else int(tidy),
+    "tidy_ran": tidy != "skipped",
+    "lint_findings": len(lint["findings"]),
+    "lint_files_scanned": lint["files_scanned"],
+}, open(out, "w"), indent=2)
+print(f"==> wrote {out}")
+EOF
 fi
 
 echo "==> ci.sh OK"

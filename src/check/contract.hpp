@@ -1,0 +1,138 @@
+// Executable contracts: the PROBEMON_INVARIANT / PROBEMON_CONTRACT
+// macro family.
+//
+// The paper's correctness claims are invariants (DCPP's schedule
+// frontier is monotone, SAPP's delay stays clamped, a probe cycle sends
+// at most 1 + max_retransmissions probes). These macros let the code
+// state such properties where they are established, at zero cost in
+// release builds:
+//
+//   * default build: both macros expand to ((void)0) — the condition is
+//     NOT evaluated, so checks may be arbitrarily expensive;
+//   * -DPROBEMON_CHECKED=ON: a failed check prints a diagnostic
+//     (file:line, the expression, a streamed detail message) and calls
+//     the installed failure handler, which aborts by default.
+//
+// PROBEMON_INVARIANT states a property of internal state ("this cannot
+// happen if the implementation is right"); PROBEMON_CONTRACT states a
+// caller obligation at an API boundary. Mechanically they differ only
+// in the diagnostic prefix.
+//
+// The detail argument is an ostream chain, evaluated only on failure:
+//
+//   PROBEMON_INVARIANT(nt >= frontier,
+//                      "DCPP frontier regressed: " << nt << " < " << frontier);
+//
+// Tests replace the aborting handler with check::ScopedFailureHandler
+// to observe violations without dying. This header is deliberately
+// header-only and dependency-free so that src/core and src/des can use
+// the macros without a link-time cycle onto the check library.
+#pragma once
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace probemon::check {
+
+/// True when contract checking is compiled in (PROBEMON_CHECKED build).
+#if defined(PROBEMON_CHECKED) && PROBEMON_CHECKED
+inline constexpr bool kChecked = true;
+#else
+inline constexpr bool kChecked = false;
+#endif
+
+/// One failed check, as handed to the failure handler.
+struct ContractViolation {
+  const char* kind = "invariant";  ///< "invariant" or "contract"
+  const char* file = "";
+  int line = 0;
+  const char* expression = "";
+  std::string detail;
+
+  std::string to_string() const {
+    std::ostringstream out;
+    out << "probemon: " << kind << " violated at " << file << ":" << line
+        << "\n  expression: " << expression;
+    if (!detail.empty()) out << "\n  detail: " << detail;
+    return out.str();
+  }
+};
+
+using FailureHandler = std::function<void(const ContractViolation&)>;
+
+namespace detail {
+inline FailureHandler& handler_slot() {
+  static FailureHandler handler;  // empty = default (print + abort)
+  return handler;
+}
+}  // namespace detail
+
+/// Install a failure handler; returns the previous one. An empty
+/// handler restores the default print-and-abort behaviour. Not
+/// synchronized: install handlers during single-threaded setup.
+inline FailureHandler set_failure_handler(FailureHandler handler) {
+  FailureHandler previous = std::move(detail::handler_slot());
+  detail::handler_slot() = std::move(handler);
+  return previous;
+}
+
+/// Report a failed check: either dispatch to the installed handler or
+/// print the diagnostic and abort. Called by the macros; callable
+/// directly when a check cannot be phrased as one expression.
+inline void fail(const char* kind, const char* file, int line,
+                 const char* expression, std::string detail_message) {
+  ContractViolation violation{kind, file, line, expression,
+                              std::move(detail_message)};
+  if (const FailureHandler& handler = detail::handler_slot()) {
+    handler(violation);
+    return;
+  }
+  std::cerr << violation.to_string() << std::endl;
+  std::abort();
+}
+
+/// RAII handler swap for tests:
+///
+///   std::vector<check::ContractViolation> seen;
+///   check::ScopedFailureHandler guard(
+///       [&](const check::ContractViolation& v) { seen.push_back(v); });
+class ScopedFailureHandler {
+ public:
+  explicit ScopedFailureHandler(FailureHandler handler)
+      : previous_(set_failure_handler(std::move(handler))) {}
+  ~ScopedFailureHandler() { set_failure_handler(std::move(previous_)); }
+  ScopedFailureHandler(const ScopedFailureHandler&) = delete;
+  ScopedFailureHandler& operator=(const ScopedFailureHandler&) = delete;
+
+ private:
+  FailureHandler previous_;
+};
+
+}  // namespace probemon::check
+
+#if defined(PROBEMON_CHECKED) && PROBEMON_CHECKED
+#define PROBEMON_CHECK_IMPL_(kind_, cond_, ...)                       \
+  do {                                                                \
+    if (!(cond_)) {                                                   \
+      ::std::ostringstream probemon_check_detail_;                    \
+      static_cast<void>(probemon_check_detail_ __VA_OPT__(            \
+          << __VA_ARGS__));                                           \
+      ::probemon::check::fail(kind_, __FILE__, __LINE__, #cond_,      \
+                              probemon_check_detail_.str());          \
+    }                                                                 \
+  } while (false)
+/// State a property of internal state; aborts in checked builds if
+/// violated. Compiled out (condition unevaluated) otherwise.
+#define PROBEMON_INVARIANT(cond_, ...) \
+  PROBEMON_CHECK_IMPL_("invariant", cond_, __VA_ARGS__)
+/// State a caller obligation at an API boundary; same mechanics.
+#define PROBEMON_CONTRACT(cond_, ...) \
+  PROBEMON_CHECK_IMPL_("contract", cond_, __VA_ARGS__)
+#else
+#define PROBEMON_INVARIANT(cond_, ...) ((void)0)
+#define PROBEMON_CONTRACT(cond_, ...) ((void)0)
+#endif

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/contract.hpp"
 #include "util/logging.hpp"
 
 namespace probemon::core {
@@ -63,6 +64,9 @@ void ControlPointBase::send_probe(std::uint64_t cycle, std::uint8_t attempt) {
 }
 
 void ControlPointBase::schedule_cycle(double delay) {
+  PROBEMON_CONTRACT(std::isfinite(delay) && delay >= 0,
+                    "inter-cycle delay must be finite and non-negative, got "
+                        << delay);
   current_delay_ = delay;
   if (observer_) observer_->on_delay_updated(id_, sim_.now(), delay);
   next_cycle_timer_.arm(delay);

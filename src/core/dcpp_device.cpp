@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contract.hpp"
+
 namespace probemon::core {
 
 DcppDevice::DcppDevice(des::Simulation& sim, net::Network& network,
@@ -21,7 +23,13 @@ double DcppDevice::grant(double nt, double t, const DcppDeviceConfig& config) {
 void DcppDevice::fill_reply(const net::Message& /*probe*/, double t,
                             net::Message& reply) {
   const double wait = grant(nt_, t, config_);
-  nt_ = t + wait;
+  const double granted = t + wait;
+  PROBEMON_INVARIANT(granted >= nt_ && wait + 1e-12 >= config_.d_min,
+                     "DCPP grant broke the schedule: nt " << nt_ << " -> "
+                         << granted << ", wait " << wait << " (d_min "
+                         << config_.d_min << ")");
+  if (observer()) observer()->on_slot_granted(id(), t, nt_, granted);
+  nt_ = granted;
   reply.grant_delay = wait;
 }
 

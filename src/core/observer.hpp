@@ -47,6 +47,14 @@ class ProtocolObserver {
   /// SAPP device changed its Delta (overload-control extension).
   virtual void on_delta_changed(net::NodeId /*device*/, double /*t*/,
                                 std::uint64_t /*delta*/) {}
+
+  /// DCPP device granted a probe slot: for a probe serviced at time t
+  /// the schedule frontier advanced from nt_before to nt_after
+  /// (= t + granted wait). This exposes the paper's §4 scheduling state
+  /// so the invariant auditor can verify nt monotonicity and the
+  /// Delta(nt, t) grant formula mechanically.
+  virtual void on_slot_granted(net::NodeId /*device*/, double /*t*/,
+                               double /*nt_before*/, double /*nt_after*/) {}
 };
 
 }  // namespace probemon::core

@@ -48,6 +48,10 @@ class FanoutObserver final : public ProtocolObserver {
                         std::uint64_t delta) override {
     for (auto* s : sinks_) s->on_delta_changed(device, t, delta);
   }
+  void on_slot_granted(net::NodeId device, double t, double nt_before,
+                       double nt_after) override {
+    for (auto* s : sinks_) s->on_slot_granted(device, t, nt_before, nt_after);
+  }
 
  private:
   std::vector<ProtocolObserver*> sinks_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace probemon::core {
 
 ProbeCycle::ProbeCycle(des::Scheduler& scheduler, double tof, double tos,
@@ -41,6 +43,10 @@ void ProbeCycle::abort() {
 }
 
 void ProbeCycle::transmit() {
+  PROBEMON_INVARIANT(attempt_ <= max_retransmissions_,
+                     "probe cycle " << cycle_ << " transmitting attempt "
+                         << int(attempt_) << " beyond the paper's bound of "
+                         << max_retransmissions_ << " retransmissions");
   last_send_time_ = scheduler_.now();
   ++probes_sent_;
   // Arm the timeout BEFORE handing the probe to the network: the send

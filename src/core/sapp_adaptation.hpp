@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "check/contract.hpp"
 #include "core/config.hpp"
 
 namespace probemon::core {
@@ -41,6 +42,11 @@ class SappAdaptation {
     has_prev_ = true;
     prev_pc_ = pc;
     prev_t_ = t_obs;
+    PROBEMON_INVARIANT(
+        delta_ >= config_->delta_min && delta_ <= config_->delta_max,
+        "SAPP delay escaped its clamp: " << delta_ << " outside ["
+                                         << config_->delta_min << ", "
+                                         << config_->delta_max << "]");
     return delta_;
   }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/contract.hpp"
+
 namespace probemon::des {
 
 EventId Scheduler::schedule_at(Time t, Callback fn) {
@@ -49,6 +51,9 @@ bool Scheduler::step() {
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
   live_.erase(entry.id);
+  PROBEMON_INVARIANT(entry.time >= now_,
+                     "virtual time regressed: event at " << entry.time
+                         << " popped while now() = " << now_);
   now_ = entry.time;
   ++executed_;
   entry.fn();

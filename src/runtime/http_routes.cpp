@@ -71,6 +71,18 @@ void register_healthz_route(telemetry::HttpServer& server,
       w.key("watches");
       w.value(static_cast<std::uint64_t>(sources.service->watch_count()));
     }
+    if (sources.auditor) {
+      w.key("invariant_violations_total");
+      w.value(sources.auditor->total_violations());
+      w.key("invariant_violations");
+      w.begin_object();
+      for (std::size_t i = 0; i < check::kInvariantCount; ++i) {
+        const auto invariant = static_cast<check::Invariant>(i);
+        w.key(check::to_string(invariant));
+        w.value(sources.auditor->violations(invariant));
+      }
+      w.end_object();
+    }
     w.end_object();
     return telemetry::HttpResponse{200, "application/json", w.str()};
   });

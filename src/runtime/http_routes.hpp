@@ -32,6 +32,7 @@ struct ObservabilitySources {
   const telemetry::Registry* registry = nullptr;
   const telemetry::ProbeCycleTracer* tracer = nullptr;
   const PresenceService* service = nullptr;
+  const check::InvariantAuditor* auditor = nullptr;
 };
 
 /// `/watches`: one JSON object per watch — device id, presence state,

@@ -72,7 +72,7 @@ RtControlPointBase::Callbacks PresenceService::make_callbacks(
   callbacks.on_cycle_success = [this, device](double t, double) {
     on_transition(device, Presence::kPresent, t);
   };
-  if (!telemetry_.registry && !telemetry_.tracer) {
+  if (!telemetry_.registry && !telemetry_.tracer && !telemetry_.auditor) {
     callbacks.on_cycle_trace =
         [this, device](const telemetry::ProbeCycleTrace& trace) {
           on_cycle_for_watch(device, trace);
@@ -102,6 +102,7 @@ RtControlPointBase::Callbacks PresenceService::make_callbacks(
       [this, device, probes, retransmissions,
        rtt](const telemetry::ProbeCycleTrace& trace) {
         on_cycle_for_watch(device, trace);
+        if (telemetry_.auditor) telemetry_.auditor->audit_cycle(trace);
         if (telemetry_.tracer) telemetry_.tracer->record(trace);
         if (probes) probes->inc(trace.attempts);
         if (retransmissions && trace.attempts > 1) {

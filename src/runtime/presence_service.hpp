@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "check/invariant_auditor.hpp"
 #include "core/config.hpp"
 #include "runtime/rt_control_point.hpp"
 #include "runtime/transport.hpp"
@@ -63,10 +64,16 @@ class PresenceService {
   ///     latency, which additionally spans the final inter-cycle wait)
   ///   * probemon_watches (gauge)
   /// When `tracer` is set, every completed probe cycle is recorded.
-  /// Both must outlive the service.
+  /// When `auditor` is set, every completed probe cycle is audited
+  /// against the paper's invariants (cycle shape, attempt bound,
+  /// exhaustion-before-absence; see docs/static_analysis.md) —
+  /// violations appear in the auditor's
+  /// probemon_invariant_violations_total counters and on /healthz.
+  /// All three must outlive the service.
   struct TelemetryOptions {
     telemetry::Registry* registry = nullptr;
     telemetry::ProbeCycleTracer* tracer = nullptr;
+    check::InvariantAuditor* auditor = nullptr;
   };
 
   /// The service sends and receives through `transport`, which must

@@ -2,7 +2,49 @@
 
 #include <stdexcept>
 
+#include "check/contract.hpp"
+
 namespace probemon::scenario {
+
+namespace {
+
+// Derive the audit configuration from the experiment's protocol: exact
+// invariants matching what the configured protocol promises, plus the
+// opt-in load window.
+check::AuditConfig make_audit_config(const ExperimentConfig& config) {
+  check::AuditConfig audit;
+  switch (config.protocol) {
+    case Protocol::kSapp:
+      audit.timeouts = config.sapp_cp.timeouts;
+      audit.audit_delay_clamp = true;
+      audit.delta_min = config.sapp_cp.delta_min;
+      audit.delta_max = config.sapp_cp.delta_max;
+      audit.load_beta = config.sapp_cp.beta;
+      if (config.audit_load_window > 0) {
+        audit.load_l_nom = config.sapp_device.l_nom;
+      }
+      break;
+    case Protocol::kDcpp:
+      audit.timeouts = config.dcpp_cp.timeouts;
+      audit.audit_dcpp = true;
+      audit.dcpp = config.dcpp_device;
+      if (config.audit_load_window > 0) {
+        audit.load_l_nom = config.dcpp_device.l_nom();
+      }
+      break;
+    case Protocol::kFixedRate:
+      // The deliberately naive baseline: only the protocol-agnostic
+      // cycle-shape and counter checks apply (it overloads by design).
+      audit.timeouts = config.fixed_cp.timeouts;
+      break;
+  }
+  if (config.audit_load_window > 0) {
+    audit.load_window = config.audit_load_window;
+  }
+  return audit;
+}
+
+}  // namespace
 
 const char* to_string(Protocol protocol) noexcept {
   switch (protocol) {
@@ -20,6 +62,12 @@ Experiment::Experiment(ExperimentConfig config)
       fanout_({&metrics_}),
       churn_rng_(sim_.fork_rng("experiment.churn")),
       jitter_rng_(sim_.fork_rng("experiment.jitter")) {
+  if (config_.audit_invariants) {
+    auditor_ =
+        std::make_unique<check::InvariantAuditor>(make_audit_config(config_));
+    fanout_.add(auditor_.get());
+  }
+
   auto delay = config_.delay_factory ? config_.delay_factory()
                                      : net::make_three_mode_delay();
   auto loss =
@@ -127,6 +175,13 @@ void Experiment::install_churn(std::unique_ptr<ChurnModel> churn) {
 
 void Experiment::run_until(double t) { sim_.run_until(t); }
 
-void Experiment::finish() { metrics_.finish(sim_.now()); }
+void Experiment::finish() {
+  metrics_.finish(sim_.now());
+  // In checked builds a single invariant violation anywhere in the run
+  // fails loudly, with the auditor's tally as the diagnostic; in normal
+  // builds violations stay observable through auditor().
+  PROBEMON_INVARIANT(!auditor_ || auditor_->total_violations() == 0,
+                     auditor_->summary());
+}
 
 }  // namespace probemon::scenario

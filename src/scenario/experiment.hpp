@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "check/invariant_auditor.hpp"
 #include "core/observer_fanout.hpp"
 #include "core/probemon.hpp"
 #include "scenario/metrics.hpp"
@@ -56,6 +57,21 @@ struct ExperimentConfig {
   /// Gossip absence notifications over the overlay (extension).
   bool dissemination = false;
   std::uint8_t dissemination_ttl = 2;
+
+  /// Attach a check::InvariantAuditor to the protocol event stream,
+  /// auditing the paper's exact invariants for the configured protocol
+  /// (DCPP grant formula / nt monotonicity, SAPP delay clamp, probe-
+  /// cycle shape; see docs/static_analysis.md). Violations are counted
+  /// on auditor(); in PROBEMON_CHECKED builds finish() aborts with the
+  /// tally if any were recorded.
+  bool audit_invariants = true;
+
+  /// Additionally audit the device's sliding-window experienced load
+  /// (<= beta * L_nom probes/s over this many seconds). 0 disables —
+  /// the default, because unlike the exact checks this one is
+  /// statistical: join bursts legitimately overshoot on short windows,
+  /// and the FixedRate baseline overloads by design.
+  double audit_load_window = 0.0;
 };
 
 class Experiment {
@@ -77,6 +93,13 @@ class Experiment {
   net::Network& network() noexcept { return *network_; }
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// The attached invariant auditor (nullptr when
+  /// config.audit_invariants is false).
+  check::InvariantAuditor* auditor() noexcept { return auditor_.get(); }
+  const check::InvariantAuditor* auditor() const noexcept {
+    return auditor_.get();
+  }
   core::DeviceBase& device() noexcept { return *device_; }
   const ExperimentConfig& config() const noexcept { return config_; }
 
@@ -122,6 +145,7 @@ class Experiment {
   ExperimentConfig config_;
   des::Simulation sim_;
   Metrics metrics_;
+  std::unique_ptr<check::InvariantAuditor> auditor_;
   core::FanoutObserver fanout_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<core::DeviceBase> device_;

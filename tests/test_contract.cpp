@@ -1,0 +1,101 @@
+// Tests for the PROBEMON_INVARIANT / PROBEMON_CONTRACT macro family and
+// its failure-handler plumbing. The macro expansion differs by build
+// (checked: evaluate + report; default: compiled out), so the
+// build-dependent sections are guarded on check::kChecked.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "check/contract.hpp"
+
+namespace probemon::check {
+namespace {
+
+TEST(ContractViolation, ToStringCarriesAllParts) {
+  ContractViolation violation{"contract", "file.cpp", 42, "x > 0",
+                              "x was -1"};
+  const std::string text = violation.to_string();
+  EXPECT_NE(text.find("contract"), std::string::npos);
+  EXPECT_NE(text.find("file.cpp:42"), std::string::npos);
+  EXPECT_NE(text.find("x > 0"), std::string::npos);
+  EXPECT_NE(text.find("x was -1"), std::string::npos);
+}
+
+TEST(FailureHandler, FailDispatchesToInstalledHandler) {
+  std::vector<ContractViolation> seen;
+  ScopedFailureHandler guard(
+      [&](const ContractViolation& v) { seen.push_back(v); });
+  fail("invariant", "here.cpp", 7, "cond", "detail text");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_STREQ(seen[0].kind, "invariant");
+  EXPECT_EQ(seen[0].line, 7);
+  EXPECT_EQ(seen[0].detail, "detail text");
+}
+
+TEST(FailureHandler, ScopedHandlerRestoresPrevious) {
+  std::vector<int> outer_hits;
+  ScopedFailureHandler outer(
+      [&](const ContractViolation&) { outer_hits.push_back(1); });
+  {
+    std::vector<int> inner_hits;
+    ScopedFailureHandler inner(
+        [&](const ContractViolation&) { inner_hits.push_back(1); });
+    fail("invariant", "f", 1, "c", "");
+    EXPECT_EQ(inner_hits.size(), 1u);
+    EXPECT_TRUE(outer_hits.empty());
+  }
+  fail("invariant", "f", 2, "c", "");
+  EXPECT_EQ(outer_hits.size(), 1u);
+}
+
+#if defined(PROBEMON_CHECKED) && PROBEMON_CHECKED
+
+TEST(ContractMacros, FailingInvariantReportsWithStreamedDetail) {
+  static_assert(kChecked);
+  std::vector<ContractViolation> seen;
+  ScopedFailureHandler guard(
+      [&](const ContractViolation& v) { seen.push_back(v); });
+  const int x = -3;
+  PROBEMON_INVARIANT(x >= 0, "x went negative: " << x);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_STREQ(seen[0].kind, "invariant");
+  EXPECT_NE(std::string(seen[0].expression).find("x >= 0"),
+            std::string::npos);
+  EXPECT_EQ(seen[0].detail, "x went negative: -3");
+}
+
+TEST(ContractMacros, ContractUsesContractKind) {
+  std::vector<ContractViolation> seen;
+  ScopedFailureHandler guard(
+      [&](const ContractViolation& v) { seen.push_back(v); });
+  PROBEMON_CONTRACT(false);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_STREQ(seen[0].kind, "contract");
+  EXPECT_TRUE(seen[0].detail.empty());
+}
+
+TEST(ContractMacros, PassingCheckEvaluatesConditionOnceAndStaysQuiet) {
+  std::vector<ContractViolation> seen;
+  ScopedFailureHandler guard(
+      [&](const ContractViolation& v) { seen.push_back(v); });
+  int evaluations = 0;
+  PROBEMON_INVARIANT(++evaluations > 0, "never shown");
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_TRUE(seen.empty());
+}
+
+#else  // default build: the macros compile out entirely
+
+TEST(ContractMacros, CompiledOutConditionIsNotEvaluated) {
+  static_assert(!kChecked);
+  int evaluations = 0;
+  PROBEMON_INVARIANT(++evaluations > 0, "never shown");
+  PROBEMON_CONTRACT(++evaluations > 0, "never shown");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace
+}  // namespace probemon::check

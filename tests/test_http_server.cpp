@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/invariant_auditor.hpp"
 #include "runtime/http_routes.hpp"
 #include "runtime/inproc_transport.hpp"
 #include "runtime/presence_service.hpp"
@@ -309,14 +310,16 @@ TEST(HttpRoutes, WatchesAndHealthzOverLiveService) {
 
   Registry registry;
   ProbeCycleTracer tracer(128);
+  check::InvariantAuditor auditor({}, &registry);
   runtime::PresenceService::TelemetryOptions wiring;
   wiring.registry = &registry;
   wiring.tracer = &tracer;
+  wiring.auditor = &auditor;
   runtime::PresenceService service(transport, wiring);
 
   HttpServer server;
-  runtime::register_observability_routes(server,
-                                         {&registry, &tracer, &service});
+  runtime::register_observability_routes(
+      server, {&registry, &tracer, &service, &auditor});
   server.start();
 
   core::DcppCpConfig cp_config;
@@ -341,6 +344,11 @@ TEST(HttpRoutes, WatchesAndHealthzOverLiveService) {
   EXPECT_NE(healthz.find("\"watches\":1"), std::string::npos);
   EXPECT_NE(healthz.find("\"registry_metrics\":"), std::string::npos);
   EXPECT_NE(healthz.find("\"tracer_capacity\":128"), std::string::npos);
+  // The wired auditor reports its (zero) violation tallies per invariant.
+  EXPECT_NE(healthz.find("\"invariant_violations_total\":0"),
+            std::string::npos);
+  EXPECT_NE(healthz.find("\"dcpp_nt_monotone\":0"), std::string::npos);
+  EXPECT_EQ(auditor.total_violations(), 0u) << auditor.summary();
 
   // The acceptance-criteria metric family must be served live.
   const std::string metrics = body_of(http_get(server.port(), "/metrics"));

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""probemon custom lint: project rules no generic tool checks.
+
+Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
+
+  no-wall-clock      src/des + src/core must be deterministic: all time
+                     comes from the Scheduler/Simulation clock and all
+                     randomness from util::Rng. Forbids rand()/srand(),
+                     time(), clock(), gettimeofday and the std::chrono
+                     clocks. (A DES that reads the wall clock is not
+                     reproducible; the repo's determinism tests diff
+                     whole runs bit-for-bit.)
+  no-naked-new       Ownership is expressed with std::make_unique /
+                     std::make_shared / containers; a naked `new`
+                     expression leaks on exception paths.
+  counter-registry   telemetry metric primitives (telemetry::Counter /
+                     Gauge / Histogram) must be obtained from
+                     telemetry::Registry so they appear in /metrics and
+                     exports; constructing them directly bypasses
+                     naming, labels and exposition. (Registry internals
+                     under src/telemetry are exempt.)
+  pragma-once        Every header starts with `#pragma once` (after any
+                     leading comment block) — the repo's include-guard
+                     convention.
+
+Usage:
+  tools/lint.py                  # lint src/ under the repo root
+  tools/lint.py --root DIR       # lint DIR/src (used by the ci.sh
+                                 # self-test on a scratch tree)
+  tools/lint.py path/to/file...  # lint specific files
+  tools/lint.py --list-rules
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+# --- rule definitions -------------------------------------------------------
+
+# no-wall-clock: matched against code lines of files whose path contains
+# a src/des or src/core component.
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"\bs?rand\s*\("), "rand()/srand() (use util::Rng)"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"),
+     "time() (use the simulation clock)"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock() (use the simulation clock)"),
+    (re.compile(r"\bgettimeofday\b"), "gettimeofday (use the simulation clock)"),
+    (re.compile(r"std::chrono::(?:system|steady|high_resolution)_clock"),
+     "std::chrono clock (use the simulation clock)"),
+]
+
+NAKED_NEW = re.compile(r"(?<![\w.>])new\s+(?:\(\s*std::nothrow\s*\)\s*)?[A-Za-z_]")
+PLACEMENT_NEW = re.compile(r"new\s*\(")  # placement new is not ownership
+
+COUNTER_DIRECT = re.compile(
+    r"(?:telemetry::(?:Counter|Gauge|Histogram)\s+[A-Za-z_]"
+    r"|make_unique<\s*telemetry::(?:Counter|Gauge|Histogram)\b"
+    r"|new\s+telemetry::(?:Counter|Gauge|Histogram)\b)")
+
+PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
+
+NOLINT = re.compile(r"NOLINT\(([^)]*)\)")
+
+RULES = {
+    "no-wall-clock": "no rand()/time()/chrono clocks in src/des + src/core",
+    "no-naked-new": "no naked new expressions (use make_unique/containers)",
+    "counter-registry": "telemetry metrics must come from the Registry",
+    "pragma-once": "headers start with #pragma once",
+}
+
+
+def strip_noise(line: str) -> str:
+    """Remove string/char literals and // comments so patterns match code."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            i += 1
+            out.append(quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def suppressed(line: str, rule: str) -> bool:
+    m = NOLINT.search(line)
+    return bool(m) and rule in m.group(1)
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [Finding(rel, 0, "io", str(err))]
+
+    findings: list[Finding] = []
+    parts = rel.parts
+    deterministic_zone = "src" in parts and ("des" in parts or "core" in parts)
+    registry_exempt = "telemetry" in parts
+    lines = text.splitlines()
+
+    in_block_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw
+        # Crude but adequate block-comment tracking (the repo style uses
+        # // comments; /* */ appears only in rare inline spots).
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        start = line.find("/*")
+        if start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                in_block_comment = True
+                line = line[:start]
+            else:
+                line = line[:start] + line[end + 2:]
+        code = strip_noise(line)
+        if not code.strip():
+            continue
+
+        if deterministic_zone and not suppressed(raw, "no-wall-clock"):
+            for pattern, what in WALL_CLOCK_PATTERNS:
+                if pattern.search(code):
+                    findings.append(Finding(
+                        rel, lineno, "no-wall-clock",
+                        f"{what} — src/des and src/core must stay "
+                        "deterministic"))
+
+        if (NAKED_NEW.search(code) and not PLACEMENT_NEW.search(code)
+                and not suppressed(raw, "no-naked-new")):
+            findings.append(Finding(
+                rel, lineno, "no-naked-new",
+                "naked new expression (use std::make_unique or a container)"))
+
+        if (not registry_exempt and COUNTER_DIRECT.search(code)
+                and not suppressed(raw, "counter-registry")):
+            findings.append(Finding(
+                rel, lineno, "counter-registry",
+                "construct telemetry metrics via telemetry::Registry "
+                "(counter()/gauge()/histogram()) so they are exported"))
+
+    if rel.suffix in (".hpp", ".h") and not suppressed(lines[0] if lines else "",
+                                                       "pragma-once"):
+        for raw in lines:
+            stripped = raw.strip()
+            if not stripped or stripped.startswith("//"):
+                continue
+            if PRAGMA_ONCE.match(raw):
+                break
+            findings.append(Finding(
+                rel, 1, "pragma-once",
+                "header does not start with #pragma once"))
+            break
+
+    return findings
+
+
+def collect_files(root: pathlib.Path, paths: list[str]) -> list[pathlib.Path]:
+    if paths:
+        return [pathlib.Path(p).resolve() for p in paths]
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint.py: no src/ under {root}", file=sys.stderr)
+        sys.exit(2)
+    return sorted(p for p in src.rglob("*")
+                  if p.suffix in (".cpp", ".hpp", ".h") and p.is_file())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent,
+                        help="tree to lint (default: repo root)")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--json", type=pathlib.Path, metavar="FILE",
+                        help="additionally write findings as JSON")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files (default: <root>/src)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, doc in RULES.items():
+            print(f"{rule:18} {doc}")
+        return 0
+
+    root = args.root.resolve()
+    findings: list[Finding] = []
+    files = collect_files(root, args.paths)
+    for path in files:
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            rel = path
+        findings.extend(lint_file(path, rel))
+
+    for finding in findings:
+        print(finding)
+    if args.json:
+        args.json.write_text(json.dumps({
+            "files_scanned": len(files),
+            "findings": [
+                {"path": str(f.path), "line": f.line, "rule": f.rule,
+                 "message": f.message}
+                for f in findings
+            ],
+        }, indent=2) + "\n", encoding="utf-8")
+    print(f"lint.py: {len(findings)} finding(s) in {len(files)} file(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
