@@ -9,11 +9,16 @@
 //
 // We report, per CP: delay mean/variance, frequency-trend slope over
 // the transient (via OLS), and the delay series' decorrelation lag.
+// --replications=N fans N independently-seeded replications over the
+// SweepRunner (--threads) and aggregates the headline numbers; the
+// default (1) reproduces the single-run report exactly.
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "experiment_common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/sweep.hpp"
 #include "stats/autocorr.hpp"
 #include "stats/regression.hpp"
 #include "trace/table.hpp"
@@ -22,19 +27,26 @@
 
 using namespace probemon;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const auto seed = cli.get<std::uint64_t>("seed", 42);
-  const double duration = cli.get<double>("duration", 20000.0);
-  const auto k = cli.get<std::uint64_t>("cps", 20);
-  cli.finish("A11: SAPP per-CP delay variance and starvation trends");
+namespace {
 
-  benchutil::print_header(
-      "A11", "SAPP delay variance and starvation-trend analysis (section 3)",
-      "delay variance is wildly heterogeneous across CPs (paper's extreme "
-      "case: mean 8, variance 13.5); starving CPs show a negative "
-      "frequency trend that never turns around");
+struct CpRow {
+  int index = 0;
+  double delay_mean = 0;
+  double delay_var = 0;
+  double slope = 0;
+  std::uint64_t decorrelation_lag = 0;
+  bool starved = false;
+};
 
+struct Replication {
+  double min_var = 1e18;
+  double max_var = 0;
+  int starving_trends = 0;
+  std::vector<CpRow> rows;
+};
+
+Replication run_replication(std::uint64_t seed, double duration,
+                            std::uint64_t k) {
   scenario::ExperimentConfig config;
   config.protocol = scenario::Protocol::kSapp;
   config.seed = seed;
@@ -44,11 +56,7 @@ int main(int argc, char** argv) {
   exp.run_until(duration);
   exp.finish();
 
-  trace::Table table({"CP", "delay mean", "delay var",
-                      "freq slope (1/s^2, first half)", "decorrelation lag",
-                      "verdict"});
-  double min_var = 1e18, max_var = 0;
-  int starving_trends = 0;
+  Replication result;
   int index = 0;
   for (net::NodeId id : exp.initial_cp_ids()) {
     ++index;
@@ -67,19 +75,61 @@ int main(int argc, char** argv) {
         freq_trend.add(s.t, 1.0 / s.value);
       }
     }
-    min_var = std::min(min_var, delays.variance());
-    max_var = std::max(max_var, delays.variance());
+    result.min_var = std::min(result.min_var, delays.variance());
+    result.max_var = std::max(result.max_var, delays.variance());
     const double slope = freq_trend.slope();
     const bool starved = delays.max() >= 9.9 && m->last_delay >= 9.9;
-    if (starved && slope < 0) ++starving_trends;
+    if (starved && slope < 0) ++result.starving_trends;
+    CpRow row;
+    row.index = index;
+    row.delay_mean = delays.mean();
+    row.delay_var = delays.variance();
+    row.slope = slope;
+    row.decorrelation_lag = stats::decorrelation_lag(delay_values, 50);
+    row.starved = starved;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto seed = cli.get<std::uint64_t>("seed", 42);
+  const double duration = cli.get<double>("duration", 20000.0);
+  const auto k = cli.get<std::uint64_t>("cps", 20);
+  const auto replications = cli.get<std::uint64_t>("replications", 1);
+  const auto threads = cli.get<std::uint64_t>("threads", 0);
+  cli.finish("A11: SAPP per-CP delay variance and starvation trends");
+
+  benchutil::print_header(
+      "A11", "SAPP delay variance and starvation-trend analysis (section 3)",
+      "delay variance is wildly heterogeneous across CPs (paper's extreme "
+      "case: mean 8, variance 13.5); starving CPs show a negative "
+      "frequency trend that never turns around");
+
+  // Replication r uses seed+r; results are collected in replication
+  // order, so the output is identical for any --threads value.
+  scenario::SweepRunner runner(static_cast<unsigned>(threads));
+  const std::vector<Replication> reps = runner.map<Replication>(
+      std::max<std::uint64_t>(replications, 1),
+      [&](std::size_t job, scenario::SweepWorkerContext&) {
+        return run_replication(seed + job, duration, k);
+      });
+  const Replication& base = reps.front();
+
+  trace::Table table({"CP", "delay mean", "delay var",
+                      "freq slope (1/s^2, first half)", "decorrelation lag",
+                      "verdict"});
+  for (const CpRow& row : base.rows) {
     table.row()
-        .cell("cp_" + std::to_string(index))
-        .cell(delays.mean(), 3)
-        .cell(delays.variance(), 3)
-        .cell(slope * 1e3, 4)  // milli-units for readability
-        .cell(static_cast<std::uint64_t>(
-            stats::decorrelation_lag(delay_values, 50)))
-        .cell(starved ? "starved" : "active");
+        .cell("cp_" + std::to_string(row.index))
+        .cell(row.delay_mean, 3)
+        .cell(row.delay_var, 3)
+        .cell(row.slope * 1e3, 4)  // milli-units for readability
+        .cell(row.decorrelation_lag)
+        .cell(row.starved ? "starved" : "active");
   }
   table.print(std::cout);
 
@@ -87,24 +137,43 @@ int main(int argc, char** argv) {
   expect.row()
       .cell("variance heterogeneity (max/min)")
       .cell("extreme (13.5 vs ~0)")
-      .cell(max_var < 1e-12 ? std::string("n/a")
-                            : util::format_double(max_var, 3) + " / " +
-                                  util::format_double(min_var, 6));
+      .cell(base.max_var < 1e-12
+                ? std::string("n/a")
+                : util::format_double(base.max_var, 3) + " / " +
+                      util::format_double(base.min_var, 6));
   expect.row()
       .cell("starved CPs with negative freq trend")
       .cell("all of them (\"less and less frequent\")")
-      .cell(std::to_string(starving_trends));
+      .cell(std::to_string(base.starving_trends));
   expect.print(std::cout);
   std::cout << "\n(freq slope column is scaled by 1e3; a starving CP's "
                "frequency decays, so its slope is negative.)\n";
 
   benchutil::JsonSummary summary_json("bench_a11_sapp_variance");
-  summary_json.set("cps", static_cast<std::uint64_t>(k));
+  summary_json.set("cps", k);
   summary_json.set("duration_s", duration);
-  summary_json.set("min_delay_variance", min_var);
-  summary_json.set("max_delay_variance", max_var);
+  summary_json.set("min_delay_variance", base.min_var);
+  summary_json.set("max_delay_variance", base.max_var);
   summary_json.set("starved_cps_with_negative_trend",
-                   static_cast<std::uint64_t>(starving_trends));
+                   static_cast<std::uint64_t>(base.starving_trends));
+  if (reps.size() > 1) {
+    stats::Welford max_vars;
+    std::uint64_t starving_total = 0;
+    for (const Replication& rep : reps) {
+      max_vars.add(rep.max_var);
+      starving_total += static_cast<std::uint64_t>(rep.starving_trends);
+    }
+    std::cout << "\nAcross " << reps.size() << " replications (seeds " << seed
+              << ".." << seed + reps.size() - 1
+              << "): max delay variance mean = "
+              << util::format_double(max_vars.mean(), 3) << " (range "
+              << util::format_double(max_vars.min(), 3) << " - "
+              << util::format_double(max_vars.max(), 3)
+              << "), starving CPs total = " << starving_total << ".\n";
+    summary_json.set("replications", static_cast<std::uint64_t>(reps.size()));
+    summary_json.set("max_delay_variance_mean", max_vars.mean());
+    summary_json.set("starved_cps_total", starving_total);
+  }
 
   benchutil::print_footer();
   return 0;

@@ -4,11 +4,14 @@
 // k = 3 on; DCPP equalizes frequencies for every k. We quantify with
 // Jain's index over mean per-CP probe frequencies (1.0 = perfectly fair).
 #include <iostream>
+#include <vector>
 
 #include "experiment_common.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/sweep.hpp"
 #include "stats/series.hpp"
 #include "trace/table.hpp"
+#include "util/cli.hpp"
 
 using namespace probemon;
 
@@ -40,18 +43,36 @@ Run run_protocol(scenario::Protocol protocol, std::size_t k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto threads = cli.get<std::uint64_t>("threads", 0);
+  cli.finish("A1: SAPP vs DCPP fairness sweep");
+
   benchutil::print_header(
       "A1", "fairness: Jain index of per-CP frequencies, SAPP vs DCPP",
       "SAPP fair only for k <= 2 (paper: \"for one or two CPs the probe "
       "frequencies were balanced\"); DCPP fair for all k (section 5)");
 
+  // The 7 population sizes x 2 protocols are 14 independent simulations;
+  // fan them out over the sweep runner. Results land in job order, so
+  // the table below is byte-identical for any thread count.
+  const std::vector<std::size_t> ks{1, 2, 3, 5, 10, 20, 40};
+  scenario::SweepRunner runner(static_cast<unsigned>(threads));
+  const std::vector<Run> runs = runner.map<Run>(
+      ks.size() * 2, [&](std::size_t job, scenario::SweepWorkerContext&) {
+        const std::size_t k = ks[job / 2];
+        return job % 2 == 0
+                   ? run_protocol(scenario::Protocol::kSapp, k, 100 + k)
+                   : run_protocol(scenario::Protocol::kDcpp, k, 200 + k);
+      });
+
   benchutil::JsonSummary summary_json("bench_a1_fairness");
   trace::Table table({"k CPs", "SAPP Jain", "SAPP load", "DCPP Jain",
                       "DCPP load", "fair protocol"});
-  for (std::size_t k : {1u, 2u, 3u, 5u, 10u, 20u, 40u}) {
-    const Run sapp = run_protocol(scenario::Protocol::kSapp, k, 100 + k);
-    const Run dcpp = run_protocol(scenario::Protocol::kDcpp, k, 200 + k);
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const std::size_t k = ks[i];
+    const Run& sapp = runs[2 * i];
+    const Run& dcpp = runs[2 * i + 1];
     table.row()
         .cell(static_cast<std::uint64_t>(k))
         .cell(sapp.jain, 3)

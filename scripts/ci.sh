@@ -15,6 +15,11 @@
 # smoke pass is also compared against that baseline at a looser
 # threshold (override with BENCH_DIFF_THRESHOLD, percent).
 #
+# Every run also gates DES kernel throughput: bench_a7_des_micro is
+# diffed one-sided against the committed bench/baseline/ snapshot
+# (items_per_second may drop at most BENCH_PERF_THRESHOLD percent,
+# default 40; see docs/performance.md).
+#
 # --full appends the analysis matrix (docs/static_analysis.md):
 #   * clang-tidy over src/ (skipped with a notice when not installed)
 #   * tools/lint.py project rules, plus a self-test that seeds a rand()
@@ -89,6 +94,25 @@ else
   echo "    (seed one with: cp -r $SCRATCH/run1/bench_out <baseline-dir>)"
 fi
 
+# --- DES kernel perf gate: bench_a7 throughput vs the committed baseline.
+# One-sided (items_per_second may only drop by PERF_THRESHOLD percent;
+# speedups always pass); machine context and absolute timings are
+# ignored as noise. Threshold is loose by design -- it exists to catch
+# "someone accidentally reverted the timer wheel to a std::function
+# heap", not 5% jitter on a busy CI box. Refresh the baseline with:
+#   (cd /tmp && build/bench/bench_a7_des_micro --benchmark_min_time=0.5 \
+#      --benchmark_out=bench/baseline/bench_a7_des_micro.json \
+#      --benchmark_out_format=json)
+PERF_THRESHOLD="${BENCH_PERF_THRESHOLD:-40}"
+echo "==> DES micro-bench perf gate (one-sided, threshold ${PERF_THRESHOLD}%)"
+mkdir -p "$SCRATCH/a7"
+"$BUILD/bench/bench_a7_des_micro" --benchmark_min_time=0.2 \
+  --benchmark_out="$SCRATCH/a7/bench_a7_des_micro.json" \
+  --benchmark_out_format=json >/dev/null 2>&1
+python3 "$ROOT/tools/bench_diff.py" "$ROOT/bench/baseline" "$SCRATCH/a7" \
+  --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second)$|^context\.' \
+  --higher-is-better 'items_per_second$' --threshold "$PERF_THRESHOLD"
+
 if [[ "$FULL" -eq 1 ]]; then
   echo "==> full analysis matrix"
   SUMMARY_DIR="$ROOT/bench_out"
@@ -141,13 +165,24 @@ EOF
   (cd "$SCRATCH/checked_smoke" &&
      "$ASAN_BUILD/bench/bench_a5_detection" --seed=7 >/dev/null)
 
-  # --- optional: thread,undefined matrix leg (slow; opt-in)
+  # --- optional: thread,undefined matrix leg (slow; opt-in). Runs the
+  # full suite -- which now includes the SweepRunner thread-pool tests
+  # (tests/test_sweep.cpp), the parallel surface TSan exists to vet --
+  # with an explicit sweep-focused pass first so a data race there
+  # fails fast with a readable filter line.
   if [[ "${CI_TSAN:-0}" == "1" ]]; then
     TSAN_BUILD="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
     echo "==> sanitizer matrix: thread,undefined (${TSAN_BUILD})"
     cmake -B "$TSAN_BUILD" -S "$ROOT" \
       -DPROBEMON_SANITIZE=thread,undefined >/dev/null
     cmake --build "$TSAN_BUILD" -j >/dev/null
+    # scripts/tsan.supp silences one sanitizer-runtime false positive
+    # (UBSan's IsAccessibleMemoryRange pipe probe); see the file.
+    export TSAN_OPTIONS="suppressions=$ROOT/scripts/tsan.supp ${TSAN_OPTIONS:-}"
+    echo "==> tsan: sweep-runner tests"
+    ctest --test-dir "$TSAN_BUILD" --output-on-failure -j \
+      -R 'Sweep(Runner|Determinism)'
+    echo "==> tsan: full suite"
     ctest --test-dir "$TSAN_BUILD" --output-on-failure -j
   fi
 

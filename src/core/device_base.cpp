@@ -82,7 +82,8 @@ void DeviceBase::start_service() {
 
   // Protocol state updates at service time (the paper's "on receipt":
   // receipt and processing coincide for a serial device).
-  net::Message reply;
+  net::Message& reply = pending_reply_;
+  reply = net::Message{};
   reply.kind = net::MessageKind::kReply;
   reply.from = id_;
   reply.to = probe.from;
@@ -93,11 +94,13 @@ void DeviceBase::start_service() {
   record_prober(probe.from);
 
   const double compute = compute_rng_.uniform(compute_.min, compute_.max);
-  sim_.after(compute, [this, reply, epoch = service_epoch_] {
+  auto complete = [this, epoch = service_epoch_] {
     if (epoch != service_epoch_) return;  // went silent mid-computation
-    network_.send(reply);
+    network_.send(pending_reply_);
     start_service();
-  });
+  };
+  static_assert(des::InlineCallback::fits_inline<decltype(complete)>);
+  sim_.after(compute, std::move(complete));
 }
 
 void DeviceBase::notify_delta_changed(std::uint64_t delta) {

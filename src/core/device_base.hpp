@@ -92,6 +92,11 @@ class DeviceBase : public net::INetworkClient {
   bool present_ = true;
   std::uint64_t probes_received_ = 0;
   std::deque<net::Message> service_queue_;
+  /// Reply for the in-flight computation. The device is serial (busy_
+  /// guards a single outstanding completion event), so one slot suffices
+  /// — and it keeps the completion lambda down to [this, epoch], inside
+  /// the scheduler callback's inline buffer.
+  net::Message pending_reply_;
   bool busy_ = false;
   std::uint64_t service_epoch_ = 0;  ///< bumped on go_silent
   std::array<net::NodeId, 2> last_probers_{net::kInvalidNode,

@@ -14,23 +14,26 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "des/scheduler.hpp"
 #include "des/timer.hpp"
 #include "net/message.hpp"
+#include "util/inline_function.hpp"
 
 namespace probemon::core {
 
 class ProbeCycle {
  public:
+  /// Callbacks are SBO InlineFunctions: the probe cycle sits on the DES
+  /// hot path, and protocol CPs only ever bind small [this] lambdas.
   struct Callbacks {
     /// Transmit a probe for (cycle, attempt). Must not be empty.
-    std::function<void(std::uint64_t cycle, std::uint8_t attempt)> send_probe;
+    util::InlineFunction<void(std::uint64_t cycle, std::uint8_t attempt)>
+        send_probe;
     /// Cycle ended with an accepted reply.
-    std::function<void(const net::Message& reply)> on_success;
+    util::InlineFunction<void(const net::Message& reply)> on_success;
     /// Cycle ended with all probes unanswered.
-    std::function<void()> on_failure;
+    util::InlineFunction<void()> on_failure;
   };
 
   ProbeCycle(des::Scheduler& scheduler, double tof, double tos,

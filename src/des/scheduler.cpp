@@ -1,10 +1,28 @@
 #include "des/scheduler.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "check/contract.hpp"
 
 namespace probemon::des {
+
+Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
+  if (config_.tick_bits < 0 || config_.tick_bits > 30) {
+    throw std::invalid_argument("Scheduler: tick_bits must be in [0, 30]");
+  }
+  if (config_.wheel_bits < 6 || config_.wheel_bits > 22) {
+    throw std::invalid_argument("Scheduler: wheel_bits must be in [6, 22]");
+  }
+  tick_scale_ = std::ldexp(1.0, config_.tick_bits);
+  if (config_.backend == SchedulerBackend::kWheel) {
+    const std::size_t slots = std::size_t{1} << config_.wheel_bits;
+    wheel_mask_ = slots - 1;
+    slot_head_.assign(slots, kNil);
+    slot_bits_.assign(slots / 64, 0);
+  }
+}
 
 EventId Scheduler::schedule_at(Time t, Callback fn) {
   if (std::isnan(t) || t == kTimeInfinity) {
@@ -16,58 +34,170 @@ EventId Scheduler::schedule_at(Time t, Callback fn) {
   if (!fn) {
     throw std::logic_error("schedule_at: empty callback");
   }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{t, seq, seq, std::move(fn)});
-  live_.insert(seq);
-  if (live_.size() > high_water_) high_water_ = live_.size();
-  return EventId(seq);
+  const std::uint32_t index = pool_.acquire();
+  Event& ev = pool_[index];
+  ev.time = t;
+  ev.seq = next_seq_++;
+  ev.tick = tick_of(t);
+  ev.fn = std::move(fn);
+  place(index);
+  ++live_;
+  if (live_ > high_water_) high_water_ = live_;
+  return EventId(make_raw(index, ev.gen));
 }
 
-bool Scheduler::cancel(EventId id) {
-  if (!id.valid()) return false;
-  return live_.erase(id.raw_) > 0;
-}
-
-void Scheduler::skim() {
-  while (!queue_.empty() && !live_.contains(queue_.top().id)) {
-    queue_.pop();
+void Scheduler::place(std::uint32_t index) {
+  Event& ev = pool_[index];
+  if (config_.backend == SchedulerBackend::kHeap) {
+    heap_push(heap_, index, Location::kHeap);
+    return;
+  }
+  if (ev.tick <= cur_tick_) {
+    // The event lands in the tick currently executing; it joins the
+    // late-arrival heap, merged against the sorted run at pop time.
+    heap_push(bucket_late_, index, Location::kBucketLate);
+  } else if (ev.tick < cur_tick_ + wheel_span()) {
+    wheel_insert(index);
+  } else {
+    heap_push(overflow_, index, Location::kOverflow);
   }
 }
 
-Time Scheduler::next_time() const {
-  // const skim: we cannot pop from a const queue, so scan via copy-free
-  // trick — the queue top may be tombstoned; fall back to conservative
-  // answer by scanning. To keep this O(1) amortized we do the skim in the
-  // non-const mutators and accept that next_time() on a dirty top is rare.
-  auto* self = const_cast<Scheduler*>(this);
-  self->skim();
-  if (queue_.empty()) return kTimeInfinity;
-  return queue_.top().time;
+bool Scheduler::cancel(EventId id) {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;
+  if (!decode(id, index, gen)) return false;
+  Event& ev = pool_[index];
+  if (ev.gen != gen || ev.loc == Location::kFree) return false;
+  switch (ev.loc) {
+    case Location::kWheel:
+      wheel_remove(index);
+      break;
+    case Location::kOverflow:
+      heap_remove_at(overflow_, ev.heap_pos);
+      break;
+    case Location::kBucket: {
+      // O(run length), but cancelling inside the currently-executing
+      // tick is rare; the shift keeps the run free of tombstones.
+      const std::size_t pos = ev.heap_pos;
+      bucket_run_.erase(bucket_run_.begin() +
+                        static_cast<std::ptrdiff_t>(pos));
+      for (std::size_t i = pos; i < bucket_run_.size(); ++i) {
+        pool_[bucket_run_[i].index].heap_pos = static_cast<std::uint32_t>(i);
+      }
+      break;
+    }
+    case Location::kBucketLate:
+      heap_remove_at(bucket_late_, ev.heap_pos);
+      break;
+    case Location::kHeap:
+      heap_remove_at(heap_, ev.heap_pos);
+      break;
+    case Location::kFree:
+      return false;
+  }
+  free_slot(index);
+  --live_;
+  return true;
 }
 
-bool Scheduler::step() {
-  skim();
-  if (queue_.empty()) return false;
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
-  live_.erase(entry.id);
-  PROBEMON_INVARIANT(entry.time >= now_,
-                     "virtual time regressed: event at " << entry.time
+bool Scheduler::pending(EventId id) const noexcept {
+  std::uint32_t index = 0;
+  std::uint32_t gen = 0;
+  if (!decode(id, index, gen)) return false;
+  const Event& ev = pool_[index];
+  return ev.gen == gen && ev.loc != Location::kFree;
+}
+
+Time Scheduler::next_time() const {
+  if (config_.backend == SchedulerBackend::kHeap) {
+    return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  }
+  if (!bucket_empty()) {
+    Time best = kTimeInfinity;
+    if (bucket_pos_ < bucket_run_.size()) best = bucket_run_[bucket_pos_].time;
+    if (!bucket_late_.empty() && bucket_late_.front().time < best) {
+      best = bucket_late_.front().time;
+    }
+    return best;
+  }
+  if (wheel_count_ > 0) {
+    // All wheel times precede all overflow times (strictly later ticks),
+    // so the earliest time in the next occupied slot is the answer.
+    Time best = kTimeInfinity;
+    for (std::uint32_t i = slot_head_[next_occupied_slot()]; i != kNil;
+         i = pool_[i].next) {
+      if (pool_[i].time < best) best = pool_[i].time;
+    }
+    return best;
+  }
+  if (!overflow_.empty()) return overflow_.front().time;
+  return kTimeInfinity;
+}
+
+bool Scheduler::refill_bucket() {
+  while (bucket_empty()) {
+    bucket_run_.clear();
+    bucket_pos_ = 0;
+    if (wheel_count_ > 0) {
+      const std::size_t slot = next_occupied_slot();
+      cur_tick_ = pool_[slot_head_[slot]].tick;
+      drain_slot_into_bucket(slot);
+      promote_overflow();
+    } else if (!overflow_.empty()) {
+      // Window jump: fast-forward straight to the next far-future event.
+      cur_tick_ = pool_[overflow_.front().index].tick;
+      promote_overflow();
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Scheduler::fire_next(Time horizon) {
+  std::uint32_t index = kNil;
+  if (config_.backend == SchedulerBackend::kHeap) {
+    if (heap_.empty()) return false;
+    if (heap_.front().time > horizon) return false;
+    index = heap_.front().index;
+    heap_remove_at(heap_, 0);
+  } else {
+    if (!refill_bucket()) return false;
+    bool from_late = bucket_pos_ >= bucket_run_.size();
+    if (!from_late && !bucket_late_.empty() &&
+        before(bucket_late_.front(), bucket_run_[bucket_pos_])) {
+      from_late = true;
+    }
+    const HeapEntry& top =
+        from_late ? bucket_late_.front() : bucket_run_[bucket_pos_];
+    if (top.time > horizon) return false;
+    index = top.index;
+    if (from_late) {
+      heap_remove_at(bucket_late_, 0);
+    } else {
+      ++bucket_pos_;
+    }
+  }
+  Event& ev = pool_[index];
+  PROBEMON_INVARIANT(ev.time >= now_,
+                     "virtual time regressed: event at " << ev.time
                          << " popped while now() = " << now_);
-  now_ = entry.time;
+  const Time t = ev.time;
+  const std::uint64_t seq = ev.seq;
+  Callback fn = std::move(ev.fn);
+  free_slot(index);  // reclaim before running: the callback may reschedule
+  --live_;
+  now_ = t;
   ++executed_;
-  entry.fn();
+  if (exec_probe_) exec_probe_(t, seq);
+  fn();
   return true;
 }
 
 std::uint64_t Scheduler::run_until(Time horizon) {
   std::uint64_t n = 0;
-  for (;;) {
-    skim();
-    if (queue_.empty() || queue_.top().time > horizon) break;
-    step();
-    ++n;
-  }
+  while (fire_next(horizon)) ++n;
   if (now_ < horizon && horizon != kTimeInfinity) now_ = horizon;
   return n;
 }
@@ -80,6 +210,173 @@ std::uint64_t Scheduler::run_all(std::uint64_t max_events) {
     }
   }
   return n;
+}
+
+void Scheduler::free_slot(std::uint32_t index) {
+  Event& ev = pool_[index];
+  ev.fn.reset();
+  ++ev.gen;  // invalidates every outstanding EventId for this slot
+  ev.loc = Location::kFree;
+  ev.prev = kNil;
+  ev.next = kNil;
+  ev.heap_pos = kNil;
+  pool_.release(index);
+}
+
+// --- indexed-heap primitives -------------------------------------------------
+
+void Scheduler::heap_push(Heap& heap, std::uint32_t index, Location loc) {
+  Event& ev = pool_[index];
+  ev.loc = loc;
+  ev.prev = kNil;
+  ev.next = kNil;
+  ev.heap_pos = static_cast<std::uint32_t>(heap.size());
+  heap.push_back(HeapEntry{ev.time, ev.seq, index});
+  sift_up(heap, heap.size() - 1);
+}
+
+void Scheduler::heap_remove_at(Heap& heap, std::size_t pos) {
+  PROBEMON_CONTRACT(pos < heap.size(),
+                    "heap_remove_at: position " << pos << " out of range");
+  const HeapEntry last = heap.back();
+  heap.pop_back();
+  if (pos < heap.size()) {
+    heap[pos] = last;
+    pool_[last.index].heap_pos = static_cast<std::uint32_t>(pos);
+    sift_down(heap, pos);
+    sift_up(heap, pos);
+  }
+}
+
+void Scheduler::sift_up(Heap& heap, std::size_t pos) {
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!before(heap[pos], heap[parent])) break;
+    std::swap(heap[pos], heap[parent]);
+    pool_[heap[pos].index].heap_pos = static_cast<std::uint32_t>(pos);
+    pool_[heap[parent].index].heap_pos = static_cast<std::uint32_t>(parent);
+    pos = parent;
+  }
+}
+
+void Scheduler::sift_down(Heap& heap, std::size_t pos) {
+  const std::size_t n = heap.size();
+  for (;;) {
+    std::size_t best = pos;
+    const std::size_t left = 2 * pos + 1;
+    const std::size_t right = left + 1;
+    if (left < n && before(heap[left], heap[best])) best = left;
+    if (right < n && before(heap[right], heap[best])) best = right;
+    if (best == pos) break;
+    std::swap(heap[pos], heap[best]);
+    pool_[heap[pos].index].heap_pos = static_cast<std::uint32_t>(pos);
+    pool_[heap[best].index].heap_pos = static_cast<std::uint32_t>(best);
+    pos = best;
+  }
+}
+
+// --- wheel primitives --------------------------------------------------------
+
+void Scheduler::wheel_insert(std::uint32_t index) {
+  Event& ev = pool_[index];
+  const std::size_t slot = slot_of(ev.tick);
+  const std::uint32_t head = slot_head_[slot];
+  PROBEMON_CONTRACT(head == kNil || pool_[head].tick == ev.tick,
+                    "wheel slot " << slot << " mixes ticks " << ev.tick
+                                  << " and " << pool_[head].tick);
+  ev.loc = Location::kWheel;
+  ev.heap_pos = kNil;
+  ev.prev = kNil;
+  ev.next = head;
+  if (head != kNil) pool_[head].prev = index;
+  slot_head_[slot] = index;
+  slot_bits_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  ++wheel_count_;
+}
+
+void Scheduler::wheel_remove(std::uint32_t index) {
+  Event& ev = pool_[index];
+  const std::size_t slot = slot_of(ev.tick);
+  if (ev.prev != kNil) {
+    pool_[ev.prev].next = ev.next;
+  } else {
+    slot_head_[slot] = ev.next;
+  }
+  if (ev.next != kNil) pool_[ev.next].prev = ev.prev;
+  if (slot_head_[slot] == kNil) {
+    slot_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  --wheel_count_;
+}
+
+void Scheduler::drain_slot_into_bucket(std::size_t slot) {
+  std::uint32_t i = slot_head_[slot];
+  slot_head_[slot] = kNil;
+  slot_bits_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  for (; i != kNil; i = pool_[i].next) {
+    --wheel_count_;
+    bucket_run_.push_back(HeapEntry{pool_[i].time, pool_[i].seq, i});
+  }
+  // The slot list is LIFO by schedule order, so the reverse is already
+  // sorted by seq; a real sort is needed only when distinct times inside
+  // the one tick arrived out of time order.
+  std::reverse(bucket_run_.begin(), bucket_run_.end());
+  if (!std::is_sorted(bucket_run_.begin(), bucket_run_.end(), before)) {
+    std::sort(bucket_run_.begin(), bucket_run_.end(), before);
+  }
+  for (std::size_t pos = 0; pos < bucket_run_.size(); ++pos) {
+    Event& ev = pool_[bucket_run_[pos].index];
+    ev.loc = Location::kBucket;
+    ev.prev = kNil;
+    ev.next = kNil;
+    ev.heap_pos = static_cast<std::uint32_t>(pos);
+  }
+}
+
+void Scheduler::promote_overflow() {
+  // The overflow heap is keyed (time, seq) and ticks are monotone in
+  // time, so once the root's tick is outside the window nothing else
+  // can be inside it.
+  const std::int64_t window_end = cur_tick_ + wheel_span();
+  while (!overflow_.empty()) {
+    const std::uint32_t index = overflow_.front().index;
+    if (pool_[index].tick >= window_end) break;
+    heap_remove_at(overflow_, 0);
+    if (pool_[index].tick <= cur_tick_) {
+      // Only reachable on a window jump, with the run empty: successive
+      // overflow-root pops arrive in ascending (time, seq) order, so
+      // appending keeps the run sorted.
+      Event& ev = pool_[index];
+      ev.loc = Location::kBucket;
+      ev.heap_pos = static_cast<std::uint32_t>(bucket_run_.size());
+      bucket_run_.push_back(HeapEntry{ev.time, ev.seq, index});
+    } else {
+      wheel_insert(index);
+    }
+  }
+}
+
+std::size_t Scheduler::next_occupied_slot() const {
+  PROBEMON_CONTRACT(wheel_count_ > 0, "next_occupied_slot on empty wheel");
+  const std::size_t nwords = slot_bits_.size();
+  const std::size_t start = slot_of(cur_tick_ + 1);
+  const std::size_t start_word = start >> 6;
+  // Circular word scan: the wheel holds ticks in (cur_tick_, cur_tick_ +
+  // span), so scanning slot positions circularly from cur_tick_ + 1
+  // visits them in increasing-tick order.
+  const std::uint64_t head_bits = slot_bits_[start_word] >> (start & 63);
+  if (head_bits != 0) {
+    return start + static_cast<std::size_t>(std::countr_zero(head_bits));
+  }
+  for (std::size_t step = 1; step <= nwords; ++step) {
+    const std::size_t word = (start_word + step) & (nwords - 1);
+    const std::uint64_t bits = slot_bits_[word];
+    if (bits != 0) {
+      return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    }
+  }
+  PROBEMON_CONTRACT(false, "occupancy bitmap inconsistent with wheel_count_");
+  return 0;
 }
 
 }  // namespace probemon::des

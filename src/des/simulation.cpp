@@ -4,7 +4,8 @@
 
 namespace probemon::des {
 
-Simulation::Simulation(std::uint64_t seed) : rng_(seed) {}
+Simulation::Simulation(std::uint64_t seed, const SchedulerConfig& config)
+    : scheduler_(config), rng_(seed) {}
 
 // The wall clock is measured, never consumed: wall_seconds_ only feeds
 // the events-per-second speed report, so determinism is unaffected.
@@ -27,7 +28,7 @@ std::uint64_t Simulation::run_all() {
 }
 
 Simulation::Periodic::Periodic(Scheduler& scheduler, Time period,
-                               std::function<void(Time)> fn, Time until)
+                               Simulation::PeriodicFn fn, Time until)
     : scheduler_(scheduler),
       period_(period),
       until_(until),
@@ -43,7 +44,7 @@ void Simulation::Periodic::fire() {
 }
 
 std::unique_ptr<Simulation::Periodic> Simulation::every(
-    Time period, std::function<void(Time)> fn, Time until) {
+    Time period, PeriodicFn fn, Time until) {
   return std::make_unique<Periodic>(scheduler_, period, std::move(fn), until);
 }
 

@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
 #include "des/scheduler.hpp"
@@ -17,7 +16,8 @@ namespace probemon::des {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 42);
+  explicit Simulation(std::uint64_t seed = 42,
+                      const SchedulerConfig& config = SchedulerConfig{});
 
   Scheduler& scheduler() noexcept { return scheduler_; }
   const Scheduler& scheduler() const noexcept { return scheduler_; }
@@ -41,7 +41,8 @@ class Simulation {
   /// until `until` (exclusive) or forever if until == kTimeInfinity.
   /// Returns a handle that cancels the repetition when destroyed.
   class Periodic;
-  std::unique_ptr<Periodic> every(Time period, std::function<void(Time)> fn,
+  using PeriodicFn = util::InlineFunction<void(Time)>;
+  std::unique_ptr<Periodic> every(Time period, PeriodicFn fn,
                                   Time until = kTimeInfinity);
 
   /// Run until virtual time `horizon`.
@@ -66,7 +67,7 @@ class Simulation {
 /// Handle for a periodic activity; destroying it stops the repetition.
 class Simulation::Periodic {
  public:
-  Periodic(Scheduler& scheduler, Time period, std::function<void(Time)> fn,
+  Periodic(Scheduler& scheduler, Time period, Simulation::PeriodicFn fn,
            Time until);
   ~Periodic() = default;
   Periodic(const Periodic&) = delete;
@@ -80,7 +81,7 @@ class Simulation::Periodic {
   Scheduler& scheduler_;
   Time period_;
   Time until_;
-  std::function<void(Time)> fn_;
+  Simulation::PeriodicFn fn_;
   Timer timer_;
 };
 

@@ -7,7 +7,6 @@
 // naturally because nodes live for the whole simulation.
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "des/scheduler.hpp"
@@ -18,7 +17,7 @@ class Timer {
  public:
   /// `on_expire` is invoked at expiry with the timer already disarmed,
   /// so the callback may immediately re-arm.
-  Timer(Scheduler& scheduler, std::function<void()> on_expire)
+  Timer(Scheduler& scheduler, InlineCallback on_expire)
       : scheduler_(scheduler), on_expire_(std::move(on_expire)) {}
 
   Timer(const Timer&) = delete;
@@ -29,19 +28,23 @@ class Timer {
   /// Arm (or re-arm) to expire `delay` seconds from now.
   void arm(Time delay) {
     disarm();
-    id_ = scheduler_.schedule_after(delay, [this] {
+    auto fire = [this] {
       id_ = EventId{};
       on_expire_();
-    });
+    };
+    static_assert(InlineCallback::fits_inline<decltype(fire)>);
+    id_ = scheduler_.schedule_after(delay, std::move(fire));
   }
 
   /// Arm to expire at an absolute time.
   void arm_at(Time t) {
     disarm();
-    id_ = scheduler_.schedule_at(t, [this] {
+    auto fire = [this] {
       id_ = EventId{};
       on_expire_();
-    });
+    };
+    static_assert(InlineCallback::fits_inline<decltype(fire)>);
+    id_ = scheduler_.schedule_at(t, std::move(fire));
   }
 
   /// Cancel a pending expiry; harmless if not armed.
@@ -56,7 +59,7 @@ class Timer {
 
  private:
   Scheduler& scheduler_;
-  std::function<void()> on_expire_;
+  InlineCallback on_expire_;
   EventId id_;
 };
 

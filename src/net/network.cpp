@@ -78,7 +78,11 @@ bool Network::send(Message msg) {
   ++in_flight_;
   occupancy_.set(scheduler_.now(), static_cast<double>(in_flight_));
   const double delay = delay_->sample(delay_rng_);
-  scheduler_.schedule_after(delay, [this, msg] { deliver(msg); });
+  const std::uint32_t slot = pool_.acquire();
+  pool_[slot] = msg;
+  auto fire = [this, slot] { deliver_slot(slot); };
+  static_assert(des::InlineCallback::fits_inline<decltype(fire)>);
+  scheduler_.schedule_after(delay, std::move(fire));
   return true;
 }
 
@@ -90,7 +94,11 @@ void Network::schedule_outage(double t0, double t1) {
   scheduler_.schedule_at(t1, [this] { down_ = false; });
 }
 
-void Network::deliver(const Message& msg) {
+void Network::deliver_slot(std::uint32_t slot) {
+  // Copy out and release first: on_message may send, and the new message
+  // is welcome to reuse this slot.
+  const Message msg = pool_[slot];
+  pool_.release(slot);
   --in_flight_;
   occupancy_.set(scheduler_.now(), static_cast<double>(in_flight_));
   auto it = clients_.find(msg.to);

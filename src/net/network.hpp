@@ -21,6 +21,7 @@
 #include "net/message.hpp"
 #include "stats/time_weighted.hpp"
 #include "util/rng.hpp"
+#include "util/slab_pool.hpp"
 
 namespace probemon::net {
 
@@ -95,8 +96,13 @@ class Network {
   const DelayModel& delay_model() const noexcept { return *delay_; }
   const LossModel& loss_model() const noexcept { return *loss_; }
 
+  /// Slots in the in-flight message pool (monotone; telemetry/tests —
+  /// a steady-state run must show this plateau, proving the delivery
+  /// path stopped allocating).
+  std::size_t message_pool_slots() const noexcept { return pool_.capacity(); }
+
  private:
-  void deliver(const Message& msg);
+  void deliver_slot(std::uint32_t slot);
 
   des::Scheduler& scheduler_;
   NetworkConfig config_;
@@ -105,6 +111,10 @@ class Network {
   util::Rng delay_rng_;
   util::Rng loss_rng_;
   std::unordered_map<NodeId, INetworkClient*> clients_;
+  /// In-flight messages parked here so the delivery event captures only
+  /// [this, slot] — inside the scheduler callback's inline buffer (a
+  /// by-value Message capture would spill to the heap on every send).
+  util::SlabPool<Message> pool_;
   NodeId next_id_ = 1;
   std::size_t in_flight_ = 0;
   bool down_ = false;

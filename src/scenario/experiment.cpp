@@ -57,7 +57,7 @@ const char* to_string(Protocol protocol) noexcept {
 
 Experiment::Experiment(ExperimentConfig config)
     : config_(std::move(config)),
-      sim_(config_.seed),
+      sim_(config_.seed, config_.scheduler),
       metrics_(config_.metrics),
       fanout_({&metrics_}),
       churn_rng_(sim_.fork_rng("experiment.churn")),

@@ -14,6 +14,7 @@
 #include "core/observer_fanout.hpp"
 #include "core/probemon.hpp"
 #include "scenario/metrics.hpp"
+#include "scenario/sweep.hpp"
 
 namespace probemon::scenario {
 
@@ -41,6 +42,11 @@ struct ExperimentConfig {
 
   net::NetworkConfig network{};
   MetricsConfig metrics{};
+
+  /// DES kernel selection (timer-wheel vs reference-heap backend, wheel
+  /// geometry). The equivalence tests run identical experiments on both
+  /// backends and diff the traces.
+  des::SchedulerConfig scheduler{};
 
   /// Network model factories; defaults: paper three-mode delay, no loss.
   std::function<net::DelayModelPtr()> delay_factory;
@@ -155,6 +161,27 @@ class Experiment {
   util::Rng churn_rng_;
   util::Rng jitter_rng_;
 };
+
+/// Batch entry point: run one Experiment per config in parallel on
+/// `runner` (run_until(duration) + finish()), then reduce each finished
+/// experiment to an R via `collect`. Results come back in config order,
+/// so output is thread-count-invariant; each job builds its whole world
+/// (scheduler, RNG streams, network, auditor) from its config alone.
+template <class R, class Collect>
+std::vector<R> run_experiment_batch(SweepRunner& runner,
+                                    const std::vector<ExperimentConfig>& configs,
+                                    double duration, Collect&& collect,
+                                    telemetry::Registry* merge_into = nullptr) {
+  return runner.map<R>(
+      configs.size(),
+      [&](std::size_t job, SweepWorkerContext& ctx) {
+        Experiment exp(configs[job]);
+        exp.run_until(duration);
+        exp.finish();
+        return collect(exp, ctx);
+      },
+      merge_into);
+}
 
 /// Strategy that drives CP joins/leaves over an experiment's lifetime.
 class Experiment::ChurnModel {

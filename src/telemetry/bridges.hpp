@@ -38,6 +38,24 @@ inline void instrument_scheduler(Registry& registry,
         return static_cast<double>(scheduler.queue_high_water());
       },
       "Peak live pending events over the scheduler lifetime", labels);
+  // Event-pool occupancy: slots only ever grow, so a steady-state model
+  // must show probemon_des_pool_slots flat — the "kernel has stopped
+  // allocating" health signal.
+  registry.gauge_callback(
+      "probemon_des_pool_slots",
+      [&scheduler] { return static_cast<double>(scheduler.pool_slots()); },
+      "Event-slot pool capacity (monotone)", labels);
+  registry.gauge_callback(
+      "probemon_des_pool_in_use",
+      [&scheduler] { return static_cast<double>(scheduler.pool_in_use()); },
+      "Event-pool slots currently holding a pending event", labels);
+  registry.counter_callback(
+      "probemon_des_callback_heap_spills_total",
+      [] {
+        return static_cast<double>(util::inline_function_heap_allocations());
+      },
+      "Callables too large for the InlineFunction buffer (process-wide)",
+      labels);
 }
 
 /// Everything instrument_scheduler binds, plus virtual time and the

@@ -96,6 +96,25 @@ class Histogram {
     }
   }
 
+  /// Fold another histogram's observations into this one. The bucket
+  /// layouts must match (same bounds) or the merge is meaningless.
+  void merge_from(const Histogram& other) {
+    if (other.bounds_ != bounds_) {
+      throw std::logic_error("Histogram::merge_from: bucket bounds differ");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    double d = other.sum_.load(std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
   const std::vector<double>& upper_bounds() const noexcept { return bounds_; }
   /// Number of buckets including the implicit +Inf one.
   std::size_t bucket_count() const noexcept { return counts_.size(); }

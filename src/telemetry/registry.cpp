@@ -173,6 +173,38 @@ std::vector<Sample> Registry::snapshot() const {
   return out;
 }
 
+void Registry::merge_from(const Registry& other) {
+  if (&other == this) return;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  for (const auto& [key, src] : other.entries_) {
+    if (src.callback) continue;  // snapshot-time closures stay with their owner
+    auto [it, inserted] = entries_.try_emplace(key);
+    Entry& dst = it->second;
+    if (inserted) {
+      dst.name = src.name;
+      dst.help = src.help;
+      dst.labels = src.labels;
+      dst.type = src.type;
+    } else if (dst.type != src.type || dst.callback) {
+      throw std::logic_error("Registry::merge_from: '" + src.name +
+                             "' conflicts with an existing registration");
+    }
+    if (src.counter) {
+      if (!dst.counter) dst.counter = std::make_unique<Counter>();
+      dst.counter->inc(src.counter->value());
+    } else if (src.gauge) {
+      if (!dst.gauge) dst.gauge = std::make_unique<Gauge>();
+      dst.gauge->set(src.gauge->value());
+    } else if (src.histogram) {
+      if (!dst.histogram) {
+        dst.histogram =
+            std::make_unique<Histogram>(src.histogram->upper_bounds());
+      }
+      dst.histogram->merge_from(*src.histogram);
+    }
+  }
+}
+
 Registry& Registry::global() {
   static Registry registry;
   return registry;

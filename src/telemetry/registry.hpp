@@ -92,6 +92,14 @@ class Registry {
   /// Consistent point-in-time copy, sorted by (name, labels).
   std::vector<Sample> snapshot() const;
 
+  /// Fold another registry's owned metrics into this one (counters add
+  /// exactly in u64, gauges take the source value, histograms merge
+  /// bucket-wise; callback metrics are skipped — their captures belong
+  /// to the source). This is the sweep-runner barrier step: one Registry
+  /// per worker during the run, merged in deterministic (worker-id)
+  /// order afterwards.
+  void merge_from(const Registry& other);
+
   /// Process-wide default registry (independent instances remain first
   /// class; the global is a convenience for examples and ad-hoc tools).
   static Registry& global();

@@ -1,0 +1,72 @@
+// Slab allocator with stable 32-bit indices and a LIFO free list.
+//
+// The DES scheduler and the simulated network keep one pooled object per
+// in-flight event/message. Requirements that rule out std::vector and
+// node-based containers alike:
+//   * stable addresses (events hold intrusive links into each other),
+//   * index-addressable (an EventId packs a 32-bit slot index),
+//   * O(1) acquire/release with zero steady-state allocation — slabs are
+//     only ever added, never freed, so a population that plateaus stops
+//     allocating entirely,
+//   * deterministic reuse order (LIFO), so runs are reproducible.
+//
+// T is default-constructed once when its slab is created and then
+// *reused* across acquire/release cycles; callers reset whatever fields
+// matter on acquire. (That is the point: the expensive member — an
+// InlineFunction's captured state — is overwritten, not reallocated.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace probemon::util {
+
+template <class T, std::size_t SlabBits = 8>
+class SlabPool {
+ public:
+  static constexpr std::uint32_t kSlabSize = 1u << SlabBits;
+  static constexpr std::uint32_t kSlabMask = kSlabSize - 1;
+
+  /// Take a slot; grows by one slab when the free list is empty.
+  std::uint32_t acquire() {
+    if (free_.empty()) grow();
+    const std::uint32_t index = free_.back();
+    free_.pop_back();
+    return index;
+  }
+
+  /// Return a slot to the free list. The caller must not use the index
+  /// again until re-acquired.
+  void release(std::uint32_t index) { free_.push_back(index); }
+
+  T& operator[](std::uint32_t index) noexcept {
+    return slabs_[index >> SlabBits][index & kSlabMask];
+  }
+  const T& operator[](std::uint32_t index) const noexcept {
+    return slabs_[index >> SlabBits][index & kSlabMask];
+  }
+
+  /// Total slots ever allocated (monotone; a capacity-planning signal).
+  std::size_t capacity() const noexcept { return slabs_.size() * kSlabSize; }
+  std::size_t free_count() const noexcept { return free_.size(); }
+  std::size_t in_use() const noexcept { return capacity() - free_.size(); }
+
+ private:
+  void grow() {
+    const auto base = static_cast<std::uint32_t>(capacity());
+    slabs_.push_back(std::make_unique<T[]>(kSlabSize));
+    free_.reserve(free_.size() + kSlabSize);
+    // Reversed so the lowest index is handed out first (cosmetic, but it
+    // keeps slot numbering intuitive in traces and tests).
+    for (std::uint32_t i = kSlabSize; i-- > 0;) {
+      free_.push_back(base + i);
+    }
+  }
+
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace probemon::util

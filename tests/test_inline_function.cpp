@@ -1,0 +1,116 @@
+// util::InlineFunction: the SBO callable underneath every DES event.
+// The properties under test are exactly the kernel's assumptions: small
+// captures never allocate, oversized ones spill (and are counted), and
+// move semantics transport the callable without re-running it.
+#include "util/inline_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace probemon::util {
+namespace {
+
+TEST(InlineFunction, EmptyByDefaultAndAfterReset) {
+  InlineFunction<int()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [] { return 7; };
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunction, InvokesWithArgumentsAndReturn) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunction, SmallCaptureStaysInline) {
+  const std::uint64_t before = inline_function_heap_allocations();
+  int hits = 0;
+  InlineFunction<void()> fn = [&hits] { ++hits; };
+  static_assert(InlineFunction<void()>::fits_inline<decltype([&hits] {})>);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(inline_function_heap_allocations(), before);
+}
+
+TEST(InlineFunction, CaptureAtCapacityBoundaryStaysInline) {
+  const std::uint64_t before = inline_function_heap_allocations();
+  std::array<char, 48> blob{};
+  blob[0] = 'x';
+  InlineFunction<char()> fn = [blob] { return blob[0]; };
+  EXPECT_EQ(fn(), 'x');
+  EXPECT_EQ(inline_function_heap_allocations(), before);
+}
+
+TEST(InlineFunction, OversizedCaptureSpillsAndIsCounted) {
+  const std::uint64_t before = inline_function_heap_allocations();
+  std::array<char, 64> blob{};
+  blob[63] = 'z';
+  auto big = [blob] { return blob[63]; };
+  static_assert(!InlineFunction<char()>::fits_inline<decltype(big)>);
+  InlineFunction<char()> fn = big;
+  EXPECT_EQ(fn(), 'z');
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+}
+
+TEST(InlineFunction, MoveTransfersInlineCallable) {
+  int hits = 0;
+  InlineFunction<void()> a = [&hits] { ++hits; };
+  InlineFunction<void()> b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  InlineFunction<void()> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveTransfersSpilledCallableWithoutReallocating) {
+  std::array<char, 64> blob{};
+  blob[0] = 'q';
+  const std::uint64_t before = inline_function_heap_allocations();
+  InlineFunction<char()> a = [blob] { return blob[0]; };
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+  InlineFunction<char()> b = std::move(a);
+  EXPECT_EQ(b(), 'q');
+  // The move re-homes the existing heap block; no second allocation.
+  EXPECT_EQ(inline_function_heap_allocations(), before + 1);
+}
+
+TEST(InlineFunction, DestroysCapturedState) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    InlineFunction<void()> fn = [token] { (void)*token; };
+    token.reset();
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(41);
+  InlineFunction<int()> fn = [owned = std::move(owned)] { return *owned + 1; };
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunction, HoldsAStdFunctionForInteropCallers) {
+  // Callers migrating from std::function can hand one straight in; a
+  // std::function object itself fits the 48-byte buffer.
+  std::function<int()> legacy = [] { return 9; };
+  static_assert(InlineFunction<int()>::fits_inline<decltype(legacy)>);
+  InlineFunction<int()> fn = legacy;
+  EXPECT_EQ(fn(), 9);
+}
+
+}  // namespace
+}  // namespace probemon::util

@@ -150,6 +150,264 @@ TEST(Scheduler, RunAllCapThrowsOnRunaway) {
   EXPECT_THROW(sched.run_all(1000), std::runtime_error);
 }
 
+// --- timer-wheel kernel ----------------------------------------------------
+
+TEST(Scheduler, ConfigValidationThrows) {
+  SchedulerConfig bad;
+  bad.tick_bits = 31;
+  EXPECT_THROW(Scheduler{bad}, std::invalid_argument);
+  bad.tick_bits = -1;
+  EXPECT_THROW(Scheduler{bad}, std::invalid_argument);
+  bad = SchedulerConfig{};
+  bad.wheel_bits = 5;
+  EXPECT_THROW(Scheduler{bad}, std::invalid_argument);
+  bad.wheel_bits = 23;
+  EXPECT_THROW(Scheduler{bad}, std::invalid_argument);
+}
+
+TEST(Scheduler, BackendAccessorReportsConfig) {
+  Scheduler wheel;
+  EXPECT_EQ(wheel.backend(), SchedulerBackend::kWheel);
+  SchedulerConfig config;
+  config.backend = SchedulerBackend::kHeap;
+  Scheduler heap(config);
+  EXPECT_EQ(heap.backend(), SchedulerBackend::kHeap);
+}
+
+TEST(Scheduler, EventScheduledExactlyAtHorizonDuringRunFires) {
+  // The horizon is INCLUSIVE even for events created mid-run: an event
+  // at t=1 that schedules a follow-up at exactly t=2 must see that
+  // follow-up fire inside run_until(2.0).
+  Scheduler sched;
+  std::vector<double> fired;
+  sched.schedule_at(1.0, [&] {
+    fired.push_back(sched.now());
+    sched.schedule_at(2.0, [&] { fired.push_back(sched.now()); });
+  });
+  const std::uint64_t n = sched.run_until(2.0);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sched.now(), 2.0);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, RunUntilAdvancesClockPastEmptyQueue) {
+  Scheduler sched;
+  EXPECT_EQ(sched.run_until(7.0), 0u);
+  EXPECT_EQ(sched.now(), 7.0);
+  // Infinite horizon with an empty queue must leave the clock finite.
+  EXPECT_EQ(sched.run_until(kTimeInfinity), 0u);
+  EXPECT_EQ(sched.now(), 7.0);
+}
+
+TEST(Scheduler, QueueHighWaterUnderHeavyCancelChurn) {
+  // Regression: the high-water mark counts *live* events. A cancel-heavy
+  // workload (arm/disarm timeouts, the protocol's steady state) must not
+  // inflate it with reclaimed slots, and the slot pool must plateau
+  // instead of growing per wave.
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        sched.schedule_at(1.0 + i * 1e-3, [] {}));
+  }
+  EXPECT_EQ(sched.queue_high_water(), 1000u);
+  for (int i = 0; i < 900; ++i) EXPECT_TRUE(sched.cancel(ids[size_t(i)]));
+  EXPECT_EQ(sched.pending_count(), 100u);
+  const std::size_t slots_after_first_wave = sched.pool_slots();
+
+  // Ten more churn waves, each smaller than the peak: high water frozen,
+  // pool recycled in place.
+  for (int wave = 0; wave < 10; ++wave) {
+    std::vector<EventId> wave_ids;
+    for (int i = 0; i < 500; ++i) {
+      wave_ids.push_back(sched.schedule_at(2.0 + i * 1e-3, [] {}));
+    }
+    for (EventId id : wave_ids) EXPECT_TRUE(sched.cancel(id));
+  }
+  EXPECT_EQ(sched.queue_high_water(), 1000u);
+  EXPECT_EQ(sched.pool_slots(), slots_after_first_wave);
+  EXPECT_EQ(sched.pending_count(), 100u);
+
+  sched.run_all();
+  EXPECT_EQ(sched.executed_count(), 100u);
+  EXPECT_EQ(sched.queue_high_water(), 1000u);
+  EXPECT_EQ(sched.pool_in_use(), 0u);
+}
+
+TEST(Scheduler, CancelSameTimeEventFromEarlierSibling) {
+  // Exercises cancellation inside the currently-executing tick (the
+  // sorted-run bucket): an event cancels a same-time later sibling.
+  Scheduler sched;
+  std::vector<int> order;
+  EventId doomed;
+  sched.schedule_at(1.0, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(sched.cancel(doomed));
+  });
+  doomed = sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(1.0, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(Scheduler, ZeroDelaySelfScheduleStaysFifoWithinInstant) {
+  // Events scheduled *into* the executing instant (zero-delay sends) go
+  // through the late-arrival path and must still fire after already-
+  // queued same-time events, in scheduling order.
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(1.0, [&] {
+    order.push_back(0);
+    sched.schedule_after(0.0, [&] { order.push_back(3); });
+    sched.schedule_after(0.0, [&] { order.push_back(4); });
+  });
+  sched.schedule_at(1.0, [&] { order.push_back(1); });
+  sched.schedule_at(1.0, [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sched.now(), 1.0);
+}
+
+TEST(Scheduler, FarFutureEventsPromoteFromOverflowInOrder) {
+  // Default wheel span is 2^15 ticks * 2^-8 s = 128 s; times beyond it
+  // wait in the overflow heap and must promote as the window slides.
+  Scheduler sched;
+  std::vector<double> fired;
+  for (double t : {1000.0, 5.0, 500.0, 200.0, 127.9, 128.1}) {
+    sched.schedule_at(t, [&] { fired.push_back(sched.now()); });
+  }
+  sched.run_all();
+  EXPECT_EQ(fired,
+            (std::vector<double>{5.0, 127.9, 128.1, 200.0, 500.0, 1000.0}));
+}
+
+TEST(Scheduler, WindowJumpOverEmptyWheelThenNearEvents) {
+  // A long silent gap forces the wheel window to jump straight to the
+  // overflow root; events scheduled from there (short delays) must land
+  // back in the wheel and fire correctly.
+  Scheduler sched;
+  std::vector<double> fired;
+  sched.schedule_at(0.5, [&] { fired.push_back(sched.now()); });
+  sched.schedule_at(300.0, [&] {
+    fired.push_back(sched.now());
+    sched.schedule_after(0.25, [&] { fired.push_back(sched.now()); });
+    sched.schedule_after(10.0, [&] { fired.push_back(sched.now()); });
+  });
+  sched.schedule_at(700.0, [&] { fired.push_back(sched.now()); });
+  sched.run_all();
+  EXPECT_EQ(fired,
+            (std::vector<double>{0.5, 300.0, 300.25, 310.0, 700.0}));
+}
+
+// Ordering-equivalence harness: run the same randomized schedule/cancel
+// workload on a given scheduler and record the exact (time, seq) trace.
+struct TraceEntry {
+  Time time;
+  std::uint64_t seq;
+  bool operator==(const TraceEntry&) const = default;
+};
+
+std::vector<TraceEntry> run_trace_workload(const SchedulerConfig& config,
+                                           std::uint64_t seed) {
+  Scheduler sched(config);
+  std::vector<TraceEntry> trace;
+  sched.set_execution_probe(
+      [&trace](Time t, std::uint64_t seq) { trace.push_back({t, seq}); });
+
+  util::Rng rng(seed);
+  std::vector<EventId> cancellable;
+  std::uint64_t spawned = 0;
+  std::function<void()> spawn = [&] {
+    if (spawned >= 6000) return;
+    // Mixed horizons: same-instant ties, wheel-resident short delays,
+    // and far-future overflow residents, plus cancel churn.
+    const double roll = rng.uniform(0.0, 1.0);
+    double delay;
+    if (roll < 0.15) {
+      delay = 0.0;
+    } else if (roll < 0.85) {
+      delay = rng.uniform(0.0, 12.0);
+    } else {
+      delay = rng.uniform(100.0, 400.0);
+    }
+    ++spawned;
+    const EventId id = sched.schedule_after(delay, [&] { spawn(); });
+    if (rng.bernoulli(0.3)) {
+      cancellable.push_back(id);
+    }
+    // Branch (supercritically, so cancel churn can't extinguish the
+    // population before the spawn cap).
+    if (rng.bernoulli(0.6)) {
+      ++spawned;
+      sched.schedule_after(rng.uniform(0.0, 8.0), [&] { spawn(); });
+    }
+    if (cancellable.size() > 8 && rng.bernoulli(0.4)) {
+      const auto pick =
+          rng.uniform_u64(0, cancellable.size() - 1);
+      sched.cancel(cancellable[pick]);
+      cancellable.erase(cancellable.begin() + static_cast<long>(pick));
+    }
+  };
+  for (int i = 0; i < 8; ++i) sched.schedule_at(0.0, [&] { spawn(); });
+  sched.run_all();
+  return trace;
+}
+
+TEST(Scheduler, WheelTraceBitIdenticalToHeapReference) {
+  // The tentpole's correctness bar: the timer wheel must reproduce the
+  // reference heap's execution order *exactly* — same (time, seq) pairs,
+  // same positions — under randomized schedule/cancel workloads.
+  for (std::uint64_t seed : {7u, 99u, 2026u}) {
+    SchedulerConfig wheel_config;  // defaults = wheel backend
+    SchedulerConfig heap_config;
+    heap_config.backend = SchedulerBackend::kHeap;
+    const auto wheel = run_trace_workload(wheel_config, seed);
+    const auto heap = run_trace_workload(heap_config, seed);
+    ASSERT_GT(wheel.size(), 1000u);
+    ASSERT_EQ(wheel.size(), heap.size()) << "seed=" << seed;
+    EXPECT_TRUE(wheel == heap) << "seed=" << seed;
+  }
+}
+
+TEST(Scheduler, CoarseWheelGeometryPreservesOrdering) {
+  // A deliberately tiny, coarse wheel (64 slots, 1 s ticks) forces many
+  // events per tick and constant window slides — ordering must survive.
+  SchedulerConfig coarse;
+  coarse.tick_bits = 0;
+  coarse.wheel_bits = 6;
+  SchedulerConfig heap_config;
+  heap_config.backend = SchedulerBackend::kHeap;
+  const auto coarse_trace = run_trace_workload(coarse, 31415);
+  const auto heap_trace = run_trace_workload(heap_config, 31415);
+  ASSERT_EQ(coarse_trace.size(), heap_trace.size());
+  EXPECT_TRUE(coarse_trace == heap_trace);
+}
+
+TEST(Scheduler, SteadyStateProbePathDoesNotAllocate) {
+  // The allocation-free claim, asserted: after warmup, a self-
+  // rescheduling probe-like workload must neither grow the event-slot
+  // pool nor spill a single callback to the heap.
+  Scheduler sched;
+  std::uint64_t fired = 0;
+  std::function<void()> tick;  // the std::function itself lives outside
+  tick = [&] {
+    ++fired;
+    sched.schedule_after(0.021, [&] { tick(); });
+  };
+  for (int i = 0; i < 32; ++i) {
+    sched.schedule_after(0.001 * i, [&] { tick(); });
+  }
+  sched.run_until(10.0);  // warmup: pool reaches steady state
+  const std::size_t slots = sched.pool_slots();
+  const std::uint64_t spills = util::inline_function_heap_allocations();
+  const std::uint64_t warm_fired = fired;
+  sched.run_until(100.0);
+  EXPECT_GT(fired, warm_fired + 100000u);
+  EXPECT_EQ(sched.pool_slots(), slots);
+  EXPECT_EQ(util::inline_function_heap_allocations(), spills);
+}
+
 TEST(Timer, FiresOnceAfterDelay) {
   Scheduler sched;
   int fired = 0;

@@ -1,0 +1,228 @@
+// SweepRunner determinism contract (see sweep.hpp): job-ordered results
+// and merged counter/bucket values must be identical for any thread
+// count, experiment batches must reproduce bit-exactly on both scheduler
+// backends, and failures must surface as the lowest-numbered job's
+// exception. These tests execute the same work at 1, 2, and N threads
+// and compare outputs field-by-field.
+#include "scenario/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/invariant_auditor.hpp"
+#include "scenario/experiment.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::scenario {
+namespace {
+
+const telemetry::Sample* find_sample(const std::vector<telemetry::Sample>& ss,
+                                     const std::string& name) {
+  for (const auto& s : ss) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SweepRunner, MapReturnsJobOrderedResults) {
+  SweepRunner runner(3);
+  const auto out = runner.map<std::size_t>(
+      40, [](std::size_t job, SweepWorkerContext&) { return job * job; });
+  ASSERT_EQ(out.size(), 40u);
+  for (std::size_t j = 0; j < out.size(); ++j) EXPECT_EQ(out[j], j * j);
+}
+
+TEST(SweepRunner, ZeroThreadsPicksAtLeastOneWorker) {
+  SweepRunner runner(0);
+  EXPECT_GE(runner.thread_count(), 1u);
+  const auto out = runner.map<int>(
+      3, [](std::size_t job, SweepWorkerContext&) { return int(job) + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SweepRunner, WorkerContextHasPrivateRegistry) {
+  SweepRunner runner(2);
+  runner.run(8, [&](std::size_t, SweepWorkerContext& ctx) {
+    ASSERT_NE(ctx.registry, nullptr);
+    ASSERT_LT(ctx.worker, runner.thread_count());
+    ctx.registry->counter("test_ctx_jobs_total").inc();
+  });
+}
+
+TEST(SweepRunner, MergedCountersAndBucketsAreExactForAnyThreadCount) {
+  // Each job contributes exact integer increments; the merged totals
+  // must match the closed form regardless of which worker ran what.
+  constexpr std::size_t kJobs = 64;
+  const std::vector<double> bounds{4.0, 16.0, 64.0};
+  for (unsigned threads : {1u, 2u, 5u}) {
+    SweepRunner runner(threads);
+    telemetry::Registry merged;
+    runner.run(
+        kJobs,
+        [&](std::size_t job, SweepWorkerContext& ctx) {
+          ctx.registry->counter("test_sum_total").inc(job + 1);
+          ctx.registry
+              ->histogram("test_job_ids", bounds)
+              .observe(static_cast<double>(job));
+        },
+        &merged);
+
+    const auto samples = merged.snapshot();
+    const auto* sum = find_sample(samples, "test_sum_total");
+    ASSERT_NE(sum, nullptr) << "threads=" << threads;
+    EXPECT_EQ(sum->value, kJobs * (kJobs + 1) / 2.0) << "threads=" << threads;
+
+    const auto* hist = find_sample(samples, "test_job_ids");
+    ASSERT_NE(hist, nullptr) << "threads=" << threads;
+    EXPECT_EQ(hist->count, kJobs);
+    // job ids 0..63 against bounds {4,16,64}: <=4 -> 5, <=16 -> 12,
+    // <=64 -> 47, +Inf -> 0.
+    EXPECT_EQ(hist->buckets,
+              (std::vector<std::uint64_t>{5, 12, 47, 0}))
+        << "threads=" << threads;
+  }
+}
+
+TEST(SweepRunner, MergePublishesRunnerHealthMetrics) {
+  SweepRunner runner(2);
+  telemetry::Registry merged;
+  runner.run(6, [](std::size_t, SweepWorkerContext&) {}, &merged);
+  const auto samples = merged.snapshot();
+
+  const auto* busy = find_sample(samples, "probemon_sweep_worker_busy_seconds");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_GE(busy->value, 0.0);
+
+  const auto* threads = find_sample(samples, "probemon_sweep_threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_EQ(threads->value, 2.0);
+
+  const auto* jobs = find_sample(samples, "probemon_sweep_jobs_total");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->value, 6.0);
+  EXPECT_EQ(runner.jobs_completed(), 6u);
+}
+
+TEST(SweepRunner, LowestNumberedJobExceptionWinsDeterministically) {
+  for (unsigned threads : {1u, 3u}) {
+    SweepRunner runner(threads);
+    try {
+      runner.run(16, [](std::size_t job, SweepWorkerContext&) {
+        if (job == 11) throw std::runtime_error("job 11 failed");
+        if (job == 5) throw std::runtime_error("job 5 failed");
+      });
+      FAIL() << "expected an exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 5 failed") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepRunner, EmptyJobThrows) {
+  SweepRunner runner(1);
+  EXPECT_THROW(runner.run(1, SweepRunner::Job{}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Experiment batches: the protocol simulations themselves must come back
+// bit-identical across thread counts and across scheduler backends.
+
+struct ExperimentDigest {
+  double fairness = 0.0;
+  double load_mean = 0.0;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_received = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t violations = 0;
+};
+
+bool operator==(const ExperimentDigest& a, const ExperimentDigest& b) {
+  // Exact (bit-level) comparison on the doubles is intentional: the
+  // contract is byte-identical results, not approximately equal ones.
+  return a.fairness == b.fairness && a.load_mean == b.load_mean &&
+         a.probes_sent == b.probes_sent &&
+         a.probes_received == b.probes_received && a.executed == b.executed &&
+         a.violations == b.violations;
+}
+
+std::vector<ExperimentConfig> digest_configs(des::SchedulerBackend backend) {
+  std::vector<ExperimentConfig> configs;
+  int seed = 0;
+  for (Protocol protocol : {Protocol::kSapp, Protocol::kDcpp}) {
+    for (std::size_t k : {1u, 3u, 6u}) {
+      ExperimentConfig config;
+      config.protocol = protocol;
+      config.seed = 1000 + static_cast<std::uint64_t>(++seed);
+      config.initial_cps = k;
+      config.metrics.record_delay_series = false;
+      config.metrics.load_window = 10.0;
+      config.scheduler.backend = backend;
+      configs.push_back(config);
+    }
+  }
+  return configs;
+}
+
+std::vector<ExperimentDigest> run_digest_batch(unsigned threads,
+                                               des::SchedulerBackend backend) {
+  constexpr double kDuration = 300.0;
+  SweepRunner runner(threads);
+  return run_experiment_batch<ExperimentDigest>(
+      runner, digest_configs(backend), kDuration,
+      [](Experiment& exp, SweepWorkerContext&) {
+        ExperimentDigest d;
+        d.fairness = exp.metrics().frequency_fairness();
+        d.load_mean =
+            exp.metrics().device_load().series().summary(0.0, kDuration).mean();
+        d.probes_sent = exp.metrics().total_probes_sent();
+        d.probes_received = exp.metrics().total_probes_received();
+        d.executed = exp.sim().scheduler().executed_count();
+        d.violations = exp.auditor() ? exp.auditor()->total_violations() : 0;
+        return d;
+      });
+}
+
+TEST(SweepDeterminism, BatchResultsIdenticalAcrossThreadCounts) {
+  const auto reference = run_digest_batch(1, des::SchedulerBackend::kWheel);
+  ASSERT_EQ(reference.size(), 6u);
+  for (const ExperimentDigest& d : reference) {
+    EXPECT_GT(d.probes_sent, 0u);
+    EXPECT_EQ(d.violations, 0u);  // auditor stays clean under the sweep
+  }
+  for (unsigned threads : {2u, 4u}) {
+    const auto got = run_digest_batch(threads, des::SchedulerBackend::kWheel);
+    ASSERT_EQ(got.size(), reference.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(got[i] == reference[i])
+          << "threads=" << threads << " job=" << i;
+    }
+  }
+}
+
+TEST(SweepDeterminism, WheelAndHeapBackendsAgreeUnderSweep) {
+  // The timer wheel is a drop-in replacement for the reference heap:
+  // identical (time, seq) execution order means identical simulations.
+  const auto wheel = run_digest_batch(2, des::SchedulerBackend::kWheel);
+  const auto heap = run_digest_batch(2, des::SchedulerBackend::kHeap);
+  ASSERT_EQ(wheel.size(), heap.size());
+  for (std::size_t i = 0; i < wheel.size(); ++i) {
+    EXPECT_TRUE(wheel[i] == heap[i]) << "job=" << i;
+  }
+}
+
+TEST(SweepDeterminism, AuditorCleanAtOneTwoAndManyThreads) {
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const auto digests = run_digest_batch(threads, des::SchedulerBackend::kWheel);
+    for (std::size_t i = 0; i < digests.size(); ++i) {
+      EXPECT_EQ(digests[i].violations, 0u)
+          << "threads=" << threads << " job=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace probemon::scenario

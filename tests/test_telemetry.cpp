@@ -190,6 +190,62 @@ TEST(Registry, SnapshotSortsByNameThenLabels) {
   EXPECT_EQ(samples[2].name, "probemon_b_total");
 }
 
+TEST(Registry, MergeFromAddsCountersSetsGaugesAndMergesHistograms) {
+  Registry into;
+  into.counter("probemon_probes_total").inc(10);
+  into.histogram("probemon_delay_seconds", {1.0, 2.0}).observe(0.5);
+
+  Registry other;
+  other.counter("probemon_probes_total").inc(5);
+  other.counter("probemon_replies_total").inc(3);  // new to `into`
+  other.gauge("probemon_load").set(4.5);
+  auto& hist = other.histogram("probemon_delay_seconds", {1.0, 2.0});
+  hist.observe(1.5);
+  hist.observe(9.0);
+
+  into.merge_from(other);
+  const auto samples = into.snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  // snapshot sorts by name: delay, load, probes, replies.
+  EXPECT_EQ(samples[0].name, "probemon_delay_seconds");
+  EXPECT_EQ(samples[0].count, 3u);
+  EXPECT_EQ(samples[0].buckets, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_DOUBLE_EQ(samples[0].sum, 11.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 4.5);
+  EXPECT_DOUBLE_EQ(samples[2].value, 15.0);
+  EXPECT_DOUBLE_EQ(samples[3].value, 3.0);
+  // The source is untouched.
+  EXPECT_EQ(other.snapshot()[2].value, 5.0);
+}
+
+TEST(Registry, MergeFromSkipsCallbacksAndRejectsConflicts) {
+  Registry into;
+  Registry other;
+  other.gauge_callback("probemon_cb", [] { return 1.0; });
+  into.merge_from(other);
+  EXPECT_EQ(into.size(), 0u);  // callback captures stay with the source
+
+  other.counter("probemon_kind");
+  into.gauge("probemon_kind");
+  EXPECT_THROW(into.merge_from(other), std::logic_error);
+
+  // Self-merge is an explicit no-op (doubling values would be worse).
+  into.counter("probemon_self_total").inc(2);
+  into.merge_from(into);
+  EXPECT_EQ(into.counter("probemon_self_total").value(), 2u);
+}
+
+TEST(Registry, MergeFromIsExactForLargeCounterValues) {
+  // Counter merges must go through the u64 value, not a double round
+  // trip: 2^53 + 1 is not representable as a double.
+  Registry into;
+  Registry other;
+  const std::uint64_t big = (1ULL << 53) + 1;
+  other.counter("probemon_big_total").inc(big);
+  into.merge_from(other);
+  EXPECT_EQ(into.counter("probemon_big_total").value(), big);
+}
+
 // -------------------------------------------------------------- exporters
 
 TEST(Exporters, PrometheusGoldenOutput) {

@@ -13,6 +13,17 @@ run fails loudly on a regression:
 Timing-noise keys (real_time, cpu_time, iterations, items_per_second)
 are ignored by default; pass --ignore '' to gate on them too, or a
 custom regex to ignore more.
+
+Throughput gating: --higher-is-better REGEX marks matching keys as
+one-sided -- they fail only when the current value drops below the
+baseline by more than the threshold (improvements never fail). Keys
+matched this way are exempted from --ignore, so the CI perf gate can
+run with the default ignore list plus
+
+    --higher-is-better 'items_per_second$' --threshold 40
+
+to fail on a >40% throughput regression while tolerating noise-prone
+absolute timings.
 """
 
 import argparse
@@ -59,10 +70,12 @@ def diff_file(name, base, cur, args, report):
     failures = 0
     keys = sorted(set(base) | set(cur))
     ignore = re.compile(args.ignore) if args.ignore else None
+    hib = re.compile(args.higher_is_better) if args.higher_is_better else None
     for key in keys:
         if key == "experiment":
             continue
-        if ignore and ignore.search(key):
+        one_sided = bool(hib and hib.search(key))
+        if ignore and ignore.search(key) and not one_sided:
             continue
         if key not in base:
             report.append(f"  {name}:{key}: NEW (current={fmt(cur[key])})")
@@ -89,7 +102,8 @@ def diff_file(name, base, cur, args, report):
                 failures += 1
             continue
         pct = 100.0 * delta / abs(b)
-        if math.isnan(pct) or abs(pct) > args.threshold:
+        exceeded = (-pct if one_sided else abs(pct)) > args.threshold
+        if math.isnan(pct) or exceeded:
             report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
                           f"({pct:+.2f}%)  FAIL")
             failures += 1
@@ -111,6 +125,10 @@ def main():
     parser.add_argument("--ignore", default=DEFAULT_IGNORE,
                         help="regex of metric keys to skip ('' = none; "
                              "default skips micro-bench timing keys)")
+    parser.add_argument("--higher-is-better", default="",
+                        help="regex of keys gated one-sided: fail only on a "
+                             "decrease beyond the threshold (and never skip "
+                             "them via --ignore)")
     parser.add_argument("--verbose", action="store_true",
                         help="also print in-threshold changes")
     args = parser.parse_args()

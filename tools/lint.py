@@ -22,6 +22,13 @@ Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
   pragma-once        Every header starts with `#pragma once` (after any
                      leading comment block) — the repo's include-guard
                      convention.
+  no-std-function    src/des + src/core are the allocation-free hot
+                     path: event callbacks are util::InlineFunction
+                     (48-byte small-buffer capture, spill-counted), and
+                     a std::function sneaking back in silently
+                     reintroduces per-event heap allocation. Forbids
+                     std::function and the <functional> include in
+                     those trees.
 
 Usage:
   tools/lint.py                  # lint src/ under the repo root
@@ -64,6 +71,11 @@ COUNTER_DIRECT = re.compile(
 
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 
+# no-std-function: matched in src/des + src/core (the allocation-free
+# event path). util::InlineFunction is the sanctioned callable there.
+STD_FUNCTION = re.compile(r"\bstd::function\s*<")
+FUNCTIONAL_INCLUDE = re.compile(r'^\s*#\s*include\s*<functional>')
+
 NOLINT = re.compile(r"NOLINT\(([^)]*)\)")
 
 RULES = {
@@ -71,6 +83,9 @@ RULES = {
     "no-naked-new": "no naked new expressions (use make_unique/containers)",
     "counter-registry": "telemetry metrics must come from the Registry",
     "pragma-once": "headers start with #pragma once",
+    "no-std-function":
+        "no std::function / <functional> in src/des + src/core "
+        "(use util::InlineFunction)",
 }
 
 
@@ -143,6 +158,13 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
         code = strip_noise(line)
         if not code.strip():
             continue
+
+        if deterministic_zone and not suppressed(raw, "no-std-function"):
+            if STD_FUNCTION.search(code) or FUNCTIONAL_INCLUDE.match(code):
+                findings.append(Finding(
+                    rel, lineno, "no-std-function",
+                    "std::function allocates per capture — use "
+                    "util::InlineFunction on the des/core event path"))
 
         if deterministic_zone and not suppressed(raw, "no-wall-clock"):
             for pattern, what in WALL_CLOCK_PATTERNS:
