@@ -15,10 +15,13 @@
 # smoke pass is also compared against that baseline at a looser
 # threshold (override with BENCH_DIFF_THRESHOLD, percent).
 #
-# Every run also gates DES kernel throughput: bench_a7_des_micro is
-# diffed one-sided against the committed bench/baseline/ snapshot
-# (items_per_second may drop at most BENCH_PERF_THRESHOLD percent,
-# default 40; see docs/performance.md).
+# Every run also gates performance against the committed bench/baseline/
+# snapshot: bench_a7_des_micro (DES kernel throughput) and
+# bench_telemetry_scale (registry registration rate, delta-scrape
+# speedups, sharded-vs-single-map byte identity) run into one scratch
+# dir and are diffed in a single one-sided pass (throughput/speedup keys
+# may drop at most BENCH_PERF_THRESHOLD percent, default 40; see
+# docs/performance.md and docs/observability.md).
 #
 # --full appends the analysis matrix (docs/static_analysis.md):
 #   * clang-tidy over src/ (skipped with a notice when not installed)
@@ -94,24 +97,39 @@ else
   echo "    (seed one with: cp -r $SCRATCH/run1/bench_out <baseline-dir>)"
 fi
 
-# --- DES kernel perf gate: bench_a7 throughput vs the committed baseline.
-# One-sided (items_per_second may only drop by PERF_THRESHOLD percent;
-# speedups always pass); machine context and absolute timings are
-# ignored as noise. Threshold is loose by design -- it exists to catch
-# "someone accidentally reverted the timer wheel to a std::function
-# heap", not 5% jitter on a busy CI box. Refresh the baseline with:
+# --- perf gate: DES kernel + telemetry scale vs the committed baseline.
+# One pass over one scratch dir so bench_diff sees every baseline file
+# (a baseline file absent from the current dir is itself a failure).
+# One-sided keys (throughput, delta-scrape speedups) may only drop by
+# PERF_THRESHOLD percent; machine context and absolute timings are
+# ignored as noise. The byte-sized keys and the identity booleans from
+# bench_telemetry_scale are deterministic, so they gate exactly.
+# Threshold is loose by design -- it exists to catch "someone
+# accidentally reverted the timer wheel to a std::function heap" or
+# "the delta scrape quietly became a full scrape", not 5% jitter on a
+# busy CI box. Refresh the baselines with:
 #   (cd /tmp && build/bench/bench_a7_des_micro --benchmark_min_time=0.5 \
 #      --benchmark_out=bench/baseline/bench_a7_des_micro.json \
 #      --benchmark_out_format=json)
+#   (cd /tmp && build/bench/bench_telemetry_scale --series=1000,100000 \
+#      --dirty=100 && cp bench_out/bench_telemetry_scale.json \
+#      bench/baseline/)
 PERF_THRESHOLD="${BENCH_PERF_THRESHOLD:-40}"
-echo "==> DES micro-bench perf gate (one-sided, threshold ${PERF_THRESHOLD}%)"
-mkdir -p "$SCRATCH/a7"
+echo "==> perf gate: DES kernel + telemetry scale (one-sided, threshold ${PERF_THRESHOLD}%)"
+mkdir -p "$SCRATCH/perf"
 "$BUILD/bench/bench_a7_des_micro" --benchmark_min_time=0.2 \
-  --benchmark_out="$SCRATCH/a7/bench_a7_des_micro.json" \
+  --benchmark_out="$SCRATCH/perf/bench_a7_des_micro.json" \
   --benchmark_out_format=json >/dev/null 2>&1
-python3 "$ROOT/tools/bench_diff.py" "$ROOT/bench/baseline" "$SCRATCH/a7" \
-  --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second)$|^context\.' \
-  --higher-is-better 'items_per_second$' --threshold "$PERF_THRESHOLD"
+(cd "$SCRATCH/perf" &&
+   "$BUILD/bench/bench_telemetry_scale" --series=1000,100000 --dirty=100 \
+     >/dev/null)
+mv "$SCRATCH/perf/bench_out/bench_telemetry_scale.json" "$SCRATCH/perf/"
+# s1000.speedup_time is too small-denominator to gate (a ~1ms delta
+# scrape); the s100000 ratio is the stable witness of O(changed).
+python3 "$ROOT/tools/bench_diff.py" "$ROOT/bench/baseline" "$SCRATCH/perf" \
+  --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second)$|^context\.|_us$|speedup_time$' \
+  --higher-is-better 'items_per_second$|register_per_s$|speedup_bytes$|s100000\.speedup_time$' \
+  --threshold "$PERF_THRESHOLD"
 
 if [[ "$FULL" -eq 1 ]]; then
   echo "==> full analysis matrix"
@@ -147,6 +165,28 @@ EOF
     exit 1
   }
   echo "    OK (no-wall-clock finding produced)"
+
+  # --- static: lint self-test for the hot-path label rule -- a
+  # string-keyed metric lookup seeded under src/des must be caught.
+  echo "==> lint self-test (seeded string-label lookup must be caught)"
+  cat > "$SCRATCH/lint_selftest/src/des/hot_labels.cpp" <<'EOF'
+#include "telemetry/registry.hpp"
+void on_event(probemon::telemetry::Registry& r) {
+  r.counter("probes_total", "", {{"device", "d1"}}).inc();
+}
+EOF
+  if python3 "$ROOT/tools/lint.py" --root "$SCRATCH/lint_selftest" \
+       > "$SCRATCH/lint_selftest2.out" 2>&1; then
+    echo "    FAILED: linter missed the seeded string-label lookup" >&2
+    cat "$SCRATCH/lint_selftest2.out" >&2
+    exit 1
+  fi
+  grep -q 'no-string-labels' "$SCRATCH/lint_selftest2.out" || {
+    echo "    FAILED: linter flagged something, but not no-string-labels" >&2
+    cat "$SCRATCH/lint_selftest2.out" >&2
+    exit 1
+  }
+  echo "    OK (no-string-labels finding produced)"
 
   # --- static: formatting, diff-only (advisory skip when absent)
   "$ROOT/scripts/check_format.sh"

@@ -1,0 +1,203 @@
+#include "runtime/collector.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+
+namespace probemon::runtime {
+
+using telemetry::Labels;
+using telemetry::MetricType;
+using telemetry::Sample;
+
+namespace {
+
+/// Incoming label sets may not carry their own "agent" label — the
+/// collector owns that dimension.
+Labels strip_agent_label(const Labels& labels) {
+  Labels out;
+  out.reserve(labels.size());
+  for (const auto& [k, v] : labels) {
+    if (k != "agent") out.emplace_back(k, v);
+  }
+  return out;
+}
+
+Labels with_agent(const Labels& labels, const std::string& agent) {
+  Labels out = labels;
+  out.emplace_back("agent", agent);
+  return out;
+}
+
+/// Write one sample's absolute state into a store (ingestion
+/// semantics: overwrite, don't accumulate — re-delivery is idempotent).
+void write_absolute(telemetry::MetricStore& store, const Sample& sample,
+                    const Labels& labels) {
+  switch (sample.type) {
+    case MetricType::kCounter:
+      store.counter(sample.name, sample.help, labels)
+          .reset(static_cast<std::uint64_t>(sample.value));
+      break;
+    case MetricType::kGauge:
+      store.gauge(sample.name, sample.help, labels).set(sample.value);
+      break;
+    case MetricType::kHistogram: {
+      auto* hist =
+          &store.histogram(sample.name, sample.bounds, sample.help, labels);
+      if (hist->upper_bounds() != sample.bounds) {
+        // The agent rebucketed between reports; replace the series.
+        store.remove(sample.name, labels);
+        hist = &store.histogram(sample.name, sample.bounds, sample.help,
+                                labels);
+      }
+      hist->reset_to(sample.buckets, sample.count, sample.sum);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+MetricsCollector::MetricsCollector(std::size_t shards) : merged_(shards) {}
+
+std::size_t MetricsCollector::ingest(std::string_view json_body) {
+  return ingest(telemetry::parse_metrics_json(json_body));
+}
+
+void MetricsCollector::apply_sample(telemetry::Registry& agent_view,
+                                    const Sample& sample,
+                                    const std::string& agent) {
+  const Labels labels = strip_agent_label(sample.labels);
+  write_absolute(agent_view, sample, labels);
+  write_absolute(merged_, sample, with_agent(labels, agent));
+}
+
+void MetricsCollector::remove_sample(telemetry::Registry& agent_view,
+                                     const Sample& sample,
+                                     const std::string& agent) {
+  agent_view.remove(sample.name, sample.labels);
+  merged_.remove(sample.name, with_agent(sample.labels, agent));
+}
+
+std::size_t MetricsCollector::ingest(
+    const telemetry::MetricsDocument& document) {
+  if (document.agent.empty()) {
+    throw std::runtime_error("MetricsCollector: report carries no agent id");
+  }
+  std::lock_guard lock(mutex_);
+  auto& agent_view = agents_[document.agent];
+  if (!agent_view) agent_view = std::make_unique<telemetry::Registry>();
+
+  if (document.full) {
+    // Absolute state: any series the agent previously reported but no
+    // longer does is gone — drop it from both views.
+    std::set<std::string> reported;
+    for (const Sample& s : document.samples) {
+      reported.insert(
+          telemetry::detail::make_key(s.name, strip_agent_label(s.labels)));
+    }
+    for (const Sample& old : agent_view->snapshot()) {
+      if (reported.count(telemetry::detail::make_key(old.name, old.labels)) ==
+          0) {
+        remove_sample(*agent_view, old, document.agent);
+      }
+    }
+  }
+  for (const Sample& s : document.samples) {
+    apply_sample(*agent_view, s, document.agent);
+  }
+  ++reports_;
+  samples_ += document.samples.size();
+  return document.samples.size();
+}
+
+std::vector<std::string> MetricsCollector::agents() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(agents_.size());
+  for (const auto& [agent, view] : agents_) out.push_back(agent);
+  return out;  // std::map: already sorted
+}
+
+std::size_t MetricsCollector::agent_count() const {
+  std::lock_guard lock(mutex_);
+  return agents_.size();
+}
+
+bool MetricsCollector::forget(const std::string& agent) {
+  std::lock_guard lock(mutex_);
+  auto it = agents_.find(agent);
+  if (it == agents_.end()) return false;
+  for (const Sample& s : it->second->snapshot()) {
+    merged_.remove(s.name, with_agent(s.labels, agent));
+  }
+  agents_.erase(it);
+  return true;
+}
+
+std::vector<Sample> MetricsCollector::agent_snapshot(
+    const std::string& agent) const {
+  std::lock_guard lock(mutex_);
+  auto it = agents_.find(agent);
+  if (it == agents_.end()) return {};
+  return it->second->snapshot();
+}
+
+std::uint64_t MetricsCollector::reports_ingested() const {
+  std::lock_guard lock(mutex_);
+  return reports_;
+}
+
+std::uint64_t MetricsCollector::samples_ingested() const {
+  std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+void register_collector_routes(telemetry::HttpServer& server,
+                               MetricsCollector& collector) {
+  server.handle_post(
+      "/push", [&collector](const telemetry::HttpRequest& request) {
+        std::size_t absorbed = 0;
+        try {
+          absorbed = collector.ingest(request.body);
+        } catch (const std::exception& e) {
+          return telemetry::error_response(400, e.what());
+        }
+        telemetry::JsonWriter w;
+        w.begin_object();
+        w.key("ok");
+        w.value(true);
+        w.key("samples");
+        w.value(static_cast<std::uint64_t>(absorbed));
+        w.end_object();
+        return telemetry::HttpResponse{200, "application/json; charset=utf-8",
+                                       w.str()};
+      });
+  server.handle("/agents", [&collector](const telemetry::HttpRequest&) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("reports_ingested");
+    w.value(collector.reports_ingested());
+    w.key("samples_ingested");
+    w.value(collector.samples_ingested());
+    w.key("agents");
+    w.begin_array();
+    for (const std::string& agent : collector.agents()) {
+      w.begin_object();
+      w.key("agent");
+      w.value(agent);
+      w.key("series");
+      w.value(
+          static_cast<std::uint64_t>(collector.agent_snapshot(agent).size()));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return telemetry::HttpResponse{200, "application/json; charset=utf-8",
+                                   w.str()};
+  });
+}
+
+}  // namespace probemon::runtime

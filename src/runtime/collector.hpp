@@ -1,0 +1,104 @@
+// MetricsCollector: fleet aggregation for pushed metric reports.
+//
+// Topology (the probemon_collector example wires this end to end):
+//
+//   agent 0 ──┐                                   ┌─ /metrics (delta)
+//   agent 1 ──┼── POST /push {agent, full, ... } ─┤  /metrics.json
+//   agent N ──┘        (delta JSON reports)       └─ /agents
+//
+// Each agent owns a MetricStore and a MetricsPusher
+// (metrics_push.hpp) that periodically POSTs the series that changed
+// since its last successful report — full state on the first report
+// and after any failure, deltas otherwise. The collector keeps:
+//
+//   * one Registry per agent holding that agent's last absolute state
+//     (counters reset to the reported value, not incremented — a
+//     re-delivered report is idempotent), and
+//   * one merged ShardedRegistry across the whole fleet, updated
+//     in place at ingest time with an "agent" label appended to every
+//     series — so scraping the merged view costs O(changed) via the
+//     standard delta routes, no matter how many agents report.
+//
+// A full report replaces the agent's state: series present before but
+// absent from the report are removed from both the per-agent view and
+// the merged store. Agent ordering is deterministic (sorted by agent
+// id) wherever the collector folds multiple agents into one output.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/http_server.hpp"
+#include "telemetry/metrics_parse.hpp"
+#include "telemetry/sharded_registry.hpp"
+
+namespace probemon::runtime {
+
+class MetricsCollector {
+ public:
+  /// `shards` sizes the merged ShardedRegistry (fleet-wide series
+  /// count, not per-agent).
+  explicit MetricsCollector(
+      std::size_t shards = telemetry::ShardedRegistry::kDefaultShards);
+
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+  /// Ingest one report body (the JSON produced by MetricsPusher /
+  /// samples_to_json + agent/full envelope). Returns the number of
+  /// samples absorbed. Throws std::runtime_error on malformed JSON or
+  /// a missing agent id, std::logic_error if a series conflicts with
+  /// an existing registration (type change mid-flight).
+  std::size_t ingest(std::string_view json_body);
+  std::size_t ingest(const telemetry::MetricsDocument& document);
+
+  /// Reporting agents, sorted.
+  std::vector<std::string> agents() const;
+  std::size_t agent_count() const;
+  /// Drop one agent's state (per-agent view and its merged series).
+  bool forget(const std::string& agent);
+
+  /// The fleet-wide merged store ("agent" label on every series).
+  /// Feed it to register_metrics_routes for O(changed) scrapes.
+  const telemetry::MetricStore& merged() const { return merged_; }
+
+  /// One agent's last absolute state, snapshot form (empty vector for
+  /// an unknown agent).
+  std::vector<telemetry::Sample> agent_snapshot(
+      const std::string& agent) const;
+
+  /// Reports successfully ingested / samples absorbed since start.
+  std::uint64_t reports_ingested() const;
+  std::uint64_t samples_ingested() const;
+
+ private:
+  void apply_sample(telemetry::Registry& agent_view,
+                    const telemetry::Sample& sample,
+                    const std::string& agent);
+  void remove_sample(telemetry::Registry& agent_view,
+                     const telemetry::Sample& sample,
+                     const std::string& agent);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<telemetry::Registry>> agents_;
+  telemetry::ShardedRegistry merged_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Collector HTTP surface:
+///   POST /push    ingest one report; 200 {"ok":true,"samples":N},
+///                 400 on malformed/conflicting input
+///   GET  /agents  {"agents":[{"agent":...,"series":N}, ...]}
+/// Pair with telemetry::register_metrics_routes(server,
+/// collector.merged()) for the scrape side. `collector` must outlive
+/// the server.
+void register_collector_routes(telemetry::HttpServer& server,
+                               MetricsCollector& collector);
+
+}  // namespace probemon::runtime

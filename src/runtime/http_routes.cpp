@@ -40,7 +40,7 @@ std::string watches_to_json(const PresenceService& service) {
 void register_watch_routes(telemetry::HttpServer& server,
                            const PresenceService& service) {
   server.handle("/watches", [&service](const telemetry::HttpRequest&) {
-    return telemetry::HttpResponse{200, "application/json",
+    return telemetry::HttpResponse{200, "application/json; charset=utf-8",
                                    watches_to_json(service)};
   });
 }
@@ -84,7 +84,8 @@ void register_healthz_route(telemetry::HttpServer& server,
       w.end_object();
     }
     w.end_object();
-    return telemetry::HttpResponse{200, "application/json", w.str()};
+    return telemetry::HttpResponse{200, "application/json; charset=utf-8",
+                                   w.str()};
   });
 }
 

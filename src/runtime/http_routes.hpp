@@ -29,7 +29,8 @@ namespace probemon::runtime {
 /// registered (a /healthz with partial stats is always registered).
 /// Everything referenced must outlive the server.
 struct ObservabilitySources {
-  const telemetry::Registry* registry = nullptr;
+  /// Any MetricStore (Registry or ShardedRegistry).
+  const telemetry::MetricStore* registry = nullptr;
   const telemetry::ProbeCycleTracer* tracer = nullptr;
   const PresenceService* service = nullptr;
   const check::InvariantAuditor* auditor = nullptr;

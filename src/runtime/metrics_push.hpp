@@ -1,0 +1,87 @@
+// MetricsPusher: the agent side of the push topology (collector.hpp).
+//
+// Wraps a local MetricStore and periodically POSTs its state to a
+// collector's /push route as JSON:
+//
+//   {"agent": "node-7", "full": false, "metrics": [ ...changed... ]}
+//
+// Report contents ride the store's delta-scrape mechanism
+// (MetricStore::snapshot_delta): the first report — and the first
+// report after any failed push — carries the full absolute state
+// (full=true, so the collector resynchronizes and drops series the
+// agent no longer has); every other report carries only series whose
+// value changed since the last report. A tick with nothing changed
+// sends nothing at all.
+//
+// The pusher's own bookkeeping (pushes_ok etc.) deliberately lives in
+// plain atomics, not in the pushed store — otherwise every report
+// would dirty a series and no delta would ever be empty.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "telemetry/registry.hpp"
+
+namespace probemon::runtime {
+
+class MetricsPusher {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;     ///< collector port (required)
+    std::string path = "/push";
+    std::string agent;          ///< report identity (required)
+    double period_s = 1.0;      ///< background push cadence
+    double timeout_s = 2.0;     ///< per-request socket timeout
+  };
+
+  /// `store` must outlive the pusher. Throws std::invalid_argument on
+  /// an empty agent id or zero port.
+  MetricsPusher(const telemetry::MetricStore& store, Config config);
+  ~MetricsPusher();
+
+  MetricsPusher(const MetricsPusher&) = delete;
+  MetricsPusher& operator=(const MetricsPusher&) = delete;
+
+  /// One synchronous report. Returns true on success (including the
+  /// nothing-changed case where no request is sent).
+  bool push_once();
+
+  /// Start/stop the background thread pushing every period_s seconds
+  /// (plus one final push on stop()). Idempotent.
+  void start();
+  void stop();
+
+  std::uint64_t pushes_ok() const noexcept {
+    return ok_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pushes_failed() const noexcept {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pushes_skipped() const noexcept {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  const telemetry::MetricStore& store_;
+  const Config config_;
+  std::atomic<std::uint64_t> ok_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> skipped_{0};  ///< empty deltas not sent
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t since_ = 0;  ///< delta cursor into store_
+  bool need_full_ = true;    ///< first report / resync after failure
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace probemon::runtime

@@ -4,8 +4,8 @@
 // points, then aggregate" — embarrassingly parallel, as long as nothing
 // is shared. The runner gives each worker thread its own world: the job
 // function constructs its own Simulation/Experiment (one Scheduler, one
-// RNG stream seeded from the job id, one telemetry Registry per worker),
-// so no simulation state ever crosses a thread boundary.
+// RNG stream seeded from the job id, one telemetry ShardedRegistry per
+// worker), so no simulation state ever crosses a thread boundary.
 //
 // Determinism contract (verified by tests/test_sweep.cpp):
 //   * Job results are collected into a vector indexed by job id —
@@ -36,15 +36,18 @@
 #include <thread>
 #include <vector>
 
-#include "telemetry/registry.hpp"
+#include "telemetry/sharded_registry.hpp"
 
 namespace probemon::scenario {
 
 /// Handed to each job invocation: which worker is running it and that
 /// worker's private telemetry registry (never shared, merge at barrier).
+/// The registry is a ShardedRegistry, so jobs registering per-entity
+/// series can use the interned-id API (counter_ids etc.) to stay off
+/// the string path.
 struct SweepWorkerContext {
   unsigned worker = 0;
-  telemetry::Registry* registry = nullptr;
+  telemetry::ShardedRegistry* registry = nullptr;
 };
 
 class SweepRunner {
@@ -61,18 +64,19 @@ class SweepRunner {
   using Job = std::function<void(std::size_t job, SweepWorkerContext& ctx)>;
 
   /// Run `fn` for every job id in [0, job_count); blocks until all jobs
-  /// finish. When `merge_into` is non-null, each worker's registry is
-  /// merged into it (worker order) and the runner's own health metrics
+  /// finish. When `merge_into` is non-null (any MetricStore — Registry
+  /// or ShardedRegistry), each worker's registry is merged into it
+  /// (worker order) and the runner's own health metrics
   /// (probemon_sweep_worker_busy_seconds, probemon_sweep_jobs_total)
   /// are registered there too.
   void run(std::size_t job_count, const Job& fn,
-           telemetry::Registry* merge_into = nullptr);
+           telemetry::MetricStore* merge_into = nullptr);
 
   /// Map convenience: results land in a job-ordered vector (the
   /// determinism-friendly shape — see the header comment).
   template <class R, class F>
   std::vector<R> map(std::size_t job_count, F&& fn,
-                     telemetry::Registry* merge_into = nullptr) {
+                     telemetry::MetricStore* merge_into = nullptr) {
     std::vector<R> out(job_count);
     run(
         job_count,
@@ -107,7 +111,7 @@ class SweepRunner {
   // Current batch (valid while workers_running_ > 0):
   std::size_t job_count_ = 0;
   const Job* job_ = nullptr;
-  std::deque<telemetry::Registry>* registries_ = nullptr;
+  std::deque<telemetry::ShardedRegistry>* registries_ = nullptr;
   std::vector<std::exception_ptr>* errors_ = nullptr;
   std::atomic<std::size_t> next_job_{0};
   unsigned workers_done_ = 0;

@@ -8,8 +8,6 @@
 #include <sstream>
 #include <system_error>
 
-#include "telemetry/json.hpp"
-
 namespace probemon::telemetry {
 
 namespace {
@@ -75,8 +73,7 @@ void emit_family_header(std::string& out, const Sample& s,
 
 }  // namespace
 
-std::string to_prometheus(const Registry& registry) {
-  const auto samples = registry.snapshot();
+std::string samples_to_prometheus(const std::vector<Sample>& samples) {
   std::string out;
   std::string last_name;
   for (const Sample& s : samples) {
@@ -101,10 +98,7 @@ std::string to_prometheus(const Registry& registry) {
   return out;
 }
 
-std::string to_json(const Registry& registry) {
-  const auto samples = registry.snapshot();
-  JsonWriter w;
-  w.begin_object();
+void write_samples_json(JsonWriter& w, const std::vector<Sample>& samples) {
   w.key("metrics");
   w.begin_array();
   for (const Sample& s : samples) {
@@ -113,6 +107,10 @@ std::string to_json(const Registry& registry) {
     w.value(s.name);
     w.key("type");
     w.value(to_string(s.type));
+    if (!s.help.empty()) {
+      w.key("help");
+      w.value(s.help);
+    }
     if (!s.labels.empty()) {
       w.key("labels");
       w.begin_object();
@@ -142,12 +140,26 @@ std::string to_json(const Registry& registry) {
     w.end_object();
   }
   w.end_array();
+}
+
+std::string samples_to_json(const std::vector<Sample>& samples) {
+  JsonWriter w;
+  w.begin_object();
+  write_samples_json(w, samples);
   w.end_object();
   return w.str();
 }
 
-std::string render_human(const Registry& registry) {
-  const auto samples = registry.snapshot();
+std::string to_prometheus(const MetricStore& store) {
+  return samples_to_prometheus(store.snapshot());
+}
+
+std::string to_json(const MetricStore& store) {
+  return samples_to_json(store.snapshot());
+}
+
+std::string render_human(const MetricStore& store) {
+  const auto samples = store.snapshot();
   // Align the value column on the longest name+labels.
   std::size_t width = 0;
   std::vector<std::string> keys;
@@ -176,9 +188,24 @@ std::string render_human(const Registry& registry) {
   return out;
 }
 
-PeriodicReporter::PeriodicReporter(const Registry& registry, double period_s,
+std::string DeltaExporter::prometheus(bool full) {
+  std::lock_guard lock(mutex_);
+  return samples_to_prometheus(store_.snapshot_delta(prometheus_since_, full));
+}
+
+std::string DeltaExporter::json(bool full) {
+  std::lock_guard lock(mutex_);
+  return samples_to_json(store_.snapshot_delta(json_since_, full));
+}
+
+std::vector<Sample> DeltaExporter::delta_samples(bool full) {
+  std::lock_guard lock(mutex_);
+  return store_.snapshot_delta(samples_since_, full);
+}
+
+PeriodicReporter::PeriodicReporter(const MetricStore& store, double period_s,
                                    util::LogLevel level)
-    : registry_(registry), period_s_(period_s), level_(level) {}
+    : store_(store), period_s_(period_s), level_(level) {}
 
 PeriodicReporter::~PeriodicReporter() { stop(); }
 
@@ -204,7 +231,7 @@ void PeriodicReporter::write_snapshot_file() {
           << "PeriodicReporter: cannot write " << tmp;
       return;
     }
-    out << to_prometheus(registry_);
+    out << to_prometheus(store_);
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
@@ -244,7 +271,7 @@ void PeriodicReporter::run() {
   while (!stop_) {
     if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
     lock.unlock();
-    PROBEMON_LOG(level_) << "telemetry snapshot\n" << render_human(registry_);
+    PROBEMON_LOG(level_) << "telemetry snapshot\n" << render_human(store_);
     write_snapshot_file();
     lock.lock();
   }

@@ -1,35 +1,91 @@
-// Exporters: turn a Registry snapshot into something a consumer reads.
+// Exporters: turn a MetricStore snapshot into something a consumer
+// reads.
 //
 //   * to_prometheus() — Prometheus text exposition format 0.0.4, the
 //     de-facto scrape format (HELP/TYPE headers, `le`-labelled
 //     cumulative histogram buckets, _sum/_count series).
-//   * to_json()       — machine-readable snapshot for bench summaries
-//     and offline diffing.
+//   * to_json()       — machine-readable snapshot for bench summaries,
+//     offline diffing and the agent→collector push protocol
+//     (runtime/metrics_push.hpp).
 //   * render_human()  — aligned plain text for humans and log files.
+//   * DeltaExporter   — the O(changed) scrape path: keeps one `since`
+//     cursor per output format and serializes only series whose value
+//     moved since that format's last scrape (see
+//     MetricStore::snapshot_delta). This is what /metrics and
+//     /metrics.json sit on.
 //   * PeriodicReporter — a background thread that logs render_human()
 //     output through util::Logger at a fixed period; the poor
 //     operator's dashboard until a real scrape endpoint exists.
+//
+// The samples_* free functions serialize an already-taken snapshot, so
+// delta and full scrapes, collectors and file writers all share one
+// formatter per format.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
-#include <condition_variable>
-#include <mutex>
+#include <vector>
 
+#include "telemetry/json.hpp"
 #include "telemetry/registry.hpp"
 #include "util/logging.hpp"
 
 namespace probemon::telemetry {
 
-/// Prometheus text exposition (version 0.0.4) of the whole registry.
-std::string to_prometheus(const Registry& registry);
+/// Prometheus text exposition (version 0.0.4) of one snapshot. The
+/// samples must be snapshot()-sorted (family headers are emitted on
+/// name change).
+std::string samples_to_prometheus(const std::vector<Sample>& samples);
+
+/// Emit `"metrics": [...]` into an in-progress JSON object — the
+/// building block for snapshot documents and collector push bodies.
+void write_samples_json(JsonWriter& w, const std::vector<Sample>& samples);
 
 /// JSON snapshot: array of metric objects under {"metrics": [...]}.
-std::string to_json(const Registry& registry);
+/// Round-trips through parse_metrics_json (metrics_parse.hpp).
+std::string samples_to_json(const std::vector<Sample>& samples);
+
+/// Full-snapshot conveniences over the samples_* formatters.
+std::string to_prometheus(const MetricStore& store);
+std::string to_json(const MetricStore& store);
 
 /// Aligned human-readable rendering (one line per metric; histograms
 /// summarized as count/mean/max-bucket).
-std::string render_human(const Registry& registry);
+std::string render_human(const MetricStore& store);
+
+/// O(changed) scrape front-end for one MetricStore.
+///
+/// Each output format keeps an independent `since` cursor, so a
+/// Prometheus scraper and a JSON scraper hitting the same exporter each
+/// see every change exactly once. The first scrape of a format (and any
+/// scrape with full=true) returns the complete snapshot; subsequent
+/// scrapes return only series whose value changed in between. Thread
+/// safe; concurrent scrapes of the same format serialize on an internal
+/// mutex so the cursor advances consistently.
+class DeltaExporter {
+ public:
+  explicit DeltaExporter(const MetricStore& store) : store_(store) {}
+
+  DeltaExporter(const DeltaExporter&) = delete;
+  DeltaExporter& operator=(const DeltaExporter&) = delete;
+
+  std::string prometheus(bool full = false);
+  std::string json(bool full = false);
+
+  /// Raw delta snapshot on a caller-independent third cursor (used by
+  /// the metrics pusher, which serializes itself).
+  std::vector<Sample> delta_samples(bool full = false);
+
+ private:
+  const MetricStore& store_;
+  std::mutex mutex_;
+  std::uint64_t prometheus_since_ = 0;
+  std::uint64_t json_since_ = 0;
+  std::uint64_t samples_since_ = 0;
+};
 
 /// Logs render_human() every `period_s` seconds via PLOG at `level`.
 /// start() idempotent; stop() (or destruction) joins the thread.
@@ -41,7 +97,7 @@ std::string render_human(const Registry& registry);
 /// killed.
 class PeriodicReporter {
  public:
-  PeriodicReporter(const Registry& registry, double period_s,
+  PeriodicReporter(const MetricStore& store, double period_s,
                    util::LogLevel level = util::LogLevel::kInfo);
   ~PeriodicReporter();
 
@@ -59,7 +115,7 @@ class PeriodicReporter {
   void run();
   void write_snapshot_file();
 
-  const Registry& registry_;
+  const MetricStore& store_;
   const double period_s_;
   const util::LogLevel level_;
   std::mutex mutex_;

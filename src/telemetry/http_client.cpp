@@ -1,0 +1,129 @@
+#include "telemetry/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace probemon::telemetry {
+
+namespace {
+
+HttpResult fail_with_errno(const char* what) {
+  HttpResult result;
+  result.status = 0;
+  result.body = std::string(what) + ": " + std::strerror(errno);
+  return result;
+}
+
+void set_timeouts(int fd, double timeout_s) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (timeout_s - std::floor(timeout_s)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+HttpResult request(const std::string& host, std::uint16_t port,
+                   const std::string& head_and_body, double timeout_s) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail_with_errno("socket");
+  set_timeouts(fd, timeout_s);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    HttpResult result;
+    result.body = "bad host '" + host + "' (IPv4 dotted quad expected)";
+    return result;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const HttpResult result = fail_with_errno("connect");
+    close(fd);
+    return result;
+  }
+
+  std::size_t off = 0;
+  while (off < head_and_body.size()) {
+    const ssize_t n = send(fd, head_and_body.data() + off,
+                           head_and_body.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      const HttpResult result = fail_with_errno("send");
+      close(fd);
+      return result;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Connection: close — the response is simply everything until EOF.
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+
+  HttpResult result;
+  if (response.compare(0, 5, "HTTP/") != 0) {
+    result.body = "malformed response";
+    return result;
+  }
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) {
+    result.body = "malformed status line";
+    return result;
+  }
+  result.status = std::atoi(response.c_str() + sp + 1);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    result.body = response.substr(header_end + 4);
+  }
+  return result;
+}
+
+}  // namespace
+
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& target, double timeout_s) {
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\n"
+                          "Host: " +
+                          host +
+                          "\r\n"
+                          "Connection: close\r\n\r\n";
+  return request(host, port, req, timeout_s);
+}
+
+HttpResult http_post(const std::string& host, std::uint16_t port,
+                     const std::string& target, const std::string& body,
+                     const std::string& content_type, double timeout_s) {
+  const std::string req = "POST " + target +
+                          " HTTP/1.1\r\n"
+                          "Host: " +
+                          host +
+                          "\r\n"
+                          "Content-Type: " +
+                          content_type +
+                          "\r\n"
+                          "Content-Length: " +
+                          std::to_string(body.size()) +
+                          "\r\n"
+                          "Connection: close\r\n\r\n" +
+                          body;
+  return request(host, port, req, timeout_s);
+}
+
+}  // namespace probemon::telemetry

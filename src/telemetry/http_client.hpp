@@ -1,0 +1,35 @@
+// Minimal blocking HTTP/1.1 client for loopback telemetry traffic.
+//
+// Exists for exactly two callers: the metrics pusher
+// (runtime/metrics_push.hpp) POSTing delta reports to a collector, and
+// tests driving HttpServer end-to-end. One request per connection
+// (Connection: close, mirroring the server), IPv4 dotted-quad hosts
+// only, no TLS, no redirects — a deliberate non-library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace probemon::telemetry {
+
+struct HttpResult {
+  /// HTTP status, or 0 when the request never completed (connect /
+  /// send / receive failure — `body` then holds the errno text).
+  int status = 0;
+  std::string body;
+
+  bool ok() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// GET `target` (path + optional query) from host:port.
+HttpResult http_get(const std::string& host, std::uint16_t port,
+                    const std::string& target, double timeout_s = 2.0);
+
+/// POST `body` to `target` with the given Content-Type.
+HttpResult http_post(const std::string& host, std::uint16_t port,
+                     const std::string& target, const std::string& body,
+                     const std::string& content_type =
+                         "application/json; charset=utf-8",
+                     double timeout_s = 2.0);
+
+}  // namespace probemon::telemetry

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cctype>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
@@ -25,6 +26,8 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     default: return "Status";
@@ -73,6 +76,44 @@ bool parse_request_line(const std::string& head, HttpRequest& request) {
   return true;
 }
 
+/// Case-insensitive Content-Length lookup in the raw header block.
+/// Returns false when absent; throws nothing (malformed digits -> false).
+bool find_content_length(const std::string& head, std::size_t& out) {
+  std::size_t pos = head.find("\r\n");
+  const std::size_t end = head.find("\r\n\r\n");
+  while (pos != std::string::npos && pos < end) {
+    pos += 2;
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = end;
+    const std::string line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name == "content-length") {
+        std::size_t value = 0;
+        bool any = false;
+        for (std::size_t i = colon + 1; i < line.size(); ++i) {
+          const char c = line[i];
+          if (c == ' ' || c == '\t') {
+            if (any) break;
+            continue;
+          }
+          if (c < '0' || c > '9') return false;
+          value = value * 10 + static_cast<std::size_t>(c - '0');
+          any = true;
+        }
+        if (!any) return false;
+        out = value;
+        return true;
+      }
+    }
+    pos = eol;
+  }
+  return false;
+}
+
 void write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -99,6 +140,17 @@ void write_response(int fd, const HttpResponse& response,
 
 }  // namespace
 
+HttpResponse error_response(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "text/plain; charset=utf-8";
+  response.body = message;
+  if (response.body.empty() || response.body.back() != '\n') {
+    response.body += '\n';
+  }
+  return response;
+}
+
 HttpServer::HttpServer() : HttpServer(Config{}) {}
 
 HttpServer::HttpServer(Config config) : config_(config) {
@@ -115,7 +167,16 @@ void HttpServer::handle(const std::string& path, HttpHandler handler) {
   }
   if (!handler) throw std::invalid_argument("HttpServer: empty handler");
   std::lock_guard lock(mutex_);
-  handlers_[path] = std::move(handler);
+  handlers_[path].get = std::move(handler);
+}
+
+void HttpServer::handle_post(const std::string& path, HttpHandler handler) {
+  if (path.empty() || path[0] != '/') {
+    throw std::invalid_argument("HttpServer: route must start with '/'");
+  }
+  if (!handler) throw std::invalid_argument("HttpServer: empty handler");
+  std::lock_guard lock(mutex_);
+  handlers_[path].post = std::move(handler);
 }
 
 void HttpServer::start() {
@@ -210,7 +271,7 @@ std::vector<std::string> HttpServer::routes() const {
   std::lock_guard lock(mutex_);
   std::vector<std::string> out;
   out.reserve(handlers_.size());
-  for (const auto& [path, handler] : handlers_) out.push_back(path);
+  for (const auto& [path, route] : handlers_) out.push_back(path);
   return out;
 }
 
@@ -263,14 +324,14 @@ void HttpServer::worker_loop() {
 }
 
 void HttpServer::serve_connection(int fd) {
-  // Read until the end of the header block; the request body (which
-  // GETs don't carry) is ignored.
-  std::string head;
+  // Read until the end of the header block (any body bytes that arrive
+  // in the same segments are kept for the POST path below).
+  std::string data;
   char buf[1024];
-  while (head.find("\r\n\r\n") == std::string::npos) {
-    if (head.size() > config_.max_request_bytes) {
-      write_response(fd, {431, "text/plain; charset=utf-8",
-                          "request head too large\n"});
+  std::size_t header_end;
+  while ((header_end = data.find("\r\n\r\n")) == std::string::npos) {
+    if (data.size() > config_.max_request_bytes) {
+      write_response(fd, error_response(431, "request head too large"));
       return;
     }
     const ssize_t n = recv(fd, buf, sizeof buf, 0);
@@ -278,49 +339,98 @@ void HttpServer::serve_connection(int fd) {
       if (n < 0 && errno == EINTR) continue;
       return;  // client vanished or stalled past SO_RCVTIMEO
     }
-    head.append(buf, static_cast<std::size_t>(n));
+    data.append(buf, static_cast<std::size_t>(n));
   }
 
   HttpRequest request;
-  if (!parse_request_line(head, request)) {
-    write_response(fd, {400, "text/plain; charset=utf-8",
-                        "malformed request line\n"});
+  if (!parse_request_line(data, request)) {
+    write_response(fd, error_response(400, "malformed request line"));
     return;
   }
 
-  HttpHandler handler;
+  Route route;
+  bool routed = false;
   {
     std::lock_guard lock(mutex_);
     ++requests_;
     auto it = handlers_.find(request.path);
-    if (it != handlers_.end()) handler = it->second;
+    if (it != handlers_.end()) {
+      route = it->second;
+      routed = true;
+    }
   }
-  if (request.method != "GET") {
-    write_response(fd, {405, "text/plain; charset=utf-8",
-                        "only GET is supported\n"},
-                   "GET");
+  if (request.method != "GET" && request.method != "POST") {
+    write_response(fd, error_response(405, "method not supported"),
+                   "GET, POST");
     return;
   }
+  if (!routed) {
+    write_response(fd, error_response(404, "no route for " + request.path));
+    return;
+  }
+  const std::string allow = route.get && route.post ? "GET, POST"
+                            : route.post            ? "POST"
+                                                    : "GET";
+  const HttpHandler& handler =
+      request.method == "GET" ? route.get : route.post;
   if (!handler) {
-    write_response(fd, {404, "text/plain; charset=utf-8",
-                        "no route for " + request.path + "\n"});
+    write_response(fd,
+                   error_response(405, request.method + " not supported on " +
+                                           request.path),
+                   allow);
     return;
   }
+
+  if (request.method == "POST") {
+    std::size_t content_length = 0;
+    if (!find_content_length(data, content_length)) {
+      write_response(fd, error_response(411, "POST requires Content-Length"));
+      return;
+    }
+    if (content_length > config_.max_body_bytes) {
+      write_response(fd,
+                     error_response(413, "body exceeds " +
+                                             std::to_string(
+                                                 config_.max_body_bytes) +
+                                             " bytes"));
+      return;
+    }
+    const std::size_t body_start = header_end + 4;
+    while (data.size() - body_start < content_length) {
+      const ssize_t n = recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return;  // body never arrived in full
+      }
+      data.append(buf, static_cast<std::size_t>(n));
+    }
+    request.body = data.substr(body_start, content_length);
+  }
+
   try {
     write_response(fd, handler(request));
   } catch (const std::exception& e) {
-    write_response(fd, {500, "text/plain; charset=utf-8",
-                        std::string("handler error: ") + e.what() + "\n"});
+    write_response(fd, error_response(
+                           500, std::string("handler error: ") + e.what()));
   }
 }
 
-void register_metrics_routes(HttpServer& server, const Registry& registry) {
-  server.handle("/metrics", [&registry](const HttpRequest&) {
+void register_metrics_routes(HttpServer& server, const MetricStore& store) {
+  // One DeltaExporter per route pair; the routes share the store but
+  // keep independent per-format cursors. shared_ptr so both closures
+  // (and replacements registered later) own the state.
+  auto exporter = std::make_shared<DeltaExporter>(store);
+  server.handle("/metrics", [exporter](const HttpRequest& request) {
+    const auto it = request.query.find("full");
+    const bool full = it != request.query.end() && it->second != "0";
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
-                        to_prometheus(registry)};
+                        exporter->prometheus(full)};
   });
-  server.handle("/metrics.json", [&registry](const HttpRequest&) {
-    return HttpResponse{200, "application/json", to_json(registry)};
+  server.handle("/metrics.json", [exporter](const HttpRequest& request) {
+    const auto it = request.query.find("full");
+    const bool full = it != request.query.end() && it->second != "0";
+    return HttpResponse{200, "application/json; charset=utf-8",
+                        exporter->json(full)};
   });
 }
 
@@ -330,14 +440,27 @@ void register_trace_routes(HttpServer& server,
     auto it = request.query.find("format");
     const std::string format = it == request.query.end() ? "json" : it->second;
     if (format == "chrome") {
-      return HttpResponse{200, "application/json", tracer.to_chrome_trace()};
+      return HttpResponse{200, "application/json; charset=utf-8",
+                          tracer.to_chrome_trace()};
     }
-    if (format == "json") {
-      return HttpResponse{200, "application/json", tracer.to_json()};
+    if (format != "json") {
+      return error_response(400, "unknown format '" + format +
+                                     "' (expected json or chrome)");
     }
-    return HttpResponse{400, "text/plain; charset=utf-8",
-                        "unknown format '" + format +
-                            "' (expected json or chrome)\n"};
+    const auto since_it = request.query.find("since");
+    if (since_it == request.query.end()) {
+      return HttpResponse{200, "application/json; charset=utf-8",
+                          tracer.to_json()};
+    }
+    std::uint64_t cursor = 0;
+    for (char c : since_it->second) {
+      if (c < '0' || c > '9') {
+        return error_response(400, "since must be a non-negative integer");
+      }
+      cursor = cursor * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return HttpResponse{200, "application/json; charset=utf-8",
+                        tracer.to_json_since(cursor)};
   });
 }
 

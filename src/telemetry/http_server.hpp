@@ -1,17 +1,18 @@
 // HttpServer: a dependency-free HTTP/1.1 endpoint for live telemetry.
 //
-// The exporters (export.hpp) turn a Registry into text; this server
+// The exporters (export.hpp) turn a MetricStore into text; this server
 // puts that text on a socket so a running system can be inspected with
 // curl, a Prometheus scraper, or a browser while it runs. Scope is
-// deliberately tiny — GET-only, exact-path routes, Connection: close —
-// because the consumer is an operator or a scraper, not a web app.
+// deliberately tiny — exact-path routes, GET plus bounded-body POST
+// (for the metrics-push ingest route), Connection: close — because the
+// consumer is an operator, a scraper or a pushing agent, not a web app.
 //
 // Threading: start() spawns one blocking accept loop plus a small fixed
 // pool of workers draining a bounded connection queue (connections
 // beyond the bound are closed immediately — overload sheds instead of
 // queueing without limit). Handlers run on worker threads and must be
 // thread-safe; the telemetry snapshot paths they typically call
-// (Registry::snapshot(), ProbeCycleTracer::snapshot()) already are.
+// (MetricStore::snapshot(), ProbeCycleTracer::snapshot()) already are.
 // stop() (or destruction) closes the listen socket, drains the queue
 // and joins every thread; it is idempotent and safe to call while
 // requests are in flight.
@@ -43,6 +44,7 @@ struct HttpRequest {
   std::string method;  ///< upper-case as received, e.g. "GET"
   std::string path;    ///< request target without the query string
   std::map<std::string, std::string> query;  ///< parsed ?k=v&k2=v2
+  std::string body;    ///< POST payload ("" for GET)
 };
 
 struct HttpResponse {
@@ -53,6 +55,11 @@ struct HttpResponse {
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+/// Uniform error body: every error path goes through here so status
+/// pages always carry an explicit charset and a Content-Length that
+/// matches the body actually sent.
+HttpResponse error_response(int status, const std::string& message);
+
 class HttpServer {
  public:
   struct Config {
@@ -62,6 +69,9 @@ class HttpServer {
     std::size_t max_pending = 64;
     /// Request head (request line + headers) size cap; larger -> 431.
     std::size_t max_request_bytes = 8192;
+    /// POST body size cap; larger -> 413. Metrics-push bodies from a
+    /// chatty agent fit in well under a megabyte.
+    std::size_t max_body_bytes = 4u << 20;
   };
 
   HttpServer();  // all-default Config
@@ -74,6 +84,10 @@ class HttpServer {
   /// Register (or replace) the GET handler for an exact path. Safe to
   /// call before start() or while serving.
   void handle(const std::string& path, HttpHandler handler);
+  /// Register (or replace) the POST handler for an exact path. A path
+  /// may carry both a GET and a POST handler; a method without a
+  /// handler answers 405 with an Allow header listing what exists.
+  void handle_post(const std::string& path, HttpHandler handler);
 
   /// Bind 127.0.0.1, start the accept loop and workers. Throws
   /// std::system_error if the port cannot be bound. Idempotent.
@@ -93,6 +107,11 @@ class HttpServer {
   std::vector<std::string> routes() const;
 
  private:
+  struct Route {
+    HttpHandler get;
+    HttpHandler post;
+  };
+
   void accept_loop();
   void worker_loop();
   void serve_connection(int fd);
@@ -100,7 +119,7 @@ class HttpServer {
   const Config config_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<std::string, HttpHandler> handlers_;
+  std::map<std::string, Route> handlers_;
   std::deque<int> pending_;  ///< accepted fds awaiting a worker
   bool running_ = false;
   bool stopping_ = false;
@@ -113,14 +132,25 @@ class HttpServer {
 };
 
 /// `/metrics` (Prometheus text exposition 0.0.4) and `/metrics.json`
-/// (the to_json() snapshot) over `registry`, which must outlive the
+/// (the to_json() snapshot) over `store`, which must outlive the
 /// server.
-void register_metrics_routes(HttpServer& server, const Registry& registry);
+///
+/// Both routes are *delta scrapes* by default: each keeps its own
+/// DeltaExporter cursor, so the first request returns the full
+/// snapshot and later requests return only series whose value changed
+/// since that route's previous scrape — O(changed) bytes at
+/// fleet-scale cardinality. `?full=1` forces a complete snapshot (and
+/// still advances the cursor). Note the cursor is per-route, not
+/// per-client: point exactly one scraper at each route, or use ?full=1.
+void register_metrics_routes(HttpServer& server, const MetricStore& store);
 
 /// `/trace` over `tracer` (must outlive the server): the probe-cycle
 /// ring as a JSON array by default, or Chrome trace-event format for
 /// `?format=chrome` (load the saved body in Perfetto or
-/// chrome://tracing). Unknown formats -> 400.
+/// chrome://tracing). Unknown formats -> 400. `?since=N` (json format
+/// only) returns {"next": M, "traces": [...]} with only traces
+/// recorded after cursor N — pass the previous response's "next" to
+/// tail the ring incrementally.
 void register_trace_routes(HttpServer& server, const ProbeCycleTracer& tracer);
 
 }  // namespace probemon::telemetry

@@ -1,0 +1,101 @@
+#include "telemetry/interner.hpp"
+
+#include <stdexcept>
+
+namespace probemon::telemetry {
+
+namespace {
+constexpr std::uint32_t kMiss = UINT32_MAX;
+constexpr std::size_t kInitialTableCapacity = 256;
+}  // namespace
+
+LabelInterner::LabelInterner() {
+  auto table = std::make_unique<Table>(kInitialTableCapacity);
+  table_.store(table.get(), std::memory_order_release);
+  tables_.push_back(std::move(table));
+  intern("");  // id 0 == "" (empty help, empty value)
+}
+
+std::uint32_t LabelInterner::find_in(const Table& table, std::string_view s,
+                                     std::size_t h) const noexcept {
+  const std::size_t mask = table.capacity - 1;
+  for (std::size_t probe = h & mask;; probe = (probe + 1) & mask) {
+    const std::uint32_t slot =
+        table.slots[probe].load(std::memory_order_acquire);
+    if (slot == 0) return kMiss;
+    const std::uint32_t id = slot - 1;
+    if (str(id) == s) return id;
+  }
+}
+
+void LabelInterner::insert_slot(Table& table, std::uint32_t id,
+                                std::size_t h) noexcept {
+  const std::size_t mask = table.capacity - 1;
+  std::size_t probe = h & mask;
+  while (table.slots[probe].load(std::memory_order_relaxed) != 0) {
+    probe = (probe + 1) & mask;
+  }
+  table.slots[probe].store(id + 1, std::memory_order_release);
+}
+
+std::uint32_t LabelInterner::intern(std::string_view s) {
+  const std::size_t h = hash(s);
+  {
+    const Table* table = table_.load(std::memory_order_acquire);
+    const std::uint32_t id = find_in(*table, s, h);
+    if (id != kMiss) return id;
+  }
+
+  std::lock_guard lock(write_mutex_);
+  // Re-probe under the lock: another thread may have appended `s`, or
+  // published a grown table, between our miss and the lock.
+  Table* table = table_.load(std::memory_order_relaxed);
+  const std::uint32_t existing = find_in(*table, s, h);
+  if (existing != kMiss) return existing;
+
+  const std::uint32_t id = count_.load(std::memory_order_relaxed);
+  if (id >= kMaxStrings) {
+    throw std::length_error("LabelInterner: over " +
+                            std::to_string(kMaxStrings) +
+                            " distinct strings — label cardinality leak?");
+  }
+
+  const std::size_t block_index = id >> kBlockShift;
+  Block* block = blocks_[block_index].load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    auto owned = std::make_unique<Block>();
+    block = owned.get();
+    block_storage_.push_back(std::move(owned));
+    blocks_[block_index].store(block, std::memory_order_release);
+  }
+  block->slots[id & (kBlockSize - 1)] = std::string(s);
+  count_.store(id + 1, std::memory_order_release);
+
+  // Grow at 70% load *before* inserting so the publish slot exists.
+  if ((id + 1) * 10 >= table->capacity * 7) {
+    auto grown = std::make_unique<Table>(table->capacity * 2);
+    for (std::uint32_t i = 0; i <= id; ++i) {
+      insert_slot(*grown, i, hash(str(i)));
+    }
+    table = grown.get();
+    table_.store(table, std::memory_order_release);
+    tables_.push_back(std::move(grown));  // old table retired, not freed
+  } else {
+    insert_slot(*table, id, h);
+  }
+  return id;
+}
+
+std::string_view LabelInterner::str(std::uint32_t id) const noexcept {
+  if (id >= count_.load(std::memory_order_acquire)) return {};
+  const Block* block =
+      blocks_[id >> kBlockShift].load(std::memory_order_acquire);
+  return block->slots[id & (kBlockSize - 1)];
+}
+
+LabelInterner& LabelInterner::global() {
+  static LabelInterner interner;
+  return interner;
+}
+
+}  // namespace probemon::telemetry

@@ -38,6 +38,12 @@ class Counter {
   std::uint64_t value() const noexcept {
     return value_.load(std::memory_order_relaxed);
   }
+  /// Ingestion/replay only (collector absorbing an agent's absolute
+  /// reading): overwrites the value, breaking monotonicity for local
+  /// observers. Never call on a counter that live code increments.
+  void reset(std::uint64_t v = 0) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> value_{0};
@@ -113,6 +119,22 @@ class Histogram {
     while (!sum_.compare_exchange_weak(cur, cur + d,
                                        std::memory_order_relaxed)) {
     }
+  }
+
+  /// Ingestion/replay only (collector absorbing an agent's absolute
+  /// state): overwrite all bucket counts, the total count and the sum.
+  /// `buckets` must have bucket_count() entries (+Inf last). Never call
+  /// on a histogram that live code observes into.
+  void reset_to(const std::vector<std::uint64_t>& buckets,
+                std::uint64_t count, double sum) {
+    if (buckets.size() != counts_.size()) {
+      throw std::invalid_argument("Histogram::reset_to: bucket count differs");
+    }
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+      counts_[i].store(buckets[i], std::memory_order_relaxed);
+    }
+    count_.store(count, std::memory_order_relaxed);
+    sum_.store(sum, std::memory_order_relaxed);
   }
 
   const std::vector<double>& upper_bounds() const noexcept { return bounds_; }

@@ -36,14 +36,35 @@ std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot() const {
   return out;
 }
 
+std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot_since(
+    std::uint64_t& cursor) const {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t fresh =
+      cursor < recorded_ ? recorded_ - cursor : 0;
+  const std::size_t take =
+      static_cast<std::size_t>(std::min<std::uint64_t>(fresh, ring_.size()));
+  std::vector<ProbeCycleTrace> out;
+  out.reserve(take);
+  // The newest record sits at slot next_-1; walk the last `take`
+  // records in age order.
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t idx =
+        (next_ + ring_.size() - take + i) % ring_.size();
+    out.push_back(ring_[idx]);
+  }
+  cursor = recorded_;
+  return out;
+}
+
 std::uint64_t ProbeCycleTracer::recorded() const {
   std::lock_guard lock(mutex_);
   return recorded_;
 }
 
-std::string ProbeCycleTracer::to_json() const {
-  const auto traces = snapshot();
-  JsonWriter w;
+namespace {
+
+void write_trace_array(JsonWriter& w,
+                       const std::vector<ProbeCycleTrace>& traces) {
   w.begin_array();
   for (const auto& t : traces) {
     w.begin_object();
@@ -72,6 +93,25 @@ std::string ProbeCycleTracer::to_json() const {
     w.end_object();
   }
   w.end_array();
+}
+
+}  // namespace
+
+std::string ProbeCycleTracer::to_json() const {
+  JsonWriter w;
+  write_trace_array(w, snapshot());
+  return w.str();
+}
+
+std::string ProbeCycleTracer::to_json_since(std::uint64_t& cursor) const {
+  const auto traces = snapshot_since(cursor);
+  JsonWriter w;
+  w.begin_object();
+  w.key("next");
+  w.value(cursor);
+  w.key("traces");
+  write_trace_array(w, traces);
+  w.end_object();
   return w.str();
 }
 

@@ -48,12 +48,26 @@ class ProbeCycleTracer {
   /// Retained traces, oldest first.
   std::vector<ProbeCycleTrace> snapshot() const;
 
+  /// Delta snapshot: traces recorded after `cursor` (a recorded()
+  /// count from a previous call; 0 = from the beginning), oldest
+  /// first, bounded by what the ring still retains. `cursor` is
+  /// updated to the current recorded() so the next call continues from
+  /// here. Records that aged out of the ring between calls are lost —
+  /// detectable as recorded() advancing by more than the returned
+  /// size.
+  std::vector<ProbeCycleTrace> snapshot_since(std::uint64_t& cursor) const;
+
   /// Total traces ever recorded (≥ snapshot().size()).
   std::uint64_t recorded() const;
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Snapshot as a JSON array (one object per trace).
   std::string to_json() const;
+
+  /// Delta scrape document: {"next": <new cursor>, "traces": [...]}
+  /// with only the traces recorded after `cursor` (see
+  /// snapshot_since). The /trace?since=N route sits on this.
+  std::string to_json_since(std::uint64_t& cursor) const;
 
   /// Snapshot in Chrome trace-event format (JSON object with a
   /// `traceEvents` array), loadable in Perfetto / chrome://tracing.

@@ -1,10 +1,11 @@
 #include "telemetry/registry.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace probemon::telemetry {
 
-namespace {
+namespace detail {
 
 bool valid_metric_name(const std::string& name) {
   if (name.empty()) return false;
@@ -23,8 +24,6 @@ bool valid_label_name(const std::string& name) {
   return valid_metric_name(name) && name.find(':') == std::string::npos;
 }
 
-/// Map key: name + label pairs with unprintable separators so distinct
-/// label sets can never collide with a crafted name.
 std::string make_key(const std::string& name, const Labels& labels) {
   std::string key = name;
   for (const auto& [k, v] : labels) {
@@ -36,7 +35,64 @@ std::string make_key(const std::string& name, const Labels& labels) {
   return key;
 }
 
+namespace {
+
+std::uint64_t double_bits(double v) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return bits;
+}
+
+void fill_histogram(Sample& s, const Histogram& h) {
+  s.bounds = h.upper_bounds();
+  s.buckets.reserve(h.bucket_count());
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    s.buckets.push_back(h.bucket(i));
+  }
+  s.count = h.count();
+  s.sum = h.sum();
+}
+
 }  // namespace
+
+// Counters fingerprint as the value itself; gauges as the bit pattern
+// (set() to the identical value is not a change); histograms mix count
+// and sum so replayed/reset states with equal counts still register.
+std::uint64_t fingerprint_of(const Counter* counter, const Gauge* gauge,
+                             const Histogram* histogram, bool has_callback,
+                             double callback_value) {
+  if (has_callback) return double_bits(callback_value);
+  if (counter != nullptr) return counter->value();
+  if (gauge != nullptr) return double_bits(gauge->value());
+  if (histogram != nullptr) {
+    return histogram->count() * 0x100000001b3ULL ^
+           double_bits(histogram->sum());
+  }
+  return 0;
+}
+
+Sample sample_of(const std::string& name, const std::string& help,
+                 const Labels& labels, MetricType type, const Counter* counter,
+                 const Gauge* gauge, const Histogram* histogram,
+                 bool has_callback, double callback_value) {
+  Sample s;
+  s.name = name;
+  s.help = help;
+  s.labels = labels;
+  s.type = type;
+  if (has_callback) {
+    s.value = callback_value;
+  } else if (counter != nullptr) {
+    s.value = static_cast<double>(counter->value());
+  } else if (gauge != nullptr) {
+    s.value = gauge->value();
+  } else if (histogram != nullptr) {
+    fill_histogram(s, *histogram);
+  }
+  return s;
+}
+
+}  // namespace detail
 
 const char* to_string(MetricType type) noexcept {
   switch (type) {
@@ -47,26 +103,33 @@ const char* to_string(MetricType type) noexcept {
   return "?";
 }
 
+void MetricStore::merge_from(const MetricStore& other) {
+  if (&other == this) return;
+  other.visit_owned([this](const EntryView& view) { absorb(view); });
+}
+
 Registry::Entry& Registry::find_or_create(const std::string& name,
                                           const std::string& help,
                                           const Labels& labels,
-                                          MetricType type, bool is_callback) {
-  if (!valid_metric_name(name)) {
+                                          MetricType type, bool is_callback,
+                                          bool from_merge) {
+  if (!detail::valid_metric_name(name)) {
     throw std::invalid_argument("Registry: invalid metric name '" + name +
                                 "'");
   }
   for (const auto& [k, v] : labels) {
-    if (!valid_label_name(k)) {
+    if (!detail::valid_label_name(k)) {
       throw std::invalid_argument("Registry: invalid label name '" + k + "'");
     }
   }
-  auto [it, inserted] = entries_.try_emplace(make_key(name, labels));
+  auto [it, inserted] = entries_.try_emplace(detail::make_key(name, labels));
   Entry& entry = it->second;
   if (inserted) {
     entry.name = name;
     entry.help = help;
     entry.labels = labels;
     entry.type = type;
+    entry.help_from_merge = from_merge;
     return entry;
   }
   if (entry.type != type) {
@@ -78,7 +141,17 @@ Registry::Entry& Registry::find_or_create(const std::string& name,
     throw std::logic_error("Registry: '" + name +
                            "' mixes owned and callback registration");
   }
-  if (entry.help.empty()) entry.help = help;
+  // Help text: an explicit registration beats (and un-stales) help that
+  // only arrived via merge_from; merges never overwrite existing help.
+  if (!help.empty()) {
+    if (entry.help.empty()) {
+      entry.help = help;
+      entry.help_from_merge = from_merge;
+    } else if (entry.help_from_merge && !from_merge) {
+      entry.help = help;
+      entry.help_from_merge = false;
+    }
+  }
   return entry;
 }
 
@@ -133,7 +206,7 @@ void Registry::counter_callback(const std::string& name,
 
 bool Registry::remove(const std::string& name, const Labels& labels) {
   std::lock_guard lock(mutex_);
-  return entries_.erase(make_key(name, labels)) > 0;
+  return entries_.erase(detail::make_key(name, labels)) > 0;
 }
 
 std::size_t Registry::size() const {
@@ -146,62 +219,75 @@ std::vector<Sample> Registry::snapshot() const {
   std::vector<Sample> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
-    Sample s;
-    s.name = entry.name;
-    s.help = entry.help;
-    s.labels = entry.labels;
-    s.type = entry.type;
-    if (entry.callback) {
-      s.value = entry.callback();
-    } else if (entry.counter) {
-      s.value = static_cast<double>(entry.counter->value());
-    } else if (entry.gauge) {
-      s.value = entry.gauge->value();
-    } else if (entry.histogram) {
-      const Histogram& h = *entry.histogram;
-      s.bounds = h.upper_bounds();
-      s.buckets.reserve(h.bucket_count());
-      for (std::size_t i = 0; i < h.bucket_count(); ++i) {
-        s.buckets.push_back(h.bucket(i));
-      }
-      s.count = h.count();
-      s.sum = h.sum();
-    }
-    out.push_back(std::move(s));
+    out.push_back(detail::sample_of(entry.name, entry.help, entry.labels, entry.type,
+                            entry.counter.get(), entry.gauge.get(),
+                            entry.histogram.get(),
+                            static_cast<bool>(entry.callback),
+                            entry.callback ? entry.callback() : 0.0));
   }
   // std::map iterates keys in order; key order == (name, labels) order.
   return out;
 }
 
-void Registry::merge_from(const Registry& other) {
-  if (&other == this) return;
-  std::scoped_lock lock(mutex_, other.mutex_);
-  for (const auto& [key, src] : other.entries_) {
-    if (src.callback) continue;  // snapshot-time closures stay with their owner
-    auto [it, inserted] = entries_.try_emplace(key);
-    Entry& dst = it->second;
-    if (inserted) {
-      dst.name = src.name;
-      dst.help = src.help;
-      dst.labels = src.labels;
-      dst.type = src.type;
-    } else if (dst.type != src.type || dst.callback) {
-      throw std::logic_error("Registry::merge_from: '" + src.name +
-                             "' conflicts with an existing registration");
+std::vector<Sample> Registry::snapshot_delta(std::uint64_t& since,
+                                             bool full) const {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t epoch = ++scrape_epoch_;
+  std::vector<Sample> out;
+  for (const auto& [key, entry] : entries_) {
+    const bool has_callback = static_cast<bool>(entry.callback);
+    const double callback_value = has_callback ? entry.callback() : 0.0;
+    const std::uint64_t fp =
+        detail::fingerprint_of(entry.counter.get(), entry.gauge.get(),
+                       entry.histogram.get(), has_callback, callback_value);
+    if (entry.change_epoch == 0 || fp != entry.fingerprint) {
+      entry.fingerprint = fp;
+      entry.change_epoch = epoch;
     }
-    if (src.counter) {
-      if (!dst.counter) dst.counter = std::make_unique<Counter>();
-      dst.counter->inc(src.counter->value());
-    } else if (src.gauge) {
-      if (!dst.gauge) dst.gauge = std::make_unique<Gauge>();
-      dst.gauge->set(src.gauge->value());
-    } else if (src.histogram) {
-      if (!dst.histogram) {
-        dst.histogram =
-            std::make_unique<Histogram>(src.histogram->upper_bounds());
-      }
-      dst.histogram->merge_from(*src.histogram);
+    if (full || entry.change_epoch > since) {
+      out.push_back(detail::sample_of(entry.name, entry.help, entry.labels, entry.type,
+                              entry.counter.get(), entry.gauge.get(),
+                              entry.histogram.get(), has_callback,
+                              callback_value));
     }
+  }
+  since = epoch;
+  return out;
+}
+
+void Registry::visit_owned(
+    const std::function<void(const EntryView&)>& fn) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    if (entry.callback) continue;  // snapshot-time closures stay home
+    EntryView view;
+    view.name = &entry.name;
+    view.help = &entry.help;
+    view.labels = &entry.labels;
+    view.type = entry.type;
+    view.counter = entry.counter.get();
+    view.gauge = entry.gauge.get();
+    view.histogram = entry.histogram.get();
+    fn(view);
+  }
+}
+
+void Registry::absorb(const EntryView& view) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create(*view.name, *view.help, *view.labels,
+                                view.type, false, /*from_merge=*/true);
+  if (view.counter != nullptr) {
+    if (!entry.counter) entry.counter = std::make_unique<Counter>();
+    entry.counter->inc(view.counter->value());
+  } else if (view.gauge != nullptr) {
+    if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+    entry.gauge->set(view.gauge->value());
+  } else if (view.histogram != nullptr) {
+    if (!entry.histogram) {
+      entry.histogram =
+          std::make_unique<Histogram>(view.histogram->upper_bounds());
+    }
+    entry.histogram->merge_from(*view.histogram);
   }
 }
 

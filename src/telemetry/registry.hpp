@@ -11,10 +11,27 @@
 //   ...
 //   probes.inc();                      // hot path, no registry involved
 //
-// Besides owned metrics, the registry accepts *callback* metrics — a
+// Besides owned metrics, registries accept *callback* metrics — a
 // function evaluated at snapshot time — for values some component
 // already tracks (scheduler event counts, device load). The callback's
 // captures must outlive the registry or be removed via remove().
+//
+// Two storage cores implement the shared MetricStore interface:
+//
+//   * Registry        (this header)           — one mutex, one ordered
+//     map; right for tens-to-thousands of series.
+//   * ShardedRegistry (sharded_registry.hpp)  — N lock-independent
+//     shards keyed by interned ids; right for fleet-scale cardinality.
+//
+// Snapshots from both are byte-identical for the same contents: sorted
+// by (name, labels) in the same key encoding.
+//
+// Delta scrapes: every store carries a scrape-epoch / dirty-generation
+// mechanism. snapshot_delta(since) bumps the store's scrape epoch,
+// stamps each entry whose value fingerprint moved since the last scrape
+// with the new epoch, and returns only entries stamped after `since` —
+// so a scraper that keeps its own `since` cursor pays O(changed) for
+// serialization, not O(total). See export.hpp's DeltaExporter.
 //
 // Naming follows Prometheus conventions: names match
 // [a-zA-Z_:][a-zA-Z0-9_:]*, label names [a-zA-Z_][a-zA-Z0-9_]*, and the
@@ -57,52 +74,145 @@ struct Sample {
   double sum = 0.0;
 };
 
-class Registry {
+namespace detail {
+bool valid_metric_name(const std::string& name);
+bool valid_label_name(const std::string& name);
+/// Sort/map key: name + label pairs with unprintable separators so
+/// distinct label sets can never collide with a crafted name. Both
+/// storage cores order snapshots by this key byte-wise.
+std::string make_key(const std::string& name, const Labels& labels);
+/// Value fingerprint for delta scrapes (see snapshot_delta): any
+/// observable mutation moves it.
+std::uint64_t fingerprint_of(const Counter* counter, const Gauge* gauge,
+                             const Histogram* histogram, bool has_callback,
+                             double callback_value);
+/// Materialize one Sample from an entry's parts (shared by both cores).
+Sample sample_of(const std::string& name, const std::string& help,
+                 const Labels& labels, MetricType type, const Counter* counter,
+                 const Gauge* gauge, const Histogram* histogram,
+                 bool has_callback, double callback_value);
+}  // namespace detail
+
+/// Storage-core interface shared by Registry and ShardedRegistry:
+/// registration, snapshots (full and delta) and deterministic merging.
+class MetricStore {
+ public:
+  virtual ~MetricStore() = default;
+
+  /// Find-or-create. Throws std::invalid_argument on a malformed name or
+  /// label, std::logic_error if the name is already registered with a
+  /// different type.
+  virtual Counter& counter(const std::string& name,
+                           const std::string& help = "",
+                           const Labels& labels = {}) = 0;
+  virtual Gauge& gauge(const std::string& name, const std::string& help = "",
+                       const Labels& labels = {}) = 0;
+  virtual Histogram& histogram(const std::string& name,
+                               std::vector<double> bounds,
+                               const std::string& help = "",
+                               const Labels& labels = {}) = 0;
+
+  /// Callback metrics: `fn` is evaluated under the store's lock at
+  /// snapshot time. Re-registering the same name+labels replaces the
+  /// callback (so a reconstructed component can rebind safely).
+  virtual void gauge_callback(const std::string& name,
+                              std::function<double()> fn,
+                              const std::string& help = "",
+                              const Labels& labels = {}) = 0;
+  virtual void counter_callback(const std::string& name,
+                                std::function<double()> fn,
+                                const std::string& help = "",
+                                const Labels& labels = {}) = 0;
+
+  /// Drop one metric instance. Returns true if it existed. Use before a
+  /// callback's captures die. References previously returned for the
+  /// instance dangle afterwards.
+  virtual bool remove(const std::string& name, const Labels& labels = {}) = 0;
+
+  virtual std::size_t size() const = 0;
+
+  /// Consistent point-in-time copy, sorted by (name, labels).
+  virtual std::vector<Sample> snapshot() const = 0;
+
+  /// Delta scrape: advance the store's scrape epoch, restamp entries
+  /// whose value changed, and return entries changed since `since`
+  /// (sorted like snapshot()); `since` is updated to the new epoch so
+  /// the next call continues from here. `full` returns every entry but
+  /// still advances the cursor — the "?full=1" escape hatch. since == 0
+  /// always yields a full snapshot (first scrape). Multiple independent
+  /// scrapers each keep their own cursor.
+  virtual std::vector<Sample> snapshot_delta(std::uint64_t& since,
+                                             bool full = false) const = 0;
+
+  /// Fold another store's owned metrics into this one (counters add
+  /// exactly in u64, gauges take the source value, histograms merge
+  /// bucket-wise; callback metrics are skipped — their captures belong
+  /// to the source). Entries are visited in (name, labels) order, so
+  /// the result is deterministic for any source type or shard count.
+  /// This is the sweep-runner barrier step and the collector's
+  /// aggregation step. Throws std::logic_error when a source entry
+  /// conflicts with an existing registration (different type, or an
+  /// owned/callback mismatch). Not safe against *concurrent* merges in
+  /// opposite directions.
+  void merge_from(const MetricStore& other);
+
+ protected:
+  /// One owned entry, materialized for the merge engine.
+  struct EntryView {
+    const std::string* name = nullptr;
+    const std::string* help = nullptr;
+    const Labels* labels = nullptr;
+    MetricType type = MetricType::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+
+  /// Visit every owned (non-callback) entry in (name, labels) order with
+  /// the store's locks held for the duration of the walk.
+  virtual void visit_owned(
+      const std::function<void(const EntryView&)>& fn) const = 0;
+  /// Merge one source entry into this store (find-or-create + fold).
+  virtual void absorb(const EntryView& view) = 0;
+};
+
+class Registry : public MetricStore {
  public:
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// Find-or-create. Throws std::invalid_argument on a malformed name or
-  /// label, std::logic_error if the name is already registered with a
-  /// different type.
   Counter& counter(const std::string& name, const std::string& help = "",
-                   const Labels& labels = {});
+                   const Labels& labels = {}) override;
   Gauge& gauge(const std::string& name, const std::string& help = "",
-               const Labels& labels = {});
+               const Labels& labels = {}) override;
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const std::string& help = "",
-                       const Labels& labels = {});
+                       const Labels& labels = {}) override;
 
-  /// Callback metrics: `fn` is evaluated under the registry mutex at
-  /// snapshot time. Re-registering the same name+labels replaces the
-  /// callback (so a reconstructed component can rebind safely).
   void gauge_callback(const std::string& name, std::function<double()> fn,
-                      const std::string& help = "", const Labels& labels = {});
+                      const std::string& help = "",
+                      const Labels& labels = {}) override;
   void counter_callback(const std::string& name, std::function<double()> fn,
                         const std::string& help = "",
-                        const Labels& labels = {});
+                        const Labels& labels = {}) override;
 
-  /// Drop one metric instance. Returns true if it existed. Use before a
-  /// callback's captures die.
-  bool remove(const std::string& name, const Labels& labels = {});
+  bool remove(const std::string& name, const Labels& labels = {}) override;
 
-  std::size_t size() const;
+  std::size_t size() const override;
 
-  /// Consistent point-in-time copy, sorted by (name, labels).
-  std::vector<Sample> snapshot() const;
-
-  /// Fold another registry's owned metrics into this one (counters add
-  /// exactly in u64, gauges take the source value, histograms merge
-  /// bucket-wise; callback metrics are skipped — their captures belong
-  /// to the source). This is the sweep-runner barrier step: one Registry
-  /// per worker during the run, merged in deterministic (worker-id)
-  /// order afterwards.
-  void merge_from(const Registry& other);
+  std::vector<Sample> snapshot() const override;
+  std::vector<Sample> snapshot_delta(std::uint64_t& since,
+                                     bool full = false) const override;
 
   /// Process-wide default registry (independent instances remain first
   /// class; the global is a convenience for examples and ad-hoc tools).
   static Registry& global();
+
+ protected:
+  void visit_owned(
+      const std::function<void(const EntryView&)>& fn) const override;
+  void absorb(const EntryView& view) override;
 
  private:
   struct Entry {
@@ -114,14 +224,24 @@ class Registry {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
     std::function<double()> callback;  ///< exclusive with the three above
+    /// Help text inherited from merge_from, not an explicit
+    /// registration; a later explicit registration may replace it (so a
+    /// remove + merge cycle cannot resurrect stale help — see
+    /// tests/test_telemetry.cpp RemoveThenMerge*).
+    bool help_from_merge = false;
+    // Delta-scrape bookkeeping (guarded by the registry mutex; mutable
+    // because observing change is logically const):
+    mutable std::uint64_t fingerprint = 0;
+    mutable std::uint64_t change_epoch = 0;  ///< 0 = never scraped
   };
 
   Entry& find_or_create(const std::string& name, const std::string& help,
                         const Labels& labels, MetricType type,
-                        bool is_callback);
+                        bool is_callback, bool from_merge = false);
 
   mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  ///< key = name + encoded labels
+  std::map<std::string, Entry> entries_;  ///< key = detail::make_key
+  mutable std::uint64_t scrape_epoch_ = 0;
 };
 
 }  // namespace probemon::telemetry

@@ -1,0 +1,467 @@
+#include "telemetry/sharded_registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace probemon::telemetry {
+
+namespace {
+
+struct Key {
+  std::uint32_t name = 0;
+  LabelIds labels;
+  bool operator==(const Key& other) const {
+    return name == other.name && labels == other.labels;
+  }
+};
+
+struct KeyHash {
+  std::size_t operator()(const Key& key) const noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    mix(key.name);
+    for (const auto& [k, v] : key.labels) {
+      mix(k);
+      mix(v);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+struct ShardedRegistry::Entry {
+  std::uint32_t help = 0;  ///< interned; 0 = none
+  MetricType type = MetricType::kCounter;
+  bool help_from_merge = false;  ///< see Registry::Entry
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+  std::function<double()> callback;
+  std::size_t scan_index = 0;  ///< this entry's slot in Shard::scan
+};
+
+/// Hot change-detection state, one slot per entry, kept in a
+/// contiguous per-shard vector. The delta scrape must fingerprint
+/// every series to find the changed ones; chasing unordered_map nodes
+/// for that costs a cache miss per entry, while sweeping this array is
+/// sequential (the metric objects themselves are allocated in
+/// registration order, so the one remaining indirection prefetches
+/// well). Slots hold pointers into the map's nodes, which are
+/// address-stable until erased; remove() swap-deletes the slot and
+/// patches the moved entry's scan_index.
+struct ShardedRegistry::ScanSlot {
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
+  const std::function<double()>* callback = nullptr;
+  const void* key = nullptr;  ///< const Key* (TU-local type)
+  Entry* entry = nullptr;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t change_epoch = 0;  ///< 0 = never scraped
+};
+
+struct ShardedRegistry::Shard {
+  mutable std::mutex mutex;
+  std::unordered_map<Key, Entry, KeyHash> entries;
+  std::vector<ScanSlot> scan;
+
+  /// Keep the slot's metric pointers in sync after lazy creation.
+  void sync_slot(Entry& entry) {
+    ScanSlot& slot = scan[entry.scan_index];
+    slot.counter = entry.counter.get();
+    slot.gauge = entry.gauge.get();
+    slot.histogram = entry.histogram.get();
+    slot.callback = entry.callback ? &entry.callback : nullptr;
+  }
+};
+
+ShardedRegistry::ShardedRegistry(std::size_t shards, LabelInterner* interner)
+    : interner_(interner),
+      shard_count_(round_up_pow2(shards == 0 ? 1 : shards)),
+      shards_(std::make_unique<Shard[]>(shard_count_)) {}
+
+ShardedRegistry::~ShardedRegistry() = default;
+
+ShardedRegistry::Shard& ShardedRegistry::shard_for(
+    std::uint32_t name, const LabelIds& labels) const noexcept {
+  const Key key{name, labels};
+  return shards_[KeyHash{}(key) & (shard_count_ - 1)];
+}
+
+std::uint32_t ShardedRegistry::intern_name(std::string_view name) {
+  const std::string s(name);
+  if (!detail::valid_metric_name(s)) {
+    throw std::invalid_argument("ShardedRegistry: invalid metric name '" + s +
+                                "'");
+  }
+  return interner_->intern(name);
+}
+
+std::uint32_t ShardedRegistry::intern_label_name(std::string_view name) {
+  const std::string s(name);
+  if (!detail::valid_label_name(s)) {
+    throw std::invalid_argument("ShardedRegistry: invalid label name '" + s +
+                                "'");
+  }
+  return interner_->intern(name);
+}
+
+std::uint32_t ShardedRegistry::intern(std::string_view value) {
+  return interner_->intern(value);
+}
+
+LabelIds ShardedRegistry::intern_labels(const Labels& labels) {
+  LabelIds out;
+  out.reserve(labels.size());
+  for (const auto& [k, v] : labels) {
+    out.emplace_back(intern_label_name(k), interner_->intern(v));
+  }
+  return out;
+}
+
+ShardedRegistry::Entry& ShardedRegistry::find_or_create(
+    Shard& shard, std::uint32_t name, const LabelIds& labels,
+    std::uint32_t help_id, MetricType type, bool is_callback,
+    bool from_merge) {
+  auto [it, inserted] = shard.entries.try_emplace(Key{name, labels});
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.help = help_id;
+    entry.type = type;
+    entry.help_from_merge = from_merge;
+    entry.scan_index = shard.scan.size();
+    ScanSlot slot;
+    slot.key = &it->first;
+    slot.entry = &entry;
+    shard.scan.push_back(slot);
+    return entry;
+  }
+  if (entry.type != type) {
+    throw std::logic_error("ShardedRegistry: '" +
+                           std::string(interner_->str(name)) +
+                           "' already registered as " +
+                           std::string(to_string(entry.type)));
+  }
+  const bool was_callback = static_cast<bool>(entry.callback);
+  if (was_callback != is_callback) {
+    throw std::logic_error("ShardedRegistry: '" +
+                           std::string(interner_->str(name)) +
+                           "' mixes owned and callback registration");
+  }
+  // Same help policy as Registry: explicit registrations beat (and
+  // un-stale) help inherited from a merge.
+  if (help_id != 0) {
+    if (entry.help == 0) {
+      entry.help = help_id;
+      entry.help_from_merge = from_merge;
+    } else if (entry.help_from_merge && !from_merge) {
+      entry.help = help_id;
+      entry.help_from_merge = false;
+    }
+  }
+  return entry;
+}
+
+Counter& ShardedRegistry::counter_ids(std::uint32_t name,
+                                      const LabelIds& labels,
+                                      std::uint32_t help_id) {
+  Shard& shard = shard_for(name, labels);
+  std::lock_guard lock(shard.mutex);
+  Entry& entry = find_or_create(shard, name, labels, help_id,
+                                MetricType::kCounter, false, false);
+  if (!entry.counter) {
+    entry.counter = std::make_unique<Counter>();
+    shard.sync_slot(entry);
+  }
+  return *entry.counter;
+}
+
+Gauge& ShardedRegistry::gauge_ids(std::uint32_t name, const LabelIds& labels,
+                                  std::uint32_t help_id) {
+  Shard& shard = shard_for(name, labels);
+  std::lock_guard lock(shard.mutex);
+  Entry& entry = find_or_create(shard, name, labels, help_id,
+                                MetricType::kGauge, false, false);
+  if (!entry.gauge) {
+    entry.gauge = std::make_unique<Gauge>();
+    shard.sync_slot(entry);
+  }
+  return *entry.gauge;
+}
+
+Histogram& ShardedRegistry::histogram_ids(std::uint32_t name,
+                                          std::vector<double> bounds,
+                                          const LabelIds& labels,
+                                          std::uint32_t help_id) {
+  Shard& shard = shard_for(name, labels);
+  std::lock_guard lock(shard.mutex);
+  Entry& entry = find_or_create(shard, name, labels, help_id,
+                                MetricType::kHistogram, false, false);
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    shard.sync_slot(entry);
+  }
+  return *entry.histogram;
+}
+
+Counter& ShardedRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return counter_ids(intern_name(name), intern_labels(labels),
+                     help.empty() ? 0 : interner_->intern(help));
+}
+
+Gauge& ShardedRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return gauge_ids(intern_name(name), intern_labels(labels),
+                   help.empty() ? 0 : interner_->intern(help));
+}
+
+Histogram& ShardedRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  return histogram_ids(intern_name(name), std::move(bounds),
+                       intern_labels(labels),
+                       help.empty() ? 0 : interner_->intern(help));
+}
+
+void ShardedRegistry::gauge_callback(const std::string& name,
+                                     std::function<double()> fn,
+                                     const std::string& help,
+                                     const Labels& labels) {
+  if (!fn) throw std::invalid_argument("ShardedRegistry: empty callback");
+  const std::uint32_t name_id = intern_name(name);
+  const LabelIds label_ids = intern_labels(labels);
+  const std::uint32_t help_id = help.empty() ? 0 : interner_->intern(help);
+  Shard& shard = shard_for(name_id, label_ids);
+  std::lock_guard lock(shard.mutex);
+  Entry& entry = find_or_create(shard, name_id, label_ids, help_id,
+                                MetricType::kGauge, true, false);
+  entry.callback = std::move(fn);
+  shard.sync_slot(entry);
+}
+
+void ShardedRegistry::counter_callback(const std::string& name,
+                                       std::function<double()> fn,
+                                       const std::string& help,
+                                       const Labels& labels) {
+  if (!fn) throw std::invalid_argument("ShardedRegistry: empty callback");
+  const std::uint32_t name_id = intern_name(name);
+  const LabelIds label_ids = intern_labels(labels);
+  const std::uint32_t help_id = help.empty() ? 0 : interner_->intern(help);
+  Shard& shard = shard_for(name_id, label_ids);
+  std::lock_guard lock(shard.mutex);
+  Entry& entry = find_or_create(shard, name_id, label_ids, help_id,
+                                MetricType::kCounter, true, false);
+  entry.callback = std::move(fn);
+  shard.sync_slot(entry);
+}
+
+bool ShardedRegistry::remove(const std::string& name, const Labels& labels) {
+  const std::uint32_t name_id = interner_->intern(name);
+  LabelIds label_ids;
+  label_ids.reserve(labels.size());
+  for (const auto& [k, v] : labels) {
+    label_ids.emplace_back(interner_->intern(k), interner_->intern(v));
+  }
+  Shard& shard = shard_for(name_id, label_ids);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.entries.find(Key{name_id, label_ids});
+  if (it == shard.entries.end()) return false;
+  const std::size_t idx = it->second.scan_index;
+  shard.scan[idx] = shard.scan.back();
+  shard.scan[idx].entry->scan_index = idx;
+  shard.scan.pop_back();
+  shard.entries.erase(it);
+  return true;
+}
+
+std::size_t ShardedRegistry::size() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    total += shards_[i].entries.size();
+  }
+  return total;
+}
+
+void ShardedRegistry::materialize(std::uint32_t name, const LabelIds& labels,
+                                  std::string& name_out,
+                                  Labels& labels_out) const {
+  name_out.assign(interner_->str(name));
+  labels_out.clear();
+  labels_out.reserve(labels.size());
+  for (const auto& [k, v] : labels) {
+    labels_out.emplace_back(std::string(interner_->str(k)),
+                            std::string(interner_->str(v)));
+  }
+}
+
+namespace {
+
+/// Sort materialized samples into Registry's (name, labels) key order.
+void sort_samples(std::vector<Sample>& samples) {
+  std::vector<std::string> keys;
+  keys.reserve(samples.size());
+  for (const Sample& s : samples) {
+    keys.push_back(detail::make_key(s.name, s.labels));
+  }
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&keys](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  std::vector<Sample> sorted;
+  sorted.reserve(samples.size());
+  for (std::size_t i : order) sorted.push_back(std::move(samples[i]));
+  samples = std::move(sorted);
+}
+
+}  // namespace
+
+std::vector<Sample> ShardedRegistry::snapshot() const {
+  std::vector<Sample> out;
+  std::string name;
+  Labels labels;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    for (const ScanSlot& slot : shards_[i].scan) {
+      const Key& key = *static_cast<const Key*>(slot.key);
+      materialize(key.name, key.labels, name, labels);
+      const bool has_callback = slot.callback != nullptr;
+      out.push_back(detail::sample_of(
+          name, std::string(interner_->str(slot.entry->help)), labels,
+          slot.entry->type, slot.counter, slot.gauge, slot.histogram,
+          has_callback, has_callback ? (*slot.callback)() : 0.0));
+    }
+  }
+  sort_samples(out);
+  return out;
+}
+
+std::vector<Sample> ShardedRegistry::snapshot_delta(std::uint64_t& since,
+                                                    bool full) const {
+  const std::uint64_t epoch =
+      scrape_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::vector<Sample> out;
+  std::string name;
+  Labels labels;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    std::lock_guard lock(shards_[i].mutex);
+    for (ScanSlot& slot : shards_[i].scan) {
+      const bool has_callback = slot.callback != nullptr;
+      const double callback_value = has_callback ? (*slot.callback)() : 0.0;
+      const std::uint64_t fp =
+          detail::fingerprint_of(slot.counter, slot.gauge, slot.histogram,
+                                 has_callback, callback_value);
+      if (slot.change_epoch == 0 || fp != slot.fingerprint) {
+        slot.fingerprint = fp;
+        slot.change_epoch = epoch;
+      }
+      if (full || slot.change_epoch > since) {
+        const Key& key = *static_cast<const Key*>(slot.key);
+        materialize(key.name, key.labels, name, labels);
+        out.push_back(detail::sample_of(
+            name, std::string(interner_->str(slot.entry->help)), labels,
+            slot.entry->type, slot.counter, slot.gauge, slot.histogram,
+            has_callback, callback_value));
+      }
+    }
+  }
+  sort_samples(out);
+  since = epoch;
+  return out;
+}
+
+void ShardedRegistry::visit_owned(
+    const std::function<void(const EntryView&)>& fn) const {
+  // Lock every shard for the walk so the merge sees one consistent
+  // point in time, then visit in (name, labels) key order for
+  // deterministic merge results.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shard_count_);
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    locks.emplace_back(shards_[i].mutex);
+  }
+  struct Item {
+    std::string key;
+    const Key* entry_key;
+    const Entry* entry;
+  };
+  std::vector<Item> items;
+  std::string name;
+  Labels labels;
+  for (std::size_t i = 0; i < shard_count_; ++i) {
+    for (const auto& [key, entry] : shards_[i].entries) {
+      if (entry.callback) continue;
+      materialize(key.name, key.labels, name, labels);
+      items.push_back({detail::make_key(name, labels), &key, &entry});
+    }
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.key < b.key; });
+  std::string help;
+  for (const Item& item : items) {
+    materialize(item.entry_key->name, item.entry_key->labels, name, labels);
+    help.assign(interner_->str(item.entry->help));
+    EntryView view;
+    view.name = &name;
+    view.help = &help;
+    view.labels = &labels;
+    view.type = item.entry->type;
+    view.counter = item.entry->counter.get();
+    view.gauge = item.entry->gauge.get();
+    view.histogram = item.entry->histogram.get();
+    fn(view);
+  }
+}
+
+void ShardedRegistry::absorb(const EntryView& view) {
+  const std::uint32_t name_id = interner_->intern(*view.name);
+  LabelIds label_ids;
+  label_ids.reserve(view.labels->size());
+  for (const auto& [k, v] : *view.labels) {
+    label_ids.emplace_back(interner_->intern(k), interner_->intern(v));
+  }
+  const std::uint32_t help_id =
+      view.help->empty() ? 0 : interner_->intern(*view.help);
+  Shard& shard = shard_for(name_id, label_ids);
+  std::lock_guard lock(shard.mutex);
+  Entry& entry = find_or_create(shard, name_id, label_ids, help_id, view.type,
+                                false, /*from_merge=*/true);
+  if (view.counter != nullptr) {
+    if (!entry.counter) {
+      entry.counter = std::make_unique<Counter>();
+      shard.sync_slot(entry);
+    }
+    entry.counter->inc(view.counter->value());
+  } else if (view.gauge != nullptr) {
+    if (!entry.gauge) {
+      entry.gauge = std::make_unique<Gauge>();
+      shard.sync_slot(entry);
+    }
+    entry.gauge->set(view.gauge->value());
+  } else if (view.histogram != nullptr) {
+    if (!entry.histogram) {
+      entry.histogram =
+          std::make_unique<Histogram>(view.histogram->upper_bounds());
+      shard.sync_slot(entry);
+    }
+    entry.histogram->merge_from(*view.histogram);
+  }
+}
+
+}  // namespace probemon::telemetry

@@ -1,0 +1,123 @@
+// ShardedRegistry: the fleet-scale MetricStore.
+//
+// Registry (registry.hpp) serializes every registration behind one
+// mutex and keys its map by freshly-built strings — fine for tens of
+// series, hostile to a million per-entity label sets. ShardedRegistry
+// stripes entries across N lock-independent shards:
+//
+//   * Names, help text and label strings are interned once in a
+//     LabelInterner (u32 ids, lock-free reads); entries are keyed by
+//     id sequences, so registration compares and hashes a few u32s
+//     instead of allocating key strings.
+//   * The shard for an entry is a hash of its interned (name, labels)
+//     key, so concurrent registration from many threads only contends
+//     when two entries land on the same shard.
+//   * The id-based overloads (counter_ids() etc.) skip string handling
+//     entirely — the hot path for per-entity registration loops:
+//
+//       const auto name = reg.intern_name("probemon_entity_rtt_total");
+//       const auto dev = reg.intern_label_name("device");
+//       for (auto& e : fleet) {
+//         e.rtt = &reg.counter_ids(name, {{dev, reg.intern(e.id_str)}});
+//       }
+//
+// Snapshots (full and delta) are byte-identical to Registry's for the
+// same contents: entries are materialized to strings and sorted by the
+// same (name, labels) key encoding. Everything else — validation
+// rules, callback semantics, merge_from determinism, scrape epochs —
+// matches the MetricStore contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "telemetry/interner.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::telemetry {
+
+class ShardedRegistry : public MetricStore {
+ public:
+  /// `shards` is rounded up to a power of two. All registries sharing
+  /// `interner` (default: the process-wide one) have comparable ids.
+  explicit ShardedRegistry(std::size_t shards = kDefaultShards,
+                           LabelInterner* interner = &LabelInterner::global());
+  ~ShardedRegistry() override;
+
+  ShardedRegistry(const ShardedRegistry&) = delete;
+  ShardedRegistry& operator=(const ShardedRegistry&) = delete;
+
+  static constexpr std::size_t kDefaultShards = 16;
+
+  // --- string API (MetricStore): interns, then routes by ids ---------
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const Labels& labels = {}) override;
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const Labels& labels = {}) override;
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "",
+                       const Labels& labels = {}) override;
+  void gauge_callback(const std::string& name, std::function<double()> fn,
+                      const std::string& help = "",
+                      const Labels& labels = {}) override;
+  void counter_callback(const std::string& name, std::function<double()> fn,
+                        const std::string& help = "",
+                        const Labels& labels = {}) override;
+  bool remove(const std::string& name, const Labels& labels = {}) override;
+
+  // --- id API: allocation-free find path for per-entity loops --------
+  /// Intern a metric/label name with validation (throws
+  /// std::invalid_argument like the string API) — call once at setup.
+  std::uint32_t intern_name(std::string_view name);
+  std::uint32_t intern_label_name(std::string_view name);
+  /// Intern an arbitrary label value (no validation needed).
+  std::uint32_t intern(std::string_view value);
+  /// Intern a whole label set.
+  LabelIds intern_labels(const Labels& labels);
+
+  /// Find-or-create by interned ids. `name` must come from
+  /// intern_name(), label-name ids from intern_label_name(); help_id 0
+  /// means no help text.
+  Counter& counter_ids(std::uint32_t name, const LabelIds& labels = {},
+                       std::uint32_t help_id = 0);
+  Gauge& gauge_ids(std::uint32_t name, const LabelIds& labels = {},
+                   std::uint32_t help_id = 0);
+  Histogram& histogram_ids(std::uint32_t name, std::vector<double> bounds,
+                           const LabelIds& labels = {},
+                           std::uint32_t help_id = 0);
+
+  std::size_t size() const override;
+  std::size_t shard_count() const noexcept { return shard_count_; }
+  LabelInterner& interner() const noexcept { return *interner_; }
+
+  std::vector<Sample> snapshot() const override;
+  std::vector<Sample> snapshot_delta(std::uint64_t& since,
+                                     bool full = false) const override;
+
+ protected:
+  void visit_owned(
+      const std::function<void(const EntryView&)>& fn) const override;
+  void absorb(const EntryView& view) override;
+
+ private:
+  struct Shard;
+  struct Entry;
+  struct ScanSlot;
+
+  Shard& shard_for(std::uint32_t name, const LabelIds& labels) const noexcept;
+  Entry& find_or_create(Shard& shard, std::uint32_t name,
+                        const LabelIds& labels, std::uint32_t help_id,
+                        MetricType type, bool is_callback, bool from_merge);
+  /// Resolve an entry's interned ids back to strings.
+  void materialize(std::uint32_t name, const LabelIds& labels,
+                   std::string& name_out, Labels& labels_out) const;
+
+  LabelInterner* interner_;
+  std::size_t shard_count_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<std::uint64_t> scrape_epoch_{0};
+};
+
+}  // namespace probemon::telemetry

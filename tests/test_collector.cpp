@@ -1,0 +1,245 @@
+// MetricsCollector + metrics JSON parser + MetricsPusher: the push
+// half of the fleet telemetry pipeline. Covers the parse round-trip
+// (to_json -> parse_metrics_json), absolute/idempotent ingest
+// semantics, vanished-series removal on full reports, forget(), and a
+// pusher -> HTTP -> collector end-to-end loop.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/collector.hpp"
+#include "runtime/metrics_push.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/http_client.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/metrics_parse.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon {
+namespace {
+
+using telemetry::MetricType;
+using telemetry::Registry;
+using telemetry::Sample;
+
+TEST(MetricsParse, RoundTripsEveryMetricShape) {
+  Registry reg;
+  reg.counter("probemon_probes_total", "Probes", {{"cp", "a"}}).inc(7);
+  reg.gauge("probemon_load").set(-1.5);
+  auto& h = reg.histogram("probemon_delay_seconds", {0.1, 1.0}, "Delay");
+  h.observe(0.05);
+  h.observe(50.0);
+
+  const auto doc = telemetry::parse_metrics_json(telemetry::to_json(reg));
+  EXPECT_EQ(doc.agent, "");
+  EXPECT_FALSE(doc.full);
+  const auto want = reg.snapshot();
+  ASSERT_EQ(doc.samples.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(doc.samples[i].name, want[i].name);
+    EXPECT_EQ(doc.samples[i].help, want[i].help);
+    EXPECT_EQ(doc.samples[i].labels, want[i].labels);
+    EXPECT_EQ(doc.samples[i].type, want[i].type);
+    EXPECT_EQ(doc.samples[i].value, want[i].value);
+    EXPECT_EQ(doc.samples[i].bounds, want[i].bounds);
+    EXPECT_EQ(doc.samples[i].buckets, want[i].buckets);
+    EXPECT_EQ(doc.samples[i].count, want[i].count);
+    EXPECT_EQ(doc.samples[i].sum, want[i].sum);
+  }
+}
+
+TEST(MetricsParse, ParsesEnvelopeAndEscapes) {
+  const auto doc = telemetry::parse_metrics_json(
+      R"({"agent": "node-7", "full": true, "unknown_key": [1, {"x": null}],
+          "metrics": [{"name": "m_total", "type": "counter",
+                       "labels": {"device": "a\"bé"}, "value": 3}]})");
+  EXPECT_EQ(doc.agent, "node-7");
+  EXPECT_TRUE(doc.full);
+  ASSERT_EQ(doc.samples.size(), 1u);
+  EXPECT_EQ(doc.samples[0].labels[0].second, "a\"b\xc3\xa9");
+  EXPECT_EQ(doc.samples[0].value, 3.0);
+}
+
+TEST(MetricsParse, RejectsMalformedDocuments) {
+  EXPECT_THROW(telemetry::parse_metrics_json("{"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_metrics_json("[]"), std::runtime_error);
+  EXPECT_THROW(telemetry::parse_metrics_json(R"({"metrics": 3})"),
+               std::runtime_error);
+  // name must be a string, value numeric.
+  EXPECT_THROW(telemetry::parse_metrics_json(
+                   R"({"metrics": [{"name": 3, "type": "counter"}]})"),
+               std::runtime_error);
+  EXPECT_THROW(
+      telemetry::parse_metrics_json(
+          R"({"metrics": [{"name": "m", "type": "counter", "value": "x"}]})"),
+      std::runtime_error);
+  // histogram bucket list must be bounds+1 long.
+  EXPECT_THROW(telemetry::parse_metrics_json(
+                   R"({"metrics": [{"name": "m", "type": "histogram",
+                       "count": 1, "sum": 1, "bounds": [1.0],
+                       "buckets": [1]}]})"),
+               std::runtime_error);
+}
+
+/// Serialize a registry as the push-protocol envelope body.
+std::string report_body(const Registry& reg, const std::string& agent,
+                        bool full) {
+  std::string body = telemetry::to_json(reg);
+  // to_json -> {"metrics": [...]}; splice in the envelope fields.
+  const std::string head =
+      "{\"agent\": \"" + agent + "\", \"full\": " + (full ? "true" : "false") +
+      ", ";
+  return head + body.substr(1);
+}
+
+TEST(MetricsCollector, IngestIsAbsoluteAndIdempotent) {
+  runtime::MetricsCollector collector(4);
+  Registry agent;
+  agent.counter("probemon_probes_total", "Probes", {{"device", "1"}}).inc(5);
+
+  EXPECT_EQ(collector.ingest(report_body(agent, "node-1", true)), 1u);
+  auto merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].value, 5.0);
+  // The merged view appends the agent label after the original labels.
+  EXPECT_EQ(merged[0].labels,
+            (telemetry::Labels{{"device", "1"}, {"agent", "node-1"}}));
+
+  // Re-ingesting the same absolute state must not double-count, and a
+  // later report overwrites rather than accumulates.
+  EXPECT_EQ(collector.ingest(report_body(agent, "node-1", true)), 1u);
+  agent.counter("probemon_probes_total", "", {{"device", "1"}}).inc(2);  // 7
+  EXPECT_EQ(collector.ingest(report_body(agent, "node-1", false)), 1u);
+  merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].value, 7.0);
+  EXPECT_EQ(collector.reports_ingested(), 3u);
+  EXPECT_EQ(collector.samples_ingested(), 3u);
+}
+
+TEST(MetricsCollector, FullReportRemovesVanishedSeries) {
+  runtime::MetricsCollector collector(4);
+  Registry before;
+  before.counter("probemon_a_total").inc(1);
+  before.gauge("probemon_g", "", {{"device", "2"}}).set(4);
+  collector.ingest(report_body(before, "node-1", true));
+  EXPECT_EQ(collector.merged().size(), 2u);
+
+  Registry after;  // probemon_g{device=2} vanished (device went away)
+  after.counter("probemon_a_total").inc(3);
+  collector.ingest(report_body(after, "node-1", true));
+  const auto merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].name, "probemon_a_total");
+  EXPECT_EQ(merged[0].value, 3.0);
+  EXPECT_EQ(collector.agent_snapshot("node-1").size(), 1u);
+
+  // A delta report must NOT remove unreported series.
+  Registry delta;
+  delta.gauge("probemon_new_g").set(1);
+  collector.ingest(report_body(delta, "node-1", false));
+  EXPECT_EQ(collector.merged().size(), 2u);
+}
+
+TEST(MetricsCollector, AgentsAreIsolatedAndForgettable) {
+  runtime::MetricsCollector collector(4);
+  Registry a1;
+  a1.counter("probemon_x_total").inc(1);
+  Registry a2;
+  a2.counter("probemon_x_total").inc(10);
+  collector.ingest(report_body(a1, "node-1", true));
+  collector.ingest(report_body(a2, "node-2", true));
+  EXPECT_EQ(collector.agents(),
+            (std::vector<std::string>{"node-1", "node-2"}));
+  EXPECT_EQ(collector.merged().size(), 2u);  // one series per agent label
+
+  EXPECT_TRUE(collector.forget("node-1"));
+  EXPECT_FALSE(collector.forget("node-1"));
+  EXPECT_EQ(collector.agent_count(), 1u);
+  const auto merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].labels[0],
+            (std::pair<std::string, std::string>{"agent", "node-2"}));
+}
+
+TEST(MetricsCollector, HistogramRebucketRecreatesTheSeries) {
+  runtime::MetricsCollector collector(4);
+  Registry before;
+  before.histogram("probemon_h_seconds", {0.1, 1.0}).observe(0.5);
+  collector.ingest(report_body(before, "node-1", true));
+
+  Registry after;  // agent restarted with different bucket layout
+  after.histogram("probemon_h_seconds", {0.5, 5.0, 50.0}).observe(2.0);
+  collector.ingest(report_body(after, "node-1", true));
+  const auto merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].bounds, (std::vector<double>{0.5, 5.0, 50.0}));
+  EXPECT_EQ(merged[0].count, 1u);
+}
+
+TEST(MetricsCollector, ReportWithoutAgentIdThrows) {
+  runtime::MetricsCollector collector(4);
+  Registry reg;
+  reg.counter("probemon_x_total").inc(1);
+  EXPECT_THROW(collector.ingest(telemetry::to_json(reg)),
+               std::runtime_error);
+}
+
+TEST(MetricsPusher, RequiresAgentAndPort) {
+  Registry reg;
+  runtime::MetricsPusher::Config config;
+  config.agent = "node-1";
+  EXPECT_THROW(runtime::MetricsPusher(reg, config), std::invalid_argument);
+  config.agent = "";
+  config.port = 1;
+  EXPECT_THROW(runtime::MetricsPusher(reg, config), std::invalid_argument);
+}
+
+TEST(MetricsPusher, EndToEndDeltasReachTheCollector) {
+  runtime::MetricsCollector collector(4);
+  telemetry::HttpServer server({.port = 0});
+  runtime::register_collector_routes(server, collector);
+  server.start();
+
+  Registry agent;
+  auto& probes = agent.counter("probemon_probes_total", "Probes");
+  probes.inc(5);
+  runtime::MetricsPusher::Config config;
+  config.port = server.port();
+  config.agent = "node-1";
+  runtime::MetricsPusher pusher(agent, config);
+
+  ASSERT_TRUE(pusher.push_once());  // first report: full
+  auto merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].value, 5.0);
+
+  EXPECT_TRUE(pusher.push_once());  // nothing changed: skipped, still ok
+  EXPECT_EQ(pusher.pushes_skipped(), 1u);
+  EXPECT_EQ(collector.reports_ingested(), 1u);
+
+  probes.inc(2);
+  ASSERT_TRUE(pusher.push_once());  // delta carries the new absolute value
+  merged = collector.merged().snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].value, 7.0);
+  EXPECT_EQ(pusher.pushes_ok(), 2u);
+
+  // /agents reports the fleet roster.
+  const auto agents = telemetry::http_get("127.0.0.1", server.port(),
+                                          "/agents");
+  EXPECT_TRUE(agents.ok());
+  EXPECT_NE(agents.body.find("\"agent\":\"node-1\""), std::string::npos)
+      << agents.body;
+  server.stop();
+
+  // With the collector gone the push fails and the pusher schedules a
+  // full resync for the next successful report.
+  probes.inc(1);
+  EXPECT_FALSE(pusher.push_once());
+  EXPECT_EQ(pusher.pushes_failed(), 1u);
+}
+
+}  // namespace
+}  // namespace probemon

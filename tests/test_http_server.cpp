@@ -339,7 +339,11 @@ TEST(HttpRoutes, WatchesAndHealthzOverLiveService) {
             std::string::npos);
   EXPECT_NE(watches.find("\"state\":\"present\""), std::string::npos);
 
-  const std::string healthz = body_of(http_get(server.port(), "/healthz"));
+  const std::string healthz_response = http_get(server.port(), "/healthz");
+  EXPECT_NE(healthz_response.find(
+                "Content-Type: application/json; charset=utf-8"),
+            std::string::npos);
+  const std::string healthz = body_of(healthz_response);
   EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
   EXPECT_NE(healthz.find("\"watches\":1"), std::string::npos);
   EXPECT_NE(healthz.find("\"registry_metrics\":"), std::string::npos);
@@ -359,6 +363,151 @@ TEST(HttpRoutes, WatchesAndHealthzOverLiveService) {
        {"/metrics", "/metrics.json", "/healthz", "/watches", "/trace"}) {
     EXPECT_NE(index.find(route), std::string::npos) << route;
   }
+}
+
+// ------------------------------------------------ error-path hygiene
+
+std::string header_of(const std::string& response, const std::string& name) {
+  const std::string needle = "\r\n" + name + ": ";
+  const std::size_t pos = response.find(needle);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + needle.size();
+  return response.substr(start, response.find("\r\n", start) - start);
+}
+
+TEST(HttpServer, ErrorResponsesCarryContentTypeAndExactLength) {
+  HttpServer server;
+  server.handle("/boom", [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("kaput");
+  });
+  server.start();
+  for (const std::string target : {"/nope", "/boom"}) {
+    const std::string response = http_get(server.port(), target);
+    EXPECT_EQ(header_of(response, "Content-Type"),
+              "text/plain; charset=utf-8")
+        << target;
+    const std::string body = body_of(response);
+    EXPECT_EQ(header_of(response, "Content-Length"),
+              std::to_string(body.size()))
+        << target;
+    EXPECT_EQ(body.back(), '\n') << target;  // curl-friendly trailing \n
+  }
+}
+
+TEST(HttpServer, MetricsRoutesDeclareCharset) {
+  Registry registry;
+  registry.counter("probemon_x_total").inc(1);
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_EQ(header_of(metrics, "Content-Type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  const std::string json = http_get(server.port(), "/metrics.json?full=1");
+  EXPECT_EQ(header_of(json, "Content-Type"),
+            "application/json; charset=utf-8");
+}
+
+// ---------------------------------------------------------- POST routes
+
+TEST(HttpServer, PostRouteReceivesBody) {
+  HttpServer server;
+  server.handle_post("/push", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "got:" + request.body};
+  });
+  server.start();
+  const std::string body = "{\"agent\":\"n1\"}";
+  const std::string response = http_request(
+      server.port(), "POST /push HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_EQ(status_line(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(body_of(response), "got:" + body);
+}
+
+TEST(HttpServer, PostWithoutContentLengthIs411) {
+  HttpServer server;
+  server.handle_post("/push", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  server.start();
+  const std::string response = http_request(
+      server.port(), "POST /push HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 411 Length Required");
+}
+
+TEST(HttpServer, OversizedPostBodyIs413) {
+  HttpServer server({.port = 0, .max_body_bytes = 64});
+  server.handle_post("/push", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  server.start();
+  const std::string body(1024, 'x');
+  const std::string response = http_request(
+      server.port(), "POST /push HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+                         std::to_string(body.size()) + "\r\n\r\n" + body);
+  EXPECT_EQ(status_line(response), "HTTP/1.1 413 Payload Too Large");
+}
+
+TEST(HttpServer, GetOnPostOnlyRouteIs405WithAllow) {
+  HttpServer server;
+  server.handle_post("/push", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  server.start();
+  const std::string response = http_get(server.port(), "/push");
+  EXPECT_EQ(status_line(response), "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_EQ(header_of(response, "Allow"), "POST");
+}
+
+// --------------------------------------------------------- delta routes
+
+TEST(HttpServer, MetricsRouteServesDeltasAfterFirstScrape) {
+  Registry registry;
+  auto& c = registry.counter("probemon_x_total", "X");
+  c.inc(1);
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+
+  // First scrape: full. Second with nothing changed: empty delta.
+  EXPECT_EQ(body_of(http_get(server.port(), "/metrics")),
+            to_prometheus(registry));
+  EXPECT_EQ(body_of(http_get(server.port(), "/metrics")), "");
+
+  // A change shows up in the next delta; ?full=1 always returns all.
+  c.inc(1);
+  const std::string delta = body_of(http_get(server.port(), "/metrics"));
+  EXPECT_NE(delta.find("probemon_x_total 2"), std::string::npos);
+  EXPECT_EQ(body_of(http_get(server.port(), "/metrics?full=1")),
+            to_prometheus(registry));
+  // ?full=0 is not an escape hatch.
+  EXPECT_EQ(body_of(http_get(server.port(), "/metrics?full=0")), "");
+}
+
+TEST(HttpServer, TraceRouteSupportsSinceCursor) {
+  ProbeCycleTracer tracer(16);
+  ProbeCycleTrace trace;
+  trace.cp = 1;
+  trace.cycle = 1;
+  tracer.record(trace);
+
+  HttpServer server;
+  register_trace_routes(server, tracer);
+  server.start();
+
+  std::uint64_t cursor = 0;
+  const std::string first =
+      body_of(http_get(server.port(), "/trace?format=json&since=0"));
+  EXPECT_EQ(first, tracer.to_json_since(cursor));
+  EXPECT_NE(first.find("\"next\":1"), std::string::npos);
+  // Nothing new since cursor 1 -> empty trace list, same cursor.
+  const std::string quiet =
+      body_of(http_get(server.port(), "/trace?format=json&since=1"));
+  EXPECT_NE(quiet.find("\"traces\":[]"), std::string::npos);
+
+  const std::string bad =
+      http_get(server.port(), "/trace?format=json&since=-1");
+  EXPECT_EQ(status_line(bad), "HTTP/1.1 400 Bad Request");
 }
 
 }  // namespace

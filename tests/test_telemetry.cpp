@@ -292,6 +292,7 @@ TEST(Exporters, JsonGoldenOutput) {
   const std::string expected =
       "{\"metrics\":["
       "{\"name\":\"probemon_probes_total\",\"type\":\"counter\","
+      "\"help\":\"Probes\","
       "\"labels\":{\"device\":\"7\"},\"value\":3},"
       "{\"name\":\"probemon_rtt_seconds\",\"type\":\"histogram\","
       "\"count\":1,\"sum\":0.25,\"bounds\":[0.5],\"buckets\":[1,0]}"
@@ -662,6 +663,110 @@ TEST(LoggingSinks, LevelChangesAreSafeFromOtherThreads) {
   stop = true;
   toggler.join();
   logger.set_level(previous);
+}
+
+// ------------------------------------------------- remove/merge hygiene
+
+TEST(Registry, RemoveThenMergeDoesNotResurrectStaleHelpOrType) {
+  Registry src;
+  src.counter("probemon_m_total", "merge help").inc(3);
+
+  Registry dst;
+  dst.merge_from(src);
+  ASSERT_TRUE(dst.remove("probemon_m_total"));
+  // After a remove, the slate is clean: re-registering with another
+  // type must not trip the type-conflict check...
+  dst.gauge("probemon_m_total", "now a gauge").set(1.0);
+  ASSERT_TRUE(dst.remove("probemon_m_total"));
+  // ...and an explicit help must survive later merges instead of being
+  // clobbered by the stale merge-inherited text.
+  dst.counter("probemon_m_total", "explicit help");
+  dst.merge_from(src);
+  const auto samples = dst.snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].help, "explicit help");
+  EXPECT_EQ(samples[0].value, 3.0);
+}
+
+TEST(Histogram, MergeFromRejectsMismatchedBucketBounds) {
+  Histogram a({0.1, 1.0});
+  Histogram b({0.1, 2.0});
+  a.observe(0.5);
+  b.observe(0.5);
+  EXPECT_THROW(a.merge_from(b), std::logic_error);
+  Histogram fewer({0.1});
+  EXPECT_THROW(a.merge_from(fewer), std::logic_error);
+  // Matching bounds still merge.
+  Histogram c({0.1, 1.0});
+  c.observe(10.0);
+  a.merge_from(c);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, ResetToOverwritesAndValidates) {
+  Histogram h({0.1, 1.0});
+  h.observe(0.05);
+  EXPECT_THROW(h.reset_to({1, 2}, 3, 1.0), std::invalid_argument);
+  h.reset_to({4, 5, 6}, 15, 7.5);  // bounds.size()+1 buckets
+  EXPECT_EQ(h.count(), 15u);
+  EXPECT_EQ(h.sum(), 7.5);
+  EXPECT_EQ(h.bucket(0), 4u);
+  EXPECT_EQ(h.bucket(1), 5u);
+  EXPECT_EQ(h.bucket(2), 6u);
+}
+
+TEST(Counter, ResetOverwritesForIngestion) {
+  Counter c;
+  c.inc(41);
+  c.reset(7);
+  EXPECT_EQ(c.value(), 7u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+// ----------------------------------------------------- delta exporters
+
+TEST(DeltaExporter, EachFormatKeepsItsOwnCursor) {
+  Registry reg;
+  auto& c = reg.counter("probemon_a_total", "A");
+  c.inc(1);
+  DeltaExporter exporter(reg);
+
+  // First scrape of each format is full; a quiet follow-up is empty.
+  EXPECT_EQ(exporter.prometheus(), to_prometheus(reg));
+  EXPECT_EQ(exporter.prometheus(), "");
+  // The JSON cursor is independent of the Prometheus one.
+  EXPECT_EQ(exporter.json(), to_json(reg));
+  EXPECT_EQ(exporter.json(), samples_to_json({}));
+
+  c.inc(1);
+  const std::string delta = exporter.prometheus();
+  EXPECT_NE(delta.find("probemon_a_total 2"), std::string::npos);
+  // full=true bypasses the cursor without losing it.
+  EXPECT_EQ(exporter.prometheus(true), to_prometheus(reg));
+  EXPECT_EQ(exporter.prometheus(), "");
+}
+
+TEST(Registry, SnapshotOrderingIsStableUnderConcurrentRegistration) {
+  Registry reg;
+  std::atomic<bool> stop{false};
+  std::thread registrar([&reg, &stop] {
+    for (int i = 0; i < 400 && !stop.load(); ++i) {
+      reg.counter("probemon_conc_total", "", {{"i", std::to_string(i)}})
+          .inc();
+    }
+  });
+  // Snapshots taken while registration races must stay sorted by the
+  // deterministic (name, labels) key — the exposition contract.
+  for (int round = 0; round < 50; ++round) {
+    const auto snap = reg.snapshot();
+    for (std::size_t i = 1; i < snap.size(); ++i) {
+      ASSERT_LT(detail::make_key(snap[i - 1].name, snap[i - 1].labels),
+                detail::make_key(snap[i].name, snap[i].labels));
+    }
+  }
+  stop = true;
+  registrar.join();
 }
 
 }  // namespace

@@ -78,7 +78,13 @@ def diff_file(name, base, cur, args, report):
         if ignore and ignore.search(key) and not one_sided:
             continue
         if key not in base:
-            report.append(f"  {name}:{key}: NEW (current={fmt(cur[key])})")
+            # A series present in the candidate but absent from the
+            # baseline cannot regress; report it (gating starts once
+            # the baseline is refreshed to include it).
+            note = ("; one-sided gate inactive until the baseline is "
+                    "refreshed" if one_sided else "")
+            report.append(f"  {name}:{key}: NEW, no baseline value "
+                          f"(current={fmt(cur[key])}{note})")
             continue
         if key not in cur:
             report.append(f"  {name}:{key}: MISSING from current "
@@ -159,7 +165,14 @@ def main():
             report.append(f"  {name}: unreadable ({err})")
             failures += 1
             continue
-        failures += diff_file(name, base, cur, args, report)
+        try:
+            failures += diff_file(name, base, cur, args, report)
+        except Exception as err:  # noqa: BLE001 -- a malformed summary
+            # (mixed value types, nulls, ...) must fail with a readable
+            # per-file line, never a traceback that hides which file.
+            report.append(f"  {name}: diff failed "
+                          f"({type(err).__name__}: {err})")
+            failures += 1
 
     compared = len(set(base_files) & set(cur_files))
     print(f"bench_diff: compared {compared} summaries "

@@ -29,6 +29,14 @@ Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
                      reintroduces per-event heap allocation. Forbids
                      std::function and the <functional> include in
                      those trees.
+  no-string-labels   src/des + src/core must not build metric series
+                     from raw strings: the string-keyed telemetry API
+                     (registry.counter("name", ...) / telemetry::Labels
+                     literals) allocates and hashes strings per call.
+                     Hot paths intern names/labels once at setup and
+                     use the *_ids interned-id overloads
+                     (ShardedRegistry::counter_ids et al.), holding the
+                     returned metric reference.
 
 Usage:
   tools/lint.py                  # lint src/ under the repo root
@@ -76,6 +84,15 @@ PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 STD_FUNCTION = re.compile(r"\bstd::function\s*<")
 FUNCTIONAL_INCLUDE = re.compile(r'^\s*#\s*include\s*<functional>')
 
+# no-string-labels: matched in src/des + src/core. String-keyed metric
+# lookups (name + label strings hashed per call) and telemetry::Labels
+# literals belong in setup code; hot paths use interned ids. Note
+# strip_noise() empties string literals, so the call pattern matches
+# the surviving opening quote of the metric-name argument.
+STRING_LABELS = re.compile(
+    r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\""
+    r"|\btelemetry::Labels\b")
+
 NOLINT = re.compile(r"NOLINT\(([^)]*)\)")
 
 RULES = {
@@ -86,6 +103,9 @@ RULES = {
     "no-std-function":
         "no std::function / <functional> in src/des + src/core "
         "(use util::InlineFunction)",
+    "no-string-labels":
+        "no string-keyed metric lookups in src/des + src/core "
+        "(intern at setup, use the *_ids overloads)",
 }
 
 
@@ -165,6 +185,14 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
                     rel, lineno, "no-std-function",
                     "std::function allocates per capture — use "
                     "util::InlineFunction on the des/core event path"))
+
+        if deterministic_zone and not suppressed(raw, "no-string-labels"):
+            if STRING_LABELS.search(code):
+                findings.append(Finding(
+                    rel, lineno, "no-string-labels",
+                    "string-keyed metric construction on the DES hot "
+                    "path — intern names/labels at setup and use the "
+                    "*_ids interned-id API"))
 
         if deterministic_zone and not suppressed(raw, "no-wall-clock"):
             for pattern, what in WALL_CLOCK_PATTERNS:
