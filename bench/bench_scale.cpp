@@ -1,0 +1,225 @@
+// bench_scale — million-entity DES scale-out gate.
+//
+// Not a paper artifact: this gates the engine itself at fleet scale.
+// The paper studies one device and k CPs; here we instantiate G
+// independent device/CP groups (section 3's "groups are independent")
+// inside ONE simulation and ONE network and ask three questions per
+// entity tier N:
+//
+//   1. Throughput: events/s executed by the hierarchical-timer-wheel
+//      scheduler with N live entities (devices self-cap at L_nom, so
+//      total event rate scales linearly with the fleet).
+//   2. Footprint: marginal bytes per entity, measured as the VmHWM
+//      delta across the tier divided by the entity increment. Tiers
+//      run ascending in one process, so each tier's world outgrows the
+//      previous peak and the delta attributes to the new entities
+//      (the previous tier's freed allocation is reused, giving a small
+//      undercount — acceptable for a one-sided "did the footprint
+//      blow up" gate). Only the FIRST protocol in --protocols gets
+//      bytes_per_entity keys: later protocols run in the shadow of the
+//      first one's high-water mark, where the delta is meaningless.
+//   3. Determinism: s<N>.events / s<N>.delivered are exact logical
+//      counts (seeded DES), byte-identical run to run — the CI
+//      determinism self-diff gates them at threshold 0.
+//
+//   ./bench_scale --entities=10000,100000 --protocols=sapp,dcpp \
+//                 --duration=10 --cps=4 --seed=42
+//
+// Writes bench_out/bench_scale.json (keys <proto>.s<N>.*), gated
+// one-sided in scripts/ci.sh: events_per_s may not drop, and
+// bytes_per_entity may not rise, beyond the perf threshold.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/probemon.hpp"
+#include "experiment_common.hpp"
+#include "net/delay_model.hpp"
+#include "net/loss_model.hpp"
+#include "util/cli.hpp"
+
+using namespace probemon;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<std::uint64_t> parse_count_list(const std::string& spec) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(std::stoull(spec.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> parse_name_list(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct TierResult {
+  std::uint64_t entities = 0;   ///< actual instantiated entity count
+  std::uint64_t events = 0;     ///< scheduler events executed (exact)
+  std::uint64_t delivered = 0;  ///< network deliveries (exact)
+  double wall_s = 0.0;
+  double events_per_s = 0.0;
+};
+
+/// Build a fleet of `n` entities (groups of 1 device + `cps` CPs), run
+/// `duration` virtual seconds, return the logical and wall-clock tallies.
+TierResult run_tier(const std::string& proto, std::uint64_t n,
+                    std::uint64_t cps, double duration, std::uint64_t seed) {
+  des::Simulation sim(seed);
+  net::NetworkConfig ncfg;
+  // The paper's 20 000-slot buffer is sized for one group; a fleet needs
+  // room for every group's in-flight probes.
+  ncfg.buffer_capacity = std::max<std::size_t>(20'000, n);
+  net::Network network(sim.scheduler(), sim.rng(), ncfg,
+                       net::make_three_mode_delay(), net::make_no_loss());
+  core::EntityArena arena;
+
+  const std::uint64_t group_size = cps + 1;
+  const std::uint64_t groups = std::max<std::uint64_t>(1, n / group_size);
+
+  std::vector<std::unique_ptr<core::DeviceBase>> devices;
+  std::vector<std::unique_ptr<core::ControlPointBase>> points;
+  devices.reserve(groups);
+  points.reserve(groups * cps);
+
+  // A polite fleet start: SAPP CPs begin at a 1 s delay (well inside
+  // [delta_min, delta_max]) instead of the paper's single-group 10 s,
+  // so a 10-virtual-second tier reaches steady probing; the golden-ratio
+  // jitter desynchronizes the initial burst deterministically.
+  core::SappCpConfig sapp_cp;
+  sapp_cp.initial_delay = 1.0;
+  const core::SappDeviceConfig sapp_dev;
+  const core::DcppDeviceConfig dcpp_dev;
+  const core::DcppCpConfig dcpp_cp;
+  constexpr double kGolden = 0.618033988749895;
+
+  std::uint64_t cp_index = 0;
+  for (std::uint64_t g = 0; g < groups; ++g) {
+    if (proto == "sapp") {
+      devices.push_back(std::make_unique<core::SappDevice>(
+          sim, network, arena, sapp_dev));
+    } else {
+      devices.push_back(std::make_unique<core::DcppDevice>(
+          sim, network, arena, dcpp_dev));
+    }
+    const net::NodeId device_id = devices.back()->id();
+    for (std::uint64_t c = 0; c < cps; ++c, ++cp_index) {
+      if (proto == "sapp") {
+        points.push_back(std::make_unique<core::SappControlPoint>(
+            sim, network, arena, device_id, sapp_cp));
+      } else {
+        points.push_back(std::make_unique<core::DcppControlPoint>(
+            sim, network, arena, device_id, dcpp_cp));
+      }
+      const double jitter =
+          std::fmod(static_cast<double>(cp_index + 1) * kGolden, 1.0);
+      points.back()->start(jitter);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.run_until(duration);
+  TierResult r;
+  r.wall_s = seconds_since(start);
+  r.entities = groups * group_size;
+  r.events = sim.scheduler().executed_count();
+  r.delivered = network.counters().delivered;
+  r.events_per_s =
+      r.wall_s > 0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto entities_spec =
+      cli.get<std::string>("entities", "10000,100000");
+  const auto protocols_spec = cli.get<std::string>("protocols", "sapp,dcpp");
+  const auto duration = cli.get<double>("duration", 10.0);
+  const auto cps = cli.get<std::uint64_t>("cps", 4);
+  const auto seed = cli.get<std::uint64_t>("seed", 42);
+  cli.finish("bench_scale: fleet-scale DES throughput and footprint");
+
+  benchutil::print_header(
+      "bench_scale", "engine scale gate (not a paper figure)",
+      "timer-wheel DES sustains fleet-scale event rates at flat "
+      "bytes/entity");
+  benchutil::JsonSummary summary("bench_scale");
+  summary.set("duration_s", duration);
+  summary.set("cps_per_device", cps);
+  summary.set("seed", seed);
+
+  // Ascending tiers make each VmHWM delta attributable to the new tier.
+  auto tiers = parse_count_list(entities_spec);
+  std::sort(tiers.begin(), tiers.end());
+
+  bool first_protocol = true;
+  for (const std::string& proto : parse_name_list(protocols_spec)) {
+    if (proto != "sapp" && proto != "dcpp") {
+      std::fprintf(stderr, "bench_scale: unknown protocol '%s'\n",
+                   proto.c_str());
+      return 2;
+    }
+    std::uint64_t prev_entities = 0;
+    for (const std::uint64_t n : tiers) {
+      const std::uint64_t rss_before = benchutil::peak_rss_bytes();
+      const TierResult r = run_tier(proto, n, cps, duration, seed);
+      const std::uint64_t rss_after = benchutil::peak_rss_bytes();
+
+      const std::string prefix = proto + ".s" + std::to_string(n) + ".";
+      summary.set(prefix + "entities", r.entities);
+      summary.set(prefix + "events", r.events);
+      summary.set(prefix + "delivered", r.delivered);
+      summary.set(prefix + "wall_s", r.wall_s);
+      summary.set(prefix + "events_per_s", r.events_per_s);
+
+      double bytes_per_entity = 0.0;
+      if (first_protocol && rss_after > rss_before &&
+          r.entities > prev_entities) {
+        bytes_per_entity =
+            static_cast<double>(rss_after - rss_before) /
+            static_cast<double>(r.entities - prev_entities);
+        summary.set(prefix + "bytes_per_entity", bytes_per_entity);
+      }
+      prev_entities = r.entities;
+
+      std::printf(
+          "%s n=%-8llu events %12llu | delivered %11llu | %7.3f s wall "
+          "| %10.3g ev/s | %8.1f B/entity\n",
+          proto.c_str(), static_cast<unsigned long long>(r.entities),
+          static_cast<unsigned long long>(r.events),
+          static_cast<unsigned long long>(r.delivered), r.wall_s,
+          r.events_per_s, bytes_per_entity);
+    }
+    first_protocol = false;
+  }
+
+  summary.write();
+  std::printf("wrote %s\n", summary.path().c_str());
+  benchutil::print_footer();
+  return 0;
+}

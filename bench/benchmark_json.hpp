@@ -86,6 +86,8 @@ inline int run_benchmarks_with_json(int argc, char** argv,
     json.end_object();
   }
   json.end_array();
+  json.key("peak_rss_bytes");
+  json.value(static_cast<std::int64_t>(peak_rss_bytes()));
   json.end_object();
 
   std::ofstream out(out_dir() + "/" + name + ".json");

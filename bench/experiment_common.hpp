@@ -11,6 +11,7 @@
 // scraping stdout.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -21,6 +22,29 @@
 #include "telemetry/json.hpp"
 
 namespace benchutil {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 on platforms without procfs — callers
+/// treat 0 as "unavailable". Monotone over the process lifetime, so
+/// tiered benches can attribute deltas to each tier.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::size_t pos = 6;
+    while (pos < line.size() && !(line[pos] >= '0' && line[pos] <= '9')) {
+      ++pos;
+    }
+    std::uint64_t kib = 0;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+      kib = kib * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+      ++pos;
+    }
+    return kib * 1024;
+  }
+  return 0;
+}
 
 /// Directory for CSV/gnuplot artifacts, created on first use.
 inline std::string out_dir() {
@@ -97,6 +121,9 @@ class JsonSummary {
       doc += ": ";
       doc += value;
     }
+    // Every bench reports its memory high-water mark so bytes/entity is
+    // gateable (bench_diff ignores it in the determinism self-diff).
+    doc += ",\n  \"peak_rss_bytes\": " + std::to_string(peak_rss_bytes());
     doc += "\n}\n";
     std::ofstream out(path());
     out << doc;

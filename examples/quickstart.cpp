@@ -20,14 +20,15 @@ int main() {
 
   // 3. One device. DCPP's defaults: delta_min = 0.1 s (the device accepts
   //    at most L_nom = 10 probes/s) and d_min = 0.5 s (no CP probes more
-  //    than f_max = 2 times/s).
-  core::DcppDevice device(sim, *network, core::DcppDeviceConfig{});
+  //    than f_max = 2 times/s). Entity state lives in a shared arena.
+  core::EntityArena arena;
+  core::DcppDevice device(sim, *network, arena, core::DcppDeviceConfig{});
 
   // 4. Five control points monitoring the device.
   std::vector<std::unique_ptr<core::DcppControlPoint>> cps;
   for (int i = 0; i < 5; ++i) {
     cps.push_back(std::make_unique<core::DcppControlPoint>(
-        sim, *network, device.id(), core::DcppCpConfig{}));
+        sim, *network, arena, device.id(), core::DcppCpConfig{}));
     cps.back()->start(/*initial_jitter=*/0.01 * i);
   }
 

@@ -15,11 +15,12 @@ int main() {
   des::Simulation sim(/*seed=*/3);
   auto network = net::Network::make_paper_default(sim.scheduler(), sim.rng());
 
-  core::SappDevice device(sim, *network, core::SappDeviceConfig{});
+  core::EntityArena arena;
+  core::SappDevice device(sim, *network, arena, core::SappDeviceConfig{});
   std::vector<std::unique_ptr<core::SappControlPoint>> cps;
   for (int i = 0; i < 3; ++i) {
     cps.push_back(std::make_unique<core::SappControlPoint>(
-        sim, *network, device.id(), core::SappCpConfig{}));
+        sim, *network, arena, device.id(), core::SappCpConfig{}));
     cps.back()->start();
   }
 

@@ -102,12 +102,13 @@ int main(int argc, char** argv) {
   telemetry::CycleTraceObserver des_observer(des_tracer);
 
   auto network = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  core::DcppDevice sim_device(sim, *network, core::DcppDeviceConfig{},
+  core::EntityArena arena;
+  core::DcppDevice sim_device(sim, *network, arena, core::DcppDeviceConfig{},
                               &des_observer);
   std::vector<std::unique_ptr<core::DcppControlPoint>> sim_cps;
   for (int i = 0; i < 5; ++i) {
     sim_cps.push_back(std::make_unique<core::DcppControlPoint>(
-        sim, *network, sim_device.id(), core::DcppCpConfig{}, &des_observer));
+        sim, *network, arena, sim_device.id(), core::DcppCpConfig{}, &des_observer));
     sim_cps.back()->start(0.01 * i);
   }
   sim.run_until(30.0);

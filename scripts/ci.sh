@@ -16,12 +16,14 @@
 # threshold (override with BENCH_DIFF_THRESHOLD, percent).
 #
 # Every run also gates performance against the committed bench/baseline/
-# snapshot: bench_a7_des_micro (DES kernel throughput) and
+# snapshot: bench_a7_des_micro (DES kernel throughput),
 # bench_telemetry_scale (registry registration rate, delta-scrape
-# speedups, sharded-vs-single-map byte identity) run into one scratch
-# dir and are diffed in a single one-sided pass (throughput/speedup keys
-# may drop at most BENCH_PERF_THRESHOLD percent, default 40; see
-# docs/performance.md and docs/observability.md).
+# speedups, sharded-vs-single-map byte identity) and bench_scale (fleet
+# event throughput + marginal bytes/entity at 10k/100k entities) run
+# into one scratch dir and are diffed in a single one-sided pass
+# (throughput keys may drop, and bytes_per_entity may rise, at most
+# BENCH_PERF_THRESHOLD percent, default 40; see docs/performance.md and
+# docs/observability.md). The 1M-entity tier runs under --full only.
 #
 # --full appends the analysis matrix (docs/static_analysis.md):
 #   * clang-tidy over src/ (skipped with a notice when not installed)
@@ -54,6 +56,9 @@ SMOKE_BENCHES=(
   "bench_t1_sapp_steady --seed=7 --duration=1000 --warmup=200"
   "bench_f5_dcpp_dynamic --seed=7"
   "bench_a5_detection --seed=7"
+  # Small fleet tier: its s<N>.events/delivered counts are exact logical
+  # tallies, so the determinism self-diff gates the scale path at 0%.
+  "bench_scale --entities=5000 --duration=5 --seed=7"
 )
 
 echo "==> configure + build (${BUILD})"
@@ -84,14 +89,18 @@ run_smoke "$SCRATCH/run1"
 echo "==> bench smoke (pass 2, same seeds)"
 run_smoke "$SCRATCH/run2"
 
+# Wall-clock-derived keys (wall_s, events_per_s, bytes_per_entity) vary
+# run to run; the logical counts must not.
 echo "==> determinism diff (pass 1 vs pass 2, threshold 0%)"
 python3 "$ROOT/tools/bench_diff.py" \
-  "$SCRATCH/run1/bench_out" "$SCRATCH/run2/bench_out" --threshold 0
+  "$SCRATCH/run1/bench_out" "$SCRATCH/run2/bench_out" --threshold 0 \
+  --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second|peak_rss_bytes)$|wall_s$|events_per_s$|bytes_per_entity$'
 
 if [[ -n "${BENCH_BASELINE_DIR:-}" ]]; then
   echo "==> baseline diff ($BENCH_BASELINE_DIR, threshold ${THRESHOLD}%)"
   python3 "$ROOT/tools/bench_diff.py" \
-    "$BENCH_BASELINE_DIR" "$SCRATCH/run1/bench_out" --threshold "$THRESHOLD"
+    "$BENCH_BASELINE_DIR" "$SCRATCH/run1/bench_out" --threshold "$THRESHOLD" \
+    --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second|peak_rss_bytes)$|wall_s$|events_per_s$|bytes_per_entity$'
 else
   echo "==> no BENCH_BASELINE_DIR set; skipped stored-baseline diff"
   echo "    (seed one with: cp -r $SCRATCH/run1/bench_out <baseline-dir>)"
@@ -114,8 +123,10 @@ fi
 #   (cd /tmp && build/bench/bench_telemetry_scale --series=1000,100000 \
 #      --dirty=100 && cp bench_out/bench_telemetry_scale.json \
 #      bench/baseline/)
+#   (cd /tmp && build/bench/bench_scale --entities=10000,100000 &&
+#      cp bench_out/bench_scale.json bench/baseline/)
 PERF_THRESHOLD="${BENCH_PERF_THRESHOLD:-40}"
-echo "==> perf gate: DES kernel + telemetry scale (one-sided, threshold ${PERF_THRESHOLD}%)"
+echo "==> perf gate: DES kernel + telemetry + fleet scale (one-sided, threshold ${PERF_THRESHOLD}%)"
 mkdir -p "$SCRATCH/perf"
 "$BUILD/bench/bench_a7_des_micro" --benchmark_min_time=0.2 \
   --benchmark_out="$SCRATCH/perf/bench_a7_des_micro.json" \
@@ -123,12 +134,18 @@ mkdir -p "$SCRATCH/perf"
 (cd "$SCRATCH/perf" &&
    "$BUILD/bench/bench_telemetry_scale" --series=1000,100000 --dirty=100 \
      >/dev/null)
-mv "$SCRATCH/perf/bench_out/bench_telemetry_scale.json" "$SCRATCH/perf/"
+(cd "$SCRATCH/perf" &&
+   "$BUILD/bench/bench_scale" --entities=10000,100000 >/dev/null)
+mv "$SCRATCH/perf/bench_out/bench_telemetry_scale.json" \
+   "$SCRATCH/perf/bench_out/bench_scale.json" "$SCRATCH/perf/"
 # s1000.speedup_time is too small-denominator to gate (a ~1ms delta
 # scrape); the s100000 ratio is the stable witness of O(changed).
+# bench_scale wall_s is absolute timing noise; its events_per_s gates
+# one-sided downward and bytes_per_entity one-sided upward.
 python3 "$ROOT/tools/bench_diff.py" "$ROOT/bench/baseline" "$SCRATCH/perf" \
-  --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second)$|^context\.|_us$|speedup_time$' \
-  --higher-is-better 'items_per_second$|register_per_s$|speedup_bytes$|s100000\.speedup_time$' \
+  --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second|peak_rss_bytes)$|^context\.|_us$|speedup_time$|wall_s$' \
+  --higher-is-better 'items_per_second$|register_per_s$|speedup_bytes$|s100000\.speedup_time$|events_per_s$' \
+  --lower-is-better 'bytes_per_entity$' \
   --threshold "$PERF_THRESHOLD"
 
 if [[ "$FULL" -eq 1 ]]; then
@@ -188,6 +205,48 @@ EOF
   }
   echo "    OK (no-string-labels finding produced)"
 
+  # --- static: lint self-test for the hot-path allocation rule -- a
+  # make_unique seeded into a probe-cycle file must be caught.
+  echo "==> lint self-test (seeded hot-path allocation must be caught)"
+  mkdir -p "$SCRATCH/lint_selftest/src/core"
+  cat > "$SCRATCH/lint_selftest/src/core/probe_cycle.cpp" <<'EOF'
+#include <memory>
+int* per_event_alloc() { return std::make_unique<int>(7).release(); }
+EOF
+  if python3 "$ROOT/tools/lint.py" --root "$SCRATCH/lint_selftest" \
+       > "$SCRATCH/lint_selftest3.out" 2>&1; then
+    echo "    FAILED: linter missed the seeded hot-path allocation" >&2
+    cat "$SCRATCH/lint_selftest3.out" >&2
+    exit 1
+  fi
+  grep -q 'no-hot-path-alloc' "$SCRATCH/lint_selftest3.out" || {
+    echo "    FAILED: linter flagged something, but not no-hot-path-alloc" >&2
+    cat "$SCRATCH/lint_selftest3.out" >&2
+    exit 1
+  }
+  echo "    OK (no-hot-path-alloc finding produced)"
+
+  # --- static: lint self-test for the scenario callback rule -- a
+  # std::function seeded under src/scenario must be caught.
+  echo "==> lint self-test (seeded scenario std::function must be caught)"
+  mkdir -p "$SCRATCH/lint_selftest/src/scenario"
+  cat > "$SCRATCH/lint_selftest/src/scenario/hook.cpp" <<'EOF'
+#include <functional>
+std::function<void()> hook;
+EOF
+  if python3 "$ROOT/tools/lint.py" --root "$SCRATCH/lint_selftest" \
+       > "$SCRATCH/lint_selftest4.out" 2>&1; then
+    echo "    FAILED: linter missed the seeded scenario std::function" >&2
+    cat "$SCRATCH/lint_selftest4.out" >&2
+    exit 1
+  fi
+  grep -q 'no-std-function' "$SCRATCH/lint_selftest4.out" || {
+    echo "    FAILED: linter flagged something, but not no-std-function" >&2
+    cat "$SCRATCH/lint_selftest4.out" >&2
+    exit 1
+  }
+  echo "    OK (no-std-function finding produced)"
+
   # --- static: formatting, diff-only (advisory skip when absent)
   "$ROOT/scripts/check_format.sh"
 
@@ -204,6 +263,15 @@ EOF
   mkdir -p "$SCRATCH/checked_smoke"
   (cd "$SCRATCH/checked_smoke" &&
      "$ASAN_BUILD/bench/bench_a5_detection" --seed=7 >/dev/null)
+
+  # --- scale: the full 1M-entity SAPP tier (release build; short virtual
+  # horizon -- the gate is that a million live entities build, run, and
+  # tear down at flat bytes/entity, not a long steady-state number).
+  echo "==> bench_scale 1M-entity SAPP tier"
+  mkdir -p "$SCRATCH/scale_full"
+  (cd "$SCRATCH/scale_full" &&
+     "$BUILD/bench/bench_scale" --entities=1000000 --protocols=sapp \
+       --duration=2)
 
   # --- optional: thread,undefined matrix leg (slow; opt-in). Runs the
   # full suite -- which now includes the SweepRunner thread-pool tests

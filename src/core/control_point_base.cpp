@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "check/contract.hpp"
 #include "util/logging.hpp"
@@ -10,15 +9,17 @@
 namespace probemon::core {
 
 ControlPointBase::ControlPointBase(des::Simulation& sim, net::Network& network,
-                                   net::NodeId device,
+                                   EntityArena& arena, net::NodeId device,
                                    const TimeoutConfig& timeouts,
                                    bool continue_after_absence,
                                    ProtocolObserver* observer)
     : sim_(sim),
       network_(network),
+      arena_(arena),
       device_(device),
       continue_after_absence_(continue_after_absence),
       observer_(observer),
+      cid_(arena.add_cp()),
       id_(network.attach(*this)),
       cycle_(sim.scheduler(), timeouts.tof, timeouts.tos,
              timeouts.max_retransmissions,
@@ -26,17 +27,22 @@ ControlPointBase::ControlPointBase(des::Simulation& sim, net::Network& network,
                  [this](std::uint64_t c, std::uint8_t a) { send_probe(c, a); },
                  [this](const net::Message& reply) { handle_success(reply); },
                  [this] { handle_failure(); }}),
-      next_cycle_timer_(sim.scheduler(), [this] { cycle_.start(); }),
-      absence_time_(std::numeric_limits<double>::quiet_NaN()),
-      current_delay_(std::numeric_limits<double>::quiet_NaN()) {
+      next_cycle_timer_(sim.scheduler(), [this] { cycle_.start(); }) {
   timeouts.validate();
+  CpState& st = state();
+  st.node = id_;
+  st.device = device_;
 }
 
-ControlPointBase::~ControlPointBase() { stop(); }
+ControlPointBase::~ControlPointBase() {
+  stop();
+  arena_.remove_cp(cid_);
+}
 
 void ControlPointBase::start(double initial_jitter) {
-  if (running_) return;
-  running_ = true;
+  CpState& st = state();
+  if (st.running) return;
+  st.running = true;
   if (initial_jitter > 0) {
     next_cycle_timer_.arm(initial_jitter);
   } else {
@@ -45,8 +51,8 @@ void ControlPointBase::start(double initial_jitter) {
 }
 
 void ControlPointBase::stop() {
-  if (!running_ && !network_.attached(id_)) return;
-  running_ = false;
+  if (!state().running && !network_.attached(id_)) return;
+  state().running = false;
   cycle_.abort();
   next_cycle_timer_.disarm();
   if (network_.attached(id_)) network_.detach(id_);
@@ -67,13 +73,13 @@ void ControlPointBase::schedule_cycle(double delay) {
   PROBEMON_CONTRACT(std::isfinite(delay) && delay >= 0,
                     "inter-cycle delay must be finite and non-negative, got "
                         << delay);
-  current_delay_ = delay;
+  state().current_delay = delay;
   if (observer_) observer_->on_delay_updated(id_, sim_.now(), delay);
   next_cycle_timer_.arm(delay);
 }
 
 void ControlPointBase::handle_success(const net::Message& reply) {
-  if (!running_) return;
+  if (!state().running) return;
   learn_overlay(reply);
   if (observer_) {
     observer_->on_cycle_success(
@@ -82,12 +88,12 @@ void ControlPointBase::handle_success(const net::Message& reply) {
   }
   // A successful probe is evidence of presence: clear a stale verdict
   // (e.g. the device came back after a silent period).
-  device_present_ = true;
+  state().device_present = true;
   schedule_cycle(std::max(0.0, delay_after_success(reply)));
 }
 
 void ControlPointBase::handle_failure() {
-  if (!running_) return;
+  if (!state().running) return;
   mark_absent(/*learned=*/false);
   if (continue_after_absence_) {
     schedule_cycle(std::max(0.0, delay_after_failure()));
@@ -95,10 +101,11 @@ void ControlPointBase::handle_failure() {
 }
 
 void ControlPointBase::mark_absent(bool learned) {
-  const bool was_present = device_present_;
-  device_present_ = false;
+  CpState& st = state();
+  const bool was_present = st.device_present;
+  st.device_present = false;
   if (was_present) {
-    absence_time_ = sim_.now();
+    st.absence_time = sim_.now();
     if (observer_) {
       if (learned) {
         observer_->on_absence_learned(id_, device_, sim_.now());
@@ -106,16 +113,16 @@ void ControlPointBase::mark_absent(bool learned) {
         observer_->on_device_declared_absent(id_, device_, sim_.now());
       }
     }
-    if (dissemination_ttl_ > 0 && !notified_peers_) {
-      notified_peers_ = true;
-      disseminate(device_, dissemination_ttl_);
+    if (st.dissemination_ttl > 0 && !st.notified_peers) {
+      st.notified_peers = true;
+      disseminate(device_, st.dissemination_ttl);
     }
   }
 }
 
 void ControlPointBase::disseminate(net::NodeId subject, std::uint8_t ttl) {
   if (ttl == 0) return;
-  for (net::NodeId peer : overlay_) {
+  for (net::NodeId peer : overlay_neighbors()) {
     net::Message notify;
     notify.kind = net::MessageKind::kNotify;
     notify.from = id_;
@@ -127,21 +134,27 @@ void ControlPointBase::disseminate(net::NodeId subject, std::uint8_t ttl) {
 }
 
 void ControlPointBase::learn_overlay(const net::Message& reply) {
+  CpState& st = state();
   for (net::NodeId peer : reply.last_probers) {
     if (peer == net::kInvalidNode || peer == id_) continue;
-    if (std::find(overlay_.begin(), overlay_.end(), peer) != overlay_.end()) {
-      continue;
+    const auto end = st.overlay.begin() + st.overlay_count;
+    if (std::find(st.overlay.begin(), end, peer) != end) continue;
+    // Keep the overlay small and fresh: most recent four neighbours
+    // (evict the oldest when full).
+    if (st.overlay_count == st.overlay.size()) {
+      std::copy(st.overlay.begin() + 1, st.overlay.end(),
+                st.overlay.begin());
+      st.overlay.back() = peer;
+    } else {
+      st.overlay[st.overlay_count++] = peer;
     }
-    overlay_.push_back(peer);
-    // Keep the overlay small and fresh: most recent four neighbours.
-    if (overlay_.size() > 4) overlay_.erase(overlay_.begin());
   }
 }
 
 void ControlPointBase::on_message(const net::Message& msg) {
   switch (msg.kind) {
     case net::MessageKind::kReply:
-      if (msg.from == device_ && running_) {
+      if (msg.from == device_ && state().running) {
         if (!cycle_.offer_reply(msg)) on_stale_reply(msg);
       }
       break;
@@ -152,19 +165,21 @@ void ControlPointBase::on_message(const net::Message& msg) {
         mark_absent(/*learned=*/true);
       }
       break;
-    case net::MessageKind::kNotify:
-      if (msg.subject == device_ && device_present_) {
+    case net::MessageKind::kNotify: {
+      if (msg.subject == device_ && state().device_present) {
         cycle_.abort();
         next_cycle_timer_.disarm();
         mark_absent(/*learned=*/true);
         // mark_absent already gossiped if enabled, but honour the
         // incoming TTL when it is smaller than ours.
-        if (dissemination_ttl_ > 0 && msg.ttl > 0 && !notified_peers_) {
-          notified_peers_ = true;
+        CpState& st = state();
+        if (st.dissemination_ttl > 0 && msg.ttl > 0 && !st.notified_peers) {
+          st.notified_peers = true;
           disseminate(msg.subject, msg.ttl);
         }
       }
       break;
+    }
     case net::MessageKind::kProbe:
       break;  // CPs are never probed
   }

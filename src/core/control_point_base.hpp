@@ -7,12 +7,19 @@
 // events over the last-two-probers overlay. Subclasses decide one thing:
 // how long to wait after a successful cycle (SAPP: adaptive; DCPP: the
 // device's grant).
+//
+// Mutable monitoring state (running flag, presence verdict, absence
+// time, current delay, the overlay) lives in a `core::EntityArena` slab
+// addressed by a generation-tagged `CpId`; the wrapper keeps only
+// immutable identity and the timer/cycle machinery whose callbacks
+// capture `this`.
 #pragma once
 
 #include <cstdint>
-#include <vector>
+#include <span>
 
 #include "core/config.hpp"
+#include "core/entity_arena.hpp"
 #include "core/observer.hpp"
 #include "core/probe_cycle.hpp"
 #include "des/simulation.hpp"
@@ -23,8 +30,9 @@ namespace probemon::core {
 class ControlPointBase : public net::INetworkClient {
  public:
   ControlPointBase(des::Simulation& sim, net::Network& network,
-                   net::NodeId device, const TimeoutConfig& timeouts,
-                   bool continue_after_absence, ProtocolObserver* observer);
+                   EntityArena& arena, net::NodeId device,
+                   const TimeoutConfig& timeouts, bool continue_after_absence,
+                   ProtocolObserver* observer);
   ~ControlPointBase() override;
 
   ControlPointBase(const ControlPointBase&) = delete;
@@ -32,6 +40,8 @@ class ControlPointBase : public net::INetworkClient {
 
   net::NodeId id() const noexcept { return id_; }
   net::NodeId device() const noexcept { return device_; }
+  /// Arena handle for this CP's state slab.
+  CpId entity_id() const noexcept { return cid_; }
 
   /// Begin monitoring: the first probe cycle starts `initial_jitter`
   /// seconds from now (jitter desynchronizes joining bursts).
@@ -40,27 +50,30 @@ class ControlPointBase : public net::INetworkClient {
   /// Leave the network: abort any cycle, cancel timers, detach.
   void stop();
 
-  bool running() const noexcept { return running_; }
+  bool running() const noexcept { return state().running; }
   /// False once this CP has declared or learned the device's absence.
   bool device_considered_present() const noexcept {
-    return device_present_;
+    return state().device_present;
   }
   /// Time the CP declared/learned absence (NaN while present).
-  double absence_time() const noexcept { return absence_time_; }
+  double absence_time() const noexcept { return state().absence_time; }
 
   /// Most recent inter-cycle delay (NaN before the first success).
-  double current_delay() const noexcept { return current_delay_; }
+  double current_delay() const noexcept { return state().current_delay; }
 
   const ProbeCycle& cycle() const noexcept { return cycle_; }
 
   /// Enable gossip forwarding of absence notifications with the given
   /// forwarding budget (extension; the paper mentions but does not
   /// analyze the dissemination phase).
-  void enable_dissemination(std::uint8_t ttl) { dissemination_ttl_ = ttl; }
+  void enable_dissemination(std::uint8_t ttl) {
+    state().dissemination_ttl = ttl;
+  }
 
   /// Overlay neighbours learned from reply piggyback data.
-  const std::vector<net::NodeId>& overlay_neighbors() const noexcept {
-    return overlay_;
+  std::span<const net::NodeId> overlay_neighbors() const noexcept {
+    const CpState& st = state();
+    return {st.overlay.data(), st.overlay_count};
   }
 
   // INetworkClient:
@@ -83,6 +96,8 @@ class ControlPointBase : public net::INetworkClient {
   ProtocolObserver* observer() noexcept { return observer_; }
 
  private:
+  CpState& state() noexcept { return arena_.cp(cid_); }
+  const CpState& state() const noexcept { return arena_.cp(cid_); }
   void send_probe(std::uint64_t cycle, std::uint8_t attempt);
   void handle_success(const net::Message& reply);
   void handle_failure();
@@ -93,20 +108,14 @@ class ControlPointBase : public net::INetworkClient {
 
   des::Simulation& sim_;
   net::Network& network_;
+  EntityArena& arena_;
   net::NodeId device_;
   bool continue_after_absence_;
   ProtocolObserver* observer_;
+  CpId cid_;
   net::NodeId id_ = net::kInvalidNode;
   ProbeCycle cycle_;
   des::Timer next_cycle_timer_;
-
-  bool running_ = false;
-  bool device_present_ = true;
-  double absence_time_;
-  double current_delay_;
-  std::uint8_t dissemination_ttl_ = 0;
-  bool notified_peers_ = false;
-  std::vector<net::NodeId> overlay_;
 };
 
 }  // namespace probemon::core

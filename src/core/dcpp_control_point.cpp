@@ -6,9 +6,10 @@
 namespace probemon::core {
 
 DcppControlPoint::DcppControlPoint(des::Simulation& sim, net::Network& network,
-                                   net::NodeId device, DcppCpConfig config,
+                                   EntityArena& arena, net::NodeId device,
+                                   DcppCpConfig config,
                                    ProtocolObserver* observer)
-    : ControlPointBase(sim, network, device, config.timeouts,
+    : ControlPointBase(sim, network, arena, device, config.timeouts,
                        config.continue_after_absence, observer),
       config_(config),
       last_grant_(std::numeric_limits<double>::quiet_NaN()) {

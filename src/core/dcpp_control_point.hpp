@@ -13,7 +13,7 @@ namespace probemon::core {
 class DcppControlPoint final : public ControlPointBase {
  public:
   DcppControlPoint(des::Simulation& sim, net::Network& network,
-                   net::NodeId device, DcppCpConfig config,
+                   EntityArena& arena, net::NodeId device, DcppCpConfig config,
                    ProtocolObserver* observer = nullptr);
 
   const DcppCpConfig& config() const noexcept { return config_; }

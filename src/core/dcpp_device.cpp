@@ -7,8 +7,10 @@
 namespace probemon::core {
 
 DcppDevice::DcppDevice(des::Simulation& sim, net::Network& network,
-                       DcppDeviceConfig config, ProtocolObserver* observer)
-    : DeviceBase(sim, network, config.compute, observer), config_(config) {
+                       EntityArena& arena, DcppDeviceConfig config,
+                       ProtocolObserver* observer)
+    : DeviceBase(sim, network, arena, config.compute, observer),
+      config_(config) {
   config_.validate();
 }
 

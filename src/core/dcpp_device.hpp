@@ -30,7 +30,7 @@ namespace probemon::core {
 
 class DcppDevice final : public DeviceBase {
  public:
-  DcppDevice(des::Simulation& sim, net::Network& network,
+  DcppDevice(des::Simulation& sim, net::Network& network, EntityArena& arena,
              DcppDeviceConfig config, ProtocolObserver* observer = nullptr);
 
   const DcppDeviceConfig& config() const noexcept { return config_; }

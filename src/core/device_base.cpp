@@ -5,34 +5,40 @@
 namespace probemon::core {
 
 DeviceBase::DeviceBase(des::Simulation& sim, net::Network& network,
-                       ComputeConfig compute, ProtocolObserver* observer)
+                       EntityArena& arena, ComputeConfig compute,
+                       ProtocolObserver* observer)
     : sim_(sim),
       network_(network),
+      arena_(arena),
       compute_(compute),
       observer_(observer),
-      compute_rng_(sim.rng().fork("device.compute")) {
+      compute_rng_(sim.rng().fork("device.compute")),
+      did_(arena.add_device()) {
   compute_.validate();
   id_ = network_.attach(*this);
+  state().node = id_;
   // Make the per-device stream unique even with several devices.
   compute_rng_ = compute_rng_.fork(id_);
 }
 
 DeviceBase::~DeviceBase() {
   if (network_.attached(id_)) network_.detach(id_);
+  arena_.remove_device(did_);
 }
 
 void DeviceBase::go_silent() {
-  present_ = false;
-  service_queue_.clear();
-  busy_ = false;
+  DeviceState& st = state();
+  st.present = false;
+  arena_.queue_clear(did_);
+  st.busy = false;
   // Invalidate the in-progress "computation", if any: its completion
   // event carries the old epoch and bails even if the device has come
   // back in the meantime.
-  ++service_epoch_;
+  ++st.service_epoch;
 }
 
 void DeviceBase::leave_gracefully() {
-  for (net::NodeId cp : last_probers_) {
+  for (net::NodeId cp : state().last_probers) {
     if (cp == net::kInvalidNode) continue;
     net::Message bye;
     bye.kind = net::MessageKind::kBye;
@@ -44,20 +50,21 @@ void DeviceBase::leave_gracefully() {
   go_silent();
 }
 
-void DeviceBase::come_back() { present_ = true; }
+void DeviceBase::come_back() { state().present = true; }
 
-void DeviceBase::record_prober(net::NodeId cp) {
-  if (cp == last_probers_[0]) return;  // still the most recent
-  last_probers_[1] = last_probers_[0];
-  last_probers_[0] = cp;
+void DeviceBase::record_prober(DeviceState& st, net::NodeId cp) {
+  if (cp == st.last_probers[0]) return;  // still the most recent
+  st.last_probers[1] = st.last_probers[0];
+  st.last_probers[0] = cp;
 }
 
 void DeviceBase::on_message(const net::Message& msg) {
-  if (!present_) return;  // a silent device ignores everything
+  DeviceState& st = state();
+  if (!st.present) return;  // a silent device ignores everything
   if (msg.kind != net::MessageKind::kProbe) return;
 
   const double t = sim_.now();
-  ++probes_received_;
+  ++st.probes_received;
   if (observer_) observer_->on_probe_received(id_, msg.from, t);
   on_probe_accepted(msg, t);
 
@@ -67,36 +74,36 @@ void DeviceBase::on_message(const net::Message& msg) {
   // paper's timeout calibration (TOF = 2*RTT + compute_max) tight rather
   // than vacuous: under bursts, turnaround exceeds TOF and CPs
   // retransmit.
-  service_queue_.push_back(msg);
-  if (!busy_) start_service();
+  arena_.queue_push(did_, msg);
+  if (!st.busy) start_service();
 }
 
 void DeviceBase::start_service() {
-  if (service_queue_.empty()) {
-    busy_ = false;
+  DeviceState& st = state();
+  net::Message probe;
+  if (!arena_.queue_pop(did_, probe)) {
+    st.busy = false;
     return;
   }
-  busy_ = true;
-  const net::Message probe = service_queue_.front();
-  service_queue_.pop_front();
+  st.busy = true;
 
   // Protocol state updates at service time (the paper's "on receipt":
   // receipt and processing coincide for a serial device).
-  net::Message& reply = pending_reply_;
+  net::Message& reply = st.pending_reply;
   reply = net::Message{};
   reply.kind = net::MessageKind::kReply;
   reply.from = id_;
   reply.to = probe.from;
   reply.cycle = probe.cycle;
   reply.attempt = probe.attempt;
-  reply.last_probers = last_probers_;
+  reply.last_probers = st.last_probers;
   fill_reply(probe, sim_.now(), reply);
-  record_prober(probe.from);
+  record_prober(st, probe.from);
 
   const double compute = compute_rng_.uniform(compute_.min, compute_.max);
-  auto complete = [this, epoch = service_epoch_] {
-    if (epoch != service_epoch_) return;  // went silent mid-computation
-    network_.send(pending_reply_);
+  auto complete = [this, epoch = st.service_epoch] {
+    if (epoch != state().service_epoch) return;  // went silent mid-computation
+    network_.send(state().pending_reply);
     start_service();
   };
   static_assert(des::InlineCallback::fits_inline<decltype(complete)>);

@@ -10,13 +10,19 @@
 // The device also tracks the last two *distinct* CPs that probed it and
 // piggybacks their ids on every reply (paper section 2) — this is the
 // overlay the dissemination extension uses.
+//
+// All mutable protocol state (presence, probe counters, the service
+// queue, the pending reply) lives in a `core::EntityArena` slab addressed
+// by a generation-tagged `DeviceId`; this object is a thin behaviour
+// wrapper, so a million devices share contiguous storage instead of a
+// deque and heap node each.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <deque>
 
 #include "core/config.hpp"
+#include "core/entity_arena.hpp"
 #include "core/observer.hpp"
 #include "des/simulation.hpp"
 #include "net/network.hpp"
@@ -25,7 +31,7 @@ namespace probemon::core {
 
 class DeviceBase : public net::INetworkClient {
  public:
-  DeviceBase(des::Simulation& sim, net::Network& network,
+  DeviceBase(des::Simulation& sim, net::Network& network, EntityArena& arena,
              ComputeConfig compute, ProtocolObserver* observer);
   ~DeviceBase() override;
 
@@ -33,7 +39,9 @@ class DeviceBase : public net::INetworkClient {
   DeviceBase& operator=(const DeviceBase&) = delete;
 
   net::NodeId id() const noexcept { return id_; }
-  bool present() const noexcept { return present_; }
+  /// Arena handle for this device's state slab.
+  DeviceId entity_id() const noexcept { return did_; }
+  bool present() const noexcept { return state().present; }
 
   /// Crash-style departure: the device stays attached (so probes are
   /// still *delivered*) but never answers again.
@@ -48,16 +56,18 @@ class DeviceBase : public net::INetworkClient {
 
   /// Total probes accepted since creation (including ones still queued
   /// for processing).
-  std::uint64_t probes_received() const noexcept { return probes_received_; }
+  std::uint64_t probes_received() const noexcept {
+    return state().probes_received;
+  }
 
   /// Probes waiting for the device's single-threaded processor.
   std::size_t service_queue_length() const noexcept {
-    return service_queue_.size();
+    return state().queue_len;
   }
 
   /// Ids of the last two distinct probers (kInvalidNode when unknown).
   const std::array<net::NodeId, 2>& last_probers() const noexcept {
-    return last_probers_;
+    return state().last_probers;
   }
 
   // INetworkClient:
@@ -80,27 +90,19 @@ class DeviceBase : public net::INetworkClient {
   void notify_delta_changed(std::uint64_t delta);
 
  private:
-  void record_prober(net::NodeId cp);
+  DeviceState& state() noexcept { return arena_.device(did_); }
+  const DeviceState& state() const noexcept { return arena_.device(did_); }
+  void record_prober(DeviceState& st, net::NodeId cp);
   void start_service();
 
   des::Simulation& sim_;
   net::Network& network_;
+  EntityArena& arena_;
   ComputeConfig compute_;
   ProtocolObserver* observer_;
   util::Rng compute_rng_;
+  DeviceId did_;
   net::NodeId id_ = net::kInvalidNode;
-  bool present_ = true;
-  std::uint64_t probes_received_ = 0;
-  std::deque<net::Message> service_queue_;
-  /// Reply for the in-flight computation. The device is serial (busy_
-  /// guards a single outstanding completion event), so one slot suffices
-  /// — and it keeps the completion lambda down to [this, epoch], inside
-  /// the scheduler callback's inline buffer.
-  net::Message pending_reply_;
-  bool busy_ = false;
-  std::uint64_t service_epoch_ = 0;  ///< bumped on go_silent
-  std::array<net::NodeId, 2> last_probers_{net::kInvalidNode,
-                                           net::kInvalidNode};
 };
 
 }  // namespace probemon::core

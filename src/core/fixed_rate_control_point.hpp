@@ -32,9 +32,10 @@ struct FixedRateCpConfig {
 class FixedRateControlPoint final : public ControlPointBase {
  public:
   FixedRateControlPoint(des::Simulation& sim, net::Network& network,
-                        net::NodeId device, FixedRateCpConfig config,
+                        EntityArena& arena, net::NodeId device,
+                        FixedRateCpConfig config,
                         ProtocolObserver* observer = nullptr)
-      : ControlPointBase(sim, network, device, config.timeouts,
+      : ControlPointBase(sim, network, arena, device, config.timeouts,
                          config.continue_after_absence, observer),
         config_(config) {
     config_.validate();

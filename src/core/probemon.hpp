@@ -4,14 +4,17 @@
 //
 //   des::Simulation sim(seed);
 //   auto network = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-//   core::DcppDevice device(sim, *network, core::DcppDeviceConfig{});
-//   core::DcppControlPoint cp(sim, *network, device.id(), core::DcppCpConfig{});
+//   core::EntityArena arena;
+//   core::DcppDevice device(sim, *network, arena, core::DcppDeviceConfig{});
+//   core::DcppControlPoint cp(sim, *network, arena, device.id(),
+//                             core::DcppCpConfig{});
 //   cp.start();
 //   sim.run_until(600.0);
 #pragma once
 
 #include "core/config.hpp"
 #include "core/control_point_base.hpp"
+#include "core/entity_arena.hpp"
 #include "core/dcpp_control_point.hpp"
 #include "core/dcpp_device.hpp"
 #include "core/device_base.hpp"

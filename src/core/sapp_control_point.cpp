@@ -3,9 +3,10 @@
 namespace probemon::core {
 
 SappControlPoint::SappControlPoint(des::Simulation& sim, net::Network& network,
-                                   net::NodeId device, SappCpConfig config,
+                                   EntityArena& arena, net::NodeId device,
+                                   SappCpConfig config,
                                    ProtocolObserver* observer)
-    : ControlPointBase(sim, network, device, config.timeouts,
+    : ControlPointBase(sim, network, arena, device, config.timeouts,
                        config.continue_after_absence, observer),
       config_(config),
       adaptation_(config_) {

@@ -30,7 +30,7 @@ namespace probemon::core {
 class SappControlPoint final : public ControlPointBase {
  public:
   SappControlPoint(des::Simulation& sim, net::Network& network,
-                   net::NodeId device, SappCpConfig config,
+                   EntityArena& arena, net::NodeId device, SappCpConfig config,
                    ProtocolObserver* observer = nullptr);
 
   const SappCpConfig& config() const noexcept { return config_; }

@@ -7,8 +7,9 @@
 namespace probemon::core {
 
 SappDevice::SappDevice(des::Simulation& sim, net::Network& network,
-                       SappDeviceConfig config, ProtocolObserver* observer)
-    : DeviceBase(sim, network, config.compute, observer),
+                       EntityArena& arena, SappDeviceConfig config,
+                       ProtocolObserver* observer)
+    : DeviceBase(sim, network, arena, config.compute, observer),
       config_(config),
       delta_(config.delta()),
       base_delta_(config.delta()) {

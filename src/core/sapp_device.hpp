@@ -20,7 +20,7 @@ namespace probemon::core {
 
 class SappDevice final : public DeviceBase {
  public:
-  SappDevice(des::Simulation& sim, net::Network& network,
+  SappDevice(des::Simulation& sim, net::Network& network, EntityArena& arena,
              SappDeviceConfig config, ProtocolObserver* observer = nullptr);
 
   const SappDeviceConfig& config() const noexcept { return config_; }

@@ -15,12 +15,33 @@ Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {
   if (config_.wheel_bits < 6 || config_.wheel_bits > 22) {
     throw std::invalid_argument("Scheduler: wheel_bits must be in [6, 22]");
   }
+  if (config_.coarse_bits != 0 &&
+      (config_.coarse_bits < 6 || config_.coarse_bits > 22)) {
+    throw std::invalid_argument(
+        "Scheduler: coarse_bits must be 0 (disabled) or in [6, 22]");
+  }
   tick_scale_ = std::ldexp(1.0, config_.tick_bits);
   if (config_.backend == SchedulerBackend::kWheel) {
     const std::size_t slots = std::size_t{1} << config_.wheel_bits;
     wheel_mask_ = slots - 1;
     slot_head_.assign(slots, kNil);
     slot_bits_.assign(slots / 64, 0);
+    if (config_.coarse_bits != 0) {
+      coarse_shift_ = config_.coarse_tick_bits < 0
+                          ? std::min(13, config_.wheel_bits - 1)
+                          : config_.coarse_tick_bits;
+      // Strictly below wheel_bits: a cascaded coarse slot (2^shift fine
+      // ticks) must fit inside the fine window with cur_tick_ parked one
+      // tick before the slot's start.
+      if (coarse_shift_ < 1 || coarse_shift_ >= config_.wheel_bits) {
+        throw std::invalid_argument(
+            "Scheduler: coarse_tick_bits must be in [1, wheel_bits - 1]");
+      }
+      const std::size_t cslots = std::size_t{1} << config_.coarse_bits;
+      coarse_mask_ = cslots - 1;
+      coarse_head_.assign(cslots, kNil);
+      coarse_occ_.assign(cslots / 64, 0);
+    }
   }
 }
 
@@ -58,6 +79,10 @@ void Scheduler::place(std::uint32_t index) {
     heap_push(bucket_late_, index, Location::kBucketLate);
   } else if (ev.tick < cur_tick_ + wheel_span()) {
     wheel_insert(index);
+  } else if (coarse_enabled() &&
+             coarse_tick_of(ev.tick) <
+                 coarse_tick_of(cur_tick_) + coarse_slot_count()) {
+    coarse_insert(index);
   } else {
     heap_push(overflow_, index, Location::kOverflow);
   }
@@ -72,6 +97,9 @@ bool Scheduler::cancel(EventId id) {
   switch (ev.loc) {
     case Location::kWheel:
       wheel_remove(index);
+      break;
+    case Location::kCoarse:
+      coarse_remove(index);
       break;
     case Location::kOverflow:
       heap_remove_at(overflow_, ev.heap_pos);
@@ -121,16 +149,28 @@ Time Scheduler::next_time() const {
     }
     return best;
   }
+  // Fine and coarse tick ranges can interleave until a cascade runs, so
+  // the earliest pending event is the min over the next occupied fine
+  // slot and the first occupied coarse slot. Overflow ticks lie beyond
+  // both windows, so the heap root only matters when the wheels are
+  // empty.
+  Time best = kTimeInfinity;
   if (wheel_count_ > 0) {
-    // All wheel times precede all overflow times (strictly later ticks),
-    // so the earliest time in the next occupied slot is the answer.
-    Time best = kTimeInfinity;
     for (std::uint32_t i = slot_head_[next_occupied_slot()]; i != kNil;
          i = pool_[i].next) {
       if (pool_[i].time < best) best = pool_[i].time;
     }
-    return best;
   }
+  if (coarse_count_ > 0) {
+    // Coarse slots cover disjoint, increasing tick ranges, so the first
+    // occupied slot holds the earliest coarse event (its list is
+    // unsorted within the slot — scan it).
+    for (std::uint32_t i = coarse_head_[next_occupied_coarse_slot()];
+         i != kNil; i = pool_[i].next) {
+      if (pool_[i].time < best) best = pool_[i].time;
+    }
+  }
+  if (best != kTimeInfinity) return best;
   if (!overflow_.empty()) return overflow_.front().time;
   return kTimeInfinity;
 }
@@ -139,6 +179,25 @@ bool Scheduler::refill_bucket() {
   while (bucket_empty()) {
     bucket_run_.clear();
     bucket_pos_ = 0;
+    if (coarse_count_ > 0) {
+      // Cascade-on-advance: when the first occupied coarse slot starts
+      // at or before the next occupied fine tick, nothing in the fine
+      // wheel precedes it — advance to just before the slot's window
+      // and spill its events into the fine wheel (each lands strictly
+      // inside the span because 2^coarse_shift < 2^wheel_bits).
+      const std::size_t cslot = next_occupied_coarse_slot();
+      const std::int64_t cstart =
+          coarse_tick_of(pool_[coarse_head_[cslot]].tick) << coarse_shift_;
+      const bool fine_first =
+          wheel_count_ > 0 &&
+          pool_[slot_head_[next_occupied_slot()]].tick < cstart;
+      if (!fine_first) {
+        cur_tick_ = cstart - 1;
+        cascade_coarse_slot(cslot);
+        promote_overflow();
+        continue;
+      }
+    }
     if (wheel_count_ > 0) {
       const std::size_t slot = next_occupied_slot();
       cur_tick_ = pool_[slot_head_[slot]].tick;
@@ -337,12 +396,15 @@ void Scheduler::promote_overflow() {
   // The overflow heap is keyed (time, seq) and ticks are monotone in
   // time, so once the root's tick is outside the window nothing else
   // can be inside it.
-  const std::int64_t window_end = cur_tick_ + wheel_span();
+  const std::int64_t fine_end = cur_tick_ + wheel_span();
+  const std::int64_t window_end =
+      coarse_enabled() ? coarse_window_end() : fine_end;
   while (!overflow_.empty()) {
     const std::uint32_t index = overflow_.front().index;
-    if (pool_[index].tick >= window_end) break;
+    const std::int64_t tick = pool_[index].tick;
+    if (tick >= window_end) break;
     heap_remove_at(overflow_, 0);
-    if (pool_[index].tick <= cur_tick_) {
+    if (tick <= cur_tick_) {
       // Only reachable on a window jump, with the run empty: successive
       // overflow-root pops arrive in ascending (time, seq) order, so
       // appending keeps the run sorted.
@@ -350,8 +412,10 @@ void Scheduler::promote_overflow() {
       ev.loc = Location::kBucket;
       ev.heap_pos = static_cast<std::uint32_t>(bucket_run_.size());
       bucket_run_.push_back(HeapEntry{ev.time, ev.seq, index});
-    } else {
+    } else if (tick < fine_end) {
       wheel_insert(index);
+    } else {
+      coarse_insert(index);
     }
   }
 }
@@ -376,6 +440,81 @@ std::size_t Scheduler::next_occupied_slot() const {
     }
   }
   PROBEMON_CONTRACT(false, "occupancy bitmap inconsistent with wheel_count_");
+  return 0;
+}
+
+// --- coarse (upper-level) wheel primitives -----------------------------------
+
+void Scheduler::coarse_insert(std::uint32_t index) {
+  Event& ev = pool_[index];
+  const std::int64_t ctick = coarse_tick_of(ev.tick);
+  const std::size_t slot = coarse_slot_of(ctick);
+  const std::uint32_t head = coarse_head_[slot];
+  // Residents satisfy coarse_tick_of(cur_tick_) < ctick <
+  // coarse_tick_of(cur_tick_) + slot count, so — exactly like the fine
+  // wheel — one slot never mixes two coarse ticks.
+  PROBEMON_CONTRACT(head == kNil ||
+                        coarse_tick_of(pool_[head].tick) == ctick,
+                    "coarse slot " << slot << " mixes coarse ticks " << ctick
+                                   << " and "
+                                   << coarse_tick_of(pool_[head].tick));
+  ev.loc = Location::kCoarse;
+  ev.heap_pos = kNil;
+  ev.prev = kNil;
+  ev.next = head;
+  if (head != kNil) pool_[head].prev = index;
+  coarse_head_[slot] = index;
+  coarse_occ_[slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  ++coarse_count_;
+}
+
+void Scheduler::coarse_remove(std::uint32_t index) {
+  Event& ev = pool_[index];
+  const std::size_t slot = coarse_slot_of(coarse_tick_of(ev.tick));
+  if (ev.prev != kNil) {
+    pool_[ev.prev].next = ev.next;
+  } else {
+    coarse_head_[slot] = ev.next;
+  }
+  if (ev.next != kNil) pool_[ev.next].prev = ev.prev;
+  if (coarse_head_[slot] == kNil) {
+    coarse_occ_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  }
+  --coarse_count_;
+}
+
+void Scheduler::cascade_coarse_slot(std::size_t slot) {
+  std::uint32_t i = coarse_head_[slot];
+  coarse_head_[slot] = kNil;
+  coarse_occ_[slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (i != kNil) {
+    const std::uint32_t next = pool_[i].next;  // wheel_insert rewrites links
+    --coarse_count_;
+    wheel_insert(i);
+    i = next;
+  }
+}
+
+std::size_t Scheduler::next_occupied_coarse_slot() const {
+  PROBEMON_CONTRACT(coarse_count_ > 0,
+                    "next_occupied_coarse_slot on empty coarse wheel");
+  const std::size_t nwords = coarse_occ_.size();
+  // Residents are strictly after cur_tick_'s coarse tick, so a circular
+  // scan from the following slot visits them in increasing-tick order.
+  const std::size_t start = coarse_slot_of(coarse_tick_of(cur_tick_) + 1);
+  const std::size_t start_word = start >> 6;
+  const std::uint64_t head_bits = coarse_occ_[start_word] >> (start & 63);
+  if (head_bits != 0) {
+    return start + static_cast<std::size_t>(std::countr_zero(head_bits));
+  }
+  for (std::size_t step = 1; step <= nwords; ++step) {
+    const std::size_t word = (start_word + step) & (nwords - 1);
+    const std::uint64_t bits = coarse_occ_[word];
+    if (bits != 0) {
+      return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    }
+  }
+  PROBEMON_CONTRACT(false, "occupancy bitmap inconsistent with coarse_count_");
   return 0;
 }
 

@@ -15,19 +15,22 @@
 //     O(log n) for far-future ones; either way the slot is reclaimed in
 //     place — there are no tombstones to skim on pop.
 //
-// Implementation: a hashed timer wheel with an indexed fallback heap.
-// The protocol's delays are tightly bounded (TOF = 0.022 s, TOS =
-// 0.021 s, δ ∈ [δ_min, δ_max] ≤ 10 s — the Varghese & Lauck sweet
-// spot), so the overwhelming majority of events land in an O(1) wheel
-// slot within the 16 s default span. Far-future events (departure
-// scripts, metrics flushes) wait in a binary min-heap of slot indices,
-// keyed (time, seq), and are promoted into the wheel as its window
-// slides. Events for the tick currently executing live in a third
-// structure, the *bucket* — a sorted (time, seq) run consumed by cursor
-// that restores exact ordering inside one tick. All three structures hold 32-bit
-// indices into a slab pool of event slots; callbacks are
-// small-buffer-optimized InlineFunctions, so the steady-state probe
-// path performs zero heap allocation (see docs/performance.md).
+// Implementation: a two-level hashed timer wheel with an indexed
+// fallback heap. The protocol's delays are tightly bounded (TOF =
+// 0.022 s, TOS = 0.021 s, δ ∈ [δ_min, δ_max] ≤ 10 s — the Varghese &
+// Lauck sweet spot), so the overwhelming majority of events land in an
+// O(1) fine-wheel slot within the 128 s default span. Longer-horizon
+// timers (departure scripts, metrics flushes, δ_max-scale delays across
+// fleet-sized models) land in a coarse upper wheel — 32 s slots, ~36 h
+// span at the defaults — whose slots *cascade* into the fine wheel as
+// the window advances. Only events beyond the coarse span wait in a
+// binary min-heap of slot indices, keyed (time, seq), promoted as the
+// window slides. Events for the tick currently executing live in the
+// *bucket* — a sorted (time, seq) run consumed by cursor that restores
+// exact ordering inside one tick. All structures hold 32-bit indices
+// into a slab pool of event slots; callbacks are small-buffer-optimized
+// InlineFunctions, so the steady-state probe path performs zero heap
+// allocation (see docs/performance.md).
 //
 // The reference backend (SchedulerBackend::kHeap) bypasses the wheel
 // and runs everything through one indexed heap — the pre-wheel ordering
@@ -78,6 +81,18 @@ struct SchedulerConfig {
   /// lands in an O(1) slot. Cost: 132 KiB per scheduler, touched
   /// sparsely (only occupied slots are ever read).
   int wheel_bits = 15;
+  /// Upper (coarse) wheel level: one coarse slot covers
+  /// 2^coarse_tick_bits fine ticks. -1 resolves to
+  /// min(13, wheel_bits - 1) — 32 s per coarse slot at the defaults.
+  /// The resolved value must stay strictly below wheel_bits so a
+  /// cascaded coarse slot always fits inside the fine window.
+  int coarse_tick_bits = -1;
+  /// Coarse wheel size = 2^coarse_bits slots; 0 disables the coarse
+  /// level (fine wheel + overflow heap only, the pre-hierarchical
+  /// layout). Default 4096 slots * 32 s ≈ 36 h span: δ_max-scale
+  /// timers across 10^6 entities, plus multi-hour departure scripts,
+  /// stay O(1) instead of churning the overflow heap.
+  int coarse_bits = 12;
 };
 
 /// Opaque handle to a scheduled event, usable for cancellation.
@@ -161,6 +176,13 @@ class Scheduler {
   std::size_t pool_slots() const noexcept { return pool_.capacity(); }
   std::size_t pool_in_use() const noexcept { return pool_.in_use(); }
 
+  /// Residency split across the wheel hierarchy (telemetry/tests): with
+  /// the coarse level enabled, the overflow heap should only ever hold
+  /// events beyond the coarse span (~36 h at the defaults).
+  std::size_t fine_resident() const noexcept { return wheel_count_; }
+  std::size_t coarse_resident() const noexcept { return coarse_count_; }
+  std::size_t overflow_resident() const noexcept { return overflow_.size(); }
+
   /// Test/trace hook invoked as (time, seq) immediately before each
   /// event executes. Used by the ordering-equivalence tests to diff the
   /// wheel path against the reference heap path bit-for-bit.
@@ -172,8 +194,9 @@ class Scheduler {
  private:
   enum class Location : std::uint8_t {
     kFree,
-    kWheel,       ///< intrusive doubly-linked list in a wheel slot
-    kOverflow,    ///< indexed overflow heap (tick beyond the wheel window)
+    kWheel,       ///< intrusive doubly-linked list in a fine wheel slot
+    kCoarse,      ///< intrusive doubly-linked list in a coarse wheel slot
+    kOverflow,    ///< indexed overflow heap (tick beyond both windows)
     kBucket,      ///< sorted run of the tick currently executing
     kBucketLate,  ///< heap of events scheduled into the current tick mid-run
     kHeap,        ///< single heap of the kHeap reference backend
@@ -230,6 +253,22 @@ class Scheduler {
   std::size_t slot_of(std::int64_t tick) const noexcept {
     return static_cast<std::size_t>(tick) & wheel_mask_;
   }
+  bool coarse_enabled() const noexcept { return coarse_shift_ > 0; }
+  /// Coarse tick containing a fine tick (coarse level enabled only).
+  std::int64_t coarse_tick_of(std::int64_t tick) const noexcept {
+    return tick >> coarse_shift_;
+  }
+  std::int64_t coarse_slot_count() const noexcept {
+    return static_cast<std::int64_t>(coarse_head_.size());
+  }
+  std::size_t coarse_slot_of(std::int64_t ctick) const noexcept {
+    return static_cast<std::size_t>(ctick) & coarse_mask_;
+  }
+  /// First fine tick NOT covered by the coarse window: events at or past
+  /// it wait in the overflow heap.
+  std::int64_t coarse_window_end() const noexcept {
+    return (coarse_tick_of(cur_tick_) + coarse_slot_count()) << coarse_shift_;
+  }
 
   // --- indexed-heap primitives (keyed by (time, seq), positions written
   // back into Event::heap_pos) ----------------------------------------------
@@ -248,6 +287,15 @@ class Scheduler {
   void drain_slot_into_bucket(std::size_t slot);
   void promote_overflow();
   std::size_t next_occupied_slot() const;  ///< requires wheel_count_ > 0
+
+  // --- coarse (upper-level) wheel primitives --------------------------------
+  void coarse_insert(std::uint32_t index);
+  void coarse_remove(std::uint32_t index);
+  /// Move every event of one coarse slot down into the fine wheel. The
+  /// caller has already advanced cur_tick_ to just before the slot's
+  /// window, so each event lands strictly inside the fine span.
+  void cascade_coarse_slot(std::size_t slot);
+  std::size_t next_occupied_coarse_slot() const;  ///< requires coarse_count_ > 0
 
   // --- core paths -----------------------------------------------------------
   void place(std::uint32_t index);
@@ -278,6 +326,11 @@ class Scheduler {
   std::vector<std::uint32_t> slot_head_;  ///< wheel slot -> list head
   std::vector<std::uint64_t> slot_bits_;  ///< occupancy bitmap over slots
   std::size_t wheel_count_ = 0;
+  std::vector<std::uint32_t> coarse_head_;  ///< coarse slot -> list head
+  std::vector<std::uint64_t> coarse_occ_;   ///< occupancy bitmap
+  std::size_t coarse_count_ = 0;
+  int coarse_shift_ = 0;  ///< log2 fine ticks per coarse slot; 0 = disabled
+  std::size_t coarse_mask_ = 0;
   std::int64_t cur_tick_ = 0;
 
   Time now_ = 0.0;

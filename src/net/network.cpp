@@ -51,11 +51,17 @@ std::unique_ptr<Network> Network::make_paper_default(des::Scheduler& scheduler,
 
 NodeId Network::attach(INetworkClient& client) {
   const NodeId id = next_id_++;
-  clients_.emplace(id, &client);
+  if (clients_.size() <= id) clients_.resize(id + 1, nullptr);
+  clients_[id] = &client;
+  ++attached_count_;
   return id;
 }
 
-void Network::detach(NodeId id) { clients_.erase(id); }
+void Network::detach(NodeId id) {
+  if (!attached(id)) return;
+  clients_[id] = nullptr;
+  --attached_count_;
+}
 
 bool Network::send(Message msg) {
   if (msg.from == kInvalidNode || msg.to == kInvalidNode) {
@@ -101,13 +107,14 @@ void Network::deliver_slot(std::uint32_t slot) {
   pool_.release(slot);
   --in_flight_;
   occupancy_.set(scheduler_.now(), static_cast<double>(in_flight_));
-  auto it = clients_.find(msg.to);
-  if (it == clients_.end()) {
+  INetworkClient* client =
+      msg.to < clients_.size() ? clients_[msg.to] : nullptr;
+  if (client == nullptr) {
     ++counters_.dropped_unknown;
     return;
   }
   ++counters_.delivered;
-  it->second->on_message(msg);
+  client->on_message(msg);
 }
 
 }  // namespace probemon::net

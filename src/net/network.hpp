@@ -13,7 +13,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "des/scheduler.hpp"
 #include "net/delay_model.hpp"
@@ -68,8 +68,10 @@ class Network {
   /// delivery time (counted as dropped_unknown).
   void detach(NodeId id);
 
-  bool attached(NodeId id) const { return clients_.contains(id); }
-  std::size_t node_count() const noexcept { return clients_.size(); }
+  bool attached(NodeId id) const noexcept {
+    return id < clients_.size() && clients_[id] != nullptr;
+  }
+  std::size_t node_count() const noexcept { return attached_count_; }
 
   /// Send msg.from -> msg.to. Loss and buffer limits apply. Returns true
   /// if the message entered the network (it may still be lost later only
@@ -110,12 +112,17 @@ class Network {
   LossModelPtr loss_;
   util::Rng delay_rng_;
   util::Rng loss_rng_;
-  std::unordered_map<NodeId, INetworkClient*> clients_;
+  /// Dense client table indexed by NodeId (ids are handed out
+  /// sequentially from 1; slot 0 is kInvalidNode and stays null).
+  /// Delivery is an array index instead of a hash lookup, and a million
+  /// nodes cost one pointer each.
+  std::vector<INetworkClient*> clients_;
   /// In-flight messages parked here so the delivery event captures only
   /// [this, slot] — inside the scheduler callback's inline buffer (a
   /// by-value Message capture would spill to the heap on every send).
   util::SlabPool<Message> pool_;
   NodeId next_id_ = 1;
+  std::size_t attached_count_ = 0;
   std::size_t in_flight_ = 0;
   bool down_ = false;
   NetworkCounters counters_;

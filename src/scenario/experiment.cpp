@@ -80,11 +80,11 @@ Experiment::Experiment(ExperimentConfig config)
     case Protocol::kSapp:
     case Protocol::kFixedRate:
       device_ = std::make_unique<core::SappDevice>(
-          sim_, *network_, config_.sapp_device, &fanout_);
+          sim_, *network_, entities_, config_.sapp_device, &fanout_);
       break;
     case Protocol::kDcpp:
       device_ = std::make_unique<core::DcppDevice>(
-          sim_, *network_, config_.dcpp_device, &fanout_);
+          sim_, *network_, entities_, config_.dcpp_device, &fanout_);
       break;
   }
 
@@ -100,15 +100,18 @@ net::NodeId Experiment::add_cp() {
   switch (config_.protocol) {
     case Protocol::kSapp:
       cp = std::make_unique<core::SappControlPoint>(
-          sim_, *network_, device_->id(), config_.sapp_cp, &fanout_);
+          sim_, *network_, entities_, device_->id(), config_.sapp_cp,
+          &fanout_);
       break;
     case Protocol::kDcpp:
       cp = std::make_unique<core::DcppControlPoint>(
-          sim_, *network_, device_->id(), config_.dcpp_cp, &fanout_);
+          sim_, *network_, entities_, device_->id(), config_.dcpp_cp,
+          &fanout_);
       break;
     case Protocol::kFixedRate:
       cp = std::make_unique<core::FixedRateControlPoint>(
-          sim_, *network_, device_->id(), config_.fixed_cp, &fanout_);
+          sim_, *network_, entities_, device_->id(), config_.fixed_cp,
+          &fanout_);
       break;
   }
   if (config_.dissemination) {

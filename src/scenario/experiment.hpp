@@ -4,7 +4,9 @@
 // of CPs, one device, and a network process").
 #pragma once
 
-#include <functional>
+// Config-time factories below are the one sanctioned std::function use:
+// they run once at Experiment construction, never per event.
+#include <functional>  // NOLINT(no-std-function)
 #include <map>
 #include <memory>
 #include <string>
@@ -49,8 +51,10 @@ struct ExperimentConfig {
   des::SchedulerConfig scheduler{};
 
   /// Network model factories; defaults: paper three-mode delay, no loss.
-  std::function<net::DelayModelPtr()> delay_factory;
-  std::function<net::LossModelPtr()> loss_factory;
+  /// Invoked once per Experiment at construction — setup code, not the
+  /// per-event path, so the type-erased callable's allocation is fine.
+  std::function<net::DelayModelPtr()> delay_factory;  // NOLINT(no-std-function)
+  std::function<net::LossModelPtr()> loss_factory;  // NOLINT(no-std-function)
 
   /// Max start jitter for joining CPs. CPs power on at independent
   /// moments in any real network, and a strictly synchronous start
@@ -97,6 +101,8 @@ class Experiment {
 
   des::Simulation& sim() noexcept { return sim_; }
   net::Network& network() noexcept { return *network_; }
+  core::EntityArena& entities() noexcept { return entities_; }
+  const core::EntityArena& entities() const noexcept { return entities_; }
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
 
@@ -153,6 +159,9 @@ class Experiment {
   Metrics metrics_;
   std::unique_ptr<check::InvariantAuditor> auditor_;
   core::FanoutObserver fanout_;
+  /// Declared before the entities that index into it: wrappers release
+  /// their arena slots on destruction.
+  core::EntityArena entities_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<core::DeviceBase> device_;
   std::map<net::NodeId, std::unique_ptr<core::ControlPointBase>> cps_;

@@ -31,7 +31,9 @@
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <functional>
+// The Job callable below is the one sanctioned std::function here: a
+// sweep dispatches whole replications, not per-event callbacks.
+#include <functional>  // NOLINT(no-std-function)
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -61,7 +63,11 @@ class SweepRunner {
 
   unsigned thread_count() const noexcept { return thread_count_; }
 
-  using Job = std::function<void(std::size_t job, SweepWorkerContext& ctx)>;
+  // One capture per sweep (amortized over thousands of replications), so
+  // type erasure's heap cost is irrelevant here — unlike the event path.
+  using Job =
+      std::function<void(std::size_t job,  // NOLINT(no-std-function)
+                         SweepWorkerContext& ctx)>;
 
   /// Run `fn` for every job id in [0, job_count); blocks until all jobs
   /// finish. When `merge_into` is non-null (any MetricStore — Registry

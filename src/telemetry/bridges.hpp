@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "core/entity_arena.hpp"
 #include "des/scheduler.hpp"
 #include "des/simulation.hpp"
 #include "telemetry/registry.hpp"
@@ -56,6 +57,25 @@ inline void instrument_scheduler(Registry& registry,
       },
       "Callables too large for the InlineFunction buffer (process-wide)",
       labels);
+  // Timer residency across the two-level hierarchy: most timers should
+  // sit in the fine or coarse wheel; a growing overflow count means the
+  // coarse span (~36 h at defaults) is being outrun.
+  registry.gauge_callback(
+      "probemon_des_wheel_fine_resident",
+      [&scheduler] { return static_cast<double>(scheduler.fine_resident()); },
+      "Pending events resident in the fine wheel", labels);
+  registry.gauge_callback(
+      "probemon_des_wheel_coarse_resident",
+      [&scheduler] {
+        return static_cast<double>(scheduler.coarse_resident());
+      },
+      "Pending events resident in the coarse wheel", labels);
+  registry.gauge_callback(
+      "probemon_des_wheel_overflow_resident",
+      [&scheduler] {
+        return static_cast<double>(scheduler.overflow_resident());
+      },
+      "Pending events beyond the coarse span (overflow heap)", labels);
 }
 
 /// Everything instrument_scheduler binds, plus virtual time and the
@@ -70,6 +90,52 @@ inline void instrument_simulation(Registry& registry,
   registry.gauge_callback(
       "probemon_des_speedup_ratio", [&sim] { return sim.speedup_ratio(); },
       "Virtual seconds simulated per wall-clock second", labels);
+}
+
+/// Entity-arena occupancy: slot capacity (monotone), live entities, and
+/// lifetime high-water marks for the device/CP slabs plus the shared
+/// service-queue node pool. At steady state slots must plateau — the
+/// fleet-scale "entities stopped allocating" signal, mirroring
+/// probemon_des_pool_slots.
+inline void instrument_entity_arena(Registry& registry,
+                                    const core::EntityArena& arena,
+                                    const Labels& labels = {}) {
+  registry.gauge_callback(
+      "probemon_entity_arena_device_slots",
+      [&arena] { return static_cast<double>(arena.device_slots()); },
+      "Device slab capacity (monotone)", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_device_in_use",
+      [&arena] { return static_cast<double>(arena.device_in_use()); },
+      "Live device entities", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_device_high_water",
+      [&arena] { return static_cast<double>(arena.device_high_water()); },
+      "Peak live device entities", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_cp_slots",
+      [&arena] { return static_cast<double>(arena.cp_slots()); },
+      "Control-point slab capacity (monotone)", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_cp_in_use",
+      [&arena] { return static_cast<double>(arena.cp_in_use()); },
+      "Live control-point entities", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_cp_high_water",
+      [&arena] { return static_cast<double>(arena.cp_high_water()); },
+      "Peak live control-point entities", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_queue_pool_slots",
+      [&arena] { return static_cast<double>(arena.queue_pool_slots()); },
+      "Shared service-queue node pool capacity (monotone)", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_queue_pool_in_use",
+      [&arena] { return static_cast<double>(arena.queue_pool_in_use()); },
+      "Service-queue nodes currently holding a queued probe", labels);
+  registry.gauge_callback(
+      "probemon_entity_arena_queue_pool_high_water",
+      [&arena] { return static_cast<double>(arena.queue_pool_high_water()); },
+      "Peak queued probes across all devices", labels);
 }
 
 }  // namespace probemon::telemetry

@@ -46,10 +46,11 @@ TEST(LinearFit, DegenerateInputs) {
 TEST(FixedRateCp, ProbesAtConfiguredPeriod) {
   des::Simulation sim(1);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  core::SappDevice device(sim, *net, core::SappDeviceConfig{});
+  core::EntityArena arena;
+  core::SappDevice device(sim, *net, arena, core::SappDeviceConfig{});
   core::FixedRateCpConfig config;
   config.period = 0.5;
-  core::FixedRateControlPoint cp(sim, *net, device.id(), config);
+  core::FixedRateControlPoint cp(sim, *net, arena, device.id(), config);
   cp.start();
   sim.run_until(100.0);
   // ~2 cycles/s for 100 s.
@@ -84,8 +85,9 @@ TEST(FixedRateCp, Validation) {
 TEST(FixedRateCp, DetectsAbsence) {
   des::Simulation sim(2);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  core::SappDevice device(sim, *net, core::SappDeviceConfig{});
-  core::FixedRateControlPoint cp(sim, *net, device.id(),
+  core::EntityArena arena;
+  core::SappDevice device(sim, *net, arena, core::SappDeviceConfig{});
+  core::FixedRateControlPoint cp(sim, *net, arena, device.id(),
                                  core::FixedRateCpConfig{});
   cp.start();
   sim.run_until(50.0);

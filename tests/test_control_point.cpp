@@ -12,14 +12,15 @@ namespace {
 
 struct World {
   des::Simulation sim{11};
+  EntityArena arena;
   std::unique_ptr<net::Network> net =
       net::Network::make_paper_default(sim.scheduler(), sim.rng());
 };
 
 TEST(ControlPoint, StopDetachesAndSilences) {
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
-  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
   cp.start();
   w.sim.run_until(5.0);
   const auto cycles = cp.cycle().cycles_succeeded();
@@ -33,8 +34,8 @@ TEST(ControlPoint, StopDetachesAndSilences) {
 
 TEST(ControlPoint, StartIsIdempotent) {
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
-  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
   cp.start();
   cp.start();  // second start must not double-probe
   w.sim.run_until(1.0);
@@ -43,8 +44,8 @@ TEST(ControlPoint, StartIsIdempotent) {
 
 TEST(ControlPoint, StartJitterDelaysFirstProbe) {
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
-  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
   cp.start(2.0);
   w.sim.run_until(1.9);
   EXPECT_EQ(cp.cycle().cycles_started(), 0u);
@@ -54,8 +55,8 @@ TEST(ControlPoint, StartJitterDelaysFirstProbe) {
 
 TEST(ControlPoint, ByeFromOtherDeviceIgnored) {
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
-  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
   cp.start();
   w.sim.run_until(2.0);
   net::Message bye;
@@ -70,8 +71,8 @@ TEST(ControlPoint, ByeFromOtherDeviceIgnored) {
 
 TEST(ControlPoint, NotifyMarksAbsentAndStopsProbing) {
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
-  DcppControlPoint cp(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
+  DcppControlPoint cp(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
   cp.start();
   w.sim.run_until(2.0);
   const auto cycles = cp.cycle().cycles_started();
@@ -92,11 +93,11 @@ TEST(ControlPoint, GossipForwardsWithTtl) {
   // silent, the first detector's notify reaches the others through the
   // overlay.
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
   std::vector<std::unique_ptr<DcppControlPoint>> cps;
   for (int i = 0; i < 3; ++i) {
     cps.push_back(std::make_unique<DcppControlPoint>(
-        w.sim, *w.net, device.id(), DcppCpConfig{}));
+        w.sim, *w.net, w.arena, device.id(), DcppCpConfig{}));
     cps.back()->enable_dissemination(2);
     cps.back()->start(0.05 * i);
   }
@@ -116,11 +117,11 @@ TEST(ControlPoint, OverlayCapsAtFourNeighbors) {
   DcppDeviceConfig device_config;
   device_config.delta_min = 0.01;
   device_config.d_min = 0.02;
-  DcppDevice device(w.sim, *w.net, device_config);
+  DcppDevice device(w.sim, *w.net, w.arena, device_config);
   std::vector<std::unique_ptr<DcppControlPoint>> cps;
   for (int i = 0; i < 8; ++i) {
     cps.push_back(std::make_unique<DcppControlPoint>(
-        w.sim, *w.net, device.id(), DcppCpConfig{}));
+        w.sim, *w.net, w.arena, device.id(), DcppCpConfig{}));
     cps.back()->start(0.002 * i);
   }
   w.sim.run_until(30.0);
@@ -131,7 +132,7 @@ TEST(ControlPoint, OverlayCapsAtFourNeighbors) {
 
 TEST(Device, ServiceQueueDrainsAndBoundsTurnaround) {
   World w;
-  SappDevice device(w.sim, *w.net, SappDeviceConfig{});
+  SappDevice device(w.sim, *w.net, w.arena, SappDeviceConfig{});
 
   struct Sink final : net::INetworkClient {
     std::vector<double> reply_times;
@@ -169,7 +170,7 @@ TEST(Device, ServiceQueueDrainsAndBoundsTurnaround) {
 
 TEST(Device, GoSilentMidComputationSuppressesReply) {
   World w;
-  SappDevice device(w.sim, *w.net, SappDeviceConfig{});
+  SappDevice device(w.sim, *w.net, w.arena, SappDeviceConfig{});
   struct Sink final : net::INetworkClient {
     int replies = 0;
     void on_message(const net::Message& m) override {
@@ -191,9 +192,9 @@ TEST(Device, GoSilentMidComputationSuppressesReply) {
 
 TEST(Device, GracefulLeaveSendsByeToLastTwoProbers) {
   World w;
-  DcppDevice device(w.sim, *w.net, DcppDeviceConfig{});
-  DcppControlPoint cp1(w.sim, *w.net, device.id(), DcppCpConfig{});
-  DcppControlPoint cp2(w.sim, *w.net, device.id(), DcppCpConfig{});
+  DcppDevice device(w.sim, *w.net, w.arena, DcppDeviceConfig{});
+  DcppControlPoint cp1(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
+  DcppControlPoint cp2(w.sim, *w.net, w.arena, device.id(), DcppCpConfig{});
   cp1.start();
   cp2.start(0.1);
   w.sim.run_until(5.0);
@@ -214,10 +215,10 @@ TEST(ControlPoint, DeviceFlappingIsTracked) {
   DcppDeviceConfig device_config;
   device_config.delta_min = 0.05;
   device_config.d_min = 0.1;  // fast probing: verdicts update quickly
-  DcppDevice device(w.sim, *w.net, device_config);
+  DcppDevice device(w.sim, *w.net, w.arena, device_config);
   DcppCpConfig cp_config;
   cp_config.continue_after_absence = true;
-  DcppControlPoint cp(w.sim, *w.net, device.id(), cp_config);
+  DcppControlPoint cp(w.sim, *w.net, w.arena, device.id(), cp_config);
   cp.start();
 
   for (int round = 0; round < 4; ++round) {
@@ -235,9 +236,10 @@ TEST(ControlPoint, DeviceFlappingIsTracked) {
 TEST(Determinism, SameSeedSameTrajectory) {
   auto run = [](std::uint64_t seed) {
     des::Simulation sim(seed);
+    EntityArena arena;
     auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-    SappDevice device(sim, *net, SappDeviceConfig{});
-    SappControlPoint cp(sim, *net, device.id(), SappCpConfig{});
+    SappDevice device(sim, *net, arena, SappDeviceConfig{});
+    SappControlPoint cp(sim, *net, arena, device.id(), SappCpConfig{});
     cp.start();
     sim.run_until(500.0);
     return std::make_tuple(device.probe_counter(),

@@ -88,7 +88,8 @@ TEST(DcppGrant, SteadyStateLoadCapsAtLnom) {
 TEST(DcppDevice, ReplyCarriesGrantAndAdvancesFrontier) {
   des::Simulation sim(1);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  DcppDevice device(sim, *net, paper_device());
+  EntityArena arena;
+  DcppDevice device(sim, *net, arena, paper_device());
 
   struct Probe final : net::INetworkClient {
     std::vector<net::Message> replies;
@@ -124,6 +125,7 @@ TEST(DcppDeviceConfig, Validation) {
 
 struct DcppWorld {
   des::Simulation sim;
+  EntityArena arena;
   std::unique_ptr<net::Network> net;
   std::unique_ptr<DcppDevice> device;
   std::vector<std::unique_ptr<DcppControlPoint>> cps;
@@ -131,10 +133,10 @@ struct DcppWorld {
   explicit DcppWorld(std::uint64_t seed, std::size_t k)
       : sim(seed),
         net(net::Network::make_paper_default(sim.scheduler(), sim.rng())) {
-    device = std::make_unique<DcppDevice>(sim, *net, paper_device());
+    device = std::make_unique<DcppDevice>(sim, *net, arena, paper_device());
     for (std::size_t i = 0; i < k; ++i) {
       cps.push_back(std::make_unique<DcppControlPoint>(
-          sim, *net, device->id(), DcppCpConfig{}));
+          sim, *net, arena, device->id(), DcppCpConfig{}));
       cps.back()->start(0.01 * static_cast<double>(i));
     }
   }
@@ -203,7 +205,7 @@ TEST(DcppIntegration, JoiningBurstIsAbsorbed) {
   // 40 CPs join at the same instant (paper's worst case).
   for (int i = 0; i < 40; ++i) {
     world.cps.push_back(std::make_unique<DcppControlPoint>(
-        world.sim, *world.net, world.device->id(), DcppCpConfig{}));
+        world.sim, *world.net, world.arena, world.device->id(), DcppCpConfig{}));
     world.cps.back()->start();
   }
   world.sim.run_until(60.0);

@@ -183,17 +183,18 @@ TEST(PaperShape, DeviceCpGroupsAreIndependent) {
   // isolated single-device runs.
   des::Simulation sim(77);
   auto network = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  core::DcppDevice device_a(sim, *network, core::DcppDeviceConfig{});
-  core::DcppDevice device_b(sim, *network, core::DcppDeviceConfig{});
+  core::EntityArena arena;
+  core::DcppDevice device_a(sim, *network, arena, core::DcppDeviceConfig{});
+  core::DcppDevice device_b(sim, *network, arena, core::DcppDeviceConfig{});
   std::vector<std::unique_ptr<core::DcppControlPoint>> cps;
   for (int i = 0; i < 8; ++i) {
     cps.push_back(std::make_unique<core::DcppControlPoint>(
-        sim, *network, device_a.id(), core::DcppCpConfig{}));
+        sim, *network, arena, device_a.id(), core::DcppCpConfig{}));
     cps.back()->start(0.1 * i);
   }
   for (int i = 0; i < 3; ++i) {
     cps.push_back(std::make_unique<core::DcppControlPoint>(
-        sim, *network, device_b.id(), core::DcppCpConfig{}));
+        sim, *network, arena, device_b.id(), core::DcppCpConfig{}));
     cps.back()->start(0.1 * i);
   }
   sim.run_until(300.0);

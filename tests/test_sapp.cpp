@@ -145,7 +145,8 @@ TEST(SappDevice, DeltaIsIdealOverNominal) {
 TEST(SappDevice, ProbeCounterMonotoneAndReplyCarriesIt) {
   des::Simulation sim(1);
   Network_t net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
 
   struct Probe final : net::INetworkClient {
     std::vector<net::Message> replies;
@@ -174,7 +175,8 @@ TEST(SappDevice, ProbeCounterMonotoneAndReplyCarriesIt) {
 TEST(SappDevice, SilentDeviceIgnoresProbes) {
   des::Simulation sim(2);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
 
   struct Probe final : net::INetworkClient {
     int replies = 0;
@@ -200,7 +202,8 @@ TEST(SappDevice, SilentDeviceIgnoresProbes) {
 TEST(SappDevice, LastProbersReturnsPreviousTwoDistinct) {
   des::Simulation sim(3);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
 
   struct Probe final : net::INetworkClient {
     void on_message(const net::Message&) override {}
@@ -229,7 +232,8 @@ TEST(SappDevice, LastProbersReturnsPreviousTwoDistinct) {
 TEST(SappDevice, SetDeltaValidates) {
   des::Simulation sim(4);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
   EXPECT_THROW(device.set_delta(0), std::invalid_argument);
   device.set_delta(42);
   EXPECT_EQ(device.delta(), 42u);
@@ -265,8 +269,9 @@ TEST(SappCpConfig, Validation) {
 TEST(SappIntegration, SingleCpSettlesAndDeviceLoadBounded) {
   des::Simulation sim(5);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
-  SappControlPoint cp(sim, *net, device.id(), SappCpConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
+  SappControlPoint cp(sim, *net, arena, device.id(), SappCpConfig{});
   cp.start();
   sim.run_until(500.0);
   EXPECT_TRUE(cp.device_considered_present());
@@ -281,8 +286,9 @@ TEST(SappIntegration, SingleCpSettlesAndDeviceLoadBounded) {
 TEST(SappIntegration, CpDetectsSilentDevice) {
   des::Simulation sim(6);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
-  SappControlPoint cp(sim, *net, device.id(), SappCpConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
+  SappControlPoint cp(sim, *net, arena, device.id(), SappCpConfig{});
   cp.start();
   sim.run_until(100.0);
   ASSERT_TRUE(cp.device_considered_present());
@@ -297,9 +303,10 @@ TEST(SappIntegration, CpDetectsSilentDevice) {
 TEST(SappIntegration, ByeMessageShortcutsDetection) {
   des::Simulation sim(7);
   auto net = net::Network::make_paper_default(sim.scheduler(), sim.rng());
-  SappDevice device(sim, *net, SappDeviceConfig{});
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, SappDeviceConfig{});
   SappCpConfig config;
-  SappControlPoint cp(sim, *net, device.id(), config);
+  SappControlPoint cp(sim, *net, arena, device.id(), config);
   cp.start();
   sim.run_until(50.0);  // CP has probed: device knows it
   device.leave_gracefully();
@@ -316,11 +323,12 @@ TEST(SappIntegration, AdaptiveDeltaShedsOverload) {
   device_config.l_ideal = 0.5e6;
   device_config.adaptive_delta = true;
   device_config.overload_factor = 1.3;
-  SappDevice device(sim, *net, device_config);
+  EntityArena arena;
+  SappDevice device(sim, *net, arena, device_config);
   std::vector<std::unique_ptr<SappControlPoint>> cps;
   for (int i = 0; i < 10; ++i) {
     cps.push_back(std::make_unique<SappControlPoint>(
-        sim, *net, device.id(), SappCpConfig{}));
+        sim, *net, arena, device.id(), SappCpConfig{}));
     cps.back()->start(0.1 * i);
   }
   sim.run_until(1500.0);

@@ -384,6 +384,161 @@ TEST(Scheduler, CoarseWheelGeometryPreservesOrdering) {
   EXPECT_TRUE(coarse_trace == heap_trace);
 }
 
+// --- two-level (coarse) wheel ----------------------------------------------
+
+TEST(Scheduler, ResidencySplitsAcrossWheelLevels) {
+  // Shrunken geometry so all three levels are easy to hit: 1 s ticks,
+  // 64-slot fine wheel (64 s span), coarse_tick_bits resolving to
+  // min(13, wheel_bits-1) = 5 (32 s coarse slots), 64 coarse slots
+  // => coarse span 2048 s.
+  SchedulerConfig config;
+  config.tick_bits = 0;
+  config.wheel_bits = 6;
+  config.coarse_bits = 6;
+  Scheduler sched(config);
+  sched.schedule_at(10.0, [] {});    // fine window [0, 64)
+  sched.schedule_at(100.0, [] {});   // coarse window [64, 2048)
+  sched.schedule_at(3000.0, [] {});  // beyond the coarse span
+  EXPECT_EQ(sched.fine_resident(), 1u);
+  EXPECT_EQ(sched.coarse_resident(), 1u);
+  EXPECT_EQ(sched.overflow_resident(), 1u);
+
+  // Running past the coarse event cascades it into the fine wheel and
+  // fires it. The far event remains pending; where it parks meanwhile
+  // (overflow, a wheel level, or the pre-drained execution bucket) is an
+  // implementation detail — an idle scheduler may slide its window all
+  // the way to the next event.
+  sched.run_until(150.0);
+  EXPECT_EQ(sched.executed_count(), 2u);
+  EXPECT_EQ(sched.pending_count(), 1u);
+  EXPECT_EQ(sched.next_time(), 3000.0);
+
+  sched.run_all();
+  EXPECT_EQ(sched.executed_count(), 3u);
+  EXPECT_EQ(sched.now(), 3000.0);
+}
+
+TEST(Scheduler, LevelBoundaryTimersFireInOrder) {
+  // Timers straddling the fine/coarse boundary (128 s at defaults) and
+  // the coarse/overflow boundary (4096 * 32 s = 131072 s) must fire in
+  // exact time order across the cascades.
+  Scheduler sched;
+  // Initial placement sanity at t = 0: two fine, two coarse, two overflow.
+  std::vector<double> fired;
+  for (double t : {127.99, 131080.0, 128.0, 131072.0, 0.5, 131071.5}) {
+    sched.schedule_at(t, [&] { fired.push_back(sched.now()); });
+  }
+  EXPECT_EQ(sched.fine_resident(), 2u);
+  EXPECT_EQ(sched.coarse_resident(), 2u);
+  EXPECT_EQ(sched.overflow_resident(), 2u);
+  sched.run_all();
+  EXPECT_EQ(fired, (std::vector<double>{0.5, 127.99, 128.0, 131071.5,
+                                        131072.0, 131080.0}));
+}
+
+TEST(Scheduler, CancelThenCascadeChurn) {
+  // Cancel-heavy churn on coarse-resident timers: cancellation must
+  // unlink O(1) from the coarse slot lists, and the survivors must
+  // still cascade down and fire in order.
+  Scheduler sched;
+  std::vector<double> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    const double t = 200.0 + i;  // all coarse-resident at t=0
+    ids.push_back(sched.schedule_at(t, [&] { fired.push_back(sched.now()); }));
+  }
+  EXPECT_EQ(sched.coarse_resident(), 500u);
+  for (int i = 0; i < 500; i += 2) EXPECT_TRUE(sched.cancel(ids[size_t(i)]));
+  EXPECT_EQ(sched.coarse_resident(), 250u);
+  sched.run_all();
+  ASSERT_EQ(fired.size(), 250u);
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i], 200.0 + 2 * i + 1);
+  }
+  // Cancelling after the cascade+fire is a clean no-op.
+  for (EventId id : ids) EXPECT_FALSE(sched.cancel(id));
+}
+
+// Long-haul variant of the trace workload: delays up to days, so events
+// traverse overflow -> coarse -> fine across many cascades, with cancel
+// churn hitting every level.
+std::vector<TraceEntry> run_longhaul_workload(const SchedulerConfig& config,
+                                              std::uint64_t seed) {
+  Scheduler sched(config);
+  std::vector<TraceEntry> trace;
+  sched.set_execution_probe(
+      [&trace](Time t, std::uint64_t seq) { trace.push_back({t, seq}); });
+
+  util::Rng rng(seed);
+  std::vector<EventId> cancellable;
+  std::uint64_t spawned = 0;
+  std::function<void()> spawn = [&] {
+    if (spawned >= 3000) return;
+    const double roll = rng.uniform(0.0, 1.0);
+    double delay;
+    if (roll < 0.2) {
+      delay = rng.uniform(0.0, 10.0);       // fine wheel
+    } else if (roll < 0.55) {
+      delay = rng.uniform(100.0, 2000.0);   // coarse wheel
+    } else if (roll < 0.9) {
+      delay = rng.uniform(2000.0, 120000.0);  // deep coarse
+    } else {
+      delay = rng.uniform(140000.0, 400000.0);  // beyond the coarse span
+    }
+    ++spawned;
+    const EventId id = sched.schedule_after(delay, [&] { spawn(); });
+    if (rng.bernoulli(0.3)) cancellable.push_back(id);
+    if (rng.bernoulli(0.55)) {
+      ++spawned;
+      sched.schedule_after(rng.uniform(0.0, 5000.0), [&] { spawn(); });
+    }
+    if (cancellable.size() > 8 && rng.bernoulli(0.4)) {
+      const auto pick = rng.uniform_u64(0, cancellable.size() - 1);
+      sched.cancel(cancellable[pick]);
+      cancellable.erase(cancellable.begin() + static_cast<long>(pick));
+    }
+  };
+  for (int i = 0; i < 8; ++i) sched.schedule_at(0.0, [&] { spawn(); });
+  sched.run_all();
+  return trace;
+}
+
+TEST(Scheduler, MultiHourTraceBitIdenticalToHeapReference) {
+  // The hierarchical wheel's correctness bar at horizons far beyond the
+  // 128 s fine span AND beyond the ~36 h coarse span: the (time, seq)
+  // trace must match the reference heap exactly.
+  for (std::uint64_t seed : {11u, 4242u}) {
+    SchedulerConfig wheel_config;  // defaults: two-level wheel
+    SchedulerConfig heap_config;
+    heap_config.backend = SchedulerBackend::kHeap;
+    const auto wheel = run_longhaul_workload(wheel_config, seed);
+    const auto heap = run_longhaul_workload(heap_config, seed);
+    ASSERT_GT(wheel.size(), 1000u) << "seed=" << seed;
+    ASSERT_EQ(wheel.size(), heap.size()) << "seed=" << seed;
+    EXPECT_TRUE(wheel == heap) << "seed=" << seed;
+  }
+}
+
+TEST(Scheduler, CoarseDisabledMatchesTwoLevelTrace) {
+  // coarse_bits = 0 reverts to the pre-hierarchical layout (fine wheel +
+  // overflow heap only); both layouts must produce the same trace.
+  SchedulerConfig flat;
+  flat.coarse_bits = 0;
+  const auto flat_trace = run_longhaul_workload(flat, 777);
+  const auto two_level = run_longhaul_workload(SchedulerConfig{}, 777);
+  ASSERT_EQ(flat_trace.size(), two_level.size());
+  EXPECT_TRUE(flat_trace == two_level);
+}
+
+TEST(Scheduler, CoarseConfigValidationThrows) {
+  SchedulerConfig bad;
+  bad.coarse_tick_bits = 15;  // must stay strictly below wheel_bits
+  EXPECT_THROW(Scheduler{bad}, std::invalid_argument);
+  bad = SchedulerConfig{};
+  bad.coarse_bits = 25;
+  EXPECT_THROW(Scheduler{bad}, std::invalid_argument);
+}
+
 TEST(Scheduler, SteadyStateProbePathDoesNotAllocate) {
   // The allocation-free claim, asserted: after warmup, a self-
   // rescheduling probe-like workload must neither grow the event-slot

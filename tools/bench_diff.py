@@ -24,6 +24,10 @@ run with the default ignore list plus
 
 to fail on a >40% throughput regression while tolerating noise-prone
 absolute timings.
+
+Footprint gating is the mirror image: --lower-is-better REGEX gates
+matching keys (e.g. bytes_per_entity) one-sided against *increases*;
+shrinking never fails. Both one-sided classes are exempt from --ignore.
 """
 
 import argparse
@@ -34,7 +38,8 @@ import os
 import re
 import sys
 
-DEFAULT_IGNORE = r"(^|\.)(real_time|cpu_time|iterations|items_per_second)$"
+DEFAULT_IGNORE = (r"(^|\.)(real_time|cpu_time|iterations|items_per_second"
+                  r"|peak_rss_bytes)$")
 
 
 def flatten(value, prefix=""):
@@ -71,10 +76,13 @@ def diff_file(name, base, cur, args, report):
     keys = sorted(set(base) | set(cur))
     ignore = re.compile(args.ignore) if args.ignore else None
     hib = re.compile(args.higher_is_better) if args.higher_is_better else None
+    lib = re.compile(args.lower_is_better) if args.lower_is_better else None
     for key in keys:
         if key == "experiment":
             continue
-        one_sided = bool(hib and hib.search(key))
+        want_high = bool(hib and hib.search(key))
+        want_low = bool(lib and lib.search(key))
+        one_sided = want_high or want_low
         if ignore and ignore.search(key) and not one_sided:
             continue
         if key not in base:
@@ -108,7 +116,13 @@ def diff_file(name, base, cur, args, report):
                 failures += 1
             continue
         pct = 100.0 * delta / abs(b)
-        exceeded = (-pct if one_sided else abs(pct)) > args.threshold
+        if want_low:
+            signed = pct          # an increase is a regression
+        elif want_high:
+            signed = -pct         # a decrease is a regression
+        else:
+            signed = abs(pct)
+        exceeded = signed > args.threshold
         if math.isnan(pct) or exceeded:
             report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
                           f"({pct:+.2f}%)  FAIL")
@@ -135,6 +149,10 @@ def main():
                         help="regex of keys gated one-sided: fail only on a "
                              "decrease beyond the threshold (and never skip "
                              "them via --ignore)")
+    parser.add_argument("--lower-is-better", default="",
+                        help="regex of keys gated one-sided the other way: "
+                             "fail only on an increase beyond the threshold "
+                             "(footprint metrics; exempt from --ignore)")
     parser.add_argument("--verbose", action="store_true",
                         help="also print in-threshold changes")
     args = parser.parse_args()

@@ -28,7 +28,17 @@ Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
                      a std::function sneaking back in silently
                      reintroduces per-event heap allocation. Forbids
                      std::function and the <functional> include in
-                     those trees.
+                     those trees, plus src/scenario (experiment setup
+                     feeds callables into the hot path; the two
+                     sanctioned factory/job types carry NOLINTs).
+  no-hot-path-alloc  The probe-cycle hot path (probe_cycle.*,
+                     device_base.cpp, control_point_base.cpp under
+                     src/core) runs once per event at fleet scale and
+                     must not heap-allocate: entity state lives in the
+                     EntityArena slabs, messages in pooled queue nodes,
+                     callbacks in InlineFunction buffers. Forbids
+                     std::make_unique / std::make_shared / .reset(new
+                     in those files (naked new is already global).
   no-string-labels   src/des + src/core must not build metric series
                      from raw strings: the string-keyed telemetry API
                      (registry.counter("name", ...) / telemetry::Labels
@@ -80,9 +90,20 @@ COUNTER_DIRECT = re.compile(
 PRAGMA_ONCE = re.compile(r"^\s*#\s*pragma\s+once\b")
 
 # no-std-function: matched in src/des + src/core (the allocation-free
-# event path). util::InlineFunction is the sanctioned callable there.
+# event path) and src/scenario (its callables flow into that path).
+# util::InlineFunction is the sanctioned callable there.
 STD_FUNCTION = re.compile(r"\bstd::function\s*<")
 FUNCTIONAL_INCLUDE = re.compile(r'^\s*#\s*include\s*<functional>')
+
+# no-hot-path-alloc: the per-event files under src/core that every probe
+# cycle touches. Allocation belongs in construction/setup code; these
+# files execute once per event across million-entity fleets.
+HOT_PATH_FILES = {
+    "probe_cycle.hpp", "probe_cycle.cpp",
+    "device_base.cpp", "control_point_base.cpp",
+}
+HOT_ALLOC = re.compile(
+    r"std::make_(?:unique|shared)\s*<|\.\s*reset\s*\(\s*new\b")
 
 # no-string-labels: matched in src/des + src/core. String-keyed metric
 # lookups (name + label strings hashed per call) and telemetry::Labels
@@ -101,8 +122,11 @@ RULES = {
     "counter-registry": "telemetry metrics must come from the Registry",
     "pragma-once": "headers start with #pragma once",
     "no-std-function":
-        "no std::function / <functional> in src/des + src/core "
-        "(use util::InlineFunction)",
+        "no std::function / <functional> in src/des + src/core + "
+        "src/scenario (use util::InlineFunction)",
+    "no-hot-path-alloc":
+        "no heap allocation in the src/core probe-cycle hot-path files "
+        "(arena slabs / pools / InlineFunction instead)",
     "no-string-labels":
         "no string-keyed metric lookups in src/des + src/core "
         "(intern at setup, use the *_ids overloads)",
@@ -153,6 +177,9 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
     findings: list[Finding] = []
     parts = rel.parts
     deterministic_zone = "src" in parts and ("des" in parts or "core" in parts)
+    callback_zone = deterministic_zone or (
+        "src" in parts and "scenario" in parts)
+    hot_path = "src" in parts and "core" in parts and rel.name in HOT_PATH_FILES
     registry_exempt = "telemetry" in parts
     lines = text.splitlines()
 
@@ -179,12 +206,21 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
         if not code.strip():
             continue
 
-        if deterministic_zone and not suppressed(raw, "no-std-function"):
+        if callback_zone and not suppressed(raw, "no-std-function"):
             if STD_FUNCTION.search(code) or FUNCTIONAL_INCLUDE.match(code):
                 findings.append(Finding(
                     rel, lineno, "no-std-function",
                     "std::function allocates per capture — use "
-                    "util::InlineFunction on the des/core event path"))
+                    "util::InlineFunction on the des/core/scenario "
+                    "event path"))
+
+        if hot_path and not suppressed(raw, "no-hot-path-alloc"):
+            if HOT_ALLOC.search(code):
+                findings.append(Finding(
+                    rel, lineno, "no-hot-path-alloc",
+                    "heap allocation in a probe-cycle hot-path file — "
+                    "use the EntityArena slabs, pooled queue nodes, or "
+                    "InlineFunction buffers"))
 
         if deterministic_zone and not suppressed(raw, "no-string-labels"):
             if STRING_LABELS.search(code):
