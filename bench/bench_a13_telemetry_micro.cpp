@@ -13,6 +13,7 @@
 
 #include "benchmark_json.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/history/history.hpp"
 #include "telemetry/metric.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
@@ -117,6 +118,40 @@ void BM_SnapshotAndExport(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SnapshotAndExport)->Arg(100);
+
+// One history.sample(t) snapshots the registry and appends a point to
+// every tracked ring. items_per_second is series-samples ingested per
+// second (n series per sample call); bytes_per_window is the exact
+// retained footprint of the full rings — the knob the history config
+// trades against query depth, gated one-sided in CI so the ring can
+// never quietly grow per-point state.
+void BM_HistorySample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  telemetry::Registry registry;
+  std::vector<telemetry::Gauge*> gauges;
+  gauges.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gauges.push_back(&registry.gauge("bench_history_series", "",
+                                     {{"device", std::to_string(i)}}));
+  }
+  telemetry::TimeSeriesHistory history(registry,
+                                       {.sample_period_s = 1.0, .slots = 512});
+  history.track_prefix("bench_history_series");
+  double t = 0.0;
+  std::size_t dirty = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    gauges[dirty]->set(t);  // keep one series moving between samples
+    dirty = (dirty + 1) % n;
+    history.sample(t);
+  }
+  benchmark::DoNotOptimize(history.samples_taken());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["bytes_per_window"] =
+      static_cast<double>(history.retained_bytes());
+}
+BENCHMARK(BM_HistorySample)->Arg(100);
 
 }  // namespace
 

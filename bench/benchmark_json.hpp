@@ -27,6 +27,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
     double cpu_time;
     std::string time_unit;
     double items_per_second;
+    // User counters (state.counters[...]) other than items_per_second,
+    // in name order — e.g. BM_HistorySample's bytes_per_window.
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -43,6 +46,10 @@ class CapturingReporter : public benchmark::ConsoleReporter {
           run.counters.count("items_per_second")
               ? static_cast<double>(run.counters.at("items_per_second"))
               : 0.0;
+      for (const auto& [name, counter] : run.counters) {
+        if (name == "items_per_second") continue;
+        e.counters.emplace_back(name, static_cast<double>(counter));
+      }
       entries_.push_back(std::move(e));
     }
   }
@@ -82,6 +89,10 @@ inline int run_benchmarks_with_json(int argc, char** argv,
     if (e.items_per_second > 0) {
       json.key("items_per_second");
       json.value(e.items_per_second);
+    }
+    for (const auto& [name, counter] : e.counters) {
+      json.key(name);
+      json.value(counter);
     }
     json.end_object();
   }

@@ -10,13 +10,21 @@
 // same way Prometheus would: first /metrics scrape full, the next one
 // a delta (empty once the fleet goes quiet).
 //
-// Wall-clock runtime: well under a second at the defaults. Pass
-// --linger=N to keep the collector serving for N seconds so you can
-// curl the routes yourself:
+// The collector also watches the agents themselves: each push feeds a
+// per-agent SAPP adaptation whose delta is that agent's staleness
+// deadline. node-0 deliberately stops pushing halfway through, so by
+// the time the fleet finishes it has blown its deadline: the
+// `agent_absent` alert fires for it (and only it), and
+// /agents?state=absent lists it.
 //
-//   ./probemon_collector --agents=8 --rounds=5 --linger=30
-//   curl localhost:<port>/agents
+// Wall-clock runtime: about a second at the defaults. Pass --linger=N
+// to keep the collector serving for N seconds so you can curl the
+// routes yourself:
+//
+//   ./probemon_collector --agents=8 --rounds=10 --linger=30
+//   curl "localhost:<port>/agents?state=absent"
 //   curl "localhost:<port>/metrics?full=1"
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <thread>
@@ -24,6 +32,7 @@
 
 #include "runtime/collector.hpp"
 #include "runtime/metrics_push.hpp"
+#include "telemetry/alerts/alert_engine.hpp"
 #include "telemetry/http_client.hpp"
 #include "telemetry/http_server.hpp"
 #include "telemetry/sharded_registry.hpp"
@@ -81,12 +90,24 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   const auto agents_n = cli.get<std::uint64_t>("agents", 4);
   const auto devices = cli.get<std::uint64_t>("devices", 8);
-  const auto rounds = cli.get<std::uint64_t>("rounds", 3);
+  const auto rounds = cli.get<std::uint64_t>("rounds", 10);
+  const auto period_s = cli.get<double>("period", 0.05);
   const auto linger_s = cli.get<double>("linger", 0.0);
   cli.finish("probemon_collector: agents push metric deltas to a collector");
 
   // --- collector side ------------------------------------------------
-  runtime::MetricsCollector collector;
+  // Presence tuned to the push cadence: deadlines adapt within
+  // [3, 20] periods of the expected gap, so a stalled agent is flagged
+  // well before the demo ends while healthy ones never are.
+  runtime::CollectorPresenceConfig presence;
+  presence.expected_period_s = period_s;
+  presence.deadline_min_s = 3 * period_s;
+  presence.deadline_initial_s = 5 * period_s;
+  presence.deadline_max_s = 20 * period_s;
+  runtime::MetricsCollector collector(
+      telemetry::ShardedRegistry::kDefaultShards, presence);
+  telemetry::AlertEngine alerts;
+  collector.attach_alert_engine(alerts);
   telemetry::HttpServer server({.port = 0});
   runtime::register_collector_routes(server, collector);
   telemetry::register_metrics_routes(server, collector.merged());
@@ -96,32 +117,48 @@ int main(int argc, char** argv) {
               server.port());
 
   // --- agent side ----------------------------------------------------
+  // node-0 stalls after rounds/3 pushes; everyone else keeps the
+  // cadence to the end.
   std::vector<std::thread> threads;
   threads.reserve(agents_n);
   for (std::uint64_t a = 0; a < agents_n; ++a) {
-    threads.emplace_back([a, devices, rounds, port = server.port()] {
+    threads.emplace_back([a, devices, rounds, period_s,
+                          port = server.port()] {
       Agent agent("node-" + std::to_string(a), devices);
       runtime::MetricsPusher::Config push;
       push.port = port;
       push.agent = agent.name;
       runtime::MetricsPusher pusher(agent.registry, push);
-      for (std::uint64_t r = 0; r < rounds; ++r) {
+      const std::uint64_t stall_after = a == 0 ? 1 + rounds / 3 : rounds;
+      for (std::uint64_t r = 0; r < stall_after; ++r) {
         agent.round(r);
         pusher.push_once();  // full on r==0, delta afterwards
+        std::this_thread::sleep_for(std::chrono::duration<double>(period_s));
       }
-      std::printf("  %s: %llu reports ok, %llu failed, %llu skipped\n",
+      std::printf("  %s: %llu reports ok, %llu failed, %llu skipped%s\n",
                   agent.name.c_str(),
                   static_cast<unsigned long long>(pusher.pushes_ok()),
                   static_cast<unsigned long long>(pusher.pushes_failed()),
-                  static_cast<unsigned long long>(pusher.pushes_skipped()));
+                  static_cast<unsigned long long>(pusher.pushes_skipped()),
+                  stall_after < rounds ? "  (stalled on purpose)" : "");
     });
   }
   for (std::thread& t : threads) t.join();
 
-  // --- scrape side ---------------------------------------------------
-  const auto agents_doc =
-      telemetry::http_get("127.0.0.1", server.port(), "/agents");
-  std::printf("\n/agents -> %s\n", agents_doc.body.c_str());
+  // --- presence side -------------------------------------------------
+  const std::size_t absent_now = collector.update_presence();
+  std::printf("\n%zu of %zu agents past their adaptive deadline\n",
+              absent_now, collector.agent_count());
+  for (const auto& p : collector.agent_presence()) {
+    std::printf("  %-8s %-6s staleness %.3fs deadline %.3fs (%llu reports)\n",
+                p.agent.c_str(), p.absent ? "ABSENT" : "ok", p.staleness_s,
+                p.deadline_s, static_cast<unsigned long long>(p.reports));
+  }
+  const auto absent_doc = telemetry::http_get(
+      "127.0.0.1", server.port(), "/agents?state=absent");
+  std::printf("\n/agents?state=absent -> %s\n", absent_doc.body.c_str());
+  std::printf("firing alerts -> %s\n",
+              telemetry::alerts_to_json(alerts, "firing").c_str());
 
   const auto first = telemetry::http_get("127.0.0.1", server.port(),
                                          "/metrics");

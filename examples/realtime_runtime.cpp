@@ -20,11 +20,13 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/history_ticker.hpp"
 #include "runtime/http_routes.hpp"
 #include "runtime/inproc_transport.hpp"
 #include "runtime/presence_service.hpp"
 #include "runtime/rt_device.hpp"
 #include "runtime/udp_transport.hpp"
+#include "telemetry/alerts/default_rules.hpp"
 #include "telemetry/http_server.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
@@ -97,14 +99,40 @@ int main(int argc, char** argv) {
     service.watch_dcpp(device->id(), cp_config);
   }
 
+  // History + alerting: sample the registry 10x/s, evaluate the
+  // shipped budget rules, expose /query and /alerts. The demo's
+  // detection budget is d_min + TOF + 3*TOS (< 0.3 s).
+  telemetry::TimeSeriesHistory history(registry,
+                                       {.sample_period_s = 0.1, .slots = 600});
+  telemetry::DefaultRuleParams rule_params;
+  rule_params.detection_latency_budget_s = 0.3;
+  rule_params.detection_latency_window_s = 30.0;
+  rule_params.false_alarm_window_s = 30.0;
+  for (const auto& [series, labels] : default_rule_series(rule_params)) {
+    history.track(series, labels);
+  }
+  telemetry::AlertEngine alerts(&history);
+  for (const auto& rule : default_presence_rules(rule_params)) {
+    alerts.add_rule(rule);
+  }
+  alerts.bind_registry(registry);
+  runtime::HistoryTicker ticker(history, &alerts, 0.1);
+  ticker.start();
+
   telemetry::HttpServer http(
       {.port = static_cast<std::uint16_t>(http_port > 0 ? http_port : 0)});
   if (http_port >= 0) {
-    runtime::register_observability_routes(http,
-                                           {&registry, &tracer, &service});
+    runtime::ObservabilitySources sources;
+    sources.registry = &registry;
+    sources.tracer = &tracer;
+    sources.service = &service;
+    sources.history = &history;
+    sources.alerts = &alerts;
+    runtime::register_observability_routes(http, sources);
     http.start();
     std::cout << "observability endpoint on http://127.0.0.1:" << http.port()
-              << "  (try /metrics, /watches, /trace?format=chrome)\n";
+              << "  (try /metrics, /watches, /alerts, "
+                 "/query?expr=probemon_watches, /trace?format=chrome)\n";
   }
 
   std::cout << "watching " << service.watch_count() << " devices over the "

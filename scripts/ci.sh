@@ -18,10 +18,12 @@
 # Every run also gates performance against the committed bench/baseline/
 # snapshot: bench_a7_des_micro (DES kernel throughput),
 # bench_telemetry_scale (registry registration rate, delta-scrape
-# speedups, sharded-vs-single-map byte identity) and bench_scale (fleet
-# event throughput + marginal bytes/entity at 10k/100k entities) run
-# into one scratch dir and are diffed in a single one-sided pass
-# (throughput keys may drop, and bytes_per_entity may rise, at most
+# speedups, sharded-vs-single-map byte identity), bench_scale (fleet
+# event throughput + marginal bytes/entity at 10k/100k entities) and
+# the bench_a13 history-sampling leg (series-samples/s into the ring,
+# exact bytes/window) run into one scratch dir and are diffed in a
+# single one-sided pass (throughput keys may drop, and
+# bytes_per_entity / bytes_per_window may rise, at most
 # BENCH_PERF_THRESHOLD percent, default 40; see docs/performance.md and
 # docs/observability.md). The 1M-entity tier runs under --full only.
 #
@@ -125,6 +127,9 @@ fi
 #      bench/baseline/)
 #   (cd /tmp && build/bench/bench_scale --entities=10000,100000 &&
 #      cp bench_out/bench_scale.json bench/baseline/)
+#   (cd /tmp && build/bench/bench_a13_telemetry_micro \
+#      --benchmark_filter=BM_HistorySample --benchmark_min_time=0.2 &&
+#      cp bench_out/bench_a13_telemetry_micro.json bench/baseline/)
 PERF_THRESHOLD="${BENCH_PERF_THRESHOLD:-40}"
 echo "==> perf gate: DES kernel + telemetry + fleet scale (one-sided, threshold ${PERF_THRESHOLD}%)"
 mkdir -p "$SCRATCH/perf"
@@ -136,8 +141,12 @@ mkdir -p "$SCRATCH/perf"
      >/dev/null)
 (cd "$SCRATCH/perf" &&
    "$BUILD/bench/bench_scale" --entities=10000,100000 >/dev/null)
+(cd "$SCRATCH/perf" &&
+   "$BUILD/bench/bench_a13_telemetry_micro" \
+     --benchmark_filter=BM_HistorySample --benchmark_min_time=0.2 >/dev/null)
 mv "$SCRATCH/perf/bench_out/bench_telemetry_scale.json" \
-   "$SCRATCH/perf/bench_out/bench_scale.json" "$SCRATCH/perf/"
+   "$SCRATCH/perf/bench_out/bench_scale.json" \
+   "$SCRATCH/perf/bench_out/bench_a13_telemetry_micro.json" "$SCRATCH/perf/"
 # s1000.speedup_time is too small-denominator to gate (a ~1ms delta
 # scrape); the s100000 ratio is the stable witness of O(changed).
 # bench_scale wall_s is absolute timing noise; its events_per_s gates
@@ -145,7 +154,7 @@ mv "$SCRATCH/perf/bench_out/bench_telemetry_scale.json" \
 python3 "$ROOT/tools/bench_diff.py" "$ROOT/bench/baseline" "$SCRATCH/perf" \
   --ignore '(^|\.)(real_time|cpu_time|iterations|items_per_second|peak_rss_bytes)$|^context\.|_us$|speedup_time$|wall_s$' \
   --higher-is-better 'items_per_second$|register_per_s$|speedup_bytes$|s100000\.speedup_time$|events_per_s$' \
-  --lower-is-better 'bytes_per_entity$' \
+  --lower-is-better 'bytes_per_entity$|bytes_per_window$' \
   --threshold "$PERF_THRESHOLD"
 
 if [[ "$FULL" -eq 1 ]]; then
@@ -182,6 +191,34 @@ EOF
     exit 1
   }
   echo "    OK (no-wall-clock finding produced)"
+
+  # --- static: lint self-test for the history/alerts wall-clock zone --
+  # a steady_clock read seeded under src/telemetry/history must be
+  # caught (sampling is caller-clocked; wall-clock driving lives in
+  # runtime::HistoryTicker only).
+  echo "==> lint self-test (seeded history clock read must be caught)"
+  mkdir -p "$SCRATCH/lint_selftest/src/telemetry/history"
+  cat > "$SCRATCH/lint_selftest/src/telemetry/history/clocked.cpp" <<'EOF'
+#include <chrono>
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+EOF
+  if python3 "$ROOT/tools/lint.py" --root "$SCRATCH/lint_selftest" \
+       "$SCRATCH/lint_selftest/src/telemetry/history/clocked.cpp" \
+       > "$SCRATCH/lint_selftest_hist.out" 2>&1; then
+    echo "    FAILED: linter missed the seeded history clock read" >&2
+    cat "$SCRATCH/lint_selftest_hist.out" >&2
+    exit 1
+  fi
+  grep -q 'no-wall-clock' "$SCRATCH/lint_selftest_hist.out" || {
+    echo "    FAILED: linter flagged something, but not no-wall-clock" >&2
+    cat "$SCRATCH/lint_selftest_hist.out" >&2
+    exit 1
+  }
+  echo "    OK (no-wall-clock finding produced in src/telemetry/history)"
 
   # --- static: lint self-test for the hot-path label rule -- a
   # string-keyed metric lookup seeded under src/des must be caught.

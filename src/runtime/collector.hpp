@@ -23,9 +23,25 @@
 // absent from the report are removed from both the per-agent view and
 // the merged store. Agent ordering is deterministic (sorted by agent
 // id) wherever the collector folds multiple agents into one output.
+//
+// Agent presence: the collector is itself a presence monitor — its
+// "device" is each agent, its "probe" is the agent's push. Every agent
+// carries a staleness deadline adapted by the SAPP rule (paper eq. 1,
+// core::SappAdaptation) with the axes transposed: the adaptation
+// observes pc = elapsed milliseconds against t = push count, so its
+// load estimate l_exp is the observed inter-push gap and its clamped
+// delta *is* the deadline in seconds — agents pushing slower than
+// beta * expected_period_s get a deadline multiplied by alpha_inc (up
+// to deadline_max_s, fewer false alarms), agents pushing faster than
+// expected_period_s / beta get it divided by alpha_dec (down to
+// deadline_min_s, faster detection). update_presence() compares each
+// agent's staleness (now - last push) against its deadline, exports
+// probemon_collector_agent_* gauges into self_metrics(), and drives an
+// attached AlertEngine's `agent_absent` condition rule per agent.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,18 +49,38 @@
 #include <string_view>
 #include <vector>
 
+#include "core/sapp_adaptation.hpp"
+#include "telemetry/alerts/alert_engine.hpp"
 #include "telemetry/http_server.hpp"
 #include "telemetry/metrics_parse.hpp"
 #include "telemetry/sharded_registry.hpp"
 
 namespace probemon::runtime {
 
+/// Adaptive per-agent staleness detection (see file comment). The
+/// defaults mirror core::SappCpConfig's multiplicative constants.
+struct CollectorPresenceConfig {
+  /// Push cadence agents are configured with, seconds (the transposed
+  /// l_ideal).
+  double expected_period_s = 1.0;
+  double beta = 1.5;       ///< tolerance band on the observed gap
+  double alpha_inc = 2.0;  ///< deadline growth per slow push
+  double alpha_dec = 1.5;  ///< deadline shrink per fast push
+  double deadline_min_s = 2.0;
+  double deadline_max_s = 120.0;
+  double deadline_initial_s = 5.0;
+  /// Hysteresis for the agent_absent alert rule (seconds of sustained
+  /// breach before firing).
+  double absent_for_s = 0.0;
+};
+
 class MetricsCollector {
  public:
   /// `shards` sizes the merged ShardedRegistry (fleet-wide series
   /// count, not per-agent).
   explicit MetricsCollector(
-      std::size_t shards = telemetry::ShardedRegistry::kDefaultShards);
+      std::size_t shards = telemetry::ShardedRegistry::kDefaultShards,
+      CollectorPresenceConfig presence = {});
 
   MetricsCollector(const MetricsCollector&) = delete;
   MetricsCollector& operator=(const MetricsCollector&) = delete;
@@ -76,25 +112,91 @@ class MetricsCollector {
   std::uint64_t reports_ingested() const;
   std::uint64_t samples_ingested() const;
 
+  // --- Agent presence -------------------------------------------------------
+
+  /// Replace the presence clock (seconds, monotone). Default: wall
+  /// clock since construction. Tests inject a manual clock for
+  /// deterministic deadlines.
+  void set_clock(std::function<double()> now_fn);
+
+  /// Re-evaluate every agent's staleness against its adaptive deadline
+  /// at the current clock, refresh the self-metrics gauges, drive the
+  /// attached alert engine's agent_absent conditions. Returns the
+  /// number of agents currently absent. Call periodically (the /agents
+  /// route also calls it per request).
+  std::size_t update_presence();
+
+  struct AgentPresence {
+    std::string agent;
+    bool absent = false;
+    double last_push_t = 0.0;  ///< clock value of the last report
+    double staleness_s = 0.0;  ///< now - last_push_t at the last update
+    double deadline_s = 0.0;   ///< current adaptive deadline
+    std::uint64_t reports = 0;
+  };
+  /// Presence state per agent, sorted by agent id; as of the last
+  /// update_presence() (staleness included).
+  std::vector<AgentPresence> agent_presence() const;
+
+  /// Collector-self metrics: probemon_collector_agent_staleness_seconds
+  /// / _deadline_seconds / _absent per agent (removed on forget) plus
+  /// fleet totals. Distinct from merged() so the collector's own health
+  /// can be scraped or pushed like any agent's.
+  telemetry::MetricStore& self_metrics() { return self_; }
+
+  /// Register the `agent_absent` condition rule on `engine` (must
+  /// outlive the collector) and drive one labelled instance per agent
+  /// from update_presence().
+  void attach_alert_engine(telemetry::AlertEngine& engine);
+
+  const CollectorPresenceConfig& presence_config() const {
+    return presence_;
+  }
+
  private:
+  struct Presence {
+    core::SappAdaptation adaptation;
+    double last_push_t = 0.0;
+    double staleness_s = 0.0;
+    bool absent = false;
+    std::uint64_t reports = 0;
+
+    explicit Presence(const core::SappCpConfig& config)
+        : adaptation(config) {}
+  };
+
   void apply_sample(telemetry::Registry& agent_view,
                     const telemetry::Sample& sample,
                     const std::string& agent);
   void remove_sample(telemetry::Registry& agent_view,
                      const telemetry::Sample& sample,
                      const std::string& agent);
+  void observe_push(const std::string& agent, double now);
+  void export_presence(const std::string& agent, const Presence& presence);
 
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<telemetry::Registry>> agents_;
   telemetry::ShardedRegistry merged_;
   std::uint64_t reports_ = 0;
   std::uint64_t samples_ = 0;
+
+  CollectorPresenceConfig presence_;
+  /// The transposed SappCpConfig every agent's adaptation points at
+  /// (stable address for the collector's lifetime).
+  core::SappCpConfig adapt_config_;
+  std::function<double()> now_fn_;
+  std::map<std::string, Presence> presence_by_agent_;
+  telemetry::Registry self_;
+  telemetry::AlertEngine* alert_engine_ = nullptr;
 };
 
 /// Collector HTTP surface:
 ///   POST /push    ingest one report; 200 {"ok":true,"samples":N},
 ///                 400 on malformed/conflicting input
-///   GET  /agents  {"agents":[{"agent":...,"series":N}, ...]}
+///   GET  /agents  {"agents":[{"agent":...,"series":N,"state":"ok",
+///                 "staleness_s":...,"deadline_s":...,...}, ...]};
+///                 ?state=ok|absent filters, anything else -> 400.
+///                 Each request re-evaluates presence first.
 /// Pair with telemetry::register_metrics_routes(server,
 /// collector.merged()) for the scrape side. `collector` must outlive
 /// the server.

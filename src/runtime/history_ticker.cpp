@@ -1,0 +1,80 @@
+#include "runtime/history_ticker.hpp"
+
+#include <stdexcept>
+
+namespace probemon::runtime {
+
+HistoryTicker::HistoryTicker(telemetry::TimeSeriesHistory& history,
+                             telemetry::AlertEngine* alerts, double period_s)
+    : history_(history), alerts_(alerts), period_s_(period_s) {
+  if (!(period_s_ > 0.0)) {
+    throw std::invalid_argument("HistoryTicker period must be > 0");
+  }
+}
+
+HistoryTicker::~HistoryTicker() { stop(); }
+
+void HistoryTicker::set_on_tick(std::function<void(double)> hook) {
+  std::lock_guard lock(mutex_);
+  if (running_) {
+    throw std::logic_error("set_on_tick must be called before start()");
+  }
+  on_tick_ = std::move(hook);
+}
+
+void HistoryTicker::start() {
+  std::lock_guard lock(mutex_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  thread_ = std::thread([this] { run(); });
+}
+
+void HistoryTicker::stop() {
+  std::thread thread;
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    thread = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (thread.joinable()) thread.join();
+  std::lock_guard lock(mutex_);
+  running_ = false;
+  stopping_ = false;
+}
+
+bool HistoryTicker::running() const {
+  std::lock_guard lock(mutex_);
+  return running_ && !stopping_;
+}
+
+std::uint64_t HistoryTicker::ticks() const {
+  std::lock_guard lock(mutex_);
+  return ticks_;
+}
+
+void HistoryTicker::run() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto period = std::chrono::duration<double>(period_s_);
+  auto next = start + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(period);
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      if (cv_.wait_until(lock, next, [this] { return stopping_; })) return;
+      ++ticks_;
+    }
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    history_.sample(t);
+    if (alerts_ != nullptr) alerts_->evaluate(t);
+    if (on_tick_) on_tick_(t);
+    next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        period);
+  }
+}
+
+}  // namespace probemon::runtime

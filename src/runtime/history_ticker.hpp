@@ -1,0 +1,68 @@
+// HistoryTicker: the wall-clock driver for TimeSeriesHistory and
+// AlertEngine in the threaded runtime.
+//
+// The history/alert classes are clock-free by design (the no-wall-clock
+// lint zone covers src/telemetry/history and src/telemetry/alerts); a
+// DES run drives them from a scheduler event, and this ticker drives
+// them from a thread at a fixed period for real deployments:
+//
+//   telemetry::TimeSeriesHistory history(registry);
+//   telemetry::AlertEngine alerts(&history);
+//   runtime::HistoryTicker ticker(history, &alerts, 1.0);
+//   ticker.start();
+//
+// Each tick calls history.sample(t), then alerts->evaluate(t), then the
+// optional on_tick hook (e.g. MetricsCollector::update_presence), with
+// t = seconds since start() — the same zero the sampled runtime metrics
+// effectively share.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/alerts/alert_engine.hpp"
+#include "telemetry/history/history.hpp"
+
+namespace probemon::runtime {
+
+class HistoryTicker {
+ public:
+  /// `history` (and `alerts`, when given) must outlive the ticker.
+  explicit HistoryTicker(telemetry::TimeSeriesHistory& history,
+                         telemetry::AlertEngine* alerts = nullptr,
+                         double period_s = 1.0);
+  ~HistoryTicker();
+
+  HistoryTicker(const HistoryTicker&) = delete;
+  HistoryTicker& operator=(const HistoryTicker&) = delete;
+
+  /// Extra work per tick (after sample + evaluate), called with the
+  /// tick time. Set before start().
+  void set_on_tick(std::function<void(double)> hook);
+
+  void start();
+  /// Stop and join; idempotent, called by the destructor.
+  void stop();
+  bool running() const;
+  std::uint64_t ticks() const;
+
+ private:
+  void run();
+
+  telemetry::TimeSeriesHistory& history_;
+  telemetry::AlertEngine* alerts_;
+  const double period_s_;
+  std::function<void(double)> on_tick_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::uint64_t ticks_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace probemon::runtime

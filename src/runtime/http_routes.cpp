@@ -1,5 +1,9 @@
 #include "runtime/http_routes.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/history/query.hpp"
 #include "telemetry/json.hpp"
 
 namespace probemon::runtime {
@@ -89,6 +93,76 @@ void register_healthz_route(telemetry::HttpServer& server,
   });
 }
 
+void register_query_routes(telemetry::HttpServer& server,
+                           const telemetry::TimeSeriesHistory& history) {
+  server.handle("/query", [&history](const telemetry::HttpRequest& request) {
+    const auto expr_it = request.query.find("expr");
+    if (expr_it == request.query.end() || expr_it->second.empty()) {
+      return telemetry::json_error_response(400, "missing ?expr=");
+    }
+    double range_s = history.sample_period_s() * 60.0;
+    const auto range_it = request.query.find("range");
+    if (range_it != request.query.end()) {
+      std::size_t used = 0;
+      double parsed = 0.0;
+      try {
+        parsed = std::stod(range_it->second, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (used != range_it->second.size() || !(parsed > 0.0)) {
+        return telemetry::json_error_response(
+            400, "range must be a positive number of seconds (got '" +
+                     range_it->second + "')");
+      }
+      range_s = parsed;
+    }
+    telemetry::QueryExpr expr;
+    try {
+      expr = telemetry::parse_query(expr_it->second);
+    } catch (const std::invalid_argument& e) {
+      return telemetry::json_error_response(400, e.what());
+    }
+    const double value = telemetry::eval_query(expr, history, range_s);
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.key("expr");
+    w.value(expr_it->second);
+    w.key("fn");
+    w.value(telemetry::to_string(expr.fn));
+    w.key("series");
+    w.value(expr.series);
+    w.key("range_s");
+    w.value(expr.range_s > 0.0 ? expr.range_s : range_s);
+    w.key("as_of");
+    w.value(history.last_sample_time());
+    w.key("value");
+    w.value(value);
+    w.end_object();
+    return telemetry::HttpResponse{200, "application/json; charset=utf-8",
+                                   w.str()};
+  });
+}
+
+void register_alert_routes(telemetry::HttpServer& server,
+                           const telemetry::AlertEngine& alerts) {
+  server.handle("/alerts", [&alerts](const telemetry::HttpRequest& request) {
+    std::string filter;
+    const auto it = request.query.find("state");
+    if (it != request.query.end()) {
+      filter = it->second;
+      if (filter != "inactive" && filter != "pending" && filter != "firing" &&
+          filter != "resolved") {
+        return telemetry::json_error_response(
+            400, "state must be inactive, pending, firing or resolved (got '" +
+                     filter + "')");
+      }
+    }
+    return telemetry::HttpResponse{200, "application/json; charset=utf-8",
+                                   telemetry::alerts_to_json(alerts, filter)};
+  });
+}
+
 void register_observability_routes(telemetry::HttpServer& server,
                                    ObservabilitySources sources) {
   if (sources.registry) {
@@ -98,6 +172,8 @@ void register_observability_routes(telemetry::HttpServer& server,
     telemetry::register_trace_routes(server, *sources.tracer);
   }
   if (sources.service) register_watch_routes(server, *sources.service);
+  if (sources.history) register_query_routes(server, *sources.history);
+  if (sources.alerts) register_alert_routes(server, *sources.alerts);
   register_healthz_route(server, sources);
   server.handle("/", [&server](const telemetry::HttpRequest&) {
     std::string body = "probemon observability endpoint\n\nroutes:\n";

@@ -18,9 +18,13 @@
 //   /healthz   liveness JSON
 //   /watches   presence table JSON (from snapshotWatches())
 //   /trace     probe-cycle ring: JSON, or ?format=chrome for Perfetto
+//   /query     one history query: ?expr=rate(name[30])&range=60
+//   /alerts    alert engine state JSON, ?state=firing to filter
 #pragma once
 
 #include "runtime/presence_service.hpp"
+#include "telemetry/alerts/alert_engine.hpp"
+#include "telemetry/history/history.hpp"
 #include "telemetry/http_server.hpp"
 
 namespace probemon::runtime {
@@ -34,6 +38,8 @@ struct ObservabilitySources {
   const telemetry::ProbeCycleTracer* tracer = nullptr;
   const PresenceService* service = nullptr;
   const check::InvariantAuditor* auditor = nullptr;
+  const telemetry::TimeSeriesHistory* history = nullptr;
+  const telemetry::AlertEngine* alerts = nullptr;
 };
 
 /// `/watches`: one JSON object per watch — device id, presence state,
@@ -47,8 +53,21 @@ void register_watch_routes(telemetry::HttpServer& server,
 void register_healthz_route(telemetry::HttpServer& server,
                             ObservabilitySources sources);
 
+/// `/query?expr=E[&range=N]`: evaluate one expression (grammar in
+/// telemetry/history/query.hpp) against the sampled history; responds
+/// {"expr":E,"fn":...,"range":N,"as_of":T,"value":V} with null for
+/// insufficient data, 400 + JSON error on a malformed expr/range.
+void register_query_routes(telemetry::HttpServer& server,
+                           const telemetry::TimeSeriesHistory& history);
+
+/// `/alerts[?state=firing|pending|resolved|inactive]`: the alert
+/// engine's deterministic JSON snapshot (alerts_to_json).
+void register_alert_routes(telemetry::HttpServer& server,
+                           const telemetry::AlertEngine& alerts);
+
 /// The full route set ("/", /metrics, /metrics.json, /healthz,
-/// /watches, /trace) for whichever sources are non-null.
+/// /watches, /trace, /query, /alerts) for whichever sources are
+/// non-null.
 void register_observability_routes(telemetry::HttpServer& server,
                                    ObservabilitySources sources);
 

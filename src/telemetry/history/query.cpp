@@ -1,0 +1,217 @@
+#include "telemetry/history/query.hpp"
+
+#include <cctype>
+#include <limits>
+#include <stdexcept>
+
+namespace probemon::telemetry {
+
+const char* to_string(QueryFn fn) noexcept {
+  switch (fn) {
+    case QueryFn::kLast:
+      return "last";
+    case QueryFn::kRate:
+      return "rate";
+    case QueryFn::kIncrease:
+      return "increase";
+    case QueryFn::kAvg:
+      return "avg";
+    case QueryFn::kMin:
+      return "min";
+    case QueryFn::kMax:
+      return "max";
+    case QueryFn::kQuantile:
+      return "quantile";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  QueryExpr parse() {
+    skip_ws();
+    QueryExpr expr;
+    const std::string ident = read_ident("expression");
+    skip_ws();
+    if (peek() == '(') {
+      expr.fn = fn_of(ident);
+      ++pos_;
+      skip_ws();
+      if (expr.fn == QueryFn::kQuantile) {
+        expr.q = read_number("quantile q");
+        if (!(expr.q >= 0.0 && expr.q <= 1.0)) {
+          fail("quantile q must be in [0, 1]");
+        }
+        skip_ws();
+        expect(',', "',' after quantile q");
+        skip_ws();
+      }
+      read_series(expr);
+      skip_ws();
+      expect(')', "')'");
+    } else {
+      expr.fn = QueryFn::kLast;
+      expr.series = ident;
+      read_series_tail(expr);
+    }
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after expression");
+    if (expr.series.empty() || !detail::valid_metric_name(expr.series)) {
+      fail("invalid series name '" + expr.series + "'");
+    }
+    return expr;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("query parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c, const std::string& what) {
+    if (peek() != c) fail("expected " + what);
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  static bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == ':';
+  }
+
+  std::string read_ident(const std::string& what) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && ident_char(text_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected " + what);
+    return text_.substr(start, pos_ - start);
+  }
+
+  double read_number(const std::string& what) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected " + what);
+    const std::string token = text_.substr(start, pos_ - start);
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &used);
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+    if (used != token.size()) fail("malformed number '" + token + "'");
+    return value;
+  }
+
+  QueryFn fn_of(const std::string& ident) {
+    if (ident == "rate") return QueryFn::kRate;
+    if (ident == "increase") return QueryFn::kIncrease;
+    if (ident == "avg") return QueryFn::kAvg;
+    if (ident == "min") return QueryFn::kMin;
+    if (ident == "max") return QueryFn::kMax;
+    if (ident == "last") return QueryFn::kLast;
+    if (ident == "quantile") return QueryFn::kQuantile;
+    fail("unknown function '" + ident + "'");
+  }
+
+  void read_series(QueryExpr& expr) {
+    expr.series = read_ident("series name");
+    read_series_tail(expr);
+  }
+
+  void read_series_tail(QueryExpr& expr) {
+    skip_ws();
+    if (peek() == '{') {
+      ++pos_;
+      skip_ws();
+      while (peek() != '}') {
+        const std::string label = read_ident("label name");
+        skip_ws();
+        expect('=', "'=' in label matcher");
+        skip_ws();
+        expect('"', "'\"' opening label value");
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+        if (pos_ == text_.size()) fail("unterminated label value");
+        expr.labels.emplace_back(label, text_.substr(start, pos_ - start));
+        ++pos_;  // closing quote
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          skip_ws();
+        } else if (peek() != '}') {
+          fail("expected ',' or '}' in label matchers");
+        }
+      }
+      ++pos_;  // '}'
+      skip_ws();
+    }
+    if (peek() == '[') {
+      ++pos_;
+      skip_ws();
+      double value = read_number("range");
+      skip_ws();
+      const char unit = peek();
+      if (unit == 's') {
+        ++pos_;
+      } else if (unit == 'm') {
+        value *= 60.0;
+        ++pos_;
+      } else if (unit == 'h') {
+        value *= 3600.0;
+        ++pos_;
+      }
+      skip_ws();
+      expect(']', "']' closing range");
+      if (!(value > 0.0)) fail("range must be > 0");
+      expr.range_s = value;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+QueryExpr parse_query(const std::string& text) { return Parser(text).parse(); }
+
+double eval_query(const QueryExpr& expr, const TimeSeriesHistory& history,
+                  double default_range_s) {
+  const double range =
+      expr.range_s > 0.0 ? expr.range_s : default_range_s;
+  switch (expr.fn) {
+    case QueryFn::kLast:
+      return history.last(expr.series, expr.labels);
+    case QueryFn::kRate:
+      return history.rate(expr.series, expr.labels, range);
+    case QueryFn::kIncrease:
+      return history.increase(expr.series, expr.labels, range);
+    case QueryFn::kAvg:
+      return history.avg(expr.series, expr.labels, range);
+    case QueryFn::kMin:
+      return history.min(expr.series, expr.labels, range);
+    case QueryFn::kMax:
+      return history.max(expr.series, expr.labels, range);
+    case QueryFn::kQuantile:
+      return history.quantile(expr.q, expr.series, expr.labels, range);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace probemon::telemetry

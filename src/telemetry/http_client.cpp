@@ -89,7 +89,10 @@ HttpResult request(const std::string& host, std::uint16_t port,
   result.status = std::atoi(response.c_str() + sp + 1);
   const std::size_t header_end = response.find("\r\n\r\n");
   if (header_end != std::string::npos) {
+    result.headers = response.substr(0, header_end + 2);
     result.body = response.substr(header_end + 4);
+  } else {
+    result.headers = response;
   }
   return result;
 }
@@ -99,6 +102,17 @@ HttpResult request(const std::string& host, std::uint16_t port,
 HttpResult http_get(const std::string& host, std::uint16_t port,
                     const std::string& target, double timeout_s) {
   const std::string req = "GET " + target +
+                          " HTTP/1.1\r\n"
+                          "Host: " +
+                          host +
+                          "\r\n"
+                          "Connection: close\r\n\r\n";
+  return request(host, port, req, timeout_s);
+}
+
+HttpResult http_head(const std::string& host, std::uint16_t port,
+                     const std::string& target, double timeout_s) {
+  const std::string req = "HEAD " + target +
                           " HTTP/1.1\r\n"
                           "Host: " +
                           host +

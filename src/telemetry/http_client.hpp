@@ -17,6 +17,9 @@ struct HttpResult {
   /// send / receive failure — `body` then holds the errno text).
   int status = 0;
   std::string body;
+  /// Raw response header block (status line through the blank line),
+  /// for callers that check Content-Length / Content-Type (HEAD).
+  std::string headers;
 
   bool ok() const noexcept { return status >= 200 && status < 300; }
 };
@@ -24,6 +27,10 @@ struct HttpResult {
 /// GET `target` (path + optional query) from host:port.
 HttpResult http_get(const std::string& host, std::uint16_t port,
                     const std::string& target, double timeout_s = 2.0);
+
+/// HEAD `target`: status + headers only, body stays empty.
+HttpResult http_head(const std::string& host, std::uint16_t port,
+                     const std::string& target, double timeout_s = 2.0);
 
 /// POST `body` to `target` with the given Content-Type.
 HttpResult http_post(const std::string& host, std::uint16_t port,

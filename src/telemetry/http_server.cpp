@@ -15,6 +15,7 @@
 #include <system_error>
 
 #include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
 
 namespace probemon::telemetry {
 
@@ -128,14 +129,17 @@ void write_all(int fd, const std::string& data) {
 }
 
 void write_response(int fd, const HttpResponse& response,
-                    const std::string& allow = "") {
+                    const std::string& allow = "", bool head_only = false) {
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + ' ' +
                      status_text(response.status) + "\r\n";
   head += "Content-Type: " + response.content_type + "\r\n";
+  // HEAD advertises the length of the body a GET would have returned,
+  // but sends no body (RFC 9110 §9.3.2) — curl -I Content-Length checks
+  // see the real size.
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   if (!allow.empty()) head += "Allow: " + allow + "\r\n";
   head += "Connection: close\r\n\r\n";
-  write_all(fd, head + response.body);
+  write_all(fd, head_only ? head : head + response.body);
 }
 
 }  // namespace
@@ -149,6 +153,36 @@ HttpResponse error_response(int status, const std::string& message) {
     response.body += '\n';
   }
   return response;
+}
+
+HttpResponse json_error_response(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json; charset=utf-8";
+  JsonWriter w;
+  w.begin_object();
+  w.key("error");
+  w.value(message);
+  w.key("status");
+  w.value(status);
+  w.end_object();
+  response.body = w.str() + '\n';
+  return response;
+}
+
+static bool parse_cursor_flag(const std::map<std::string, std::string>& query,
+                              bool& full, std::string& error) {
+  const auto it = query.find("full");
+  if (it == query.end()) {
+    full = false;
+    return true;
+  }
+  if (it->second == "0" || it->second == "1") {
+    full = it->second == "1";
+    return true;
+  }
+  error = "full must be 0 or 1 (got '" + it->second + "')";
+  return false;
 }
 
 HttpServer::HttpServer() : HttpServer(Config{}) {}
@@ -359,25 +393,29 @@ void HttpServer::serve_connection(int fd) {
       routed = true;
     }
   }
-  if (request.method != "GET" && request.method != "POST") {
+  // HEAD runs the GET handler (headers need the real Content-Length)
+  // and suppresses the body on the wire.
+  const bool head = request.method == "HEAD";
+  if (request.method != "GET" && request.method != "POST" && !head) {
     write_response(fd, error_response(405, "method not supported"),
-                   "GET, POST");
+                   "GET, HEAD, POST");
     return;
   }
   if (!routed) {
-    write_response(fd, error_response(404, "no route for " + request.path));
+    write_response(fd, error_response(404, "no route for " + request.path),
+                   "", head);
     return;
   }
-  const std::string allow = route.get && route.post ? "GET, POST"
+  const std::string allow = route.get && route.post ? "GET, HEAD, POST"
                             : route.post            ? "POST"
-                                                    : "GET";
+                                                    : "GET, HEAD";
   const HttpHandler& handler =
-      request.method == "GET" ? route.get : route.post;
+      request.method == "POST" ? route.post : route.get;
   if (!handler) {
     write_response(fd,
                    error_response(405, request.method + " not supported on " +
                                            request.path),
-                   allow);
+                   allow, head);
     return;
   }
 
@@ -408,10 +446,11 @@ void HttpServer::serve_connection(int fd) {
   }
 
   try {
-    write_response(fd, handler(request));
+    write_response(fd, handler(request), "", head);
   } catch (const std::exception& e) {
-    write_response(fd, error_response(
-                           500, std::string("handler error: ") + e.what()));
+    write_response(
+        fd, error_response(500, std::string("handler error: ") + e.what()), "",
+        head);
   }
 }
 
@@ -421,14 +460,20 @@ void register_metrics_routes(HttpServer& server, const MetricStore& store) {
   // (and replacements registered later) own the state.
   auto exporter = std::make_shared<DeltaExporter>(store);
   server.handle("/metrics", [exporter](const HttpRequest& request) {
-    const auto it = request.query.find("full");
-    const bool full = it != request.query.end() && it->second != "0";
+    bool full = false;
+    std::string error;
+    if (!parse_cursor_flag(request.query, full, error)) {
+      return json_error_response(400, error);
+    }
     return HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                         exporter->prometheus(full)};
   });
   server.handle("/metrics.json", [exporter](const HttpRequest& request) {
-    const auto it = request.query.find("full");
-    const bool full = it != request.query.end() && it->second != "0";
+    bool full = false;
+    std::string error;
+    if (!parse_cursor_flag(request.query, full, error)) {
+      return json_error_response(400, error);
+    }
     return HttpResponse{200, "application/json; charset=utf-8",
                         exporter->json(full)};
   });
@@ -453,9 +498,15 @@ void register_trace_routes(HttpServer& server,
                           tracer.to_json()};
     }
     std::uint64_t cursor = 0;
+    if (since_it->second.empty()) {
+      return json_error_response(400, "since must be a non-negative integer");
+    }
     for (char c : since_it->second) {
       if (c < '0' || c > '9') {
-        return error_response(400, "since must be a non-negative integer");
+        return json_error_response(400,
+                                   "since must be a non-negative integer "
+                                   "(got '" +
+                                       since_it->second + "')");
       }
       cursor = cursor * 10 + static_cast<std::uint64_t>(c - '0');
     }

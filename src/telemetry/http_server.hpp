@@ -60,6 +60,10 @@ using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 /// matches the body actually sent.
 HttpResponse error_response(int status, const std::string& message);
 
+/// Same, as `{"error": message, "status": N}` for JSON routes whose
+/// clients parse the body (e.g. malformed ?since= / ?full= cursors).
+HttpResponse json_error_response(int status, const std::string& message);
+
 class HttpServer {
  public:
   struct Config {

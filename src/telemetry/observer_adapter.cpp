@@ -35,7 +35,13 @@ ObserverAdapter::ObserverAdapter(Registry& registry, const Labels& labels)
       delay_(registry.histogram("probemon_sim_cycle_delay_seconds",
                                 delay_buckets(),
                                 "Inter-probe-cycle delays chosen by CPs",
-                                labels)) {}
+                                labels)),
+      // Same name + buckets as PresenceService's runtime histogram, so
+      // the default alert ruleset works over either registry.
+      detection_latency_(registry.histogram(
+          "probemon_detection_latency_seconds",
+          Histogram::exponential_buckets(0.01, 2.0, 11),
+          "First unanswered probe to absence declaration", labels)) {}
 
 void ObserverAdapter::on_probe_sent(net::NodeId, net::NodeId, double,
                                     std::uint8_t attempt) {
@@ -57,8 +63,14 @@ void ObserverAdapter::on_delay_updated(net::NodeId, double, double delay) {
 }
 
 void ObserverAdapter::on_device_declared_absent(net::NodeId, net::NodeId,
-                                                double) {
+                                                double t) {
   absences_declared_.inc();
+  // With a known departure instant, declarations after it measure true
+  // departure-to-detection latency; declarations before it (false
+  // alarms) and runs without a departure record nothing here.
+  if (departure_time_ >= 0.0 && t >= departure_time_) {
+    detection_latency_.observe(t - departure_time_);
+  }
 }
 
 void ObserverAdapter::on_absence_learned(net::NodeId, net::NodeId, double) {

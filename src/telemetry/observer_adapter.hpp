@@ -26,6 +26,13 @@ class ObserverAdapter final : public core::ProtocolObserver {
   /// {{"protocol", "sapp"}}.
   explicit ObserverAdapter(Registry& registry, const Labels& labels = {});
 
+  /// Record the instant the monitored device actually departed (e.g.
+  /// scenario::Experiment::schedule_device_departure's t). Once set,
+  /// every subsequent absence declaration observes departure-to-
+  /// detection latency into probemon_detection_latency_seconds — the
+  /// series the default `detection_latency_p99` alert rule queries.
+  void set_device_departure_time(double t) { departure_time_ = t; }
+
   void on_probe_sent(net::NodeId cp, net::NodeId device, double t,
                      std::uint8_t attempt) override;
   void on_probe_received(net::NodeId device, net::NodeId cp,
@@ -49,6 +56,8 @@ class ObserverAdapter final : public core::ProtocolObserver {
   Counter& absences_learned_;
   Counter& delta_changes_;
   Histogram& delay_;
+  Histogram& detection_latency_;
+  double departure_time_ = -1.0;  ///< < 0: no departure recorded
 };
 
 /// CycleTraceObserver: DES protocol events -> ProbeCycleTrace records.

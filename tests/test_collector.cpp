@@ -10,6 +10,7 @@
 
 #include "runtime/collector.hpp"
 #include "runtime/metrics_push.hpp"
+#include "telemetry/alerts/alert_engine.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/http_client.hpp"
 #include "telemetry/http_server.hpp"
@@ -83,8 +84,8 @@ TEST(MetricsParse, RejectsMalformedDocuments) {
 }
 
 /// Serialize a registry as the push-protocol envelope body.
-std::string report_body(const Registry& reg, const std::string& agent,
-                        bool full) {
+std::string report_body(const telemetry::MetricStore& reg,
+                        const std::string& agent, bool full) {
   std::string body = telemetry::to_json(reg);
   // to_json -> {"metrics": [...]}; splice in the envelope fields.
   const std::string head =
@@ -239,6 +240,255 @@ TEST(MetricsPusher, EndToEndDeltasReachTheCollector) {
   probes.inc(1);
   EXPECT_FALSE(pusher.push_once());
   EXPECT_EQ(pusher.pushes_failed(), 1u);
+}
+
+// ------------------------------------------------ parse hardening
+
+TEST(MetricsParse, TruncatedBodiesThrowInsteadOfAborting) {
+  Registry reg;
+  reg.counter("probemon_x_total", "X", {{"device", "1"}}).inc(3);
+  reg.histogram("probemon_h_seconds", {0.1, 1.0}).observe(0.5);
+  const std::string body = report_body(reg, "node-1", true);
+  // Every strict prefix must produce a structured error, never a crash.
+  for (std::size_t cut : {body.size() / 4, body.size() / 2, body.size() - 1}) {
+    EXPECT_THROW(telemetry::parse_metrics_json(body.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(MetricsParse, DuplicateKeysAreFirstWins) {
+  // The DOM keeps object order, and lookups return the first match —
+  // a malicious double "agent"/"value" cannot smuggle a second value.
+  const auto doc = telemetry::parse_metrics_json(
+      R"({"agent": "real", "agent": "spoof", "metrics": [
+          {"name": "m_total", "type": "counter", "value": 1, "value": 9}]})");
+  EXPECT_EQ(doc.agent, "real");
+  ASSERT_EQ(doc.samples.size(), 1u);
+  EXPECT_EQ(doc.samples[0].value, 1.0);
+}
+
+TEST(MetricsParse, NanAndBadNumbersAreStructuredErrors) {
+  EXPECT_THROW(telemetry::parse_metrics_json(
+                   R"({"metrics": [{"name": "m", "type": "gauge",
+                       "value": NaN}]})"),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::parse_metrics_json(
+                   R"({"metrics": [{"name": "m", "type": "gauge",
+                       "value": 1.2.3}]})"),
+               std::runtime_error);
+  EXPECT_THROW(telemetry::parse_metrics_json(
+                   R"({"metrics": [{"name": "m", "type": "gauge",
+                       "value": Infinity}]})"),
+               std::runtime_error);
+  // The collector surfaces the same errors as exceptions, not aborts.
+  runtime::MetricsCollector collector(4);
+  EXPECT_THROW(collector.ingest(R"({"agent": "a", "metrics": [{"name": "m",
+                                    "type": "gauge", "value": NaN}]})"),
+               std::runtime_error);
+}
+
+// ------------------------------------------------ agent presence
+
+runtime::CollectorPresenceConfig test_presence() {
+  runtime::CollectorPresenceConfig presence;
+  presence.expected_period_s = 1.0;
+  presence.beta = 1.5;
+  presence.alpha_inc = 2.0;
+  presence.alpha_dec = 1.5;
+  presence.deadline_min_s = 0.5;
+  presence.deadline_max_s = 64.0;
+  presence.deadline_initial_s = 4.0;
+  return presence;
+}
+
+TEST(CollectorPresence, DeadlineAdaptsToTheObservedPushGap) {
+  runtime::MetricsCollector collector(4, test_presence());
+  double now = 0.0;
+  collector.set_clock([&now] { return now; });
+
+  Registry slow;
+  auto& sc = slow.counter("probemon_s_total");
+  Registry fast;
+  auto& fc = fast.counter("probemon_f_total");
+
+  // "slow" pushes every 10 s (way past beta * 1 s): its deadline doubles
+  // per push. "fast" pushes every 0.1 s: its deadline shrinks by
+  // alpha_dec per push down to the clamp.
+  for (int i = 0; i < 8; ++i) {
+    now = i * 10.0;
+    sc.inc();
+    collector.ingest(report_body(slow, "slow", i == 0));
+    for (int j = 0; j < 100; ++j) {
+      if (i * 100 + j == 0) continue;  // first fast push at 0.1
+      now = (i * 100 + j) * 0.1;
+      fc.inc();
+      collector.ingest(report_body(fast, "fast", false));
+    }
+  }
+  const auto presence = collector.agent_presence();
+  ASSERT_EQ(presence.size(), 2u);
+  EXPECT_EQ(presence[0].agent, "fast");
+  EXPECT_EQ(presence[0].deadline_s, 0.5);  // clamped at deadline_min_s
+  EXPECT_EQ(presence[1].agent, "slow");
+  EXPECT_EQ(presence[1].deadline_s, 64.0);  // clamped at deadline_max_s
+}
+
+TEST(CollectorPresence, StalledAgentGoesAbsentAndAlertFires) {
+  runtime::MetricsCollector collector(4, test_presence());
+  double now = 0.0;
+  collector.set_clock([&now] { return now; });
+  telemetry::AlertEngine engine;
+  collector.attach_alert_engine(engine);
+
+  Registry a;
+  auto& ac = a.counter("probemon_a_total");
+  Registry b;
+  auto& bc = b.counter("probemon_b_total");
+  ac.inc();
+  collector.ingest(report_body(a, "agent-a", true));
+  bc.inc();
+  collector.ingest(report_body(b, "agent-b", true));
+  // agent-b keeps its 1 s cadence; agent-a never pushes again.
+  for (int i = 1; i <= 4; ++i) {
+    now = i;
+    bc.inc();
+    collector.ingest(report_body(b, "agent-b", false));
+  }
+
+  now = 5.0;  // agent-a staleness 5 > 4 s deadline; agent-b 1 < 4
+  EXPECT_EQ(collector.update_presence(), 1u);
+  const auto presence = collector.agent_presence();
+  ASSERT_EQ(presence.size(), 2u);
+  EXPECT_TRUE(presence[0].absent);
+  EXPECT_EQ(presence[0].agent, "agent-a");
+  EXPECT_EQ(presence[0].staleness_s, 5.0);
+  EXPECT_FALSE(presence[1].absent);
+
+  auto statuses = engine.snapshot();
+  ASSERT_EQ(statuses.size(), 2u);
+  EXPECT_EQ(statuses[0].labels,
+            (telemetry::Labels{{"rule", "agent_absent"}, {"agent", "agent-a"}}));
+  EXPECT_EQ(statuses[0].state, telemetry::AlertState::kFiring);
+  EXPECT_EQ(statuses[0].value, 5.0);
+  EXPECT_EQ(statuses[1].state, telemetry::AlertState::kInactive);
+
+  // The agent comes back: one push resolves its alert without waiting
+  // for the next update_presence sweep.
+  now = 5.5;
+  ac.inc();
+  collector.ingest(report_body(a, "agent-a", false));
+  statuses = engine.snapshot();
+  EXPECT_EQ(statuses[0].state, telemetry::AlertState::kResolved);
+  EXPECT_EQ(collector.update_presence(), 0u);
+}
+
+TEST(CollectorPresence, SelfMetricsExportStalenessAndVanishOnForget) {
+  runtime::MetricsCollector collector(4, test_presence());
+  double now = 0.0;
+  collector.set_clock([&now] { return now; });
+  telemetry::AlertEngine engine;
+  collector.attach_alert_engine(engine);
+
+  Registry a;
+  a.counter("probemon_a_total").inc(1);
+  collector.ingest(report_body(a, "agent-a", true));
+  now = 2.0;
+  collector.update_presence();
+
+  auto find_gauge = [](const std::vector<Sample>& samples,
+                       const std::string& name,
+                       const std::string& agent) -> const Sample* {
+    for (const auto& s : samples) {
+      bool match = s.name == name;
+      for (const auto& [k, v] : s.labels) {
+        if (k == "agent" && v != agent) match = false;
+      }
+      if (match) return &s;
+    }
+    return nullptr;
+  };
+  const auto self = collector.self_metrics().snapshot();
+  const Sample* staleness = find_gauge(
+      self, "probemon_collector_agent_staleness_seconds", "agent-a");
+  ASSERT_NE(staleness, nullptr);
+  EXPECT_EQ(staleness->value, 2.0);
+  ASSERT_NE(find_gauge(self, "probemon_collector_agent_deadline_seconds",
+                       "agent-a"),
+            nullptr);
+
+  // An upstream collector aggregating this collector's self-metrics
+  // (collector-of-collectors) sees the per-agent gauges...
+  runtime::MetricsCollector upstream(4);
+  upstream.ingest(report_body(collector.self_metrics(), "collector-1", true));
+  auto upstream_view = upstream.agent_snapshot("collector-1");
+  EXPECT_NE(find_gauge(upstream_view,
+                       "probemon_collector_agent_staleness_seconds", "agent-a"),
+            nullptr);
+
+  // ...and forget() removes them at the source, so the next full report
+  // erases them upstream too instead of resurrecting stale state.
+  EXPECT_TRUE(collector.forget("agent-a"));
+  const auto after = collector.self_metrics().snapshot();
+  EXPECT_EQ(find_gauge(after, "probemon_collector_agent_staleness_seconds",
+                       "agent-a"),
+            nullptr);
+  EXPECT_EQ(find_gauge(after, "probemon_collector_agent_deadline_seconds",
+                       "agent-a"),
+            nullptr);
+  EXPECT_EQ(find_gauge(after, "probemon_collector_agent_absent", "agent-a"),
+            nullptr);
+  EXPECT_TRUE(collector.agent_presence().empty());
+  EXPECT_TRUE(engine.snapshot().empty());  // condition instance dropped
+
+  upstream.ingest(report_body(collector.self_metrics(), "collector-1", true));
+  upstream_view = upstream.agent_snapshot("collector-1");
+  EXPECT_EQ(find_gauge(upstream_view,
+                       "probemon_collector_agent_staleness_seconds", "agent-a"),
+            nullptr);
+}
+
+TEST(CollectorPresence, AgentsRouteFiltersByStateAndRejectsUnknown) {
+  runtime::MetricsCollector collector(4, test_presence());
+  double now = 0.0;
+  collector.set_clock([&now] { return now; });
+  telemetry::HttpServer server({.port = 0});
+  runtime::register_collector_routes(server, collector);
+  server.start();
+
+  Registry a;
+  a.counter("probemon_a_total").inc(1);
+  collector.ingest(report_body(a, "agent-a", true));
+  Registry b;
+  b.counter("probemon_b_total").inc(1);
+  collector.ingest(report_body(b, "agent-b", true));
+  for (int i = 1; i <= 5; ++i) {  // agent-b keeps its 1 s cadence
+    now = i;
+    b.counter("probemon_b_total").inc(1);
+    collector.ingest(report_body(b, "agent-b", false));
+  }
+  now = 6.0;  // agent-a staleness 6 > 4 s deadline; agent-b 1 < 4
+
+  const auto absent = telemetry::http_get("127.0.0.1", server.port(),
+                                          "/agents?state=absent");
+  EXPECT_TRUE(absent.ok());
+  EXPECT_NE(absent.body.find("\"agent\":\"agent-a\""), std::string::npos)
+      << absent.body;
+  EXPECT_EQ(absent.body.find("\"agent\":\"agent-b\""), std::string::npos);
+  EXPECT_NE(absent.body.find("\"state\":\"absent\""), std::string::npos);
+  EXPECT_NE(absent.body.find("\"deadline_s\":4"), std::string::npos);
+
+  const auto ok = telemetry::http_get("127.0.0.1", server.port(),
+                                      "/agents?state=ok");
+  EXPECT_NE(ok.body.find("\"agent\":\"agent-b\""), std::string::npos);
+  EXPECT_EQ(ok.body.find("\"agent\":\"agent-a\""), std::string::npos);
+
+  const auto bad = telemetry::http_get("127.0.0.1", server.port(),
+                                       "/agents?state=gone");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("\"error\":"), std::string::npos) << bad.body;
+  EXPECT_NE(bad.body.find("state must be ok or absent"), std::string::npos);
+  server.stop();
 }
 
 }  // namespace

@@ -1,0 +1,255 @@
+// TimeSeriesHistory + the query grammar: ring retention, window
+// queries (rate/increase/avg/min/max/quantile), reset correction,
+// track_prefix selection, and parse_query/eval_query round trips.
+// All time is injected — nothing here reads a clock.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "telemetry/history/history.hpp"
+#include "telemetry/history/query.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon {
+namespace {
+
+using telemetry::Labels;
+using telemetry::parse_query;
+using telemetry::QueryFn;
+using telemetry::Registry;
+using telemetry::TimeSeriesHistory;
+
+TEST(TimeSeriesHistory, ValidatesConfig) {
+  Registry reg;
+  EXPECT_THROW(TimeSeriesHistory(reg, {.sample_period_s = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(TimeSeriesHistory(reg, {.sample_period_s = 1.0, .slots = 1}),
+               std::invalid_argument);
+}
+
+TEST(TimeSeriesHistory, SamplesTrackedSeriesAndAnswersPointQueries) {
+  Registry reg;
+  auto& load = reg.gauge("probemon_load");
+  TimeSeriesHistory history(reg);
+  history.track("probemon_load");
+
+  EXPECT_TRUE(std::isnan(history.last("probemon_load", {})));
+  load.set(2.0);
+  history.sample(1.0);
+  load.set(6.0);
+  history.sample(2.0);
+  load.set(4.0);
+  history.sample(3.0);
+
+  EXPECT_EQ(history.series_count(), 1u);
+  EXPECT_EQ(history.samples_taken(), 3u);
+  EXPECT_EQ(history.last_sample_time(), 3.0);
+  EXPECT_EQ(history.last("probemon_load", {}), 4.0);
+  EXPECT_EQ(history.avg("probemon_load", {}, 10.0), 4.0);
+  EXPECT_EQ(history.min("probemon_load", {}, 10.0), 2.0);
+  EXPECT_EQ(history.max("probemon_load", {}, 10.0), 6.0);
+  // Window [1, 3] trimmed to [2, 3]: the t=1 point falls out.
+  EXPECT_EQ(history.min("probemon_load", {}, 1.0), 4.0);
+  EXPECT_GT(history.retained_bytes(), 0u);
+}
+
+TEST(TimeSeriesHistory, UntrackedSeriesAreNotSampled) {
+  Registry reg;
+  reg.gauge("probemon_a").set(1.0);
+  reg.gauge("probemon_b").set(2.0);
+  TimeSeriesHistory history(reg);
+  history.track("probemon_a");
+  history.sample(1.0);
+  EXPECT_EQ(history.series_count(), 1u);
+  EXPECT_TRUE(std::isnan(history.last("probemon_b", {})));
+}
+
+TEST(TimeSeriesHistory, TracksByLabelSetAndPrefix) {
+  Registry reg;
+  reg.counter("probemon_x_total", "", {{"cp", "a"}}).inc(1);
+  reg.counter("probemon_x_total", "", {{"cp", "b"}}).inc(2);
+  reg.gauge("probemon_y").set(9);
+  TimeSeriesHistory history(reg);
+  history.track("probemon_x_total", {{"cp", "a"}});
+  history.sample(1.0);
+  EXPECT_EQ(history.last("probemon_x_total", {{"cp", "a"}}), 1.0);
+  EXPECT_TRUE(std::isnan(history.last("probemon_x_total", {{"cp", "b"}})));
+
+  TimeSeriesHistory by_prefix(reg);
+  by_prefix.track_prefix("probemon_x");
+  by_prefix.sample(1.0);
+  EXPECT_EQ(by_prefix.series_count(), 2u);
+  EXPECT_TRUE(std::isnan(by_prefix.last("probemon_y", {})));
+}
+
+TEST(TimeSeriesHistory, RingDropsOldestAtCapacity) {
+  Registry reg;
+  auto& g = reg.gauge("probemon_g");
+  TimeSeriesHistory history(reg, {.sample_period_s = 1.0, .slots = 4});
+  history.track("probemon_g");
+  for (int i = 1; i <= 10; ++i) {
+    g.set(i);
+    history.sample(static_cast<double>(i));
+  }
+  const auto points = history.points("probemon_g", {}, 100.0);
+  ASSERT_EQ(points.size(), 4u);  // only the newest 4 retained
+  EXPECT_EQ(points.front().t, 7.0);
+  EXPECT_EQ(points.back().t, 10.0);
+  EXPECT_EQ(points.front().value, 7.0);
+  EXPECT_EQ(history.min("probemon_g", {}, 100.0), 7.0);
+}
+
+TEST(TimeSeriesHistory, EqualTimeResamplesOverwriteTheNewestPoint) {
+  Registry reg;
+  auto& g = reg.gauge("probemon_g");
+  TimeSeriesHistory history(reg);
+  history.track("probemon_g");
+  g.set(1.0);
+  history.sample(5.0);
+  g.set(2.0);
+  history.sample(5.0);  // replayed tick: same t, updated value
+  const auto points = history.points("probemon_g", {}, 100.0);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].value, 2.0);
+}
+
+TEST(TimeSeriesHistory, RateAndIncreaseAreResetCorrected) {
+  Registry reg;
+  auto& c = reg.counter("probemon_c_total");
+  TimeSeriesHistory history(reg);
+  history.track("probemon_c_total");
+  c.inc(10);
+  history.sample(0.0);
+  c.inc(10);  // 20
+  history.sample(10.0);
+
+  EXPECT_EQ(history.increase("probemon_c_total", {}, 100.0), 10.0);
+  EXPECT_EQ(history.rate("probemon_c_total", {}, 100.0), 1.0);
+  // One point in range is not enough for a rate.
+  EXPECT_TRUE(std::isnan(history.rate("probemon_c_total", {}, 0.5)));
+
+  // Counter resets (agent restart): the drop to 3 must count the new
+  // value, not a negative delta. Samples: 20 -> reset -> 3 -> 8.
+  reg.remove("probemon_c_total");
+  auto& c2 = reg.counter("probemon_c_total");
+  c2.inc(3);
+  history.sample(20.0);
+  c2.inc(5);  // 8
+  history.sample(30.0);
+  // increase = (20-10) + 3 + (8-3) = 18 over [0, 30]
+  EXPECT_EQ(history.increase("probemon_c_total", {}, 100.0), 18.0);
+  EXPECT_DOUBLE_EQ(history.rate("probemon_c_total", {}, 100.0), 18.0 / 30.0);
+}
+
+TEST(TimeSeriesHistory, QuantileDifferencesCumulativeBucketStates) {
+  Registry reg;
+  auto& h = reg.histogram("probemon_d_seconds", {0.1, 1.0, 10.0});
+  TimeSeriesHistory history(reg);
+  history.track("probemon_d_seconds");
+
+  h.observe(0.05);  // old observation, outside the later window
+  history.sample(0.0);
+  for (int i = 0; i < 8; ++i) h.observe(0.5);
+  h.observe(5.0);
+  h.observe(5.0);
+  history.sample(10.0);
+
+  // Window covering both samples: 10 in-window observations, 8 in
+  // (0.1, 1.0], 2 in (1.0, 10.0]. p50 interpolates inside (0.1, 1.0].
+  const double p50 =
+      history.quantile(0.5, "probemon_d_seconds", {}, 100.0);
+  EXPECT_GT(p50, 0.1);
+  EXPECT_LE(p50, 1.0);
+  // p99 lands in the (1.0, 10.0] bucket.
+  const double p99 =
+      history.quantile(0.99, "probemon_d_seconds", {}, 100.0);
+  EXPECT_GT(p99, 1.0);
+  EXPECT_LE(p99, 10.0);
+
+  // A later empty window: no new observations -> NaN, not a stale value.
+  history.sample(20.0);
+  history.sample(30.0);
+  EXPECT_TRUE(
+      std::isnan(history.quantile(0.99, "probemon_d_seconds", {}, 15.0)));
+
+  EXPECT_THROW(history.quantile(1.5, "probemon_d_seconds", {}, 10.0),
+               std::invalid_argument);
+}
+
+TEST(TimeSeriesHistory, QuantileClampsInfBucketToLargestFiniteBound) {
+  Registry reg;
+  auto& h = reg.histogram("probemon_d_seconds", {0.1, 1.0});
+  TimeSeriesHistory history(reg);
+  history.track("probemon_d_seconds");
+  history.sample(0.0);
+  for (int i = 0; i < 4; ++i) h.observe(100.0);  // all in +Inf bucket
+  history.sample(1.0);
+  EXPECT_EQ(history.quantile(0.9, "probemon_d_seconds", {}, 10.0), 1.0);
+}
+
+TEST(QueryGrammar, ParsesEveryForm) {
+  auto expr = parse_query("probemon_watches");
+  EXPECT_EQ(expr.fn, QueryFn::kLast);
+  EXPECT_EQ(expr.series, "probemon_watches");
+  EXPECT_EQ(expr.range_s, 0.0);
+
+  expr = parse_query(
+      "rate(probemon_presence_transitions_total{state=\"absent\"}[120])");
+  EXPECT_EQ(expr.fn, QueryFn::kRate);
+  EXPECT_EQ(expr.labels, (Labels{{"state", "absent"}}));
+  EXPECT_EQ(expr.range_s, 120.0);
+
+  expr = parse_query("quantile(0.99, probemon_detection_latency_seconds[60s])");
+  EXPECT_EQ(expr.fn, QueryFn::kQuantile);
+  EXPECT_EQ(expr.q, 0.99);
+  EXPECT_EQ(expr.range_s, 60.0);
+
+  EXPECT_EQ(parse_query("avg(m[2m])").range_s, 120.0);
+  EXPECT_EQ(parse_query("max(m[1h])").range_s, 3600.0);
+  EXPECT_EQ(parse_query(" min( m ) ").fn, QueryFn::kMin);
+}
+
+TEST(QueryGrammar, RejectsMalformedExpressions) {
+  const char* bad[] = {
+      "",                        // empty
+      "rate(",                   // unterminated
+      "rate(m",                  // missing ')'
+      "nope(m)",                 // unknown function
+      "quantile(m)",             // quantile needs q
+      "quantile(2, m)",          // q out of [0,1]
+      "rate(m[0])",              // range must be > 0
+      "rate(m[5x])",             // bad unit
+      "m{key=value}",            // unquoted label value
+      "m[10] trailing",          // trailing junk
+      "1bad_name",               // invalid metric name
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_query(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(QueryGrammar, EvalMatchesDirectQueries) {
+  Registry reg;
+  auto& c = reg.counter("probemon_c_total");
+  TimeSeriesHistory history(reg);
+  history.track("probemon_c_total");
+  c.inc(4);
+  history.sample(0.0);
+  c.inc(6);
+  history.sample(10.0);
+
+  EXPECT_EQ(telemetry::eval_query(parse_query("probemon_c_total"), history,
+                                  60.0),
+            10.0);
+  EXPECT_EQ(telemetry::eval_query(parse_query("increase(probemon_c_total)"),
+                                  history, 60.0),
+            6.0);
+  // Explicit range beats the default.
+  EXPECT_TRUE(std::isnan(telemetry::eval_query(
+      parse_query("rate(probemon_c_total[1])"), history, 60.0)));
+}
+
+}  // namespace
+}  // namespace probemon

@@ -19,7 +19,10 @@
 #include "runtime/inproc_transport.hpp"
 #include "runtime/presence_service.hpp"
 #include "runtime/rt_device.hpp"
+#include "telemetry/alerts/alert_engine.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/history/history.hpp"
+#include "telemetry/http_client.hpp"
 #include "telemetry/http_server.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
@@ -508,6 +511,202 @@ TEST(HttpServer, TraceRouteSupportsSinceCursor) {
   const std::string bad =
       http_get(server.port(), "/trace?format=json&since=-1");
   EXPECT_EQ(status_line(bad), "HTTP/1.1 400 Bad Request");
+}
+
+// ------------------------------------------------------- HEAD handling
+
+TEST(HttpServer, HeadReturnsHeadersWithoutBody) {
+  Registry registry;
+  registry.counter("probemon_x_total").inc(3);
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+
+  // ?full=1 makes GET and HEAD bodies identical regardless of cursor
+  // state, so HEAD's Content-Length must equal the real body size.
+  const std::string get = http_get(server.port(), "/metrics.json?full=1");
+  const std::string head = http_request(
+      server.port(),
+      "HEAD /metrics.json?full=1 HTTP/1.1\r\nHost: x\r\n"
+      "Connection: close\r\n\r\n");
+  EXPECT_EQ(status_line(head), "HTTP/1.1 200 OK");
+  EXPECT_EQ(header_of(head, "Content-Length"),
+            std::to_string(body_of(get).size()));
+  EXPECT_EQ(header_of(head, "Content-Type"), header_of(get, "Content-Type"));
+  EXPECT_EQ(body_of(head), "");
+
+  // The blocking client agrees: status + headers, empty body.
+  const auto result = http_head("127.0.0.1", server.port(), "/metrics?full=1");
+  EXPECT_EQ(result.status, 200);
+  EXPECT_TRUE(result.body.empty());
+  EXPECT_NE(result.headers.find("Content-Length: "), std::string::npos);
+}
+
+TEST(HttpServer, HeadErrorsMirrorGetStatusWithoutBody) {
+  HttpServer server;
+  server.start();
+  const std::string head = http_request(
+      server.port(),
+      "HEAD /nope HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(status_line(head), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(header_of(head, "Content-Length"), "0");
+  EXPECT_EQ(body_of(head), "");
+}
+
+TEST(HttpServer, HeadOnPostOnlyRouteIs405) {
+  HttpServer server;
+  server.handle_post("/push", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  server.start();
+  const std::string head = http_request(
+      server.port(),
+      "HEAD /push HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  EXPECT_EQ(status_line(head), "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_EQ(header_of(head, "Allow"), "POST");
+}
+
+TEST(HttpServer, AllowHeaderAdvertisesHead) {
+  Registry registry;
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+  const std::string post = http_request(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(header_of(post, "Allow"), "GET, HEAD");
+  const std::string put = http_request(
+      server.port(),
+      "PUT /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(status_line(put), "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_EQ(header_of(put, "Allow"), "GET, HEAD, POST");
+}
+
+// ----------------------------------------- malformed query parameters
+
+TEST(HttpServer, MalformedFullFlagIs400WithJsonBody) {
+  Registry registry;
+  HttpServer server;
+  register_metrics_routes(server, registry);
+  server.start();
+  for (const std::string target :
+       {"/metrics?full=2", "/metrics?full=yes", "/metrics.json?full=",
+        "/metrics.json?full=x"}) {
+    const std::string response = http_get(server.port(), target);
+    EXPECT_EQ(status_line(response), "HTTP/1.1 400 Bad Request") << target;
+    EXPECT_EQ(header_of(response, "Content-Type"),
+              "application/json; charset=utf-8")
+        << target;
+    const std::string body = body_of(response);
+    EXPECT_NE(body.find("\"error\":"), std::string::npos) << body;
+    EXPECT_NE(body.find("full must be 0 or 1"), std::string::npos) << body;
+    EXPECT_NE(body.find("\"status\":400"), std::string::npos) << body;
+  }
+  // Valid values still work.
+  EXPECT_EQ(status_line(http_get(server.port(), "/metrics?full=1")),
+            "HTTP/1.1 200 OK");
+}
+
+TEST(HttpServer, MalformedSinceCursorIs400WithJsonBody) {
+  ProbeCycleTracer tracer(8);
+  HttpServer server;
+  register_trace_routes(server, tracer);
+  server.start();
+  for (const std::string target :
+       {"/trace?since=abc", "/trace?since=", "/trace?since=1x",
+        "/trace?since=-1"}) {
+    const std::string response = http_get(server.port(), target);
+    EXPECT_EQ(status_line(response), "HTTP/1.1 400 Bad Request") << target;
+    EXPECT_EQ(header_of(response, "Content-Type"),
+              "application/json; charset=utf-8")
+        << target;
+    const std::string body = body_of(response);
+    EXPECT_NE(body.find("\"error\":"), std::string::npos) << body;
+    EXPECT_NE(body.find("since must be a non-negative integer"),
+              std::string::npos)
+        << body;
+  }
+  EXPECT_EQ(status_line(http_get(server.port(), "/trace?since=0")),
+            "HTTP/1.1 200 OK");
+}
+
+// ------------------------------------------------ /query and /alerts
+
+TEST(HttpRoutes, QueryEndpointEvaluatesExpressions) {
+  Registry registry;
+  auto& gauge = registry.gauge("probemon_load");
+  TimeSeriesHistory history(registry, {.sample_period_s = 1.0, .slots = 16});
+  history.track("probemon_load");
+  gauge.set(2.0);
+  history.sample(1.0);
+  gauge.set(4.0);
+  history.sample(2.0);
+
+  HttpServer server;
+  runtime::ObservabilitySources sources;
+  sources.registry = &registry;
+  sources.history = &history;
+  runtime::register_observability_routes(server, sources);
+  server.start();
+
+  const std::string ok =
+      http_get(server.port(), "/query?expr=probemon_load");
+  EXPECT_EQ(status_line(ok), "HTTP/1.1 200 OK");
+  EXPECT_NE(body_of(ok).find("\"value\":4"), std::string::npos)
+      << body_of(ok);
+  EXPECT_NE(body_of(ok).find("\"as_of\":2"), std::string::npos);
+
+  const std::string avg = http_get(
+      server.port(), "/query?expr=avg(probemon_load[10])&range=10");
+  EXPECT_NE(body_of(avg).find("\"value\":3"), std::string::npos)
+      << body_of(avg);
+
+  // No data in a 0.1 s window -> JSON null, not NaN.
+  gauge.set(9.0);
+  const std::string nodata = http_get(
+      server.port(), "/query?expr=rate(probemon_nope_total[5])");
+  EXPECT_EQ(status_line(nodata), "HTTP/1.1 200 OK");
+  EXPECT_NE(body_of(nodata).find("\"value\":null"), std::string::npos)
+      << body_of(nodata);
+
+  for (const std::string target :
+       {"/query", "/query?expr=", "/query?expr=rate(",
+        "/query?expr=probemon_load&range=0",
+        "/query?expr=probemon_load&range=abc"}) {
+    const std::string response = http_get(server.port(), target);
+    EXPECT_EQ(status_line(response), "HTTP/1.1 400 Bad Request") << target;
+    EXPECT_NE(body_of(response).find("\"error\":"), std::string::npos)
+        << body_of(response);
+  }
+}
+
+TEST(HttpRoutes, AlertsEndpointServesAndFiltersState) {
+  AlertEngine engine;
+  AlertRule rule;
+  rule.name = "agent_absent";
+  engine.add_condition_rule(rule);
+  engine.set_condition("agent_absent", {{"agent", "a"}}, true, 7.0, 3.0);
+  engine.set_condition("agent_absent", {{"agent", "b"}}, false, 0.1, 3.0);
+
+  HttpServer server;
+  runtime::register_alert_routes(server, engine);
+  server.start();
+
+  const std::string all = http_get(server.port(), "/alerts");
+  EXPECT_EQ(status_line(all), "HTTP/1.1 200 OK");
+  EXPECT_EQ(header_of(all, "Content-Type"),
+            "application/json; charset=utf-8");
+  EXPECT_EQ(body_of(all), alerts_to_json(engine));
+
+  const std::string firing =
+      http_get(server.port(), "/alerts?state=firing");
+  EXPECT_EQ(body_of(firing), alerts_to_json(engine, "firing"));
+  EXPECT_NE(body_of(firing).find("\"agent\":\"a\""), std::string::npos);
+  EXPECT_EQ(body_of(firing).find("\"agent\":\"b\""), std::string::npos);
+
+  const std::string bad = http_get(server.port(), "/alerts?state=loud");
+  EXPECT_EQ(status_line(bad), "HTTP/1.1 400 Bad Request");
+  EXPECT_NE(body_of(bad).find("\"error\":"), std::string::npos);
 }
 
 }  // namespace

@@ -9,7 +9,12 @@ Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
                      time(), clock(), gettimeofday and the std::chrono
                      clocks. (A DES that reads the wall clock is not
                      reproducible; the repo's determinism tests diff
-                     whole runs bit-for-bit.)
+                     whole runs bit-for-bit.) Also enforced over
+                     src/telemetry/history + src/telemetry/alerts:
+                     sampling and alert evaluation are caller-clocked
+                     (sample(t)/evaluate(t)) so DES runs replay
+                     byte-identically; wall-clock driving belongs in
+                     runtime::HistoryTicker.
   no-naked-new       Ownership is expressed with std::make_unique /
                      std::make_shared / containers; a naked `new`
                      expression leaks on exception paths.
@@ -117,7 +122,9 @@ STRING_LABELS = re.compile(
 NOLINT = re.compile(r"NOLINT\(([^)]*)\)")
 
 RULES = {
-    "no-wall-clock": "no rand()/time()/chrono clocks in src/des + src/core",
+    "no-wall-clock":
+        "no rand()/time()/chrono clocks in src/des + src/core + "
+        "src/telemetry/{history,alerts}",
     "no-naked-new": "no naked new expressions (use make_unique/containers)",
     "counter-registry": "telemetry metrics must come from the Registry",
     "pragma-once": "headers start with #pragma once",
@@ -177,6 +184,12 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
     findings: list[Finding] = []
     parts = rel.parts
     deterministic_zone = "src" in parts and ("des" in parts or "core" in parts)
+    # History/alerts take time as an argument (sample(t)/evaluate(t));
+    # reading a clock there would silently fork DES and wall-clock
+    # behavior. They are NOT in deterministic_zone: string-keyed
+    # registry access is fine in query-path code.
+    wallclock_zone = deterministic_zone or (
+        "telemetry" in parts and ("history" in parts or "alerts" in parts))
     callback_zone = deterministic_zone or (
         "src" in parts and "scenario" in parts)
     hot_path = "src" in parts and "core" in parts and rel.name in HOT_PATH_FILES
@@ -230,13 +243,13 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
                     "path — intern names/labels at setup and use the "
                     "*_ids interned-id API"))
 
-        if deterministic_zone and not suppressed(raw, "no-wall-clock"):
+        if wallclock_zone and not suppressed(raw, "no-wall-clock"):
             for pattern, what in WALL_CLOCK_PATTERNS:
                 if pattern.search(code):
                     findings.append(Finding(
                         rel, lineno, "no-wall-clock",
-                        f"{what} — src/des and src/core must stay "
-                        "deterministic"))
+                        f"{what} — this tree must stay deterministic "
+                        "(caller-supplied time only)"))
 
         if (NAKED_NEW.search(code) and not PLACEMENT_NEW.search(code)
                 and not suppressed(raw, "no-naked-new")):
