@@ -33,6 +33,7 @@
 #include "runtime/collector.hpp"
 #include "runtime/metrics_push.hpp"
 #include "telemetry/alerts/alert_engine.hpp"
+#include "telemetry/bridges.hpp"
 #include "telemetry/http_client.hpp"
 #include "telemetry/http_server.hpp"
 #include "telemetry/sharded_registry.hpp"
@@ -111,6 +112,7 @@ int main(int argc, char** argv) {
   telemetry::HttpServer server({.port = 0});
   runtime::register_collector_routes(server, collector);
   telemetry::register_metrics_routes(server, collector.merged());
+  telemetry::instrument_lock_order(collector.self_metrics());
   server.start();
   std::printf("collector listening on 127.0.0.1:%u (POST /push, GET "
               "/agents /metrics /metrics.json)\n",

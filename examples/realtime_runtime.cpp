@@ -27,6 +27,7 @@
 #include "runtime/rt_device.hpp"
 #include "runtime/udp_transport.hpp"
 #include "telemetry/alerts/default_rules.hpp"
+#include "telemetry/bridges.hpp"
 #include "telemetry/http_server.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
@@ -59,6 +60,7 @@ int main(int argc, char** argv) {
   cp_config.timeouts.tos = 0.020;
 
   telemetry::Registry registry;
+  telemetry::instrument_lock_order(registry);  // 0 unless a checked build
   telemetry::ProbeCycleTracer tracer(2048);
 
   std::unique_ptr<runtime::Transport> transport;

@@ -31,6 +31,11 @@
 #   * clang-tidy over src/ (skipped with a notice when not installed)
 #   * tools/lint.py project rules, plus a self-test that seeds a rand()
 #     call in a scratch tree and requires the linter to catch it
+#   * a tsan.supp audit (every suppression needs a reason comment)
+#   * a clang -Wthread-safety -Werror=thread-safety build of the whole
+#     tree plus tools/tsa_selftest.py (strip-and-flip proof that the
+#     Registry/MetricsCollector annotations are load-bearing); skipped
+#     with a warning when clang is absent, fatal under CI_TSA=1
 #   * scripts/check_format.sh (diff-only; skipped when clang-format is
 #     not installed)
 #   * an ASan+UBSan build with PROBEMON_CHECKED=ON running the full
@@ -284,8 +289,88 @@ EOF
   }
   echo "    OK (no-std-function finding produced)"
 
+  # --- static: lint self-test for the annotated-locks rule -- a raw
+  # std::mutex seeded under src/runtime must be caught (all of src/
+  # synchronizes through the TSA-annotated util::Mutex wrappers).
+  echo "==> lint self-test (seeded raw std::mutex must be caught)"
+  mkdir -p "$SCRATCH/lint_selftest/src/runtime"
+  cat > "$SCRATCH/lint_selftest/src/runtime/raw_lock.cpp" <<'EOF'
+#include <mutex>
+std::mutex raw_mutex;
+EOF
+  if python3 "$ROOT/tools/lint.py" --root "$SCRATCH/lint_selftest" \
+       "$SCRATCH/lint_selftest/src/runtime/raw_lock.cpp" \
+       > "$SCRATCH/lint_selftest5.out" 2>&1; then
+    echo "    FAILED: linter missed the seeded raw std::mutex" >&2
+    cat "$SCRATCH/lint_selftest5.out" >&2
+    exit 1
+  fi
+  grep -q 'annotated-locks' "$SCRATCH/lint_selftest5.out" || {
+    echo "    FAILED: linter flagged something, but not annotated-locks" >&2
+    cat "$SCRATCH/lint_selftest5.out" >&2
+    exit 1
+  }
+  echo "    OK (annotated-locks finding produced)"
+
+  # --- static: every tsan.supp suppression must carry a reason comment
+  # directly above it (stale or unexplained suppressions hide real
+  # races; see the satellite audit in docs/static_analysis.md).
+  echo "==> tsan.supp audit (every suppression needs a reason comment)"
+  python3 - "$ROOT/scripts/tsan.supp" <<'EOF'
+import sys
+path = sys.argv[1]
+prev_comment = False
+bad = []
+for lineno, raw in enumerate(open(path), start=1):
+    line = raw.strip()
+    if not line:
+        prev_comment = False
+        continue
+    if line.startswith("#"):
+        prev_comment = True
+        continue
+    if not prev_comment:
+        bad.append((lineno, line))
+    # A comment block covers every suppression until a blank line.
+if bad:
+    for lineno, line in bad:
+        print(f"    {path}:{lineno}: suppression without a reason "
+              f"comment above it: {line}", file=sys.stderr)
+    sys.exit(1)
+print("    OK (all suppressions documented)")
+EOF
+
   # --- static: formatting, diff-only (advisory skip when absent)
   "$ROOT/scripts/check_format.sh"
+
+  # --- static: clang Thread Safety Analysis leg. A full build with
+  # -Wthread-safety promoted to errors, then the strip-and-flip
+  # self-test proving the Registry/MetricsCollector annotations are
+  # load-bearing (tools/tsa_selftest.py). Needs clang; without it the
+  # leg is skipped with a warning, unless CI_TSA=1 demands it.
+  CLANG_CXX="${CLANG_CXX:-clang++}"
+  TSA_BUILD_STATUS="skipped"
+  TSA_SELFTEST_STATUS="skipped"
+  if command -v "$CLANG_CXX" >/dev/null 2>&1; then
+    TSA_BUILD_DIR="${TSA_BUILD_DIR:-$ROOT/build-tsa}"
+    echo "==> clang thread-safety build (-Wthread-safety -Werror=thread-safety, ${TSA_BUILD_DIR})"
+    cmake -B "$TSA_BUILD_DIR" -S "$ROOT" \
+      -DCMAKE_CXX_COMPILER="$CLANG_CXX" -DPROBEMON_TSA=ON >/dev/null
+    cmake --build "$TSA_BUILD_DIR" -j >/dev/null
+    TSA_BUILD_STATUS="passed"
+    echo "==> tools/tsa_selftest.py (strip-and-flip annotation check)"
+    python3 "$ROOT/tools/tsa_selftest.py" --clang "$CLANG_CXX" \
+      --json "$SCRATCH/tsa_selftest.json"
+    TSA_SELFTEST_STATUS="passed"
+  elif [[ "${CI_TSA:-0}" == "1" ]]; then
+    echo "ERROR: CI_TSA=1 requests the clang thread-safety leg, but" >&2
+    echo "       '$CLANG_CXX' was not found. Install clang or point" >&2
+    echo "       CLANG_CXX at a clang++ binary." >&2
+    exit 1
+  else
+    echo "==> clang thread-safety leg skipped ('$CLANG_CXX' not found;"
+    echo "    set CLANG_CXX or install clang. CI_TSA=1 makes this fatal)"
+  fi
 
   # --- dynamic: ASan+UBSan build with the invariant auditor armed
   ASAN_BUILD="${ASAN_BUILD_DIR:-$ROOT/build-asan}"
@@ -294,6 +379,12 @@ EOF
     -DPROBEMON_SANITIZE=address -DPROBEMON_CHECKED=ON >/dev/null
   cmake --build "$ASAN_BUILD" -j >/dev/null
   ctest --test-dir "$ASAN_BUILD" --output-on-failure -j
+
+  # --- dynamic: lock-order detector smoke. The checked build arms the
+  # util::Mutex acquisition hooks; the LockOrder tests include a
+  # deliberate ABBA cycle that must abort with both lock names.
+  echo "==> lock-order detector smoke (checked build, deliberate ABBA)"
+  ctest --test-dir "$ASAN_BUILD" --output-on-failure -j -R 'LockOrder'
 
   # --- dynamic: checked DES smoke (auditor attached, abort on violation)
   echo "==> checked DES smoke (auditor armed)"
@@ -334,9 +425,9 @@ EOF
   # --- machine-readable summary. The checked suite aborts on any
   # invariant violation, so reaching this line means the tally is 0.
   python3 - "$SUMMARY_DIR/analysis_summary.json" "$SCRATCH/lint.json" \
-    "$TIDY_COUNT" <<'EOF'
+    "$TIDY_COUNT" "$TSA_BUILD_STATUS" "$TSA_SELFTEST_STATUS" <<'EOF'
 import json, sys
-out, lint_path, tidy = sys.argv[1], sys.argv[2], sys.argv[3]
+out, lint_path, tidy, tsa_build, tsa_selftest = sys.argv[1:6]
 lint = json.load(open(lint_path))
 json.dump({
     "invariant_violations": 0,
@@ -346,6 +437,10 @@ json.dump({
     "tidy_ran": tidy != "skipped",
     "lint_findings": len(lint["findings"]),
     "lint_files_scanned": lint["files_scanned"],
+    "tsa_build": tsa_build,
+    "tsa_selftest": tsa_selftest,
+    "tsa_ran": tsa_build == "passed",
+    "lock_order_smoke": "passed",
 }, open(out, "w"), indent=2)
 print(f"==> wrote {out}")
 EOF

@@ -55,14 +55,14 @@ void InvariantAuditor::record(Invariant invariant, std::string detail) {
   if (registry_counts_[i]) registry_counts_[i]->inc();
   std::ostringstream line;
   line << to_string(invariant) << ": " << detail;
-  std::lock_guard lock(reports_mutex_);
+  util::MutexLock lock(reports_mutex_);
   reports_.push_back(line.str());
   if (reports_.size() > kMaxReports) reports_.pop_front();
 }
 
 void InvariantAuditor::on_probe_sent(net::NodeId cp, net::NodeId device,
                                      double t, std::uint8_t attempt) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++devices_[device].probes_sent_to;
   CycleState& cycle = cycles_[cp];
   if (attempt == 0) {
@@ -96,7 +96,7 @@ void InvariantAuditor::on_probe_sent(net::NodeId cp, net::NodeId device,
 
 void InvariantAuditor::on_probe_received(net::NodeId device, net::NodeId /*cp*/,
                                          double t) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   DeviceState& state = devices_[device];
   ++state.probes_received;
   if (state.probes_received > state.probes_sent_to) {
@@ -128,7 +128,7 @@ void InvariantAuditor::on_probe_received(net::NodeId device, net::NodeId /*cp*/,
 
 void InvariantAuditor::on_cycle_success(net::NodeId cp, net::NodeId /*device*/,
                                         double t, std::uint8_t attempts) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = cycles_.find(cp);
   if (it == cycles_.end()) return;  // attached mid-stream; cannot judge
   CycleState& cycle = it->second;
@@ -170,7 +170,7 @@ void InvariantAuditor::on_delay_updated(net::NodeId cp, double t,
 void InvariantAuditor::on_device_declared_absent(net::NodeId cp,
                                                  net::NodeId /*device*/,
                                                  double t) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = cycles_.find(cp);
   if (it == cycles_.end()) return;  // attached mid-stream
   CycleState& cycle = it->second;
@@ -196,7 +196,7 @@ void InvariantAuditor::on_slot_granted(net::NodeId device, double t,
   double previous_slot = 0.0;
   bool have_previous = false;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     DeviceState& state = devices_[device];
     previous_slot = state.frontier;
     have_previous = state.frontier_known;
@@ -317,7 +317,7 @@ std::uint64_t InvariantAuditor::total_violations() const noexcept {
 }
 
 std::vector<std::string> InvariantAuditor::recent_reports() const {
-  std::lock_guard lock(reports_mutex_);
+  util::MutexLock lock(reports_mutex_);
   return {reports_.begin(), reports_.end()};
 }
 

@@ -55,7 +55,6 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,6 +63,7 @@
 #include "core/observer.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::check {
 
@@ -129,16 +129,17 @@ class InvariantAuditor final : public core::ProtocolObserver {
 
   // --- core::ProtocolObserver (DES + any observer fan-out) ------------------
   void on_probe_sent(net::NodeId cp, net::NodeId device, double t,
-                     std::uint8_t attempt) override;
-  void on_probe_received(net::NodeId device, net::NodeId cp,
-                         double t) override;
+                     std::uint8_t attempt) override PROBEMON_EXCLUDES(mutex_);
+  void on_probe_received(net::NodeId device, net::NodeId cp, double t) override
+      PROBEMON_EXCLUDES(mutex_);
   void on_cycle_success(net::NodeId cp, net::NodeId device, double t,
-                        std::uint8_t attempts) override;
+                        std::uint8_t attempts) override
+      PROBEMON_EXCLUDES(mutex_);
   void on_delay_updated(net::NodeId cp, double t, double delay) override;
   void on_device_declared_absent(net::NodeId cp, net::NodeId device,
-                                 double t) override;
+                                 double t) override PROBEMON_EXCLUDES(mutex_);
   void on_slot_granted(net::NodeId device, double t, double nt_before,
-                       double nt_after) override;
+                       double nt_after) override PROBEMON_EXCLUDES(mutex_);
 
   // --- runtime side ---------------------------------------------------------
   /// Audit one completed probe-cycle span (the realtime CPs emit these
@@ -155,7 +156,8 @@ class InvariantAuditor final : public core::ProtocolObserver {
   std::uint64_t total_violations() const noexcept;
 
   /// Most recent violation diagnostics, oldest first (bounded ring).
-  std::vector<std::string> recent_reports() const;
+  std::vector<std::string> recent_reports() const
+      PROBEMON_EXCLUDES(reports_mutex_);
 
   /// Human-readable per-invariant tally, e.g. for an abort diagnostic.
   std::string summary() const;
@@ -174,7 +176,8 @@ class InvariantAuditor final : public core::ProtocolObserver {
     std::deque<double> recent_receives;  ///< load window (when enabled)
   };
 
-  void record(Invariant invariant, std::string detail);
+  void record(Invariant invariant, std::string detail)
+      PROBEMON_EXCLUDES(reports_mutex_);
   int max_sends() const noexcept {
     return config_.timeouts.max_retransmissions + 1;
   }
@@ -183,11 +186,15 @@ class InvariantAuditor final : public core::ProtocolObserver {
   std::array<std::atomic<std::uint64_t>, kInvariantCount> counts_{};
   std::array<telemetry::Counter*, kInvariantCount> registry_counts_{};
 
-  mutable std::mutex mutex_;  ///< guards cycles_ / devices_
-  std::unordered_map<net::NodeId, CycleState> cycles_;
-  std::unordered_map<net::NodeId, DeviceState> devices_;
-  mutable std::mutex reports_mutex_;  ///< guards reports_ (record() only)
-  std::deque<std::string> reports_;   ///< bounded diagnostics ring
+  /// Lock order: mutex_ -> reports_mutex_ (record() runs under mutex_).
+  mutable util::Mutex mutex_{"check.InvariantAuditor"};
+  std::unordered_map<net::NodeId, CycleState> cycles_
+      PROBEMON_GUARDED_BY(mutex_);
+  std::unordered_map<net::NodeId, DeviceState> devices_
+      PROBEMON_GUARDED_BY(mutex_);
+  mutable util::Mutex reports_mutex_{"check.InvariantAuditor.reports"};
+  /// bounded diagnostics ring (record() only)
+  std::deque<std::string> reports_ PROBEMON_GUARDED_BY(reports_mutex_);
 };
 
 }  // namespace probemon::check

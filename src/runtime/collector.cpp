@@ -100,12 +100,12 @@ MetricsCollector::MetricsCollector(std::size_t shards,
 
 void MetricsCollector::set_clock(std::function<double()> now_fn) {
   if (!now_fn) throw std::invalid_argument("collector clock must be callable");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   now_fn_ = std::move(now_fn);
 }
 
 void MetricsCollector::attach_alert_engine(telemetry::AlertEngine& engine) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   telemetry::AlertRule rule;
   rule.name = kAbsentRule;
   rule.op = telemetry::AlertOp::kGt;
@@ -154,7 +154,7 @@ void MetricsCollector::observe_push(const std::string& agent, double now) {
 }
 
 std::size_t MetricsCollector::update_presence() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const double now = now_fn_();
   std::size_t absent = 0;
   for (auto& [agent, presence] : presence_by_agent_) {
@@ -177,7 +177,7 @@ std::size_t MetricsCollector::update_presence() {
 
 std::vector<MetricsCollector::AgentPresence> MetricsCollector::agent_presence()
     const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<AgentPresence> out;
   out.reserve(presence_by_agent_.size());
   for (const auto& [agent, presence] : presence_by_agent_) {
@@ -217,7 +217,7 @@ std::size_t MetricsCollector::ingest(
   if (document.agent.empty()) {
     throw std::runtime_error("MetricsCollector: report carries no agent id");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto& agent_view = agents_[document.agent];
   if (!agent_view) agent_view = std::make_unique<telemetry::Registry>();
 
@@ -246,7 +246,7 @@ std::size_t MetricsCollector::ingest(
 }
 
 std::vector<std::string> MetricsCollector::agents() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(agents_.size());
   for (const auto& [agent, view] : agents_) out.push_back(agent);
@@ -254,12 +254,12 @@ std::vector<std::string> MetricsCollector::agents() const {
 }
 
 std::size_t MetricsCollector::agent_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return agents_.size();
 }
 
 bool MetricsCollector::forget(const std::string& agent) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = agents_.find(agent);
   if (it == agents_.end()) return false;
   for (const Sample& s : it->second->snapshot()) {
@@ -281,19 +281,19 @@ bool MetricsCollector::forget(const std::string& agent) {
 
 std::vector<Sample> MetricsCollector::agent_snapshot(
     const std::string& agent) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = agents_.find(agent);
   if (it == agents_.end()) return {};
   return it->second->snapshot();
 }
 
 std::uint64_t MetricsCollector::reports_ingested() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return reports_;
 }
 
 std::uint64_t MetricsCollector::samples_ingested() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return samples_;
 }
 

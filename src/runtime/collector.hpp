@@ -44,7 +44,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +53,7 @@
 #include "telemetry/http_server.hpp"
 #include "telemetry/metrics_parse.hpp"
 #include "telemetry/sharded_registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -91,13 +91,14 @@ class MetricsCollector {
   /// a missing agent id, std::logic_error if a series conflicts with
   /// an existing registration (type change mid-flight).
   std::size_t ingest(std::string_view json_body);
-  std::size_t ingest(const telemetry::MetricsDocument& document);
+  std::size_t ingest(const telemetry::MetricsDocument& document)
+      PROBEMON_EXCLUDES(mutex_);
 
   /// Reporting agents, sorted.
-  std::vector<std::string> agents() const;
-  std::size_t agent_count() const;
+  std::vector<std::string> agents() const PROBEMON_EXCLUDES(mutex_);
+  std::size_t agent_count() const PROBEMON_EXCLUDES(mutex_);
   /// Drop one agent's state (per-agent view and its merged series).
-  bool forget(const std::string& agent);
+  bool forget(const std::string& agent) PROBEMON_EXCLUDES(mutex_);
 
   /// The fleet-wide merged store ("agent" label on every series).
   /// Feed it to register_metrics_routes for O(changed) scrapes.
@@ -106,25 +107,25 @@ class MetricsCollector {
   /// One agent's last absolute state, snapshot form (empty vector for
   /// an unknown agent).
   std::vector<telemetry::Sample> agent_snapshot(
-      const std::string& agent) const;
+      const std::string& agent) const PROBEMON_EXCLUDES(mutex_);
 
   /// Reports successfully ingested / samples absorbed since start.
-  std::uint64_t reports_ingested() const;
-  std::uint64_t samples_ingested() const;
+  std::uint64_t reports_ingested() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t samples_ingested() const PROBEMON_EXCLUDES(mutex_);
 
   // --- Agent presence -------------------------------------------------------
 
   /// Replace the presence clock (seconds, monotone). Default: wall
   /// clock since construction. Tests inject a manual clock for
   /// deterministic deadlines.
-  void set_clock(std::function<double()> now_fn);
+  void set_clock(std::function<double()> now_fn) PROBEMON_EXCLUDES(mutex_);
 
   /// Re-evaluate every agent's staleness against its adaptive deadline
   /// at the current clock, refresh the self-metrics gauges, drive the
   /// attached alert engine's agent_absent conditions. Returns the
   /// number of agents currently absent. Call periodically (the /agents
   /// route also calls it per request).
-  std::size_t update_presence();
+  std::size_t update_presence() PROBEMON_EXCLUDES(mutex_);
 
   struct AgentPresence {
     std::string agent;
@@ -136,7 +137,7 @@ class MetricsCollector {
   };
   /// Presence state per agent, sorted by agent id; as of the last
   /// update_presence() (staleness included).
-  std::vector<AgentPresence> agent_presence() const;
+  std::vector<AgentPresence> agent_presence() const PROBEMON_EXCLUDES(mutex_);
 
   /// Collector-self metrics: probemon_collector_agent_staleness_seconds
   /// / _deadline_seconds / _absent per agent (removed on forget) plus
@@ -147,13 +148,16 @@ class MetricsCollector {
   /// Register the `agent_absent` condition rule on `engine` (must
   /// outlive the collector) and drive one labelled instance per agent
   /// from update_presence().
-  void attach_alert_engine(telemetry::AlertEngine& engine);
+  void attach_alert_engine(telemetry::AlertEngine& engine)
+      PROBEMON_EXCLUDES(mutex_);
 
   const CollectorPresenceConfig& presence_config() const {
     return presence_;
   }
 
  private:
+  PROBEMON_TSA_SELFTEST_HOOK
+
   struct Presence {
     core::SappAdaptation adaptation;
     double last_push_t = 0.0;
@@ -167,27 +171,34 @@ class MetricsCollector {
 
   void apply_sample(telemetry::Registry& agent_view,
                     const telemetry::Sample& sample,
-                    const std::string& agent);
+                    const std::string& agent) PROBEMON_REQUIRES(mutex_);
   void remove_sample(telemetry::Registry& agent_view,
                      const telemetry::Sample& sample,
-                     const std::string& agent);
-  void observe_push(const std::string& agent, double now);
-  void export_presence(const std::string& agent, const Presence& presence);
+                     const std::string& agent) PROBEMON_REQUIRES(mutex_);
+  void observe_push(const std::string& agent, double now)
+      PROBEMON_REQUIRES(mutex_);
+  void export_presence(const std::string& agent, const Presence& presence)
+      PROBEMON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<telemetry::Registry>> agents_;
+  mutable util::Mutex mutex_{"runtime.MetricsCollector"};
+  std::map<std::string, std::unique_ptr<telemetry::Registry>> agents_
+      PROBEMON_GUARDED_BY(mutex_);
+  /// merged_ and self_ synchronize themselves; the collector's mutex
+  /// orders multi-series updates around them but never protects their
+  /// internals (lock order: MetricsCollector -> Registry / shard).
   telemetry::ShardedRegistry merged_;
-  std::uint64_t reports_ = 0;
-  std::uint64_t samples_ = 0;
+  std::uint64_t reports_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t samples_ PROBEMON_GUARDED_BY(mutex_) = 0;
 
   CollectorPresenceConfig presence_;
   /// The transposed SappCpConfig every agent's adaptation points at
   /// (stable address for the collector's lifetime).
   core::SappCpConfig adapt_config_;
-  std::function<double()> now_fn_;
-  std::map<std::string, Presence> presence_by_agent_;
+  std::function<double()> now_fn_ PROBEMON_GUARDED_BY(mutex_);
+  std::map<std::string, Presence> presence_by_agent_
+      PROBEMON_GUARDED_BY(mutex_);
   telemetry::Registry self_;
-  telemetry::AlertEngine* alert_engine_ = nullptr;
+  telemetry::AlertEngine* alert_engine_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
 };
 
 /// Collector HTTP surface:

@@ -15,7 +15,7 @@ HistoryTicker::HistoryTicker(telemetry::TimeSeriesHistory& history,
 HistoryTicker::~HistoryTicker() { stop(); }
 
 void HistoryTicker::set_on_tick(std::function<void(double)> hook) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (running_) {
     throw std::logic_error("set_on_tick must be called before start()");
   }
@@ -23,7 +23,7 @@ void HistoryTicker::set_on_tick(std::function<void(double)> hook) {
 }
 
 void HistoryTicker::start() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (running_) return;
   running_ = true;
   stopping_ = false;
@@ -33,25 +33,25 @@ void HistoryTicker::start() {
 void HistoryTicker::stop() {
   std::thread thread;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!running_) return;
     stopping_ = true;
     thread = std::move(thread_);
   }
   cv_.notify_all();
   if (thread.joinable()) thread.join();
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   running_ = false;
   stopping_ = false;
 }
 
 bool HistoryTicker::running() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return running_ && !stopping_;
 }
 
 std::uint64_t HistoryTicker::ticks() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ticks_;
 }
 
@@ -61,17 +61,22 @@ void HistoryTicker::run() {
   auto next = start + std::chrono::duration_cast<
                           std::chrono::steady_clock::duration>(period);
   for (;;) {
+    std::function<void(double)> hook;
     {
-      std::unique_lock lock(mutex_);
-      if (cv_.wait_until(lock, next, [this] { return stopping_; })) return;
+      util::MutexLock lock(mutex_);
+      while (!stopping_) {
+        if (cv_.wait_until(mutex_, next) == std::cv_status::timeout) break;
+      }
+      if (stopping_) return;
       ++ticks_;
+      hook = on_tick_;
     }
     const double t = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
     history_.sample(t);
     if (alerts_ != nullptr) alerts_->evaluate(t);
-    if (on_tick_) on_tick_(t);
+    if (hook) hook(t);
     next += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
         period);
   }

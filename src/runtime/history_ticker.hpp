@@ -18,13 +18,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <thread>
 
 #include "telemetry/alerts/alert_engine.hpp"
 #include "telemetry/history/history.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -41,28 +40,29 @@ class HistoryTicker {
 
   /// Extra work per tick (after sample + evaluate), called with the
   /// tick time. Set before start().
-  void set_on_tick(std::function<void(double)> hook);
+  void set_on_tick(std::function<void(double)> hook)
+      PROBEMON_EXCLUDES(mutex_);
 
-  void start();
+  void start() PROBEMON_EXCLUDES(mutex_);
   /// Stop and join; idempotent, called by the destructor.
-  void stop();
-  bool running() const;
-  std::uint64_t ticks() const;
+  void stop() PROBEMON_EXCLUDES(mutex_);
+  bool running() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t ticks() const PROBEMON_EXCLUDES(mutex_);
 
  private:
-  void run();
+  void run() PROBEMON_EXCLUDES(mutex_);
 
   telemetry::TimeSeriesHistory& history_;
   telemetry::AlertEngine* alerts_;
   const double period_s_;
-  std::function<void(double)> on_tick_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool running_ = false;
-  bool stopping_ = false;
-  std::uint64_t ticks_ = 0;
-  std::thread thread_;
+  mutable util::Mutex mutex_{"runtime.HistoryTicker"};
+  util::CondVar cv_;
+  std::function<void(double)> on_tick_ PROBEMON_GUARDED_BY(mutex_);
+  bool running_ PROBEMON_GUARDED_BY(mutex_) = false;
+  bool stopping_ PROBEMON_GUARDED_BY(mutex_) = false;
+  std::uint64_t ticks_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::thread thread_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 }  // namespace probemon::runtime

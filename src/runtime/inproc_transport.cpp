@@ -17,7 +17,7 @@ InProcTransport::InProcTransport(InProcTransportConfig config)
 
 InProcTransport::~InProcTransport() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -26,24 +26,24 @@ InProcTransport::~InProcTransport() {
 
 net::NodeId InProcTransport::attach(RtHandler handler) {
   if (!handler) throw std::invalid_argument("attach: empty handler");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const net::NodeId id = next_id_++;
   handlers_.emplace(id, std::move(handler));
   return id;
 }
 
 void InProcTransport::detach(net::NodeId id) {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   handlers_.erase(id);
   // Wait out an in-progress delivery to this node so the caller can
   // safely destroy the handler's target. NOTE: never call detach from
   // inside a handler — it would deadlock on its own delivery.
-  cv_.wait(lock, [this, id] { return delivering_to_ != id; });
+  while (delivering_to_ == id) cv_.wait(mutex_);
 }
 
 void InProcTransport::instrument(telemetry::Registry& registry) {
   const telemetry::Labels labels{{"transport", "inproc"}};
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   tele_sent_ =
       &registry.counter("probemon_transport_datagrams_sent_total",
                         "Datagrams handed to the transport", labels);
@@ -59,7 +59,7 @@ void InProcTransport::send(net::Message msg) {
   double delay;
   bool lost;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++sent_;
     if (tele_sent_) tele_sent_->inc();
     lost = rng_.bernoulli(config_.loss);
@@ -75,16 +75,16 @@ void InProcTransport::send(net::Message msg) {
 }
 
 void InProcTransport::delivery_loop() {
-  std::unique_lock lock(mutex_);
+  util::ReleasableMutexLock lock(mutex_);
   for (;;) {
     if (stop_) return;
     if (queue_.empty()) {
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      while (!stop_ && queue_.empty()) cv_.wait(mutex_);
       continue;
     }
     const double head = queue_.top().deliver_at;
     if (clock_.now() < head) {
-      cv_.wait_until(lock, clock_.to_time_point(head));
+      cv_.wait_until(mutex_, clock_.to_time_point(head));
       continue;
     }
     Pending p = queue_.top();
@@ -99,24 +99,24 @@ void InProcTransport::delivery_loop() {
     delivering_to_ = p.msg.to;
     ++delivered_;
     if (tele_delivered_) tele_delivered_->inc();
-    lock.unlock();
+    lock.Release();
     handler(p.msg);
-    lock.lock();
+    lock.Reacquire();
     delivering_to_ = net::kInvalidNode;
     cv_.notify_all();
   }
 }
 
 std::uint64_t InProcTransport::sent_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return sent_;
 }
 std::uint64_t InProcTransport::delivered_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return delivered_;
 }
 std::uint64_t InProcTransport::dropped_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return dropped_;
 }
 

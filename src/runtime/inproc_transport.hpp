@@ -7,9 +7,7 @@
 // safely right after detaching.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +15,7 @@
 #include "runtime/transport.hpp"
 #include "telemetry/registry.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -32,19 +31,19 @@ class InProcTransport final : public Transport {
   explicit InProcTransport(InProcTransportConfig config = {});
   ~InProcTransport() override;
 
-  net::NodeId attach(RtHandler handler) override;
-  void detach(net::NodeId id) override;
-  void send(net::Message msg) override;
+  net::NodeId attach(RtHandler handler) override PROBEMON_EXCLUDES(mutex_);
+  void detach(net::NodeId id) override PROBEMON_EXCLUDES(mutex_);
+  void send(net::Message msg) override PROBEMON_EXCLUDES(mutex_);
   const RtClock& clock() const override { return clock_; }
 
-  std::uint64_t sent_count() const;
-  std::uint64_t delivered_count() const;
-  std::uint64_t dropped_count() const;
+  std::uint64_t sent_count() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t delivered_count() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t dropped_count() const PROBEMON_EXCLUDES(mutex_);
 
   /// Mirror datagram counts into `registry` (label transport="inproc"):
   /// probemon_transport_datagrams_{sent,delivered,dropped}_total. The
   /// registry must outlive the transport.
-  void instrument(telemetry::Registry& registry);
+  void instrument(telemetry::Registry& registry) PROBEMON_EXCLUDES(mutex_);
 
  private:
   struct Pending {
@@ -59,23 +58,27 @@ class InProcTransport final : public Transport {
     }
   };
 
-  void delivery_loop();
+  void delivery_loop() PROBEMON_EXCLUDES(mutex_);
 
   InProcTransportConfig config_;
   RtClock clock_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_;
-  std::unordered_map<net::NodeId, RtHandler> handlers_;
-  net::NodeId next_id_ = 1;
-  net::NodeId delivering_to_ = net::kInvalidNode;
-  std::uint64_t next_seq_ = 0;
-  util::Rng rng_;
-  std::uint64_t sent_ = 0, delivered_ = 0, dropped_ = 0;
-  telemetry::Counter* tele_sent_ = nullptr;
-  telemetry::Counter* tele_delivered_ = nullptr;
-  telemetry::Counter* tele_dropped_ = nullptr;
+  mutable util::Mutex mutex_{"runtime.InProcTransport"};
+  util::CondVar cv_;
+  bool stop_ PROBEMON_GUARDED_BY(mutex_) = false;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue_
+      PROBEMON_GUARDED_BY(mutex_);
+  std::unordered_map<net::NodeId, RtHandler> handlers_
+      PROBEMON_GUARDED_BY(mutex_);
+  net::NodeId next_id_ PROBEMON_GUARDED_BY(mutex_) = 1;
+  net::NodeId delivering_to_ PROBEMON_GUARDED_BY(mutex_) = net::kInvalidNode;
+  std::uint64_t next_seq_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  util::Rng rng_ PROBEMON_GUARDED_BY(mutex_);
+  std::uint64_t sent_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  telemetry::Counter* tele_sent_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* tele_delivered_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* tele_dropped_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
   std::thread worker_;  // last member: starts after everything is ready
 };
 

@@ -26,7 +26,7 @@ bool MetricsPusher::push_once() {
   std::vector<telemetry::Sample> samples;
   bool full;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     full = need_full_;
     samples = store_.snapshot_delta(since_, full);
   }
@@ -48,7 +48,7 @@ bool MetricsPusher::push_once() {
       telemetry::http_post(config_.host, config_.port, config_.path, w.str(),
                            "application/json; charset=utf-8",
                            config_.timeout_s);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (result.ok()) {
     need_full_ = false;
     ok_.fetch_add(1, std::memory_order_relaxed);
@@ -62,7 +62,7 @@ bool MetricsPusher::push_once() {
 }
 
 void MetricsPusher::start() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (started_) return;
   started_ = true;
   stop_ = false;
@@ -70,15 +70,17 @@ void MetricsPusher::start() {
 }
 
 void MetricsPusher::stop() {
+  std::thread worker;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!started_) return;
     stop_ = true;
+    worker = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (worker.joinable()) worker.join();
   push_once();  // final state so the collector sees the shutdown values
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   started_ = false;
 }
 
@@ -86,12 +88,20 @@ void MetricsPusher::run() {
   const auto period =
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(config_.period_s));
-  std::unique_lock lock(mutex_);
-  while (!stop_) {
-    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
-    lock.unlock();
+  for (;;) {
+    {
+      util::MutexLock lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + period;
+      while (!stop_) {
+        if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stop_) return;
+    }
+    // Push with the lock dropped: push_once() takes it itself and the
+    // HTTP round-trip must not block stop()/start().
     push_once();
-    lock.lock();
   }
 }
 

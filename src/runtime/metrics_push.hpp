@@ -19,13 +19,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -50,12 +49,12 @@ class MetricsPusher {
 
   /// One synchronous report. Returns true on success (including the
   /// nothing-changed case where no request is sent).
-  bool push_once();
+  bool push_once() PROBEMON_EXCLUDES(mutex_);
 
   /// Start/stop the background thread pushing every period_s seconds
   /// (plus one final push on stop()). Idempotent.
-  void start();
-  void stop();
+  void start() PROBEMON_EXCLUDES(mutex_);
+  void stop() PROBEMON_EXCLUDES(mutex_);
 
   std::uint64_t pushes_ok() const noexcept {
     return ok_.load(std::memory_order_relaxed);
@@ -68,20 +67,22 @@ class MetricsPusher {
   }
 
  private:
-  void run();
+  void run() PROBEMON_EXCLUDES(mutex_);
 
   const telemetry::MetricStore& store_;
   const Config config_;
   std::atomic<std::uint64_t> ok_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> skipped_{0};  ///< empty deltas not sent
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t since_ = 0;  ///< delta cursor into store_
-  bool need_full_ = true;    ///< first report / resync after failure
-  bool stop_ = false;
-  bool started_ = false;
-  std::thread thread_;
+  util::Mutex mutex_{"runtime.MetricsPusher"};
+  util::CondVar cv_;
+  /// delta cursor into store_
+  std::uint64_t since_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  /// first report / resync after failure
+  bool need_full_ PROBEMON_GUARDED_BY(mutex_) = true;
+  bool stop_ PROBEMON_GUARDED_BY(mutex_) = false;
+  bool started_ PROBEMON_GUARDED_BY(mutex_) = false;
+  std::thread thread_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 }  // namespace probemon::runtime

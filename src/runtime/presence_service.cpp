@@ -44,7 +44,7 @@ PresenceService::~PresenceService() {
   // (their callbacks may be blocked on it).
   std::unordered_map<net::NodeId, Watch> doomed;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     doomed = std::move(watches_);
     watches_.clear();
     subscribers_.clear();
@@ -52,14 +52,14 @@ PresenceService::~PresenceService() {
 }
 
 std::uint64_t PresenceService::subscribe(EventCallback callback) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint64_t token = next_token_++;
   subscribers_.emplace(token, std::move(callback));
   return token;
 }
 
 void PresenceService::unsubscribe(std::uint64_t token) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   subscribers_.erase(token);
 }
 
@@ -124,14 +124,14 @@ RtControlPointBase::Callbacks PresenceService::make_callbacks(
 void PresenceService::watch_dcpp(net::NodeId device,
                                  core::DcppCpConfig config) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (watches_.contains(device)) return;
   }
   auto cp = std::make_unique<RtDcppControlPoint>(transport_, device, config,
                                                  make_callbacks(device));
   RtControlPointBase* raw = cp.get();
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto [it, inserted] = watches_.try_emplace(device);
     if (!inserted) return;  // raced with another watcher; drop ours
     it->second.cp = std::move(cp);
@@ -145,14 +145,14 @@ void PresenceService::watch_dcpp(net::NodeId device,
 void PresenceService::watch_sapp(net::NodeId device,
                                  core::SappCpConfig config) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (watches_.contains(device)) return;
   }
   auto cp = std::make_unique<RtSappControlPoint>(transport_, device, config,
                                                  make_callbacks(device));
   RtControlPointBase* raw = cp.get();
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto [it, inserted] = watches_.try_emplace(device);
     if (!inserted) return;
     it->second.cp = std::move(cp);
@@ -166,7 +166,7 @@ void PresenceService::watch_sapp(net::NodeId device,
 void PresenceService::unwatch(net::NodeId device) {
   Watch doomed;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = watches_.find(device);
     if (it == watches_.end()) return;
     doomed = std::move(it->second);
@@ -180,7 +180,7 @@ void PresenceService::unwatch(net::NodeId device) {
 
 void PresenceService::on_cycle_for_watch(
     net::NodeId device, const telemetry::ProbeCycleTrace& trace) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = watches_.find(device);
   if (it == watches_.end()) return;  // unwatched concurrently
   Watch& watch = it->second;
@@ -200,7 +200,7 @@ void PresenceService::on_transition(net::NodeId device, Presence state,
                                     double t) {
   std::vector<EventCallback> to_notify;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = watches_.find(device);
     if (it == watches_.end()) return;       // unwatched concurrently
     if (it->second.state == state) return;  // no transition
@@ -220,18 +220,18 @@ void PresenceService::on_transition(net::NodeId device, Presence state,
 }
 
 Presence PresenceService::presence(net::NodeId device) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = watches_.find(device);
   return it == watches_.end() ? Presence::kUnknown : it->second.state;
 }
 
 std::size_t PresenceService::watch_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return watches_.size();
 }
 
 std::vector<net::NodeId> PresenceService::watched_devices() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<net::NodeId> out;
   out.reserve(watches_.size());
   for (const auto& [id, w] : watches_) out.push_back(id);
@@ -239,7 +239,7 @@ std::vector<net::NodeId> PresenceService::watched_devices() const {
 }
 
 std::vector<PresenceEvent> PresenceService::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<PresenceEvent> out;
   out.reserve(watches_.size());
   for (const auto& [id, w] : watches_) {
@@ -250,7 +250,7 @@ std::vector<PresenceEvent> PresenceService::snapshot() const {
 
 std::vector<PresenceService::WatchInfo> PresenceService::snapshotWatches()
     const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<WatchInfo> out;
   out.reserve(watches_.size());
   for (const auto& [id, w] : watches_) {
@@ -274,7 +274,7 @@ std::vector<PresenceService::WatchInfo> PresenceService::snapshotWatches()
 }
 
 PresenceService::Stats PresenceService::stats() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Stats s;
   for (const auto& [id, w] : watches_) {
     s.probes_sent += w.cp->probes_sent();

@@ -14,7 +14,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -26,6 +25,7 @@
 #include "runtime/transport.hpp"
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -88,30 +88,32 @@ class PresenceService {
 
   /// Subscribe to presence transitions (called for every watched
   /// device). Returns a token for unsubscribe.
-  std::uint64_t subscribe(EventCallback callback);
-  void unsubscribe(std::uint64_t token);
+  std::uint64_t subscribe(EventCallback callback) PROBEMON_EXCLUDES(mutex_);
+  void unsubscribe(std::uint64_t token) PROBEMON_EXCLUDES(mutex_);
 
   /// Watch a device with DCPP (the recommended protocol). No-op if the
   /// device is already watched.
-  void watch_dcpp(net::NodeId device, core::DcppCpConfig config = {});
+  void watch_dcpp(net::NodeId device, core::DcppCpConfig config = {})
+      PROBEMON_EXCLUDES(mutex_);
   /// Watch a device with SAPP (for interop with legacy devices).
-  void watch_sapp(net::NodeId device, core::SappCpConfig config = {});
+  void watch_sapp(net::NodeId device, core::SappCpConfig config = {})
+      PROBEMON_EXCLUDES(mutex_);
 
   /// Stop watching; forgets the device's state.
-  void unwatch(net::NodeId device);
+  void unwatch(net::NodeId device) PROBEMON_EXCLUDES(mutex_);
 
   /// Current presence verdict (kUnknown if not watched).
-  Presence presence(net::NodeId device) const;
+  Presence presence(net::NodeId device) const PROBEMON_EXCLUDES(mutex_);
   /// True only if watched and currently considered present.
   bool present(net::NodeId device) const {
     return presence(device) == Presence::kPresent;
   }
 
-  std::size_t watch_count() const;
-  std::vector<net::NodeId> watched_devices() const;
+  std::size_t watch_count() const PROBEMON_EXCLUDES(mutex_);
+  std::vector<net::NodeId> watched_devices() const PROBEMON_EXCLUDES(mutex_);
 
   /// Point-in-time copy of the presence table.
-  std::vector<PresenceEvent> snapshot() const;
+  std::vector<PresenceEvent> snapshot() const PROBEMON_EXCLUDES(mutex_);
 
   /// Everything an operator dashboard wants to show about one watch.
   /// Times are transport-clock seconds (RtClock).
@@ -138,7 +140,7 @@ class PresenceService {
   /// Point-in-time rows of the presence table, sorted by device id —
   /// the accessor behind the `/watches` HTTP route and the dashboard
   /// example.
-  std::vector<WatchInfo> snapshotWatches() const;
+  std::vector<WatchInfo> snapshotWatches() const PROBEMON_EXCLUDES(mutex_);
 
   /// Aggregate probe statistics across all watches.
   struct Stats {
@@ -146,7 +148,7 @@ class PresenceService {
     std::uint64_t cycles_succeeded = 0;
     std::uint64_t cycles_failed = 0;
   };
-  Stats stats() const;
+  Stats stats() const PROBEMON_EXCLUDES(mutex_);
 
  private:
   struct Watch {
@@ -160,9 +162,11 @@ class PresenceService {
   };
 
   RtControlPointBase::Callbacks make_callbacks(net::NodeId device);
-  void on_transition(net::NodeId device, Presence state, double t);
+  void on_transition(net::NodeId device, Presence state, double t)
+      PROBEMON_EXCLUDES(mutex_);
   void on_cycle_for_watch(net::NodeId device,
-                          const telemetry::ProbeCycleTrace& trace);
+                          const telemetry::ProbeCycleTrace& trace)
+      PROBEMON_EXCLUDES(mutex_);
 
   Transport& transport_;
   TelemetryOptions telemetry_;
@@ -174,10 +178,11 @@ class PresenceService {
   telemetry::Histogram* detection_latency_ = nullptr;
   telemetry::Gauge* watches_gauge_ = nullptr;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<net::NodeId, Watch> watches_;
-  std::unordered_map<std::uint64_t, EventCallback> subscribers_;
-  std::uint64_t next_token_ = 1;
+  mutable util::Mutex mutex_{"runtime.PresenceService"};
+  std::unordered_map<net::NodeId, Watch> watches_ PROBEMON_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, EventCallback> subscribers_
+      PROBEMON_GUARDED_BY(mutex_);
+  std::uint64_t next_token_ PROBEMON_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace probemon::runtime

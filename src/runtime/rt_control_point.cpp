@@ -20,25 +20,27 @@ RtControlPointBase::~RtControlPointBase() {
 }
 
 void RtControlPointBase::start() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (started_) return;
   started_ = true;
   thread_ = std::thread([this] { run(); });
 }
 
 void RtControlPointBase::stop() {
+  std::thread worker;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
+    worker = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (worker.joinable()) worker.join();
 }
 
 void RtControlPointBase::handle(const net::Message& msg) {
   if (msg.kind != net::MessageKind::kReply || msg.from != device_) return;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     pending_reply_ = msg;
   }
   cv_.notify_all();
@@ -57,7 +59,7 @@ void RtControlPointBase::send_probe(std::uint64_t cycle,
 
 void RtControlPointBase::run() {
   const RtClock& clock = transport_.clock();
-  std::unique_lock lock(mutex_);
+  util::ReleasableMutexLock lock(mutex_);
   while (!stop_) {
     // ---- probe cycle ----
     const std::uint64_t cyc = ++cycle_;
@@ -76,18 +78,19 @@ void RtControlPointBase::run() {
       if (attempt == 0) trace.start = sent_at;
       trace.attempts = static_cast<std::uint8_t>(attempt + 1);
       trace.sends.push_back(sent_at);
-      lock.unlock();
+      lock.Release();
       send_probe(cyc, static_cast<std::uint8_t>(attempt));
-      lock.lock();
+      lock.Reacquire();
       const double deadline =
           sent_at + (attempt == 0 ? timeouts_.tof : timeouts_.tos);
-      const bool got = cv_.wait_until(
-          lock, clock.to_time_point(deadline), [this, cyc] {
-            return stop_ ||
-                   (pending_reply_ && pending_reply_->cycle == cyc);
-          });
+      while (!stop_ && !(pending_reply_ && pending_reply_->cycle == cyc)) {
+        if (cv_.wait_until(mutex_, clock.to_time_point(deadline)) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stop_) return;
-      if (got && pending_reply_ && pending_reply_->cycle == cyc) {
+      if (pending_reply_ && pending_reply_->cycle == cyc) {
         success = true;
         reply = *pending_reply_;
         pending_reply_.reset();
@@ -109,10 +112,10 @@ void RtControlPointBase::run() {
       if (callbacks_.on_cycle_trace || callbacks_.on_absent) {
         auto trace_cb = callbacks_.on_cycle_trace;
         auto absent_cb = callbacks_.on_absent;
-        lock.unlock();
+        lock.Release();
         if (trace_cb) trace_cb(trace);
         if (absent_cb) absent_cb(device_, clock.now());
-        lock.lock();
+        lock.Reacquire();
       }
       return;  // monitoring ends once the device is declared absent
     }
@@ -124,36 +127,38 @@ void RtControlPointBase::run() {
     if (callbacks_.on_cycle_trace || callbacks_.on_cycle_success) {
       auto trace_cb = callbacks_.on_cycle_trace;
       auto success_cb = callbacks_.on_cycle_success;
-      lock.unlock();
+      lock.Release();
       if (trace_cb) trace_cb(trace);
       if (success_cb) success_cb(clock.now(), delay);
-      lock.lock();
+      lock.Reacquire();
       if (stop_) return;
     }
     // ---- inter-cycle wait (interruptible) ----
-    cv_.wait_until(lock, clock.to_time_point(clock.now() + delay),
-                   [this] { return stop_; });
+    const auto resume_at = clock.to_time_point(clock.now() + delay);
+    while (!stop_) {
+      if (cv_.wait_until(mutex_, resume_at) == std::cv_status::timeout) break;
+    }
   }
 }
 
 bool RtControlPointBase::device_considered_present() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return device_present_;
 }
 std::uint64_t RtControlPointBase::cycles_succeeded() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return cycles_succeeded_;
 }
 std::uint64_t RtControlPointBase::cycles_failed() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return cycles_failed_;
 }
 std::uint64_t RtControlPointBase::probes_sent() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return probes_sent_;
 }
 double RtControlPointBase::current_delay() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return current_delay_;
 }
 

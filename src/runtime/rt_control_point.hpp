@@ -10,10 +10,8 @@
 //     transport before the object dies.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 
@@ -21,6 +19,7 @@
 #include "core/sapp_adaptation.hpp"
 #include "runtime/transport.hpp"
 #include "telemetry/probe_tracer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -49,25 +48,27 @@ class RtControlPointBase {
   net::NodeId device() const noexcept { return device_; }
 
   /// Launch the probing thread. Call at most once.
-  void start();
+  void start() PROBEMON_EXCLUDES(mutex_);
   /// Stop the loop and join the thread. Idempotent.
-  void stop();
+  void stop() PROBEMON_EXCLUDES(mutex_);
 
-  bool device_considered_present() const;
-  std::uint64_t cycles_succeeded() const;
-  std::uint64_t cycles_failed() const;
-  std::uint64_t probes_sent() const;
-  double current_delay() const;
+  bool device_considered_present() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t cycles_succeeded() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t cycles_failed() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t probes_sent() const PROBEMON_EXCLUDES(mutex_);
+  double current_delay() const PROBEMON_EXCLUDES(mutex_);
 
  protected:
   /// Inter-cycle delay after a successful cycle; called on the CP thread
   /// with the state mutex held.
   virtual double next_delay_locked(const net::Message& reply,
-                                   double t_obs) = 0;
+                                   double t_obs) PROBEMON_REQUIRES(mutex_) = 0;
+
+  mutable util::Mutex mutex_{"runtime.RtControlPoint"};
 
  private:
-  void handle(const net::Message& msg);
-  void run();
+  void handle(const net::Message& msg) PROBEMON_EXCLUDES(mutex_);
+  void run() PROBEMON_EXCLUDES(mutex_);
   void send_probe(std::uint64_t cycle, std::uint8_t attempt);
 
   Transport& transport_;
@@ -76,18 +77,17 @@ class RtControlPointBase {
   Callbacks callbacks_;
   net::NodeId id_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool started_ = false;
-  std::uint64_t cycle_ = 0;
-  std::optional<net::Message> pending_reply_;
-  bool device_present_ = true;
-  std::uint64_t cycles_succeeded_ = 0;
-  std::uint64_t cycles_failed_ = 0;
-  std::uint64_t probes_sent_ = 0;
-  double current_delay_ = 0.0;
-  std::thread thread_;
+  util::CondVar cv_;
+  bool stop_ PROBEMON_GUARDED_BY(mutex_) = false;
+  bool started_ PROBEMON_GUARDED_BY(mutex_) = false;
+  std::uint64_t cycle_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::optional<net::Message> pending_reply_ PROBEMON_GUARDED_BY(mutex_);
+  bool device_present_ PROBEMON_GUARDED_BY(mutex_) = true;
+  std::uint64_t cycles_succeeded_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t cycles_failed_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t probes_sent_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  double current_delay_ PROBEMON_GUARDED_BY(mutex_) = 0.0;
+  std::thread thread_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 class RtSappControlPoint final : public RtControlPointBase {

@@ -20,27 +20,27 @@ void RtDeviceBase::shutdown() {
 }
 
 void RtDeviceBase::go_silent() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   present_ = false;
 }
 
 void RtDeviceBase::come_back() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   present_ = true;
 }
 
 bool RtDeviceBase::present() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return present_;
 }
 
 std::uint64_t RtDeviceBase::probes_received() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return probes_received_;
 }
 
 double RtDeviceBase::experienced_load() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const double now = transport_.clock().now();
   std::size_t in_window = 0;
   for (auto it = recent_probe_times_.rbegin();
@@ -54,7 +54,7 @@ double RtDeviceBase::experienced_load() const {
 }
 
 double RtDeviceBase::load_window() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return load_window_;
 }
 
@@ -62,7 +62,7 @@ void RtDeviceBase::set_load_window(double seconds) {
   if (!(seconds > 0)) {
     throw std::invalid_argument("set_load_window: seconds > 0");
   }
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   load_window_ = seconds;
 }
 
@@ -87,7 +87,7 @@ void RtDeviceBase::handle(const net::Message& msg) {
   if (msg.kind != net::MessageKind::kProbe) return;
   net::Message reply;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!present_) return;
     ++probes_received_;
     const double now = transport_.clock().now();
@@ -112,12 +112,12 @@ RtSappDevice::RtSappDevice(Transport& transport, core::SappDeviceConfig config)
 }
 
 std::uint64_t RtSappDevice::probe_counter() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return pc_;
 }
 
 void RtSappDevice::set_delta(std::uint64_t delta) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   delta_ = delta;
 }
 
@@ -133,7 +133,7 @@ RtDcppDevice::RtDcppDevice(Transport& transport, core::DcppDeviceConfig config)
 }
 
 double RtDcppDevice::next_slot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return nt_;
 }
 

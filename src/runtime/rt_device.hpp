@@ -7,11 +7,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
 #include "core/config.hpp"
 #include "runtime/transport.hpp"
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -27,18 +27,18 @@ class RtDeviceBase {
   net::NodeId id() const noexcept { return id_; }
 
   /// Crash-style departure: stop answering (stays attached).
-  void go_silent();
-  void come_back();
-  bool present() const;
+  void go_silent() PROBEMON_EXCLUDES(mutex_);
+  void come_back() PROBEMON_EXCLUDES(mutex_);
+  bool present() const PROBEMON_EXCLUDES(mutex_);
 
-  std::uint64_t probes_received() const;
+  std::uint64_t probes_received() const PROBEMON_EXCLUDES(mutex_);
 
   /// Probes accepted per second over the trailing `load_window()` — the
   /// live runtime counterpart of the paper's Fig-5 device-load curve.
-  double experienced_load() const;
+  double experienced_load() const PROBEMON_EXCLUDES(mutex_);
   /// Load-measurement window, seconds (default 5).
-  double load_window() const;
-  void set_load_window(double seconds);
+  double load_window() const PROBEMON_EXCLUDES(mutex_);
+  void set_load_window(double seconds) PROBEMON_EXCLUDES(mutex_);
 
   /// Register this device's load view on `registry` (labels get
   /// device=<id> appended): probemon_device_experienced_load and
@@ -51,25 +51,27 @@ class RtDeviceBase {
  protected:
   /// Protocol-specific reply payload; called with the state mutex held.
   virtual void fill_reply_locked(const net::Message& probe, double t,
-                                 net::Message& reply) = 0;
+                                 net::Message& reply)
+      PROBEMON_REQUIRES(mutex_) = 0;
 
   /// Detach from the transport (idempotent). Subclass destructors call
   /// this so no handler can virtual-dispatch into a half-destroyed
   /// object.
   void shutdown();
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_{"runtime.RtDevice"};
 
  private:
-  void handle(const net::Message& msg);
+  void handle(const net::Message& msg) PROBEMON_EXCLUDES(mutex_);
 
   Transport& transport_;
   net::NodeId id_;
   bool detached_ = false;
-  bool present_ = true;
-  std::uint64_t probes_received_ = 0;
-  double load_window_ = 5.0;
-  std::deque<double> recent_probe_times_;  ///< within the trailing window
+  bool present_ PROBEMON_GUARDED_BY(mutex_) = true;
+  std::uint64_t probes_received_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  double load_window_ PROBEMON_GUARDED_BY(mutex_) = 5.0;
+  /// within the trailing window
+  std::deque<double> recent_probe_times_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 /// SAPP device: pc += Delta per probe; reply carries pc.
@@ -78,8 +80,8 @@ class RtSappDevice final : public RtDeviceBase {
   RtSappDevice(Transport& transport, core::SappDeviceConfig config);
   ~RtSappDevice() override { shutdown(); }
 
-  std::uint64_t probe_counter() const;
-  void set_delta(std::uint64_t delta);
+  std::uint64_t probe_counter() const PROBEMON_EXCLUDES(mutex_);
+  void set_delta(std::uint64_t delta) PROBEMON_EXCLUDES(mutex_);
 
   /// instrument() with the SAPP nominal load from the config.
   using RtDeviceBase::instrument;
@@ -93,8 +95,8 @@ class RtSappDevice final : public RtDeviceBase {
 
  private:
   core::SappDeviceConfig config_;
-  std::uint64_t pc_ = 0;
-  std::uint64_t delta_;
+  std::uint64_t pc_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delta_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 /// DCPP device: schedules probers via core::DcppDevice::grant.
@@ -103,7 +105,7 @@ class RtDcppDevice final : public RtDeviceBase {
   RtDcppDevice(Transport& transport, core::DcppDeviceConfig config);
   ~RtDcppDevice() override { shutdown(); }
 
-  double next_slot() const;
+  double next_slot() const PROBEMON_EXCLUDES(mutex_);
 
   /// instrument() with L_nom = 1/delta_min from the config.
   using RtDeviceBase::instrument;
@@ -117,7 +119,7 @@ class RtDcppDevice final : public RtDeviceBase {
 
  private:
   core::DcppDeviceConfig config_;
-  double nt_ = 0.0;
+  double nt_ PROBEMON_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace probemon::runtime

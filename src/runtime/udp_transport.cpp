@@ -107,7 +107,7 @@ UdpTransport::~UdpTransport() {
   receiver_.join();
   close(wake_fds_[0]);
   close(wake_fds_[1]);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (int fd : doomed_fds_) close(fd);
   for (auto& [id, node] : nodes_) close(node.fd);
 }
@@ -136,7 +136,7 @@ net::NodeId UdpTransport::attach(RtHandler handler) {
   }
   net::NodeId id;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     id = next_id_++;
     nodes_.emplace(id, Node{fd, ntohs(addr.sin_port), std::move(handler)});
   }
@@ -146,21 +146,21 @@ net::NodeId UdpTransport::attach(RtHandler handler) {
 
 void UdpTransport::detach(net::NodeId id) {
   {
-    std::unique_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = nodes_.find(id);
     if (it == nodes_.end()) return;
     // The receiver thread owns recv(); it closes the fd between poll
     // iterations so a concurrent recv never races a reused descriptor.
     doomed_fds_.push_back(it->second.fd);
     nodes_.erase(it);
-    cv_.wait(lock, [this, id] { return delivering_to_ != id; });
+    while (delivering_to_ == id) cv_.wait(mutex_);
   }
   wake_receiver();
 }
 
 void UdpTransport::instrument(telemetry::Registry& registry) {
   const telemetry::Labels labels{{"transport", "udp"}};
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   tele_sent_ =
       &registry.counter("probemon_transport_datagrams_sent_total",
                         "Datagrams handed to the transport", labels);
@@ -179,7 +179,7 @@ void UdpTransport::send(net::Message msg) {
   std::uint16_t port = 0;
   int fd = -1;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++sent_;
     if (tele_sent_) tele_sent_->inc();
     auto dst = nodes_.find(msg.to);
@@ -198,7 +198,7 @@ void UdpTransport::send(net::Message msg) {
   // what the protocols are built to tolerate.
   if (sendto(fd, wire, sizeof wire, 0, reinterpret_cast<sockaddr*>(&addr),
              sizeof addr) < 0) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++send_errors_;
     if (tele_send_errors_) tele_send_errors_->inc();
   }
@@ -214,7 +214,7 @@ void UdpTransport::receive_loop() {
     fds.push_back(pollfd{wake_fds_[0], POLLIN, 0});
     ids.push_back(net::kInvalidNode);
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       for (int fd : doomed_fds_) close(fd);
       doomed_fds_.clear();
       for (const auto& [id, node] : nodes_) {
@@ -247,7 +247,7 @@ void UdpTransport::receive_loop() {
       }
       RtHandler handler;
       {
-        std::unique_lock lock(mutex_);
+        util::MutexLock lock(mutex_);
         auto it = nodes_.find(ids[i]);
         if (it == nodes_.end()) continue;  // detached meanwhile
         handler = it->second.handler;
@@ -257,7 +257,7 @@ void UdpTransport::receive_loop() {
       }
       handler(msg);
       {
-        std::lock_guard lock(mutex_);
+        util::MutexLock lock(mutex_);
         delivering_to_ = net::kInvalidNode;
       }
       cv_.notify_all();
@@ -266,29 +266,29 @@ void UdpTransport::receive_loop() {
 }
 
 void UdpTransport::count_recv_error() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++recv_errors_;
   if (tele_recv_errors_) tele_recv_errors_->inc();
 }
 
 std::uint64_t UdpTransport::sent_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return sent_;
 }
 std::uint64_t UdpTransport::delivered_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return delivered_;
 }
 std::uint64_t UdpTransport::send_error_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return send_errors_;
 }
 std::uint64_t UdpTransport::recv_error_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return recv_errors_;
 }
 std::uint16_t UdpTransport::port_of(net::NodeId id) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = nodes_.find(id);
   return it == nodes_.end() ? 0 : it->second.port;
 }

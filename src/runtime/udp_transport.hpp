@@ -14,15 +14,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "runtime/transport.hpp"
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::runtime {
 
@@ -31,28 +30,28 @@ class UdpTransport final : public Transport {
   UdpTransport();
   ~UdpTransport() override;
 
-  net::NodeId attach(RtHandler handler) override;
-  void detach(net::NodeId id) override;
-  void send(net::Message msg) override;
+  net::NodeId attach(RtHandler handler) override PROBEMON_EXCLUDES(mutex_);
+  void detach(net::NodeId id) override PROBEMON_EXCLUDES(mutex_);
+  void send(net::Message msg) override PROBEMON_EXCLUDES(mutex_);
   const RtClock& clock() const override { return clock_; }
 
-  std::uint64_t sent_count() const;
-  std::uint64_t delivered_count() const;
+  std::uint64_t sent_count() const PROBEMON_EXCLUDES(mutex_);
+  std::uint64_t delivered_count() const PROBEMON_EXCLUDES(mutex_);
   /// sendto() failures (full socket buffer etc.) — best-effort loss.
-  std::uint64_t send_error_count() const;
+  std::uint64_t send_error_count() const PROBEMON_EXCLUDES(mutex_);
   /// Receive-path failures: recv() errors plus truncated or otherwise
   /// undecodable datagrams (anything that arrived but could not be
   /// delivered as a Message).
-  std::uint64_t recv_error_count() const;
+  std::uint64_t recv_error_count() const PROBEMON_EXCLUDES(mutex_);
 
   /// Mirror datagram counts into `registry` (label transport="udp"):
   /// probemon_transport_datagrams_{sent,delivered}_total and
   /// probemon_transport_{send,recv}_errors_total. The registry must
   /// outlive the transport.
-  void instrument(telemetry::Registry& registry);
+  void instrument(telemetry::Registry& registry) PROBEMON_EXCLUDES(mutex_);
 
   /// UDP port of a node's socket (0 if unknown) — exposed for tests.
-  std::uint16_t port_of(net::NodeId id) const;
+  std::uint16_t port_of(net::NodeId id) const PROBEMON_EXCLUDES(mutex_);
 
  private:
   struct Node {
@@ -61,27 +60,28 @@ class UdpTransport final : public Transport {
     RtHandler handler;
   };
 
-  void receive_loop();
+  void receive_loop() PROBEMON_EXCLUDES(mutex_);
   void wake_receiver();
-  void count_recv_error();
+  void count_recv_error() PROBEMON_EXCLUDES(mutex_);
 
   RtClock clock_;
-  mutable std::mutex mutex_;
-  std::unordered_map<net::NodeId, Node> nodes_;
-  std::vector<int> doomed_fds_;  ///< closed by the receiver thread
-  net::NodeId next_id_ = 1;
-  net::NodeId delivering_to_ = net::kInvalidNode;
-  std::condition_variable cv_;
+  mutable util::Mutex mutex_{"runtime.UdpTransport"};
+  std::unordered_map<net::NodeId, Node> nodes_ PROBEMON_GUARDED_BY(mutex_);
+  /// closed by the receiver thread
+  std::vector<int> doomed_fds_ PROBEMON_GUARDED_BY(mutex_);
+  net::NodeId next_id_ PROBEMON_GUARDED_BY(mutex_) = 1;
+  net::NodeId delivering_to_ PROBEMON_GUARDED_BY(mutex_) = net::kInvalidNode;
+  util::CondVar cv_;
   std::atomic<bool> stop_{false};
   int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll()
-  std::uint64_t sent_ = 0;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t send_errors_ = 0;
-  std::uint64_t recv_errors_ = 0;
-  telemetry::Counter* tele_sent_ = nullptr;
-  telemetry::Counter* tele_delivered_ = nullptr;
-  telemetry::Counter* tele_send_errors_ = nullptr;
-  telemetry::Counter* tele_recv_errors_ = nullptr;
+  std::uint64_t sent_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t delivered_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t send_errors_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recv_errors_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  telemetry::Counter* tele_sent_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* tele_delivered_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* tele_send_errors_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  telemetry::Counter* tele_recv_errors_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
   std::thread receiver_;
 };
 

@@ -17,7 +17,7 @@ SweepRunner::SweepRunner(unsigned threads)
 
 SweepRunner::~SweepRunner() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -27,15 +27,15 @@ SweepRunner::~SweepRunner() {
 void SweepRunner::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
   for (;;) {
-    std::unique_lock lock(mutex_);
-    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    util::ReleasableMutexLock lock(mutex_);
+    while (!stop_ && generation_ == seen) work_cv_.wait(mutex_);
     if (stop_) return;
     seen = generation_;
     const std::size_t job_count = job_count_;
     const Job* job = job_;
     std::deque<telemetry::ShardedRegistry>* registries = registries_;
     std::vector<std::exception_ptr>* errors = errors_;
-    lock.unlock();
+    lock.Release();
 
     SweepWorkerContext ctx{worker, &(*registries)[worker]};
     const auto start = std::chrono::steady_clock::now();
@@ -54,7 +54,7 @@ void SweepRunner::worker_loop(unsigned worker) {
     busy_ns_.fetch_add(static_cast<std::uint64_t>(ns),
                        std::memory_order_relaxed);
 
-    lock.lock();
+    lock.Reacquire();
     if (++workers_done_ == thread_count_) done_cv_.notify_all();
   }
 }
@@ -69,7 +69,7 @@ void SweepRunner::run(std::size_t job_count, const Job& fn,
   std::vector<std::exception_ptr> errors(job_count);
 
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     job_count_ = job_count;
     job_ = &fn;
     registries_ = &registries;
@@ -81,8 +81,8 @@ void SweepRunner::run(std::size_t job_count, const Job& fn,
   work_cv_.notify_all();
 
   {
-    std::unique_lock lock(mutex_);
-    done_cv_.wait(lock, [&] { return workers_done_ == thread_count_; });
+    util::MutexLock lock(mutex_);
+    while (workers_done_ != thread_count_) done_cv_.wait(mutex_);
     job_ = nullptr;
     registries_ = nullptr;
     errors_ = nullptr;

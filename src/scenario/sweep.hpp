@@ -27,18 +27,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 // The Job callable below is the one sanctioned std::function here: a
 // sweep dispatches whole replications, not per-event callbacks.
 #include <functional>  // NOLINT(no-std-function)
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "telemetry/sharded_registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::scenario {
 
@@ -76,7 +75,8 @@ class SweepRunner {
   /// (probemon_sweep_worker_busy_seconds, probemon_sweep_jobs_total)
   /// are registered there too.
   void run(std::size_t job_count, const Job& fn,
-           telemetry::MetricStore* merge_into = nullptr);
+           telemetry::MetricStore* merge_into = nullptr)
+      PROBEMON_EXCLUDES(mutex_);
 
   /// Map convenience: results land in a job-ordered vector (the
   /// determinism-friendly shape — see the header comment).
@@ -103,24 +103,27 @@ class SweepRunner {
   }
 
  private:
-  void worker_loop(unsigned worker);
+  void worker_loop(unsigned worker) PROBEMON_EXCLUDES(mutex_);
 
   unsigned thread_count_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;  ///< bumped per run() batch
-  bool stop_ = false;
+  util::Mutex mutex_{"scenario.SweepRunner"};
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  /// bumped per run() batch
+  std::uint64_t generation_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  bool stop_ PROBEMON_GUARDED_BY(mutex_) = false;
 
   // Current batch (valid while workers_running_ > 0):
-  std::size_t job_count_ = 0;
-  const Job* job_ = nullptr;
-  std::deque<telemetry::ShardedRegistry>* registries_ = nullptr;
-  std::vector<std::exception_ptr>* errors_ = nullptr;
+  std::size_t job_count_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  const Job* job_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  std::deque<telemetry::ShardedRegistry>* registries_
+      PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  std::vector<std::exception_ptr>* errors_ PROBEMON_GUARDED_BY(mutex_) =
+      nullptr;
   std::atomic<std::size_t> next_job_{0};
-  unsigned workers_done_ = 0;
+  unsigned workers_done_ PROBEMON_GUARDED_BY(mutex_) = 0;
 
   std::atomic<std::uint64_t> busy_ns_{0};
   std::atomic<std::uint64_t> jobs_completed_{0};

@@ -65,7 +65,7 @@ AlertEngine::AlertEngine(const TimeSeriesHistory* history,
 void AlertEngine::add_rule(const AlertRule& rule) {
   if (rule.name.empty()) throw std::invalid_argument("alert rule needs a name");
   QueryExpr parsed = parse_query(rule.expr);  // throws on malformed expr
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto [it, inserted] = rules_.emplace(rule.name, Rule{});
   if (!inserted) {
     throw std::logic_error("duplicate alert rule '" + rule.name + "'");
@@ -82,7 +82,7 @@ void AlertEngine::add_rule(const AlertRule& rule) {
 
 void AlertEngine::add_condition_rule(const AlertRule& rule) {
   if (rule.name.empty()) throw std::invalid_argument("alert rule needs a name");
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto [it, inserted] = rules_.emplace(rule.name, Rule{});
   if (!inserted) {
     throw std::logic_error("duplicate alert rule '" + rule.name + "'");
@@ -92,12 +92,12 @@ void AlertEngine::add_condition_rule(const AlertRule& rule) {
 }
 
 std::size_t AlertEngine::rule_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return rules_.size();
 }
 
 void AlertEngine::bind_registry(MetricStore& registry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   registry_ = &registry;
   for (const auto& [name, rule] : rules_) {
     for (const auto& [key, instance] : rule.instances) {
@@ -161,7 +161,7 @@ void AlertEngine::step(Rule& rule, Instance& instance, bool breached,
 }
 
 void AlertEngine::evaluate(double t) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   last_eval_time_ = t;
   for (auto& [name, rule] : rules_) {
     if (rule.condition) continue;
@@ -180,7 +180,7 @@ void AlertEngine::evaluate(double t) {
 void AlertEngine::set_condition(const std::string& rule_name,
                                 const Labels& instance_labels, bool breached,
                                 double value, double t) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = rules_.find(rule_name);
   if (it == rules_.end() || !it->second.condition) {
     throw std::logic_error("unknown condition rule '" + rule_name + "'");
@@ -194,7 +194,7 @@ void AlertEngine::set_condition(const std::string& rule_name,
 
 bool AlertEngine::remove_condition(const std::string& rule_name,
                                    const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = rules_.find(rule_name);
   if (it == rules_.end() || !it->second.condition) return false;
   const std::string key = detail::make_key("i", labels);
@@ -209,7 +209,7 @@ bool AlertEngine::remove_condition(const std::string& rule_name,
 }
 
 std::vector<AlertEngine::AlertStatus> AlertEngine::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<AlertStatus> out;
   for (const auto& [name, rule] : rules_) {
     for (const auto& [key, instance] : rule.instances) {
@@ -235,7 +235,7 @@ std::vector<AlertEngine::AlertStatus> AlertEngine::snapshot() const {
 }
 
 double AlertEngine::last_eval_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return last_eval_time_;
 }
 

@@ -34,12 +34,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/history/query.hpp"
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -76,30 +76,32 @@ class AlertEngine {
 
   /// Add an expression rule (parsed now; throws std::invalid_argument
   /// on a malformed expr, std::logic_error on a duplicate name).
-  void add_rule(const AlertRule& rule);
+  void add_rule(const AlertRule& rule) PROBEMON_EXCLUDES(mutex_);
   /// Add a rule whose breach signal arrives via set_condition().
-  void add_condition_rule(const AlertRule& rule);
+  void add_condition_rule(const AlertRule& rule) PROBEMON_EXCLUDES(mutex_);
 
-  std::size_t rule_count() const;
+  std::size_t rule_count() const PROBEMON_EXCLUDES(mutex_);
 
   /// Export probemon_alerts_firing{rule=...} (1 firing / 0 otherwise)
   /// into `registry` (must outlive the engine). Gauges appear as
   /// instances appear; condition-rule instance gauges carry the
   /// instance labels too and are dropped by remove_condition().
-  void bind_registry(MetricStore& registry);
+  void bind_registry(MetricStore& registry) PROBEMON_EXCLUDES(mutex_);
 
   /// Evaluate every expression rule against the history at time `t`.
-  void evaluate(double t);
+  void evaluate(double t) PROBEMON_EXCLUDES(mutex_);
 
   /// Drive one labelled instance of a condition rule: `breached` is the
   /// caller's signal, `value` is echoed into the status (e.g. observed
   /// staleness). Unknown rule names throw std::logic_error.
   void set_condition(const std::string& rule, const Labels& instance_labels,
-                     bool breached, double value, double t);
+                     bool breached, double value, double t)
+      PROBEMON_EXCLUDES(mutex_);
   /// Drop one condition instance entirely (agent forgotten): removes
   /// its status and its registry gauge. Returns true if it existed.
   bool remove_condition(const std::string& rule,
-                        const Labels& instance_labels);
+                        const Labels& instance_labels)
+      PROBEMON_EXCLUDES(mutex_);
 
   struct AlertStatus {
     std::string rule;
@@ -117,9 +119,9 @@ class AlertEngine {
   };
 
   /// Every known instance, sorted by (rule, labels) — deterministic.
-  std::vector<AlertStatus> snapshot() const;
+  std::vector<AlertStatus> snapshot() const PROBEMON_EXCLUDES(mutex_);
   /// Time of the latest evaluate()/set_condition() call.
-  double last_eval_time() const;
+  double last_eval_time() const PROBEMON_EXCLUDES(mutex_);
 
  private:
   struct Instance {
@@ -140,17 +142,19 @@ class AlertEngine {
   };
 
   void step(Rule& rule, Instance& instance, bool breached, double value,
-            double t);
-  void export_gauge(const Rule& rule, const Instance& instance);
+            double t) PROBEMON_REQUIRES(mutex_);
+  void export_gauge(const Rule& rule, const Instance& instance)
+      PROBEMON_REQUIRES(mutex_);
   Labels instance_labels(const Rule& rule, const Instance& instance) const;
 
   const TimeSeriesHistory* history_;
   double default_range_s_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Rule> rules_;  ///< keyed by rule name
-  MetricStore* registry_ = nullptr;
-  double last_eval_time_ = 0.0;
+  mutable util::Mutex mutex_{"telemetry.AlertEngine"};
+  /// keyed by rule name
+  std::map<std::string, Rule> rules_ PROBEMON_GUARDED_BY(mutex_);
+  MetricStore* registry_ PROBEMON_GUARDED_BY(mutex_) = nullptr;
+  double last_eval_time_ PROBEMON_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Deterministic JSON for the /alerts endpoint:

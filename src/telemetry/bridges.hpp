@@ -16,6 +16,7 @@
 #include "des/scheduler.hpp"
 #include "des/simulation.hpp"
 #include "telemetry/registry.hpp"
+#include "util/lock_order.hpp"
 
 namespace probemon::telemetry {
 
@@ -136,6 +137,23 @@ inline void instrument_entity_arena(Registry& registry,
       "probemon_entity_arena_queue_pool_high_water",
       [&arena] { return static_cast<double>(arena.queue_pool_high_water()); },
       "Peak queued probes across all devices", labels);
+}
+
+/// Lock-order detector health (util::LockOrderRegistry): cycles seen by
+/// the PROBEMON_CHECKED acquisition hooks. Stays 0 in production builds
+/// (the hooks compile out), but the series existing everywhere keeps
+/// dashboards/alert rules uniform across build flavours. The registry
+/// is a process singleton, so this is safe on any store.
+inline void instrument_lock_order(MetricStore& store,
+                                  const Labels& labels = {}) {
+  store.counter_callback(
+      "probemon_lock_order_violations_total",
+      [] {
+        return static_cast<double>(
+            util::LockOrderRegistry::instance().violations());
+      },
+      "Lock-order cycles detected by the checked-build deadlock detector",
+      labels);
 }
 
 }  // namespace probemon::telemetry

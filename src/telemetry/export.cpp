@@ -189,17 +189,17 @@ std::string render_human(const MetricStore& store) {
 }
 
 std::string DeltaExporter::prometheus(bool full) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return samples_to_prometheus(store_.snapshot_delta(prometheus_since_, full));
 }
 
 std::string DeltaExporter::json(bool full) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return samples_to_json(store_.snapshot_delta(json_since_, full));
 }
 
 std::vector<Sample> DeltaExporter::delta_samples(bool full) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return store_.snapshot_delta(samples_since_, full);
 }
 
@@ -210,14 +210,14 @@ PeriodicReporter::PeriodicReporter(const MetricStore& store, double period_s,
 PeriodicReporter::~PeriodicReporter() { stop(); }
 
 void PeriodicReporter::set_snapshot_file(std::string path) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   snapshot_path_ = std::move(path);
 }
 
 void PeriodicReporter::write_snapshot_file() {
   std::string path;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     path = snapshot_path_;
   }
   if (path.empty()) return;
@@ -243,7 +243,7 @@ void PeriodicReporter::write_snapshot_file() {
 }
 
 void PeriodicReporter::start() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (started_) return;
   started_ = true;
   stop_ = false;
@@ -251,15 +251,17 @@ void PeriodicReporter::start() {
 }
 
 void PeriodicReporter::stop() {
+  std::thread worker;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!started_) return;
     stop_ = true;
+    worker = std::move(thread_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  if (worker.joinable()) worker.join();
   write_snapshot_file();  // final state, even if no tick ever fired
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   started_ = false;
 }
 
@@ -267,13 +269,21 @@ void PeriodicReporter::run() {
   const auto period = std::chrono::duration_cast<
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(period_s_));
-  std::unique_lock lock(mutex_);
-  while (!stop_) {
-    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
-    lock.unlock();
+  for (;;) {
+    {
+      util::MutexLock lock(mutex_);
+      const auto deadline = std::chrono::steady_clock::now() + period;
+      while (!stop_) {
+        if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (stop_) return;
+    }
+    // Render and write outside the lock: neither touches guarded state,
+    // and a slow sink must not block set_snapshot_file()/stop().
     PROBEMON_LOG(level_) << "telemetry snapshot\n" << render_human(store_);
     write_snapshot_file();
-    lock.lock();
   }
 }
 

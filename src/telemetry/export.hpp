@@ -22,9 +22,7 @@
 // formatter per format.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +30,7 @@
 #include "telemetry/json.hpp"
 #include "telemetry/registry.hpp"
 #include "util/logging.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -72,19 +71,20 @@ class DeltaExporter {
   DeltaExporter(const DeltaExporter&) = delete;
   DeltaExporter& operator=(const DeltaExporter&) = delete;
 
-  std::string prometheus(bool full = false);
-  std::string json(bool full = false);
+  std::string prometheus(bool full = false) PROBEMON_EXCLUDES(mutex_);
+  std::string json(bool full = false) PROBEMON_EXCLUDES(mutex_);
 
   /// Raw delta snapshot on a caller-independent third cursor (used by
   /// the metrics pusher, which serializes itself).
-  std::vector<Sample> delta_samples(bool full = false);
+  std::vector<Sample> delta_samples(bool full = false)
+      PROBEMON_EXCLUDES(mutex_);
 
  private:
   const MetricStore& store_;
-  std::mutex mutex_;
-  std::uint64_t prometheus_since_ = 0;
-  std::uint64_t json_since_ = 0;
-  std::uint64_t samples_since_ = 0;
+  util::Mutex mutex_{"telemetry.DeltaExporter"};
+  std::uint64_t prometheus_since_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t json_since_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t samples_since_ PROBEMON_GUARDED_BY(mutex_) = 0;
 };
 
 /// Logs render_human() every `period_s` seconds via PLOG at `level`.
@@ -106,24 +106,24 @@ class PeriodicReporter {
 
   /// Snapshot-to-disk target (empty = disabled, the default). Safe to
   /// call any time; takes effect from the next tick.
-  void set_snapshot_file(std::string path);
+  void set_snapshot_file(std::string path) PROBEMON_EXCLUDES(mutex_);
 
-  void start();
-  void stop();
+  void start() PROBEMON_EXCLUDES(mutex_);
+  void stop() PROBEMON_EXCLUDES(mutex_);
 
  private:
-  void run();
-  void write_snapshot_file();
+  void run() PROBEMON_EXCLUDES(mutex_);
+  void write_snapshot_file() PROBEMON_EXCLUDES(mutex_);
 
   const MetricStore& store_;
   const double period_s_;
   const util::LogLevel level_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::string snapshot_path_;
-  bool stop_ = false;
-  bool started_ = false;
-  std::thread thread_;
+  util::Mutex mutex_{"telemetry.PeriodicReporter"};
+  util::CondVar cv_;
+  std::string snapshot_path_ PROBEMON_GUARDED_BY(mutex_);
+  bool stop_ PROBEMON_GUARDED_BY(mutex_) = false;
+  bool started_ PROBEMON_GUARDED_BY(mutex_) = false;
+  std::thread thread_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 }  // namespace probemon::telemetry

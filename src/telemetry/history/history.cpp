@@ -22,7 +22,7 @@ TimeSeriesHistory::TimeSeriesHistory(const MetricStore& store, Config config)
 }
 
 void TimeSeriesHistory::track(const std::string& name, const Labels& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::string key = detail::make_key(name, labels);
   if (std::find(tracked_keys_.begin(), tracked_keys_.end(), key) ==
       tracked_keys_.end()) {
@@ -31,7 +31,7 @@ void TimeSeriesHistory::track(const std::string& name, const Labels& labels) {
 }
 
 void TimeSeriesHistory::track_prefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (std::find(tracked_prefixes_.begin(), tracked_prefixes_.end(), prefix) ==
       tracked_prefixes_.end()) {
     tracked_prefixes_.push_back(prefix);
@@ -81,7 +81,7 @@ std::vector<TimeSeriesHistory::Point> TimeSeriesHistory::SeriesRing::window(
 
 void TimeSeriesHistory::sample(double t) {
   const std::vector<Sample> snapshot = store_.snapshot();
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const Sample& s : snapshot) {
     const std::string key = detail::make_key(s.name, s.labels);
     if (!selected(key, s.name)) continue;
@@ -104,22 +104,22 @@ void TimeSeriesHistory::sample(double t) {
 }
 
 std::size_t TimeSeriesHistory::series_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return series_.size();
 }
 
 std::uint64_t TimeSeriesHistory::samples_taken() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return samples_taken_;
 }
 
 double TimeSeriesHistory::last_sample_time() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return last_sample_time_;
 }
 
 std::size_t TimeSeriesHistory::retained_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t bytes = 0;
   for (const auto& [key, ring] : series_) {
     std::size_t per_point = sizeof(Point);
@@ -148,7 +148,7 @@ bool TimeSeriesHistory::window_ends(const std::vector<Point>& points,
 double TimeSeriesHistory::increase(const std::string& name,
                                    const Labels& labels,
                                    double range_s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr) return kNaN;
   const auto points = ring->window(last_sample_time_ - range_s);
@@ -167,7 +167,7 @@ double TimeSeriesHistory::rate(const std::string& name, const Labels& labels,
                                double range_s) const {
   const double total = increase(name, labels, range_s);
   if (std::isnan(total)) return kNaN;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   const auto points = ring->window(last_sample_time_ - range_s);
   const double span = points.back().t - points.front().t;
@@ -176,7 +176,7 @@ double TimeSeriesHistory::rate(const std::string& name, const Labels& labels,
 
 double TimeSeriesHistory::avg(const std::string& name, const Labels& labels,
                               double range_s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr) return kNaN;
   const auto points = ring->window(last_sample_time_ - range_s);
@@ -188,7 +188,7 @@ double TimeSeriesHistory::avg(const std::string& name, const Labels& labels,
 
 double TimeSeriesHistory::min(const std::string& name, const Labels& labels,
                               double range_s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr) return kNaN;
   const auto points = ring->window(last_sample_time_ - range_s);
@@ -200,7 +200,7 @@ double TimeSeriesHistory::min(const std::string& name, const Labels& labels,
 
 double TimeSeriesHistory::max(const std::string& name, const Labels& labels,
                               double range_s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr) return kNaN;
   const auto points = ring->window(last_sample_time_ - range_s);
@@ -212,7 +212,7 @@ double TimeSeriesHistory::max(const std::string& name, const Labels& labels,
 
 double TimeSeriesHistory::last(const std::string& name,
                                const Labels& labels) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr || ring->size == 0) return kNaN;
   return ring->ring[(ring->head + ring->size - 1) % ring->ring.size()].value;
@@ -224,7 +224,7 @@ double TimeSeriesHistory::quantile(double q, const std::string& name,
   if (!(q >= 0.0 && q <= 1.0)) {
     throw std::invalid_argument("quantile q must be in [0, 1]");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr || ring->type != MetricType::kHistogram) return kNaN;
   const auto points = ring->window(last_sample_time_ - range_s);
@@ -267,7 +267,7 @@ double TimeSeriesHistory::quantile(double q, const std::string& name,
 
 std::vector<TimeSeriesHistory::Point> TimeSeriesHistory::points(
     const std::string& name, const Labels& labels, double range_s) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const SeriesRing* ring = find(name, labels);
   if (ring == nullptr) return {};
   return ring->window(last_sample_time_ - range_s);

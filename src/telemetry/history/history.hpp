@@ -25,11 +25,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -65,26 +65,27 @@ class TimeSeriesHistory {
 
   /// Select one series (exact name + labels) for sampling. Unknown
   /// series are fine: points accumulate once the series appears.
-  void track(const std::string& name, const Labels& labels = {});
+  void track(const std::string& name, const Labels& labels = {})
+      PROBEMON_EXCLUDES(mutex_);
   /// Select every series whose name starts with `prefix`.
-  void track_prefix(const std::string& prefix);
+  void track_prefix(const std::string& prefix) PROBEMON_EXCLUDES(mutex_);
 
   /// Take one sample of every selected series at time `t` (monotonically
   /// non-decreasing across calls; equal times overwrite the newest
   /// point so replayed ticks stay idempotent).
-  void sample(double t);
+  void sample(double t) PROBEMON_EXCLUDES(mutex_);
 
   double sample_period_s() const noexcept { return config_.sample_period_s; }
   std::size_t slots() const noexcept { return config_.slots; }
   /// Series currently holding at least one point.
-  std::size_t series_count() const;
+  std::size_t series_count() const PROBEMON_EXCLUDES(mutex_);
   /// Total sample() calls taken.
-  std::uint64_t samples_taken() const;
+  std::uint64_t samples_taken() const PROBEMON_EXCLUDES(mutex_);
   /// t of the newest point across all series (0 before any sample).
-  double last_sample_time() const;
+  double last_sample_time() const PROBEMON_EXCLUDES(mutex_);
   /// Approximate bytes retained across all rings (capacity, not fill) —
   /// the bench's bytes/window figure divides this by slots().
-  std::size_t retained_bytes() const;
+  std::size_t retained_bytes() const PROBEMON_EXCLUDES(mutex_);
 
   // --- Queries --------------------------------------------------------------
   // All queries evaluate over points with t in [as_of - range_s, as_of]
@@ -95,30 +96,31 @@ class TimeSeriesHistory {
   /// Per-second increase of a counter over the window, reset-corrected
   /// like Prometheus rate(): negative jumps restart accumulation.
   double rate(const std::string& name, const Labels& labels,
-              double range_s) const;
+              double range_s) const PROBEMON_EXCLUDES(mutex_);
   /// Absolute reset-corrected increase over the window.
   double increase(const std::string& name, const Labels& labels,
-                  double range_s) const;
+                  double range_s) const PROBEMON_EXCLUDES(mutex_);
   double avg(const std::string& name, const Labels& labels,
-             double range_s) const;
+             double range_s) const PROBEMON_EXCLUDES(mutex_);
   double min(const std::string& name, const Labels& labels,
-             double range_s) const;
+             double range_s) const PROBEMON_EXCLUDES(mutex_);
   double max(const std::string& name, const Labels& labels,
-             double range_s) const;
+             double range_s) const PROBEMON_EXCLUDES(mutex_);
   /// Newest sampled value regardless of range.
-  double last(const std::string& name, const Labels& labels) const;
+  double last(const std::string& name, const Labels& labels) const
+      PROBEMON_EXCLUDES(mutex_);
   /// Quantile (q in [0,1]) of histogram observations that happened
   /// inside the window: differences the newest and oldest cumulative
   /// bucket states in range, then interpolates linearly within the
   /// bucket holding rank q (the +Inf bucket clamps to the largest
   /// finite bound). NaN when no observations fell inside the window.
   double quantile(double q, const std::string& name, const Labels& labels,
-                  double range_s) const;
+                  double range_s) const PROBEMON_EXCLUDES(mutex_);
 
   /// Raw points of one series in the window, oldest first (value field
   /// only; histogram series report count as value). Empty when unknown.
   std::vector<Point> points(const std::string& name, const Labels& labels,
-                            double range_s) const;
+                            double range_s) const PROBEMON_EXCLUDES(mutex_);
 
  private:
   struct SeriesRing {
@@ -133,8 +135,10 @@ class TimeSeriesHistory {
     std::vector<Point> window(double t_min) const;
   };
 
-  bool selected(const std::string& key, const std::string& name) const;
-  const SeriesRing* find(const std::string& name, const Labels& labels) const;
+  bool selected(const std::string& key, const std::string& name) const
+      PROBEMON_REQUIRES(mutex_);
+  const SeriesRing* find(const std::string& name, const Labels& labels) const
+      PROBEMON_REQUIRES(mutex_);
   /// Oldest+newest in-range points; false when fewer than two.
   static bool window_ends(const std::vector<Point>& points, Point& oldest,
                           Point& newest);
@@ -142,12 +146,14 @@ class TimeSeriesHistory {
   const MetricStore& store_;
   Config config_;
 
-  mutable std::mutex mutex_;
-  std::vector<std::string> tracked_keys_;     ///< make_key of exact selections
-  std::vector<std::string> tracked_prefixes_;
-  std::map<std::string, SeriesRing> series_;  ///< key = detail::make_key
-  std::uint64_t samples_taken_ = 0;
-  double last_sample_time_ = 0.0;
+  mutable util::Mutex mutex_{"telemetry.TimeSeriesHistory"};
+  /// make_key of exact selections
+  std::vector<std::string> tracked_keys_ PROBEMON_GUARDED_BY(mutex_);
+  std::vector<std::string> tracked_prefixes_ PROBEMON_GUARDED_BY(mutex_);
+  /// key = detail::make_key
+  std::map<std::string, SeriesRing> series_ PROBEMON_GUARDED_BY(mutex_);
+  std::uint64_t samples_taken_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  double last_sample_time_ PROBEMON_GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace probemon::telemetry

@@ -200,7 +200,7 @@ void HttpServer::handle(const std::string& path, HttpHandler handler) {
     throw std::invalid_argument("HttpServer: route must start with '/'");
   }
   if (!handler) throw std::invalid_argument("HttpServer: empty handler");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   handlers_[path].get = std::move(handler);
 }
 
@@ -209,12 +209,12 @@ void HttpServer::handle_post(const std::string& path, HttpHandler handler) {
     throw std::invalid_argument("HttpServer: route must start with '/'");
   }
   if (!handler) throw std::invalid_argument("HttpServer: empty handler");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   handlers_[path].post = std::move(handler);
 }
 
 void HttpServer::start() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (running_) return;
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -257,7 +257,7 @@ void HttpServer::stop() {
   std::thread acceptor;
   std::vector<std::thread> workers;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!running_) return;
     stopping_ = true;
     // Closing the listen socket kicks accept_loop out of poll/accept.
@@ -270,7 +270,7 @@ void HttpServer::stop() {
   cv_.notify_all();
   if (acceptor.joinable()) acceptor.join();
   for (auto& w : workers) w.join();
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (int fd : pending_) close(fd);
   pending_.clear();
   running_ = false;
@@ -279,22 +279,22 @@ void HttpServer::stop() {
 }
 
 bool HttpServer::running() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return running_ && !stopping_;
 }
 
 std::uint16_t HttpServer::port() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return port_;
 }
 
 std::uint64_t HttpServer::requests_served() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return requests_;
 }
 
 double HttpServer::uptime_seconds() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (!running_) return 0.0;
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        started_at_)
@@ -302,7 +302,7 @@ double HttpServer::uptime_seconds() const {
 }
 
 std::vector<std::string> HttpServer::routes() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(handlers_.size());
   for (const auto& [path, route] : handlers_) out.push_back(path);
@@ -313,7 +313,7 @@ void HttpServer::accept_loop() {
   for (;;) {
     int fd;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (stopping_) return;
       fd = listen_fd_;
     }
@@ -328,7 +328,7 @@ void HttpServer::accept_loop() {
     setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof timeout);
     bool enqueued = false;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (!stopping_ && pending_.size() < config_.max_pending) {
         pending_.push_back(conn);
         enqueued = true;
@@ -346,8 +346,8 @@ void HttpServer::worker_loop() {
   for (;;) {
     int fd;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && pending_.empty()) cv_.wait(mutex_);
       if (pending_.empty()) return;  // stopping
       fd = pending_.front();
       pending_.pop_front();
@@ -385,7 +385,7 @@ void HttpServer::serve_connection(int fd) {
   Route route;
   bool routed = false;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++requests_;
     auto it = handlers_.find(request.path);
     if (it != handlers_.end()) {

@@ -29,14 +29,13 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "telemetry/probe_tracer.hpp"
 #include "telemetry/registry.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -87,28 +86,30 @@ class HttpServer {
 
   /// Register (or replace) the GET handler for an exact path. Safe to
   /// call before start() or while serving.
-  void handle(const std::string& path, HttpHandler handler);
+  void handle(const std::string& path, HttpHandler handler)
+      PROBEMON_EXCLUDES(mutex_);
   /// Register (or replace) the POST handler for an exact path. A path
   /// may carry both a GET and a POST handler; a method without a
   /// handler answers 405 with an Allow header listing what exists.
-  void handle_post(const std::string& path, HttpHandler handler);
+  void handle_post(const std::string& path, HttpHandler handler)
+      PROBEMON_EXCLUDES(mutex_);
 
   /// Bind 127.0.0.1, start the accept loop and workers. Throws
   /// std::system_error if the port cannot be bound. Idempotent.
-  void start();
+  void start() PROBEMON_EXCLUDES(mutex_);
   /// Shut down and join all threads. Idempotent; called by ~HttpServer.
-  void stop();
+  void stop() PROBEMON_EXCLUDES(mutex_);
 
-  bool running() const;
+  bool running() const PROBEMON_EXCLUDES(mutex_);
   /// Bound port (valid after start(); 0 before).
-  std::uint16_t port() const;
+  std::uint16_t port() const PROBEMON_EXCLUDES(mutex_);
   /// Requests answered (any status) since construction.
-  std::uint64_t requests_served() const;
+  std::uint64_t requests_served() const PROBEMON_EXCLUDES(mutex_);
   /// Seconds since start() (0 when not running).
-  double uptime_seconds() const;
+  double uptime_seconds() const PROBEMON_EXCLUDES(mutex_);
 
   /// Registered paths, sorted — lets an index route list its siblings.
-  std::vector<std::string> routes() const;
+  std::vector<std::string> routes() const PROBEMON_EXCLUDES(mutex_);
 
  private:
   struct Route {
@@ -116,23 +117,25 @@ class HttpServer {
     HttpHandler post;
   };
 
-  void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  void accept_loop() PROBEMON_EXCLUDES(mutex_);
+  void worker_loop() PROBEMON_EXCLUDES(mutex_);
+  void serve_connection(int fd) PROBEMON_EXCLUDES(mutex_);
 
   const Config config_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::string, Route> handlers_;
-  std::deque<int> pending_;  ///< accepted fds awaiting a worker
-  bool running_ = false;
-  bool stopping_ = false;
-  int listen_fd_ = -1;
-  std::uint16_t port_ = 0;
-  std::uint64_t requests_ = 0;
-  std::chrono::steady_clock::time_point started_at_{};
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  mutable util::Mutex mutex_{"telemetry.HttpServer"};
+  util::CondVar cv_;
+  std::map<std::string, Route> handlers_ PROBEMON_GUARDED_BY(mutex_);
+  /// accepted fds awaiting a worker
+  std::deque<int> pending_ PROBEMON_GUARDED_BY(mutex_);
+  bool running_ PROBEMON_GUARDED_BY(mutex_) = false;
+  bool stopping_ PROBEMON_GUARDED_BY(mutex_) = false;
+  int listen_fd_ PROBEMON_GUARDED_BY(mutex_) = -1;
+  std::uint16_t port_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t requests_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point started_at_
+      PROBEMON_GUARDED_BY(mutex_){};
+  std::thread acceptor_ PROBEMON_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ PROBEMON_GUARDED_BY(mutex_);
 };
 
 /// `/metrics` (Prometheus text exposition 0.0.4) and `/metrics.json`

@@ -46,7 +46,7 @@ std::uint32_t LabelInterner::intern(std::string_view s) {
     if (id != kMiss) return id;
   }
 
-  std::lock_guard lock(write_mutex_);
+  util::MutexLock lock(write_mutex_);
   // Re-probe under the lock: another thread may have appended `s`, or
   // published a grown table, between our miss and the lock.
   Table* table = table_.load(std::memory_order_relaxed);

@@ -22,10 +22,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -38,7 +39,7 @@ class LabelInterner {
 
   /// Find-or-append. Throws std::length_error past kMaxStrings distinct
   /// strings (2^22 — a capacity backstop, not a tuning knob).
-  std::uint32_t intern(std::string_view s);
+  std::uint32_t intern(std::string_view s) PROBEMON_EXCLUDES(write_mutex_);
 
   /// Lock-free id -> string. `id` must have come from intern(); an
   /// out-of-range id returns an empty view.
@@ -84,11 +85,16 @@ class LabelInterner {
                         std::size_t h) const noexcept;
   void insert_slot(Table& table, std::uint32_t id, std::size_t h) noexcept;
 
-  std::mutex write_mutex_;
+  util::Mutex write_mutex_{"telemetry.LabelInterner"};
+  // count_/table_/blocks_ are the lock-free publication points (release
+  // stores under write_mutex_, acquire loads anywhere) — deliberately
+  // not GUARDED_BY; the mutex only serializes writers.
   std::atomic<std::uint32_t> count_{0};
   std::atomic<Table*> table_;
-  std::vector<std::unique_ptr<Table>> tables_;  ///< current + retired
-  std::vector<std::unique_ptr<Block>> block_storage_;
+  /// current + retired
+  std::vector<std::unique_ptr<Table>> tables_ PROBEMON_GUARDED_BY(write_mutex_);
+  std::vector<std::unique_ptr<Block>> block_storage_
+      PROBEMON_GUARDED_BY(write_mutex_);
   std::atomic<Block*> blocks_[kMaxBlocks] = {};
 };
 

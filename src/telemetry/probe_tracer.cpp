@@ -12,7 +12,7 @@ ProbeCycleTracer::ProbeCycleTracer(std::size_t capacity)
 }
 
 void ProbeCycleTracer::record(const ProbeCycleTrace& trace) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(trace);
   } else {
@@ -23,7 +23,7 @@ void ProbeCycleTracer::record(const ProbeCycleTrace& trace) {
 }
 
 std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<ProbeCycleTrace> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -38,7 +38,7 @@ std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot() const {
 
 std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot_since(
     std::uint64_t& cursor) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint64_t fresh =
       cursor < recorded_ ? recorded_ - cursor : 0;
   const std::size_t take =
@@ -57,7 +57,7 @@ std::vector<ProbeCycleTrace> ProbeCycleTracer::snapshot_since(
 }
 
 std::uint64_t ProbeCycleTracer::recorded() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return recorded_;
 }
 

@@ -15,11 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/message.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -43,10 +43,10 @@ class ProbeCycleTracer {
  public:
   explicit ProbeCycleTracer(std::size_t capacity = 1024);
 
-  void record(const ProbeCycleTrace& trace);
+  void record(const ProbeCycleTrace& trace) PROBEMON_EXCLUDES(mutex_);
 
   /// Retained traces, oldest first.
-  std::vector<ProbeCycleTrace> snapshot() const;
+  std::vector<ProbeCycleTrace> snapshot() const PROBEMON_EXCLUDES(mutex_);
 
   /// Delta snapshot: traces recorded after `cursor` (a recorded()
   /// count from a previous call; 0 = from the beginning), oldest
@@ -55,10 +55,11 @@ class ProbeCycleTracer {
   /// here. Records that aged out of the ring between calls are lost —
   /// detectable as recorded() advancing by more than the returned
   /// size.
-  std::vector<ProbeCycleTrace> snapshot_since(std::uint64_t& cursor) const;
+  std::vector<ProbeCycleTrace> snapshot_since(std::uint64_t& cursor) const
+      PROBEMON_EXCLUDES(mutex_);
 
   /// Total traces ever recorded (≥ snapshot().size()).
-  std::uint64_t recorded() const;
+  std::uint64_t recorded() const PROBEMON_EXCLUDES(mutex_);
   std::size_t capacity() const noexcept { return capacity_; }
 
   /// Snapshot as a JSON array (one object per trace).
@@ -79,10 +80,11 @@ class ProbeCycleTracer {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::vector<ProbeCycleTrace> ring_;
-  std::size_t next_ = 0;       ///< ring slot the next record lands in
-  std::uint64_t recorded_ = 0;
+  mutable util::Mutex mutex_{"telemetry.ProbeCycleTracer"};
+  std::vector<ProbeCycleTrace> ring_ PROBEMON_GUARDED_BY(mutex_);
+  /// ring slot the next record lands in
+  std::size_t next_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t recorded_ PROBEMON_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace probemon::telemetry

@@ -157,7 +157,7 @@ Registry::Entry& Registry::find_or_create(const std::string& name,
 
 Counter& Registry::counter(const std::string& name, const std::string& help,
                            const Labels& labels) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& entry =
       find_or_create(name, help, labels, MetricType::kCounter, false);
   if (!entry.counter) entry.counter = std::make_unique<Counter>();
@@ -166,7 +166,7 @@ Counter& Registry::counter(const std::string& name, const std::string& help,
 
 Gauge& Registry::gauge(const std::string& name, const std::string& help,
                        const Labels& labels) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& entry = find_or_create(name, help, labels, MetricType::kGauge, false);
   if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
   return *entry.gauge;
@@ -175,7 +175,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& help,
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> bounds,
                                const std::string& help, const Labels& labels) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& entry =
       find_or_create(name, help, labels, MetricType::kHistogram, false);
   if (!entry.histogram) {
@@ -188,7 +188,7 @@ void Registry::gauge_callback(const std::string& name,
                               std::function<double()> fn,
                               const std::string& help, const Labels& labels) {
   if (!fn) throw std::invalid_argument("Registry: empty callback");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& entry = find_or_create(name, help, labels, MetricType::kGauge, true);
   entry.callback = std::move(fn);
 }
@@ -198,24 +198,24 @@ void Registry::counter_callback(const std::string& name,
                                 const std::string& help,
                                 const Labels& labels) {
   if (!fn) throw std::invalid_argument("Registry: empty callback");
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& entry =
       find_or_create(name, help, labels, MetricType::kCounter, true);
   entry.callback = std::move(fn);
 }
 
 bool Registry::remove(const std::string& name, const Labels& labels) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.erase(detail::make_key(name, labels)) > 0;
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::vector<Sample> Registry::snapshot() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<Sample> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
@@ -231,7 +231,7 @@ std::vector<Sample> Registry::snapshot() const {
 
 std::vector<Sample> Registry::snapshot_delta(std::uint64_t& since,
                                              bool full) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const std::uint64_t epoch = ++scrape_epoch_;
   std::vector<Sample> out;
   for (const auto& [key, entry] : entries_) {
@@ -257,7 +257,7 @@ std::vector<Sample> Registry::snapshot_delta(std::uint64_t& since,
 
 void Registry::visit_owned(
     const std::function<void(const EntryView&)>& fn) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& [key, entry] : entries_) {
     if (entry.callback) continue;  // snapshot-time closures stay home
     EntryView view;
@@ -273,7 +273,7 @@ void Registry::visit_owned(
 }
 
 void Registry::absorb(const EntryView& view) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Entry& entry = find_or_create(*view.name, *view.help, *view.labels,
                                 view.type, false, /*from_merge=*/true);
   if (view.counter != nullptr) {

@@ -43,12 +43,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "telemetry/metric.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -183,38 +183,44 @@ class Registry : public MetricStore {
   Registry& operator=(const Registry&) = delete;
 
   Counter& counter(const std::string& name, const std::string& help = "",
-                   const Labels& labels = {}) override;
+                   const Labels& labels = {}) override
+      PROBEMON_EXCLUDES(mutex_);
   Gauge& gauge(const std::string& name, const std::string& help = "",
-               const Labels& labels = {}) override;
+               const Labels& labels = {}) override PROBEMON_EXCLUDES(mutex_);
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const std::string& help = "",
-                       const Labels& labels = {}) override;
+                       const Labels& labels = {}) override
+      PROBEMON_EXCLUDES(mutex_);
 
   void gauge_callback(const std::string& name, std::function<double()> fn,
                       const std::string& help = "",
-                      const Labels& labels = {}) override;
+                      const Labels& labels = {}) override
+      PROBEMON_EXCLUDES(mutex_);
   void counter_callback(const std::string& name, std::function<double()> fn,
                         const std::string& help = "",
-                        const Labels& labels = {}) override;
+                        const Labels& labels = {}) override
+      PROBEMON_EXCLUDES(mutex_);
 
-  bool remove(const std::string& name, const Labels& labels = {}) override;
+  bool remove(const std::string& name, const Labels& labels = {}) override
+      PROBEMON_EXCLUDES(mutex_);
 
-  std::size_t size() const override;
+  std::size_t size() const override PROBEMON_EXCLUDES(mutex_);
 
-  std::vector<Sample> snapshot() const override;
-  std::vector<Sample> snapshot_delta(std::uint64_t& since,
-                                     bool full = false) const override;
+  std::vector<Sample> snapshot() const override PROBEMON_EXCLUDES(mutex_);
+  std::vector<Sample> snapshot_delta(std::uint64_t& since, bool full = false)
+      const override PROBEMON_EXCLUDES(mutex_);
 
   /// Process-wide default registry (independent instances remain first
   /// class; the global is a convenience for examples and ad-hoc tools).
   static Registry& global();
 
  protected:
-  void visit_owned(
-      const std::function<void(const EntryView&)>& fn) const override;
-  void absorb(const EntryView& view) override;
+  void visit_owned(const std::function<void(const EntryView&)>& fn)
+      const override PROBEMON_EXCLUDES(mutex_);
+  void absorb(const EntryView& view) override PROBEMON_EXCLUDES(mutex_);
 
  private:
+  PROBEMON_TSA_SELFTEST_HOOK
   struct Entry {
     std::string name;
     std::string help;
@@ -237,11 +243,13 @@ class Registry : public MetricStore {
 
   Entry& find_or_create(const std::string& name, const std::string& help,
                         const Labels& labels, MetricType type,
-                        bool is_callback, bool from_merge = false);
+                        bool is_callback, bool from_merge = false)
+      PROBEMON_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> entries_;  ///< key = detail::make_key
-  mutable std::uint64_t scrape_epoch_ = 0;
+  mutable util::Mutex mutex_{"telemetry.Registry"};
+  /// key = detail::make_key
+  std::map<std::string, Entry> entries_ PROBEMON_GUARDED_BY(mutex_);
+  mutable std::uint64_t scrape_epoch_ PROBEMON_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace probemon::telemetry

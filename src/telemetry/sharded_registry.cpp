@@ -1,10 +1,11 @@
 #include "telemetry/sharded_registry.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/thread_annotations.hpp"
 
 namespace probemon::telemetry {
 
@@ -74,12 +75,12 @@ struct ShardedRegistry::ScanSlot {
 };
 
 struct ShardedRegistry::Shard {
-  mutable std::mutex mutex;
-  std::unordered_map<Key, Entry, KeyHash> entries;
-  std::vector<ScanSlot> scan;
+  mutable util::Mutex mutex{"telemetry.ShardedRegistry.shard"};
+  std::unordered_map<Key, Entry, KeyHash> entries PROBEMON_GUARDED_BY(mutex);
+  std::vector<ScanSlot> scan PROBEMON_GUARDED_BY(mutex);
 
   /// Keep the slot's metric pointers in sync after lazy creation.
-  void sync_slot(Entry& entry) {
+  void sync_slot(Entry& entry) PROBEMON_REQUIRES(mutex) {
     ScanSlot& slot = scan[entry.scan_index];
     slot.counter = entry.counter.get();
     slot.gauge = entry.gauge.get();
@@ -135,7 +136,7 @@ LabelIds ShardedRegistry::intern_labels(const Labels& labels) {
 ShardedRegistry::Entry& ShardedRegistry::find_or_create(
     Shard& shard, std::uint32_t name, const LabelIds& labels,
     std::uint32_t help_id, MetricType type, bool is_callback,
-    bool from_merge) {
+    bool from_merge) PROBEMON_REQUIRES(shard.mutex) {
   auto [it, inserted] = shard.entries.try_emplace(Key{name, labels});
   Entry& entry = it->second;
   if (inserted) {
@@ -179,7 +180,7 @@ Counter& ShardedRegistry::counter_ids(std::uint32_t name,
                                       const LabelIds& labels,
                                       std::uint32_t help_id) {
   Shard& shard = shard_for(name, labels);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Entry& entry = find_or_create(shard, name, labels, help_id,
                                 MetricType::kCounter, false, false);
   if (!entry.counter) {
@@ -192,7 +193,7 @@ Counter& ShardedRegistry::counter_ids(std::uint32_t name,
 Gauge& ShardedRegistry::gauge_ids(std::uint32_t name, const LabelIds& labels,
                                   std::uint32_t help_id) {
   Shard& shard = shard_for(name, labels);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Entry& entry = find_or_create(shard, name, labels, help_id,
                                 MetricType::kGauge, false, false);
   if (!entry.gauge) {
@@ -207,7 +208,7 @@ Histogram& ShardedRegistry::histogram_ids(std::uint32_t name,
                                           const LabelIds& labels,
                                           std::uint32_t help_id) {
   Shard& shard = shard_for(name, labels);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Entry& entry = find_or_create(shard, name, labels, help_id,
                                 MetricType::kHistogram, false, false);
   if (!entry.histogram) {
@@ -248,7 +249,7 @@ void ShardedRegistry::gauge_callback(const std::string& name,
   const LabelIds label_ids = intern_labels(labels);
   const std::uint32_t help_id = help.empty() ? 0 : interner_->intern(help);
   Shard& shard = shard_for(name_id, label_ids);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Entry& entry = find_or_create(shard, name_id, label_ids, help_id,
                                 MetricType::kGauge, true, false);
   entry.callback = std::move(fn);
@@ -264,7 +265,7 @@ void ShardedRegistry::counter_callback(const std::string& name,
   const LabelIds label_ids = intern_labels(labels);
   const std::uint32_t help_id = help.empty() ? 0 : interner_->intern(help);
   Shard& shard = shard_for(name_id, label_ids);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Entry& entry = find_or_create(shard, name_id, label_ids, help_id,
                                 MetricType::kCounter, true, false);
   entry.callback = std::move(fn);
@@ -279,7 +280,7 @@ bool ShardedRegistry::remove(const std::string& name, const Labels& labels) {
     label_ids.emplace_back(interner_->intern(k), interner_->intern(v));
   }
   Shard& shard = shard_for(name_id, label_ids);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto it = shard.entries.find(Key{name_id, label_ids});
   if (it == shard.entries.end()) return false;
   const std::size_t idx = it->second.scan_index;
@@ -293,8 +294,9 @@ bool ShardedRegistry::remove(const std::string& name, const Labels& labels) {
 std::size_t ShardedRegistry::size() const {
   std::size_t total = 0;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard lock(shards_[i].mutex);
-    total += shards_[i].entries.size();
+    Shard& shard = shards_[i];
+    util::MutexLock lock(shard.mutex);
+    total += shard.entries.size();
   }
   return total;
 }
@@ -337,8 +339,9 @@ std::vector<Sample> ShardedRegistry::snapshot() const {
   std::string name;
   Labels labels;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard lock(shards_[i].mutex);
-    for (const ScanSlot& slot : shards_[i].scan) {
+    Shard& shard = shards_[i];
+    util::MutexLock lock(shard.mutex);
+    for (const ScanSlot& slot : shard.scan) {
       const Key& key = *static_cast<const Key*>(slot.key);
       materialize(key.name, key.labels, name, labels);
       const bool has_callback = slot.callback != nullptr;
@@ -360,8 +363,9 @@ std::vector<Sample> ShardedRegistry::snapshot_delta(std::uint64_t& since,
   std::string name;
   Labels labels;
   for (std::size_t i = 0; i < shard_count_; ++i) {
-    std::lock_guard lock(shards_[i].mutex);
-    for (ScanSlot& slot : shards_[i].scan) {
+    Shard& shard = shards_[i];
+    util::MutexLock lock(shard.mutex);
+    for (ScanSlot& slot : shard.scan) {
       const bool has_callback = slot.callback != nullptr;
       const double callback_value = has_callback ? (*slot.callback)() : 0.0;
       const std::uint64_t fp =
@@ -386,16 +390,31 @@ std::vector<Sample> ShardedRegistry::snapshot_delta(std::uint64_t& since,
   return out;
 }
 
+// TSA cannot model a variable-length lock set (one capability per
+// shard, count chosen at runtime), so the whole-store walk opts out of
+// the analysis; the AllShardsLock RAII below still guarantees balanced
+// acquire/release (including on exceptions thrown by `fn`), and the
+// lock-order registry still observes the walk in checked builds — the
+// ascending-index acquisition order keeps it cycle-free.
 void ShardedRegistry::visit_owned(
-    const std::function<void(const EntryView&)>& fn) const {
+    const std::function<void(const EntryView&)>& fn) const PROBEMON_NO_TSA {
   // Lock every shard for the walk so the merge sees one consistent
   // point in time, then visit in (name, labels) key order for
   // deterministic merge results.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(shard_count_);
-  for (std::size_t i = 0; i < shard_count_; ++i) {
-    locks.emplace_back(shards_[i].mutex);
-  }
+  struct AllShardsLock {
+    const ShardedRegistry& reg;
+    explicit AllShardsLock(const ShardedRegistry& r) PROBEMON_NO_TSA : reg(r) {
+      for (std::size_t i = 0; i < reg.shard_count_; ++i) {
+        reg.shards_[i].mutex.lock();
+      }
+    }
+    ~AllShardsLock() PROBEMON_NO_TSA {
+      for (std::size_t i = reg.shard_count_; i-- > 0;) {
+        reg.shards_[i].mutex.unlock();
+      }
+    }
+  };
+  AllShardsLock locks(*this);
   struct Item {
     std::string key;
     const Key* entry_key;
@@ -439,7 +458,7 @@ void ShardedRegistry::absorb(const EntryView& view) {
   const std::uint32_t help_id =
       view.help->empty() ? 0 : interner_->intern(*view.help);
   Shard& shard = shard_for(name_id, label_ids);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   Entry& entry = find_or_create(shard, name_id, label_ids, help_id, view.type,
                                 false, /*from_merge=*/true);
   if (view.counter != nullptr) {

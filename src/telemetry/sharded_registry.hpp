@@ -107,6 +107,8 @@ class ShardedRegistry : public MetricStore {
   struct ScanSlot;
 
   Shard& shard_for(std::uint32_t name, const LabelIds& labels) const noexcept;
+  /// Caller must hold shard.mutex — the REQUIRES annotation lives on
+  /// the definition (Shard is incomplete at this declaration).
   Entry& find_or_create(Shard& shard, std::uint32_t name,
                         const LabelIds& labels, std::uint32_t help_id,
                         MetricType type, bool is_callback, bool from_merge);

@@ -1,0 +1,221 @@
+#include "util/lock_order.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>  // NOLINT(annotated-locks): detector sits below util::Mutex
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// The singletons below are leaked on purpose (they must stay usable
+// during static/thread_local destruction); tell LeakSanitizer so ASan
+// runs don't report them.
+#if defined(__SANITIZE_ADDRESS__)
+#define PROBEMON_LSAN_IGNORE 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PROBEMON_LSAN_IGNORE 1
+#endif
+#endif
+#ifdef PROBEMON_LSAN_IGNORE
+#include <sanitizer/lsan_interface.h>
+#endif
+
+namespace probemon::util {
+
+namespace {
+
+template <class T>
+T* leak_intentionally(T* ptr) {
+#ifdef PROBEMON_LSAN_IGNORE
+  __lsan_ignore_object(ptr);
+#endif
+  return ptr;
+}
+
+struct Held {
+  const void* lock;
+  const char* name;
+};
+
+struct EdgeKey {
+  const void* from;
+  const void* to;
+  bool operator==(const EdgeKey& o) const {
+    return from == o.from && to == o.to;
+  }
+};
+
+struct EdgeKeyHash {
+  std::size_t operator()(const EdgeKey& e) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(e.from);
+    const auto b = reinterpret_cast<std::uintptr_t>(e.to);
+    return std::hash<std::uintptr_t>()(a ^ (b * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// The global ordering graph. Guarded by its own raw mutex: the
+/// registry sits *below* every util::Mutex (its hooks run inside their
+/// lock/unlock), so it must not itself be a util::Mutex.
+struct Graph {
+  std::mutex mu;  // NOLINT(annotated-locks): lock-order detector internals
+  /// adjacency: from-lock -> set of to-locks observed locked after it
+  std::unordered_map<const void*, std::unordered_set<const void*>> edges;
+  /// last-seen diagnostic name per live lock
+  std::unordered_map<const void*, const char*> names;
+};
+
+Graph& graph() {
+  static Graph* g = leak_intentionally(
+      new Graph);  // NOLINT(no-naked-new): leaked on purpose — must outlive static-dtor order
+  return *g;
+}
+
+/// Per-thread stack of currently held locks. Heap-allocated and leaked
+/// per thread to stay usable during thread_local destruction.
+std::vector<Held>& held_stack() {
+  thread_local std::vector<Held>* stack = leak_intentionally(
+      new std::vector<Held>);  // NOLINT(no-naked-new): leaked per thread on purpose (usable during thread_local dtors)
+  return *stack;
+}
+
+/// Per-thread cache of edges already validated against the global
+/// graph; hits skip the graph mutex entirely.
+std::unordered_set<EdgeKey, EdgeKeyHash>& validated_edges() {
+  thread_local std::unordered_set<EdgeKey, EdgeKeyHash>* cache =
+      leak_intentionally(
+          new std::unordered_set<EdgeKey,  // NOLINT(no-naked-new): leaked per thread on purpose
+                                 EdgeKeyHash>);
+  return *cache;
+}
+
+/// Depth-first reachability from -> to over `g.edges`. Called with
+/// g.mu held; graphs here are tiny (one node per live named mutex), so
+/// recursion depth is bounded and no visited-set reuse is needed.
+bool reachable(Graph& g, const void* from, const void* to,
+               std::unordered_set<const void*>& visited) {
+  if (from == to) return true;
+  if (!visited.insert(from).second) return false;
+  auto it = g.edges.find(from);
+  if (it == g.edges.end()) return false;
+  for (const void* next : it->second) {
+    if (reachable(g, next, to, visited)) return true;
+  }
+  return false;
+}
+
+void default_handler(const char* diagnostic) {
+  std::fprintf(stderr, "%s\n", diagnostic);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+LockOrderRegistry& LockOrderRegistry::instance() {
+  static LockOrderRegistry* registry = leak_intentionally(
+      new LockOrderRegistry);  // NOLINT(no-naked-new): leaked on purpose — hooks run during static dtors
+  return *registry;
+}
+
+LockOrderRegistry::ViolationHandler LockOrderRegistry::set_violation_handler(
+    ViolationHandler handler) {
+  return handler_.exchange(handler);
+}
+
+void LockOrderRegistry::reset_graph_for_test() {
+  Graph& g = graph();
+  std::lock_guard lock(g.mu);  // NOLINT(annotated-locks): detector internals
+  g.edges.clear();
+  g.names.clear();
+  validated_edges().clear();
+}
+
+void LockOrderRegistry::on_acquire(const void* lock, const char* name) {
+  std::vector<Held>& held = held_stack();
+  if (!held.empty()) {
+    const Held& prev = held.back();
+    if (prev.lock != lock) {  // recursive re-lock would deadlock anyway
+      const EdgeKey key{prev.lock, lock};
+      if (validated_edges().find(key) == validated_edges().end()) {
+        Graph& g = graph();
+        std::string diagnostic;
+        {
+          std::lock_guard guard(g.mu);  // NOLINT(annotated-locks): internals
+          g.names[lock] = name;
+          auto& out = g.edges[prev.lock];
+          if (out.find(lock) == out.end()) {
+            // New ordering: a path lock ->* prev.lock means some earlier
+            // execution took these locks in the opposite order.
+            std::unordered_set<const void*> visited;
+            if (reachable(g, lock, prev.lock, visited)) {
+              violations_.fetch_add(1, std::memory_order_relaxed);
+              diagnostic =
+                  "probemon: lock-order violation (potential deadlock): "
+                  "acquiring \"";
+              diagnostic += name;
+              diagnostic += "\" while holding \"";
+              diagnostic += prev.name;
+              diagnostic +=
+                  "\" reverses a previously observed ordering in which \"";
+              diagnostic += name;
+              diagnostic += "\" was held before \"";
+              diagnostic += prev.name;
+              diagnostic += "\"";
+            } else {
+              out.insert(lock);
+            }
+          }
+          if (diagnostic.empty()) validated_edges().insert(key);
+        }
+        if (!diagnostic.empty()) {
+          ViolationHandler handler = handler_.load();
+          if (handler == nullptr) handler = default_handler;
+          handler(diagnostic.c_str());
+          // A non-aborting (test) handler falls through: the reversed
+          // edge is intentionally NOT recorded, so the graph keeps the
+          // original orientation and later reversals re-report.
+        }
+      }
+    }
+  } else {
+    Graph& g = graph();
+    std::lock_guard guard(g.mu);  // NOLINT(annotated-locks): internals
+    g.names[lock] = name;
+  }
+  held.push_back(Held{lock, name});
+}
+
+void LockOrderRegistry::on_acquire_no_check(const void* lock,
+                                            const char* name) {
+  held_stack().push_back(Held{lock, name});
+}
+
+void LockOrderRegistry::on_release(const void* lock) {
+  std::vector<Held>& held = held_stack();
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->lock == lock) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Release of a lock this thread never recorded (e.g. registry was
+  // reset mid-hold in a test): ignore.
+}
+
+void LockOrderRegistry::on_destroy(const void* lock) {
+  Graph& g = graph();
+  std::lock_guard guard(g.mu);  // NOLINT(annotated-locks): internals
+  g.edges.erase(lock);
+  for (auto& [from, out] : g.edges) {
+    (void)from;
+    out.erase(lock);
+  }
+  g.names.erase(lock);
+  // Thread-local validated-edge caches may keep stale entries for this
+  // address; after reuse that can only suppress a report, not invent
+  // one (see header).
+}
+
+}  // namespace probemon::util

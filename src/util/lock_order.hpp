@@ -1,0 +1,78 @@
+// LockOrderRegistry: lockdep-style runtime lock-order cycle detection.
+//
+// Clang TSA (thread_annotations.hpp) proves *which lock guards what*;
+// it cannot prove the *order* locks are taken in. This registry covers
+// that gap dynamically: util::Mutex reports every acquire/release
+// (under PROBEMON_CHECKED only — plain and release builds pay nothing),
+// the registry maintains the process-wide directed graph of observed
+// lock orderings, and the first acquisition that would close a cycle
+// (the classic ABBA deadlock) aborts immediately with both lock names —
+// on the *first* reversed acquisition, not on the eventual unlucky
+// interleaving. Deadlocks thus become deterministic test failures.
+//
+// The class itself always compiles (so tier-1 tests exercise it
+// directly via on_acquire/on_release with synthetic addresses); only
+// the Mutex hooks are PROBEMON_CHECKED-gated.
+//
+// Detection model (standard lockdep reasoning):
+//   - each thread keeps a stack of currently held locks;
+//   - acquiring B while holding A records the edge A -> B;
+//   - before recording A -> B, a path B ->* A in the global graph means
+//     some earlier execution ordered them the other way round: cycle.
+// Locks are keyed by address; a destroyed Mutex is purged from the
+// graph (on_destroy). Per-thread caches of already-validated edges keep
+// the common path cheap; after address reuse a stale cache entry can at
+// worst suppress a report (false negative), never fabricate one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace probemon::util {
+
+class LockOrderRegistry {
+ public:
+  /// Called on a detected cycle with the diagnostic text (which names
+  /// both locks). The default handler writes it to stderr and aborts.
+  using ViolationHandler = void (*)(const char* diagnostic);
+
+  static LockOrderRegistry& instance();
+
+  /// Cycle-check the edge (top of this thread's held stack -> lock),
+  /// record it, and push `lock` onto the held stack. `name` must
+  /// outlive the lock (string literals in practice).
+  void on_acquire(const void* lock, const char* name);
+
+  /// Push without edge recording or cycle check — for try_lock, which
+  /// backs off instead of blocking and so cannot deadlock.
+  void on_acquire_no_check(const void* lock, const char* name);
+
+  /// Pop `lock` from this thread's held stack (out-of-order release
+  /// is allowed and handled).
+  void on_release(const void* lock);
+
+  /// Purge a destroyed lock from the ordering graph.
+  void on_destroy(const void* lock);
+
+  /// Cycles detected process-wide (exported as
+  /// probemon_lock_order_violations_total).
+  std::uint64_t violations() const {
+    return violations_.load(std::memory_order_relaxed);
+  }
+
+  /// Swap the violation handler (tests inject a non-aborting one);
+  /// returns the previous handler. nullptr restores the default.
+  ViolationHandler set_violation_handler(ViolationHandler handler);
+
+  /// Test-only: drop the whole ordering graph (not the held stacks —
+  /// call with no locks held).
+  void reset_graph_for_test();
+
+ private:
+  LockOrderRegistry() = default;
+
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<ViolationHandler> handler_{nullptr};
+};
+
+}  // namespace probemon::util

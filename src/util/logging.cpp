@@ -4,13 +4,12 @@
 #include <cstdio>
 #include <ctime>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace probemon::util {
 
 namespace {
-std::mutex g_sink_mutex;
-
 /// JSON string escaping (duplicated from telemetry/json.hpp to keep
 /// util free of upward dependencies; the set of escapes is fixed by the
 /// JSON grammar, so divergence is not a risk).
@@ -95,7 +94,7 @@ Logger& Logger::instance() {
 }
 
 Logger::Sink Logger::set_sink(Sink sink) {
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(sink_mutex_);
   Sink old = std::move(sink_);
   sink_ = std::move(sink);
   return old;
@@ -103,7 +102,7 @@ Logger::Sink Logger::set_sink(Sink sink) {
 
 void Logger::log(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(sink_mutex_);
   if (sink_) sink_(level, message);
 }
 

@@ -12,6 +12,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/thread_annotations.hpp"
+
 namespace probemon::util {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
@@ -37,14 +39,16 @@ class Logger {
 
   /// Replace the sink (default: make_stderr_sink()). Returns previous
   /// sink. Thread-safe; never races an in-flight log() call.
-  Sink set_sink(Sink sink);
+  Sink set_sink(Sink sink) PROBEMON_EXCLUDES(sink_mutex_);
 
-  void log(LogLevel level, const std::string& message);
+  void log(LogLevel level, const std::string& message)
+      PROBEMON_EXCLUDES(sink_mutex_);
 
  private:
   Logger();
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Sink sink_;
+  mutable Mutex sink_mutex_{"util.Logger"};
+  Sink sink_ PROBEMON_GUARDED_BY(sink_mutex_);
 };
 
 /// Wall-clock timestamp "YYYY-MM-DDTHH:MM:SS.mmm" (local time), as

@@ -1,0 +1,307 @@
+// Clang Thread Safety Analysis (TSA) macros and annotated lock wrappers.
+//
+// The repo's concurrency contract is *compiler-checked*: every mutex in
+// src/ is a util::Mutex (capability-tagged), every guarded field carries
+// PROBEMON_GUARDED_BY, every `_locked()` helper carries
+// PROBEMON_REQUIRES, and every public entry point that takes the lock
+// itself carries PROBEMON_EXCLUDES. A clang build with
+// `-Wthread-safety -Werror` (scripts/ci.sh --full, or
+// -DPROBEMON_TSA=ON) then rejects any access to guarded state without
+// the right lock held — see docs/static_analysis.md.
+//
+// On non-Clang compilers (or compilers without the attribute) every
+// macro expands to nothing, so g++ builds are unaffected. Define
+// PROBEMON_TSA_DISABLED to force the macros off even under clang.
+//
+// The wrappers also carry the *dynamic* complement: under
+// PROBEMON_CHECKED, util::Mutex reports every acquire/release to
+// util::LockOrderRegistry (src/util/lock_order.hpp), which aborts on
+// the first lock-order cycle — the class of deadlock TSA cannot see.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "util/lock_order.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability) && !defined(PROBEMON_TSA_DISABLED)
+#define PROBEMON_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef PROBEMON_TSA
+#define PROBEMON_TSA(x)  // no-op outside clang
+#endif
+
+/// Tags a type as a lockable capability ("mutex" names the kind in
+/// diagnostics).
+#define PROBEMON_CAPABILITY(x) PROBEMON_TSA(capability(x))
+
+/// Tags an RAII guard whose constructor acquires and destructor
+/// releases a capability.
+#define PROBEMON_SCOPED_CAPABILITY PROBEMON_TSA(scoped_lockable)
+
+/// Field is readable/writable only with the named capability held.
+#define PROBEMON_GUARDED_BY(x) PROBEMON_TSA(guarded_by(x))
+
+/// Pointee (not the pointer itself) is guarded by the named capability.
+#define PROBEMON_PT_GUARDED_BY(x) PROBEMON_TSA(pt_guarded_by(x))
+
+/// Function may only be called with the capability/ies already held
+/// (the `_locked()` helper convention).
+#define PROBEMON_REQUIRES(...) PROBEMON_TSA(requires_capability(__VA_ARGS__))
+#define PROBEMON_REQUIRES_SHARED(...) \
+  PROBEMON_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires/releases the capability itself (lock wrappers).
+#define PROBEMON_ACQUIRE(...) PROBEMON_TSA(acquire_capability(__VA_ARGS__))
+#define PROBEMON_ACQUIRE_SHARED(...) \
+  PROBEMON_TSA(acquire_shared_capability(__VA_ARGS__))
+#define PROBEMON_RELEASE(...) PROBEMON_TSA(release_capability(__VA_ARGS__))
+#define PROBEMON_RELEASE_SHARED(...) \
+  PROBEMON_TSA(release_shared_capability(__VA_ARGS__))
+#define PROBEMON_RELEASE_GENERIC(...) \
+  PROBEMON_TSA(release_generic_capability(__VA_ARGS__))
+#define PROBEMON_TRY_ACQUIRE(...) \
+  PROBEMON_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called *without* the capability held (public entry
+/// points of classes that lock internally) — catches self-deadlock.
+#define PROBEMON_EXCLUDES(...) PROBEMON_TSA(locks_excluded(__VA_ARGS__))
+
+/// Assert (at runtime, to the analysis) that the capability is held.
+#define PROBEMON_ASSERT_CAPABILITY(x) PROBEMON_TSA(assert_capability(x))
+
+/// Function returns a reference to the named capability.
+#define PROBEMON_RETURN_CAPABILITY(x) PROBEMON_TSA(lock_returned(x))
+
+/// Opt a function out of the analysis. Every use must carry a comment
+/// saying why (e.g. variable-length multi-lock walks TSA cannot model).
+#define PROBEMON_NO_TSA PROBEMON_TSA(no_thread_safety_analysis)
+
+// Hook for tools/tsa_selftest.py: expands to nothing in real builds;
+// under PROBEMON_TSA_SELFTEST it befriends the self-test probe TU so
+// the harness can reference private guarded fields when verifying that
+// each annotation is load-bearing.
+#ifdef PROBEMON_TSA_SELFTEST
+#define PROBEMON_TSA_SELFTEST_HOOK friend struct ::probemon::TsaSelftestProbe;
+namespace probemon {
+struct TsaSelftestProbe;
+}
+#else
+#define PROBEMON_TSA_SELFTEST_HOOK
+#endif
+
+namespace probemon::util {
+
+/// std::mutex with a TSA capability tag, a diagnostic name, and (under
+/// PROBEMON_CHECKED) lock-order recording. Drop-in for std::mutex; pair
+/// with util::MutexLock instead of std::lock_guard and util::CondVar
+/// instead of std::condition_variable.
+class PROBEMON_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// `name` must be a string literal (stored, not copied); it appears
+  /// in lock-order violation diagnostics. Convention: "namespace.Class".
+  explicit Mutex(const char* name) : name_(name) {}
+  ~Mutex() {
+#ifdef PROBEMON_CHECKED
+    LockOrderRegistry::instance().on_destroy(this);
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PROBEMON_ACQUIRE() {
+#ifdef PROBEMON_CHECKED
+    // Record (and cycle-check) before blocking, lockdep-style, so an
+    // ABBA pattern aborts with a diagnostic instead of deadlocking.
+    LockOrderRegistry::instance().on_acquire(this, name_);
+#endif
+    mu_.lock();
+  }
+
+  void unlock() PROBEMON_RELEASE() {
+    mu_.unlock();
+#ifdef PROBEMON_CHECKED
+    LockOrderRegistry::instance().on_release(this);
+#endif
+  }
+
+  bool try_lock() PROBEMON_TRY_ACQUIRE(true) {
+    const bool ok = mu_.try_lock();
+#ifdef PROBEMON_CHECKED
+    // A failed try_lock backs off instead of blocking, so it cannot
+    // close a deadlock cycle: record the hold, skip the cycle check.
+    if (ok) LockOrderRegistry::instance().on_acquire_no_check(this, name_);
+#endif
+    return ok;
+  }
+
+  const char* name() const { return name_; }
+
+  /// For util::CondVar only: the wrapped mutex, still logically held by
+  /// this wrapper (the lock-order registry is not notified of the
+  /// temporary release inside a wait).
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;  // NOLINT(annotated-locks): the wrapper itself
+  const char* name_ = "util.Mutex";
+};
+
+/// RAII guard for util::Mutex — the std::lock_guard replacement.
+class PROBEMON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PROBEMON_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() PROBEMON_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII guard that can drop and retake the lock mid-scope (the
+/// std::unique_lock replacement for callback windows: hold, Release()
+/// around the user callback, Reacquire(), and the destructor unlocks
+/// only if still held). Clang models the scoped object's lock state
+/// through Release()/Reacquire(), so guarded accesses between them are
+/// still rejected.
+class PROBEMON_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) PROBEMON_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~ReleasableMutexLock() PROBEMON_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void Release() PROBEMON_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+  void Reacquire() PROBEMON_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// std::shared_mutex with a TSA capability tag. Writers use
+/// WriterMutexLock, readers ReaderMutexLock. (No lock-order recording:
+/// nothing in src/ nests shared locks yet; add hooks when it does.)
+class PROBEMON_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() PROBEMON_ACQUIRE() { mu_.lock(); }
+  void unlock() PROBEMON_RELEASE() { mu_.unlock(); }
+  void lock_shared() PROBEMON_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() PROBEMON_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex mu_;  // NOLINT(annotated-locks): the wrapper itself
+  const char* name_ = "util.SharedMutex";
+};
+
+class PROBEMON_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) PROBEMON_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterMutexLock() PROBEMON_RELEASE() { mu_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+class PROBEMON_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) PROBEMON_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_.lock_shared();
+  }
+  // Generic release: the scope acquired in shared mode, and clang
+  // tracks the scoped capability's mode itself.
+  ~ReaderMutexLock() PROBEMON_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable for util::Mutex. Deliberately *without* the
+/// predicate overloads: TSA analyzes a predicate lambda as a separate
+/// function and would flag its guarded-field reads, so call sites use
+/// the explicit loop form instead:
+///
+///   while (!ready_) cv_.wait(mutex_);
+///
+/// which the analysis follows naturally.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and sleeps; `mu` is re-held on return.
+  /// TSA-wise the capability stays held across the call (REQUIRES),
+  /// matching how callers reason about the surrounding loop. The
+  /// lock-order registry likewise keeps the lock on the held stack:
+  /// the wait's release/re-acquire pair cannot introduce an ordering
+  /// edge that the original acquisition did not already create.
+  void wait(Mutex& mu) PROBEMON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(  // NOLINT(annotated-locks): adopts
+        mu.native_handle(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // still held; the wrapper keeps ownership
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      PROBEMON_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(  // NOLINT(annotated-locks): adopts
+        mu.native_handle(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& rel)
+      PROBEMON_REQUIRES(mu) {
+    return wait_until(mu, std::chrono::steady_clock::now() + rel);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // NOLINT(annotated-locks): wrapped here
+};
+
+}  // namespace probemon::util

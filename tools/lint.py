@@ -44,6 +44,19 @@ Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
                      callbacks in InlineFunction buffers. Forbids
                      std::make_unique / std::make_shared / .reset(new
                      in those files (naked new is already global).
+  annotated-locks    src/ synchronizes through the TSA-annotated
+                     wrappers in src/util/thread_annotations.hpp
+                     (util::Mutex / MutexLock / ReleasableMutexLock /
+                     SharedMutex / CondVar) so a clang
+                     -Wthread-safety build can check lock discipline
+                     and the PROBEMON_CHECKED lock-order detector sees
+                     every acquisition. Raw std::mutex /
+                     std::shared_mutex / std::lock_guard /
+                     std::unique_lock / std::condition_variable (and
+                     their includes) are forbidden outside the wrapper
+                     header; the sanctioned few (the wrappers' own
+                     internals, the lock-order detector itself) carry
+                     NOLINT with a reason.
   no-string-labels   src/des + src/core must not build metric series
                      from raw strings: the string-keyed telemetry API
                      (registry.counter("name", ...) / telemetry::Labels
@@ -119,6 +132,17 @@ STRING_LABELS = re.compile(
     r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\""
     r"|\btelemetry::Labels\b")
 
+# annotated-locks: raw standard synchronization primitives, and their
+# headers, anywhere under src/ except the wrapper header itself.
+RAW_LOCKS = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex"
+    r"|recursive_timed_mutex|shared_timed_mutex"
+    r"|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+LOCK_INCLUDE = re.compile(
+    r"^\s*#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>")
+ANNOTATED_LOCKS_EXEMPT = "src/util/thread_annotations.hpp"
+
 NOLINT = re.compile(r"NOLINT\(([^)]*)\)")
 
 RULES = {
@@ -137,6 +161,10 @@ RULES = {
     "no-string-labels":
         "no string-keyed metric lookups in src/des + src/core "
         "(intern at setup, use the *_ids overloads)",
+    "annotated-locks":
+        "no raw std::mutex/lock_guard/unique_lock/condition_variable in "
+        "src/ (use the util::Mutex wrappers from "
+        "src/util/thread_annotations.hpp)",
 }
 
 
@@ -194,6 +222,8 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
         "src" in parts and "scenario" in parts)
     hot_path = "src" in parts and "core" in parts and rel.name in HOT_PATH_FILES
     registry_exempt = "telemetry" in parts
+    lock_zone = "src" in parts and not rel.as_posix().endswith(
+        ANNOTATED_LOCKS_EXEMPT)
     lines = text.splitlines()
 
     in_block_comment = False
@@ -218,6 +248,15 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
         code = strip_noise(line)
         if not code.strip():
             continue
+
+        if lock_zone and not suppressed(raw, "annotated-locks"):
+            if RAW_LOCKS.search(code) or LOCK_INCLUDE.match(code):
+                findings.append(Finding(
+                    rel, lineno, "annotated-locks",
+                    "raw standard lock primitive — use the TSA-annotated "
+                    "util::Mutex/MutexLock/CondVar wrappers "
+                    "(src/util/thread_annotations.hpp) so clang "
+                    "-Wthread-safety and the lock-order detector see it"))
 
         if callback_zone and not suppressed(raw, "no-std-function"):
             if STD_FUNCTION.search(code) or FUNCTIONAL_INCLUDE.match(code):
