@@ -1,0 +1,259 @@
+// bench_rt_scale — event-loop runtime scale gate over real UDP.
+//
+// Not a paper artifact: this gates the async reactor (ROADMAP item 1)
+// the way bench_scale gates the DES kernel. Per endpoint tier N it
+// stands up N/2 AsyncDcppDevice + N/2 watched control points — N
+// endpoints total — on ONE EventLoop thread and ONE AsyncUdpTransport
+// socket (real kernel UDP on 127.0.0.1, recvmmsg/sendmmsg batched),
+// then measures a wall-clock window:
+//
+//   * probes_per_s / cycles_per_s — aggregate service counters, the
+//     "can one loop thread carry the fleet" throughput witness;
+//   * p99_reply_latency_s — interpolated from the
+//     probemon_reply_latency_seconds histogram bucket deltas, the
+//     "is it keeping up or just queueing" witness;
+//   * cycle_success_rate plus the transport drop/error counters —
+//     probes are real datagrams, so a loop that falls behind shows up
+//     as timeouts and socket-buffer drops, not silent slowdown.
+//
+// Unlike bench_scale this is wall-clock driven and NOT deterministic,
+// so it takes no part in the CI determinism self-diff; scripts/ci.sh
+// gates it one-sided against bench/baseline/bench_rt_scale.json
+// (throughput and success rate may not drop, p99 may not blow up past
+// its per-key --max-regress-pct override).
+//
+//   ./bench_rt_scale --endpoints=1000,10000,50000 --duration=2
+//
+// DCPP pacing: one CP per device, d_min=0.2 → the device grants ~d_min
+// per cycle → ~5 cycles/s per CP → 25k CPs drive ~125k probes/s
+// through the socket (each cycle is one probe + one reply datagram).
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "experiment_common.hpp"
+#include "runtime/event_loop/async_device.hpp"
+#include "runtime/event_loop/async_presence.hpp"
+#include "runtime/event_loop/async_udp.hpp"
+#include "runtime/event_loop/event_loop.hpp"
+#include "telemetry/registry.hpp"
+#include "util/cli.hpp"
+
+using namespace probemon;
+
+namespace {
+
+std::vector<std::uint64_t> parse_count_list(const std::string& spec) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    out.push_back(std::stoull(spec.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Linear-interpolated quantile from the delta between two bucket
+/// snapshots of the same histogram. Returns the last finite bound when
+/// the quantile lands in the +Inf bucket, 0 when the window is empty.
+double quantile_from_delta(const telemetry::Histogram& hist,
+                           const std::vector<std::uint64_t>& before,
+                           double q) {
+  const auto& bounds = hist.upper_bounds();
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> delta(hist.bucket_count());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = hist.bucket(i) - before[i];
+    total += delta[i];
+  }
+  if (total == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    cum += delta[i];
+    if (cum < target) continue;
+    if (i + 1 == delta.size()) return bounds.back();  // +Inf bucket
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double frac = delta[i] == 0
+                            ? 1.0
+                            : (static_cast<double>(target) -
+                               static_cast<double>(cum - delta[i])) /
+                                  static_cast<double>(delta[i]);
+    return lower + frac * (bounds[i] - lower);
+  }
+  return bounds.back();
+}
+
+struct TierResult {
+  std::uint64_t endpoints = 0;
+  std::uint64_t watches = 0;
+  std::uint64_t watches_absent = 0;
+  double wall_s = 0.0;
+  double probes_per_s = 0.0;
+  double cycles_per_s = 0.0;
+  double success_rate = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  std::uint64_t failed_cycles = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t recv_errors = 0;
+  std::uint64_t send_errors = 0;
+};
+
+TierResult run_tier(std::uint64_t endpoints, double warmup_s,
+                    double duration_s, double ramp_rate, double d_min) {
+  const auto pairs = static_cast<std::size_t>(endpoints / 2);
+
+  telemetry::Registry registry;
+  runtime::EventLoop loop;
+  runtime::AsyncUdpTransport transport(loop);
+
+  // One CP per device; the device self-caps at l_nom = 1/delta_min and
+  // grants ~d_min per cycle, so the fleet rate is pairs / d_min.
+  core::DcppDeviceConfig device_config;
+  device_config.delta_min = d_min / 10.0;
+  device_config.d_min = d_min;
+
+  std::vector<std::unique_ptr<runtime::AsyncDcppDevice>> devices;
+  devices.reserve(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    devices.push_back(
+        std::make_unique<runtime::AsyncDcppDevice>(transport, device_config));
+  }
+
+  runtime::AsyncPresenceService::TelemetryOptions telemetry;
+  telemetry.registry = &registry;
+  runtime::AsyncPresenceService service(transport, telemetry);
+
+  // Watch the fleet before start() (inline, no loop hops), spreading
+  // first cycles with golden-ratio jitter over a ramp window sized so
+  // the start burst never exceeds `ramp_rate` first-probes/s — a
+  // synchronized burst past loop capacity stretches replies beyond
+  // TOF, and the resulting false absences STOP those watches (paper
+  // semantics), silently thinning the fleet being measured.
+  const double ramp_window =
+      std::max(device_config.d_min, static_cast<double>(pairs) / ramp_rate);
+  constexpr double kGolden = 0.618033988749895;
+  core::DcppCpConfig cp_config;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const double jitter =
+        std::fmod(static_cast<double>(i + 1) * kGolden, 1.0) * ramp_window;
+    service.watch_dcpp(devices[i]->id(), cp_config, jitter);
+  }
+
+  loop.start();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(warmup_s + ramp_window));
+
+  const telemetry::Histogram* latency = service.reply_latency();
+  std::vector<std::uint64_t> buckets_before(latency->bucket_count());
+  for (std::size_t i = 0; i < buckets_before.size(); ++i) {
+    buckets_before[i] = latency->bucket(i);
+  }
+  const auto stats0 = service.stats();
+  const std::uint64_t drops0 = transport.unroutable_count();
+  const std::uint64_t recv_err0 = transport.recv_error_count();
+  const std::uint64_t send_err0 = transport.send_error_count();
+  const double t0 = loop.now();
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+
+  const auto stats1 = service.stats();
+  const double t1 = loop.now();
+
+  TierResult r;
+  r.endpoints = endpoints;
+  r.watches = service.watch_count();
+  for (const auto& info : service.snapshotWatches()) {
+    if (info.state == runtime::Presence::kAbsent) ++r.watches_absent;
+  }
+  r.wall_s = t1 - t0;
+  const auto probes = stats1.probes_sent - stats0.probes_sent;
+  const auto ok = stats1.cycles_succeeded - stats0.cycles_succeeded;
+  const auto failed = stats1.cycles_failed - stats0.cycles_failed;
+  r.probes_per_s = static_cast<double>(probes) / r.wall_s;
+  r.cycles_per_s = static_cast<double>(ok + failed) / r.wall_s;
+  r.success_rate = ok + failed == 0
+                       ? 0.0
+                       : static_cast<double>(ok) /
+                             static_cast<double>(ok + failed);
+  r.p50_s = quantile_from_delta(*latency, buckets_before, 0.50);
+  r.p99_s = quantile_from_delta(*latency, buckets_before, 0.99);
+  r.failed_cycles = failed;
+  r.drops = transport.unroutable_count() - drops0;
+  r.recv_errors = transport.recv_error_count() - recv_err0;
+  r.send_errors = transport.send_error_count() - send_err0;
+
+  // Stop before teardown: devices/transport destructors are
+  // loop-confined and require a stopped loop when called from here.
+  loop.stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto endpoints_spec =
+      cli.get<std::string>("endpoints", "1000,10000,50000");
+  const auto duration = cli.get<double>("duration", 2.0);
+  const auto warmup = cli.get<double>("warmup", 0.5);
+  const auto ramp_rate = cli.get<double>("ramp-rate", 50000.0);
+  // Per-CP cycle period (the device's d_min). endpoints/2 CPs probe at
+  // 1/d_min each; keep the aggregate under what one loop thread
+  // sustains (~130k cycles/s here) or false absences thin the fleet.
+  const auto d_min = cli.get<double>("d-min", 0.2);
+  cli.finish("bench_rt_scale: async UDP runtime throughput and latency");
+
+  benchutil::print_header(
+      "bench_rt_scale", "event-loop runtime scale gate",
+      "one reactor thread carries 10^5 endpoints over real UDP with "
+      "bounded reply latency");
+  std::printf("endpoints=%s duration=%.1fs warmup=%.1fs (DCPP, d_min=%.2f "
+              "-> ~%.1f cycles/s per CP)\n\n",
+              endpoints_spec.c_str(), duration, warmup, d_min, 1.0 / d_min);
+  std::printf("%10s %8s %12s %12s %9s %10s %10s %6s\n", "endpoints",
+              "watches", "probes/s", "cycles/s", "success", "p50(us)",
+              "p99(us)", "drops");
+
+  benchutil::JsonSummary summary("bench_rt_scale");
+  for (std::uint64_t n : parse_count_list(endpoints_spec)) {
+    const TierResult r = run_tier(n, warmup, duration, ramp_rate, d_min);
+    std::printf("%10llu %8llu %12.0f %12.0f %8.3f%% %10.0f %10.0f %6llu\n",
+                static_cast<unsigned long long>(r.endpoints),
+                static_cast<unsigned long long>(r.watches), r.probes_per_s,
+                r.cycles_per_s, 100.0 * r.success_rate, 1e6 * r.p50_s,
+                1e6 * r.p99_s, static_cast<unsigned long long>(r.drops));
+
+    std::string prefix = "s";
+    prefix += std::to_string(n);
+    prefix += '.';
+    summary.set(prefix + "endpoints", r.endpoints);
+    summary.set(prefix + "watches", r.watches);
+    summary.set(prefix + "watches_absent", r.watches_absent);
+    summary.set(prefix + "wall_s", r.wall_s);
+    summary.set(prefix + "probes_per_s", r.probes_per_s);
+    summary.set(prefix + "cycles_per_s", r.cycles_per_s);
+    summary.set(prefix + "cycle_success_rate", r.success_rate);
+    summary.set(prefix + "p50_reply_latency_s", r.p50_s);
+    summary.set(prefix + "p99_reply_latency_s", r.p99_s);
+    summary.set(prefix + "failed_cycles", r.failed_cycles);
+    summary.set(prefix + "drops", r.drops);
+    summary.set(prefix + "recv_errors", r.recv_errors);
+    summary.set(prefix + "send_errors", r.send_errors);
+  }
+
+  summary.write();
+  std::printf("\nwrote %s\n", summary.path().c_str());
+  benchutil::print_footer();
+  return 0;
+}

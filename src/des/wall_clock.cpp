@@ -1,0 +1,45 @@
+#include "des/wall_clock.hpp"
+
+#include <cmath>
+
+namespace probemon::des {
+
+WallClockTimerWheel::WallClockTimerWheel(SchedulerConfig config)
+    : wheel_((config.backend = SchedulerBackend::kWheel, config)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+double WallClockTimerWheel::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+EventId WallClockTimerWheel::schedule_at(double t, Callback fn) {
+  // A deadline computed before a stall/suspend may already lie behind
+  // the wheel's advance point; fire it on the next poll instead of
+  // throwing (the DES "scheduling into the past" contract assumes a
+  // caller-controlled clock, which wall time is not).
+  const double floor = wheel_.now();
+  return wheel_.schedule_at(t < floor ? floor : t, std::move(fn));
+}
+
+EventId WallClockTimerWheel::schedule_after(double delay, Callback fn) {
+  if (!(delay >= 0)) delay = 0;  // clamp, same rationale as schedule_at
+  return schedule_at(wheel_.now() + delay, std::move(fn));
+}
+
+std::uint64_t WallClockTimerWheel::advance_to(double t) {
+  if (!(t > wheel_.now())) return 0;  // never run the wheel backwards
+  return wheel_.run_until(t);
+}
+
+int WallClockTimerWheel::timeout_ms(double t, int max_ms) const {
+  const double deadline = wheel_.next_time();
+  if (deadline == kTimeInfinity) return -1;
+  if (deadline <= t) return 0;
+  const double ms = std::ceil((deadline - t) * 1000.0);
+  if (ms >= static_cast<double>(max_ms)) return max_ms;
+  return static_cast<int>(ms);
+}
+
+}  // namespace probemon::des

@@ -1,0 +1,102 @@
+// WallClockTimerWheel: the DES hashed timer wheel re-clocked to
+// CLOCK_MONOTONIC for the real-time reactor.
+//
+// The runtime's timeout load is exactly the shape the wheel was built
+// for — hundreds of thousands of short, bounded timers (TOF = 0.022 s,
+// TOS = 0.021 s, inter-cycle delays up to δ_max = 10 s) that are
+// usually cancelled before they fire — so instead of growing a second
+// timer implementation, the reactor wraps a des::Scheduler (wheel
+// backend) in a monotonic-clock seam:
+//
+//   * Time is seconds since construction, read from the steady
+//     (CLOCK_MONOTONIC on Linux) clock — immune to NTP steps and
+//     daylight-saving jumps.
+//   * advance_to(t) fires every timer with deadline <= t. The caller
+//     supplies t, so tests drive synthetic schedules deterministically
+//     and can replay the exact same schedule through a plain DES
+//     Scheduler to prove fire-order equivalence; the event loop calls
+//     poll() = advance_to(now()).
+//   * schedule_at() clamps deadlines that are already in the past
+//     (computed before a suspend or a long stall) to "fire on the next
+//     advance" instead of throwing — a wall-clock caller cannot
+//     guarantee t >= now the way simulation code can.
+//   * Large forward jumps (laptop suspend, debugger stop) are safe:
+//     the underlying wheel window-jumps over silent gaps and the
+//     coarse level cascades, so re-arming after hours of wall-clock
+//     silence stays O(occupied slots).
+//
+// NOT thread-safe: owned and driven by one event-loop thread (the same
+// single-threaded discipline as the DES scheduler). Cross-thread work
+// enters the loop via EventLoop::post(), never by touching the wheel.
+#pragma once
+
+// NOLINT(no-wall-clock): this file IS the sanctioned monotonic-clock
+// seam for src/des — see tools/lint.py WALL_CLOCK_EXEMPT.
+#include <chrono>
+#include <cstdint>
+
+#include "des/scheduler.hpp"
+
+namespace probemon::des {
+
+class WallClockTimerWheel {
+ public:
+  using Callback = Scheduler::Callback;
+
+  /// The wheel backend is mandatory here (the heap backend would work
+  /// but defeats the point); defaults give 2^-8 s ticks, a 128 s fine
+  /// span and ~36 h of coarse span — every runtime timeout is O(1).
+  explicit WallClockTimerWheel(SchedulerConfig config = SchedulerConfig{});
+
+  WallClockTimerWheel(const WallClockTimerWheel&) = delete;
+  WallClockTimerWheel& operator=(const WallClockTimerWheel&) = delete;
+
+  /// Seconds since construction, from the steady clock.
+  double now() const;
+
+  /// The instant advance_to() has fired up to (<= now()). Timestamps
+  /// taken with now() may run ahead of this between polls.
+  double advanced() const noexcept { return wheel_.now(); }
+
+  /// Schedule `fn` at absolute time `t` (seconds on the now() time
+  /// base). A deadline already in the past — computed before a stall
+  /// or suspend — is clamped so it fires on the next advance.
+  EventId schedule_at(double t, Callback fn);
+  EventId schedule_after(double delay, Callback fn);
+
+  /// Cancel a pending timer; O(1), slot reclaimed in place.
+  bool cancel(EventId id) { return wheel_.cancel(id); }
+  bool pending(EventId id) const noexcept { return wheel_.pending(id); }
+  std::size_t pending_count() const noexcept { return wheel_.pending_count(); }
+
+  /// Deadline of the earliest pending timer, or kTimeInfinity.
+  double next_deadline() const { return wheel_.next_time(); }
+
+  /// Fire every timer with deadline <= t, in (deadline, schedule order)
+  /// — the same stable ordering as the DES wheel, verified by
+  /// tests/test_wall_clock_wheel.cpp. Returns the number fired. `t`
+  /// below the last advance is a no-op (monotonic re-arm after a
+  /// backwards-looking caller is safe).
+  std::uint64_t advance_to(double t);
+
+  /// advance_to(now()) — the event loop's per-iteration tick.
+  std::uint64_t poll() { return advance_to(now()); }
+
+  /// poll()/epoll timeout until the next deadline, measured from `t`
+  /// (pass now()): -1 when no timers are pending, 0 when one is
+  /// already due, else the wait rounded up to a millisecond and capped
+  /// at `max_ms`.
+  int timeout_ms(double t, int max_ms = 1000) const;
+
+  /// Timers fired over the wheel's lifetime.
+  std::uint64_t fired_count() const noexcept { return wheel_.executed_count(); }
+
+  /// The underlying wheel, for telemetry (residency gauges) and tests.
+  const Scheduler& wheel() const noexcept { return wheel_; }
+
+ private:
+  Scheduler wheel_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace probemon::des

@@ -8,8 +8,10 @@
 
 namespace probemon::runtime {
 
-std::string watches_to_json(const PresenceService& service) {
-  const auto watches = service.snapshotWatches();
+namespace {
+
+std::string render_watches(
+    const std::vector<PresenceService::WatchInfo>& watches) {
   telemetry::JsonWriter w;
   w.begin_object();
   w.key("watches");
@@ -41,8 +43,26 @@ std::string watches_to_json(const PresenceService& service) {
   return w.str();
 }
 
+}  // namespace
+
+std::string watches_to_json(const PresenceService& service) {
+  return render_watches(service.snapshotWatches());
+}
+
+std::string watches_to_json(const AsyncPresenceService& service) {
+  return render_watches(service.snapshotWatches());
+}
+
 void register_watch_routes(telemetry::HttpServer& server,
                            const PresenceService& service) {
+  server.handle("/watches", [&service](const telemetry::HttpRequest&) {
+    return telemetry::HttpResponse{200, "application/json; charset=utf-8",
+                                   watches_to_json(service)};
+  });
+}
+
+void register_watch_routes(telemetry::HttpServer& server,
+                           const AsyncPresenceService& service) {
   server.handle("/watches", [&service](const telemetry::HttpRequest&) {
     return telemetry::HttpResponse{200, "application/json; charset=utf-8",
                                    watches_to_json(service)};
@@ -71,9 +91,12 @@ void register_healthz_route(telemetry::HttpServer& server,
       w.key("tracer_capacity");
       w.value(static_cast<std::uint64_t>(sources.tracer->capacity()));
     }
-    if (sources.service) {
+    if (sources.service || sources.async_service) {
+      const std::size_t count =
+          sources.service ? sources.service->watch_count()
+                          : sources.async_service->watch_count();
       w.key("watches");
-      w.value(static_cast<std::uint64_t>(sources.service->watch_count()));
+      w.value(static_cast<std::uint64_t>(count));
     }
     if (sources.auditor) {
       w.key("invariant_violations_total");
@@ -171,7 +194,11 @@ void register_observability_routes(telemetry::HttpServer& server,
   if (sources.tracer) {
     telemetry::register_trace_routes(server, *sources.tracer);
   }
-  if (sources.service) register_watch_routes(server, *sources.service);
+  if (sources.service) {
+    register_watch_routes(server, *sources.service);
+  } else if (sources.async_service) {
+    register_watch_routes(server, *sources.async_service);
+  }
   if (sources.history) register_query_routes(server, *sources.history);
   if (sources.alerts) register_alert_routes(server, *sources.alerts);
   register_healthz_route(server, sources);

@@ -22,6 +22,7 @@
 //   /alerts    alert engine state JSON, ?state=firing to filter
 #pragma once
 
+#include "runtime/event_loop/async_presence.hpp"
 #include "runtime/presence_service.hpp"
 #include "telemetry/alerts/alert_engine.hpp"
 #include "telemetry/history/history.hpp"
@@ -37,6 +38,10 @@ struct ObservabilitySources {
   const telemetry::MetricStore* registry = nullptr;
   const telemetry::ProbeCycleTracer* tracer = nullptr;
   const PresenceService* service = nullptr;
+  /// The reactor-based service (event_loop/async_presence.hpp); wire
+  /// whichever of service/async_service the runtime actually runs —
+  /// both feed the same /watches and /healthz shapes.
+  const AsyncPresenceService* async_service = nullptr;
   const check::InvariantAuditor* auditor = nullptr;
   const telemetry::TimeSeriesHistory* history = nullptr;
   const telemetry::AlertEngine* alerts = nullptr;
@@ -47,6 +52,8 @@ struct ObservabilitySources {
 /// tallies and the next probe's due time.
 void register_watch_routes(telemetry::HttpServer& server,
                            const PresenceService& service);
+void register_watch_routes(telemetry::HttpServer& server,
+                           const AsyncPresenceService& service);
 
 /// `/healthz`: {"status":"ok", uptime, requests served, and per-source
 /// stats for whichever of registry/tracer/service are wired}.
@@ -74,5 +81,6 @@ void register_observability_routes(telemetry::HttpServer& server,
 /// JSON rendering of snapshotWatches() (exposed for tests and for
 /// non-HTTP dumps).
 std::string watches_to_json(const PresenceService& service);
+std::string watches_to_json(const AsyncPresenceService& service);
 
 }  // namespace probemon::runtime

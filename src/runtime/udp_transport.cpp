@@ -222,7 +222,12 @@ void UdpTransport::receive_loop() {
         ids.push_back(id);
       }
     }
-    if (poll(fds.data(), fds.size(), 100) <= 0) continue;
+    // Block until a datagram or a wake. The receiver has no intrinsic
+    // deadlines (CP timers live in the control points), and every
+    // fd-set change — attach, detach, doomed-fd close, stop — writes
+    // the wake pipe, so an infinite timeout reacts *faster* than the
+    // old fixed 100 ms tick while idling at zero wakeups/s.
+    if (poll(fds.data(), fds.size(), -1) <= 0) continue;
     if (fds[0].revents & POLLIN) {
       char drain[64];
       [[maybe_unused]] const ssize_t n =

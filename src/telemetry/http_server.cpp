@@ -227,12 +227,29 @@ void HttpServer::start() {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(config_.port);
-  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
-      listen(fd, 16) != 0) {
+  // A collector restarting on a fixed port can race its predecessor's
+  // listen fd closing; SO_REUSEADDR handles TIME_WAIT but not a bind
+  // attempted while the old socket is literally still open, so retry
+  // EADDRINUSE briefly instead of failing the whole restart.
+  const auto bind_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.bind_retry_window_s));
+  while (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    if (err != EADDRINUSE ||
+        std::chrono::steady_clock::now() >= bind_deadline) {
+      close(fd);
+      throw std::system_error(err, std::generic_category(),
+                              "HttpServer: bind");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (listen(fd, config_.listen_backlog) != 0) {
     const int err = errno;
     close(fd);
     throw std::system_error(err, std::generic_category(),
-                            "HttpServer: bind/listen");
+                            "HttpServer: listen");
   }
   socklen_t len = sizeof addr;
   if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
@@ -309,6 +326,36 @@ std::vector<std::string> HttpServer::routes() const {
   return out;
 }
 
+std::uint64_t HttpServer::connections_accepted() const {
+  util::MutexLock lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t HttpServer::connections_shed() const {
+  util::MutexLock lock(mutex_);
+  return shed_;
+}
+
+std::size_t HttpServer::accept_backlog() const {
+  util::MutexLock lock(mutex_);
+  return pending_.size();
+}
+
+void HttpServer::instrument(Registry& registry) {
+  registry.gauge_callback(
+      "probemon_http_accept_backlog",
+      [this] { return static_cast<double>(accept_backlog()); },
+      "Accepted connections queued for a worker thread");
+  registry.counter_callback(
+      "probemon_http_connections_accepted_total",
+      [this] { return static_cast<double>(connections_accepted()); },
+      "Connections accepted into the worker queue");
+  registry.counter_callback(
+      "probemon_http_connections_shed_total",
+      [this] { return static_cast<double>(connections_shed()); },
+      "Connections closed unserved because the queue was full");
+}
+
 void HttpServer::accept_loop() {
   for (;;) {
     int fd;
@@ -329,9 +376,14 @@ void HttpServer::accept_loop() {
     bool enqueued = false;
     {
       util::MutexLock lock(mutex_);
-      if (!stopping_ && pending_.size() < config_.max_pending) {
-        pending_.push_back(conn);
-        enqueued = true;
+      if (!stopping_) {
+        if (pending_.size() < config_.max_pending) {
+          pending_.push_back(conn);
+          ++accepted_;
+          enqueued = true;
+        } else {
+          ++shed_;  // queue full: overload, not shutdown
+        }
       }
     }
     if (enqueued) {

@@ -75,6 +75,15 @@ class HttpServer {
     /// POST body size cap; larger -> 413. Metrics-push bodies from a
     /// chatty agent fit in well under a megabyte.
     std::size_t max_body_bytes = 4u << 20;
+    /// listen(2) backlog. Raise it for collectors scraped by many
+    /// agents at once; the kernel queue absorbs connect bursts that
+    /// land between accept() calls.
+    int listen_backlog = 16;
+    /// On EADDRINUSE, retry the bind for this long before giving up —
+    /// a restarting collector often races its predecessor's listen
+    /// socket closing (SO_REUSEADDR alone does not cover a bind that
+    /// lands while the old fd is still open).
+    double bind_retry_window_s = 1.0;
   };
 
   HttpServer();  // all-default Config
@@ -111,6 +120,22 @@ class HttpServer {
   /// Registered paths, sorted — lets an index route list its siblings.
   std::vector<std::string> routes() const PROBEMON_EXCLUDES(mutex_);
 
+  /// Connections accepted into the worker queue since construction.
+  std::uint64_t connections_accepted() const PROBEMON_EXCLUDES(mutex_);
+  /// Connections closed unserved because the queue was full.
+  std::uint64_t connections_shed() const PROBEMON_EXCLUDES(mutex_);
+  /// Accepted connections currently waiting for a worker.
+  std::size_t accept_backlog() const PROBEMON_EXCLUDES(mutex_);
+
+  /// Export the server's own health on `registry`:
+  /// probemon_http_accept_backlog (gauge: connections queued for a
+  /// worker — a persistently non-zero value means the worker pool is
+  /// undersized for the scrape load),
+  /// probemon_http_connections_accepted_total and
+  /// probemon_http_connections_shed_total. Callback-backed; the
+  /// registry must outlive the server.
+  void instrument(Registry& registry) PROBEMON_EXCLUDES(mutex_);
+
  private:
   struct Route {
     HttpHandler get;
@@ -132,6 +157,8 @@ class HttpServer {
   int listen_fd_ PROBEMON_GUARDED_BY(mutex_) = -1;
   std::uint16_t port_ PROBEMON_GUARDED_BY(mutex_) = 0;
   std::uint64_t requests_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t accepted_ PROBEMON_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ PROBEMON_GUARDED_BY(mutex_) = 0;
   std::chrono::steady_clock::time_point started_at_
       PROBEMON_GUARDED_BY(mutex_){};
   std::thread acceptor_ PROBEMON_GUARDED_BY(mutex_);

@@ -1,0 +1,384 @@
+// Tests for the event-loop runtime: AsyncUdpTransport routing and peer
+// learning over real sockets, device/control-point protocol behaviour
+// (clean cycles, retransmission, absence), the AsyncPresenceService
+// facade, and a few-hundred-endpoint smoke run on one loop thread.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/event_loop/async_control_point.hpp"
+#include "runtime/event_loop/async_device.hpp"
+#include "runtime/event_loop/async_presence.hpp"
+#include "runtime/event_loop/async_udp.hpp"
+#include "runtime/event_loop/event_loop.hpp"
+#include "telemetry/registry.hpp"
+
+namespace probemon::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 3000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(1ms);
+  }
+  return true;
+}
+
+/// Tight protocol timings so tests finish in milliseconds, not the
+/// paper's tens of seconds.
+core::TimeoutConfig fast_timeouts() {
+  core::TimeoutConfig timeouts;
+  timeouts.tof = 0.020;
+  timeouts.tos = 0.015;
+  return timeouts;
+}
+
+core::DcppDeviceConfig fast_dcpp_device() {
+  core::DcppDeviceConfig config;
+  config.delta_min = 0.005;
+  config.d_min = 0.02;
+  return config;
+}
+
+core::DcppCpConfig fast_dcpp_cp() {
+  core::DcppCpConfig config;
+  config.timeouts = fast_timeouts();
+  return config;
+}
+
+core::SappCpConfig fast_sapp_cp() {
+  core::SappCpConfig config;
+  config.timeouts = fast_timeouts();
+  config.delta_min = 0.005;
+  config.initial_delay = 0.01;
+  return config;
+}
+
+TEST(AsyncUdpTransport, SendSideUnroutableIsCounted) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);  // loop not running: direct calls OK
+  net::Message msg;
+  msg.kind = net::MessageKind::kProbe;
+  msg.from = 1;
+  msg.to = 999;  // neither attached nor a known peer
+  transport.send(msg);
+  EXPECT_EQ(transport.unroutable_count(), 1u);
+  // sent/delivered/send_errors/unroutable partition the datagrams:
+  // an unroutable one was never handed to the kernel.
+  transport.flush();
+  EXPECT_EQ(transport.sent_count(), 0u);
+  EXPECT_EQ(transport.send_error_count(), 0u);
+}
+
+TEST(AsyncUdpTransport, LearnsPeerFromDatagramSource) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+  loop.start();
+
+  // Pose as an external control point on a raw socket: first datagram
+  // teaches the transport our port, the device's reply comes back.
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in local{};
+  local.sin_family = AF_INET;
+  local.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&local), sizeof local), 0);
+  timeval rcv_timeout{2, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &rcv_timeout, sizeof rcv_timeout);
+
+  const net::NodeId external_cp = 0x40000000;
+  net::Message probe;
+  probe.kind = net::MessageKind::kProbe;
+  probe.from = external_cp;
+  probe.to = device.id();
+  probe.cycle = 7;
+  std::uint8_t wire[kUdpWireSize];
+  udp_encode(probe, wire);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dst.sin_port = htons(transport.local_port());
+  ASSERT_EQ(sendto(fd, wire, sizeof wire, 0,
+                   reinterpret_cast<sockaddr*>(&dst), sizeof dst),
+            static_cast<ssize_t>(sizeof wire));
+
+  std::uint8_t reply_wire[kUdpWireSize + 8];
+  const ssize_t n = recv(fd, reply_wire, sizeof reply_wire, 0);
+  ASSERT_EQ(n, static_cast<ssize_t>(kUdpWireSize))
+      << "no reply routed back to the learned peer";
+  net::Message reply;
+  ASSERT_TRUE(udp_decode(reply_wire, kUdpWireSize, reply));
+  EXPECT_EQ(reply.kind, net::MessageKind::kReply);
+  EXPECT_EQ(reply.from, device.id());
+  EXPECT_EQ(reply.to, external_cp);
+  EXPECT_EQ(reply.cycle, 7u);
+  EXPECT_GE(reply.grant_delay, 0.0);
+  EXPECT_EQ(device.probes_received(), 1u);
+
+  close(fd);
+  loop.stop();
+}
+
+TEST(AsyncUdpTransport, MalformedDatagramCountsRecvError) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+  loop.start();
+
+  const int fd = socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dst.sin_port = htons(transport.local_port());
+  const char junk[5] = {1, 2, 3, 4, 5};  // wrong size: undecodable
+  ASSERT_EQ(sendto(fd, junk, sizeof junk, 0,
+                   reinterpret_cast<sockaddr*>(&dst), sizeof dst),
+            static_cast<ssize_t>(sizeof junk));
+  EXPECT_TRUE(eventually([&] { return transport.recv_error_count() == 1; }));
+  EXPECT_EQ(device.probes_received(), 0u);
+  close(fd);
+  loop.stop();
+}
+
+TEST(AsyncRuntime, DcppCyclesSucceedOverRealUdp) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+  std::atomic<int> successes{0};
+  std::atomic<double> last_delay{-1.0};
+  AsyncControlPointBase::Callbacks callbacks;
+  callbacks.on_cycle = [&](const AsyncControlPointBase::CycleInfo& info) {
+    if (info.success) {
+      ++successes;
+      last_delay.store(info.next_delay);
+      EXPECT_GE(info.rtt, 0.0);
+      EXPECT_LE(info.start, info.end);
+      EXPECT_EQ(info.attempts, 1);  // loopback: no retransmissions
+    }
+  };
+  AsyncDcppControlPoint cp(transport, device.id(), fast_dcpp_cp(), callbacks);
+  loop.post([&cp] { cp.start(); });
+  loop.start();
+
+  EXPECT_TRUE(eventually([&] { return successes.load() >= 3; }));
+  EXPECT_TRUE(cp.device_considered_present());
+  EXPECT_GE(cp.cycles_succeeded(), 3u);
+  EXPECT_EQ(cp.cycles_failed(), 0u);
+  // DCPP delay is the device's grant: bounded by [0, d_min].
+  EXPECT_GE(last_delay.load(), 0.0);
+  EXPECT_LE(last_delay.load(), fast_dcpp_device().d_min + 1e-9);
+  EXPECT_GE(device.probes_received(), cp.cycles_succeeded());
+  loop.stop();
+}
+
+TEST(AsyncRuntime, SappCycleObservesProbeCounter) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  core::SappDeviceConfig device_config;
+  AsyncSappDevice device(transport, device_config);
+  std::atomic<int> successes{0};
+  AsyncControlPointBase::Callbacks callbacks;
+  callbacks.on_cycle_success = [&successes](double, double) { ++successes; };
+  AsyncSappControlPoint cp(transport, device.id(), fast_sapp_cp(), callbacks);
+  loop.post([&cp] { cp.start(); });
+  loop.start();
+
+  EXPECT_TRUE(eventually([&] { return successes.load() >= 2; }));
+  // Every probe bumps pc by Delta = l_ideal / l_nom.
+  EXPECT_GT(device.probes_received(), 0u);
+  EXPECT_EQ(device.probe_counter(),
+            device_config.delta() * device.probes_received());
+  // The adaptive delay stays within the configured band.
+  EXPECT_GE(cp.delta(), fast_sapp_cp().delta_min - 1e-9);
+  EXPECT_LE(cp.delta(), fast_sapp_cp().delta_max + 1e-9);
+  loop.stop();
+}
+
+TEST(AsyncRuntime, SilentDeviceDeclaredAbsentAndMonitoringStops) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+  std::atomic<int> absences{0};
+  std::atomic<double> absent_at{-1.0};
+  AsyncControlPointBase::Callbacks callbacks;
+  callbacks.on_absent = [&](net::NodeId dev, double t) {
+    EXPECT_EQ(dev, device.id());
+    absent_at.store(t);
+    ++absences;
+  };
+  AsyncDcppControlPoint cp(transport, device.id(), fast_dcpp_cp(), callbacks);
+
+  device.go_silent();
+  loop.post([&cp] { cp.start(); });
+  loop.start();
+
+  EXPECT_TRUE(eventually([&] { return absences.load() == 1; }));
+  EXPECT_FALSE(cp.device_considered_present());
+  EXPECT_EQ(cp.cycles_failed(), 1u);
+  EXPECT_EQ(cp.cycles_succeeded(), 0u);
+  // First probe + max_retransmissions retries, then silence.
+  const auto sent = cp.probes_sent();
+  EXPECT_EQ(sent, 1u + fast_timeouts().max_retransmissions);
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(cp.probes_sent(), sent) << "monitoring must stop on absence";
+  // Detection takes at least TOF + R*TOS of wall time.
+  EXPECT_GE(absent_at.load(),
+            fast_timeouts().tof +
+                fast_timeouts().max_retransmissions * fast_timeouts().tos -
+                1e-3);
+  loop.stop();
+}
+
+TEST(AsyncRuntime, StaleRepliesFromOlderCyclesAreIgnored) {
+  // A device that comes back mid-retransmission must not resurrect an
+  // older cycle: drive the CP against a device that goes silent for
+  // one full cycle, then answers again — counters must stay coherent.
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+  std::atomic<int> completed{0};
+  AsyncControlPointBase::Callbacks callbacks;
+  callbacks.on_cycle = [&completed](const AsyncControlPointBase::CycleInfo&) {
+    ++completed;
+  };
+  AsyncDcppControlPoint cp(transport, device.id(), fast_dcpp_cp(), callbacks);
+  loop.post([&cp] { cp.start(); });
+  loop.start();
+  EXPECT_TRUE(eventually([&] { return completed.load() >= 2; }));
+  device.go_silent();
+  std::this_thread::sleep_for(30ms);  // at least one retransmission
+  device.come_back();
+  EXPECT_TRUE(eventually([&] { return completed.load() >= 5; }));
+  EXPECT_TRUE(cp.device_considered_present());
+  EXPECT_EQ(cp.cycles_failed(), 0u);
+  loop.stop();
+}
+
+TEST(AsyncPresence, WatchUnwatchLifecycle) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+
+  telemetry::Registry registry;
+  AsyncPresenceService::TelemetryOptions telemetry_options;
+  telemetry_options.registry = &registry;
+  AsyncPresenceService service(transport, telemetry_options);
+
+  std::atomic<int> events{0};
+  std::atomic<int> present_events{0};
+  service.subscribe([&](const PresenceEvent& event) {
+    ++events;
+    if (event.state == Presence::kPresent) ++present_events;
+  });
+
+  loop.start();
+  service.watch_dcpp(device.id(), fast_dcpp_cp());  // off-loop: posts
+  EXPECT_TRUE(eventually([&] { return service.present(device.id()); }));
+  EXPECT_EQ(service.watch_count(), 1u);
+  EXPECT_GE(present_events.load(), 1);
+
+  const auto watches = service.snapshotWatches();
+  ASSERT_EQ(watches.size(), 1u);
+  EXPECT_EQ(watches[0].device, device.id());
+  EXPECT_EQ(watches[0].state, Presence::kPresent);
+  EXPECT_GT(watches[0].cycles_succeeded, 0u);
+  EXPECT_GT(watches[0].probes_sent, 0u);
+  EXPECT_GT(watches[0].next_probe_due, 0.0);
+
+  const auto stats = service.stats();
+  EXPECT_GT(stats.probes_sent, 0u);
+  EXPECT_GT(stats.cycles_succeeded, 0u);
+
+  // The p99 source must be populated by successful cycles.
+  ASSERT_NE(service.reply_latency(), nullptr);
+  EXPECT_GT(service.reply_latency()->count(), 0u);
+
+  service.unwatch(device.id());
+  EXPECT_TRUE(eventually([&] { return service.watch_count() == 0; }));
+  EXPECT_EQ(service.presence(device.id()), Presence::kUnknown);
+  loop.stop();
+}
+
+TEST(AsyncPresence, AbsenceTransitionReported) {
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  AsyncDcppDevice device(transport, fast_dcpp_device());
+  AsyncPresenceService service(transport);
+
+  std::atomic<int> absent_events{0};
+  service.subscribe([&](const PresenceEvent& event) {
+    if (event.state == Presence::kAbsent) ++absent_events;
+  });
+  loop.start();
+  service.watch_dcpp(device.id(), fast_dcpp_cp());
+  EXPECT_TRUE(eventually([&] { return service.present(device.id()); }));
+
+  device.go_silent();
+  EXPECT_TRUE(eventually([&] { return absent_events.load() == 1; }));
+  EXPECT_EQ(service.presence(device.id()), Presence::kAbsent);
+  EXPECT_GE(service.stats().cycles_failed, 1u);
+  loop.stop();
+}
+
+TEST(AsyncPresence, TwoHundredEndpointSmoke) {
+  // The scale shape of bench_rt_scale in miniature: one loop thread,
+  // one socket, 200 devices + 200 control points, everyone present.
+  EventLoop loop;
+  AsyncUdpTransport transport(loop);
+  constexpr int kEndpoints = 200;
+  std::vector<std::unique_ptr<AsyncDcppDevice>> devices;
+  devices.reserve(kEndpoints);
+  for (int i = 0; i < kEndpoints; ++i) {
+    devices.push_back(
+        std::make_unique<AsyncDcppDevice>(transport, fast_dcpp_device()));
+  }
+  telemetry::Registry registry;
+  AsyncPresenceService::TelemetryOptions telemetry_options;
+  telemetry_options.registry = &registry;
+  AsyncPresenceService service(transport, telemetry_options);
+
+  // Watch the whole fleet before starting the loop (direct path), with
+  // start jitter spreading first probes across one d_min.
+  for (int i = 0; i < kEndpoints; ++i) {
+    service.watch_dcpp(devices[static_cast<std::size_t>(i)]->id(),
+                       fast_dcpp_cp(),
+                       0.02 * i / kEndpoints);
+  }
+  EXPECT_EQ(service.watch_count(), static_cast<std::size_t>(kEndpoints));
+  loop.start();
+
+  auto present_count = [&service] {
+    std::size_t present = 0;
+    for (const auto& info : service.snapshotWatches()) {
+      if (info.state == Presence::kPresent) ++present;
+    }
+    return present;
+  };
+  EXPECT_TRUE(eventually(
+      [&] { return present_count() == static_cast<std::size_t>(kEndpoints); },
+      5000ms));
+  EXPECT_GE(service.stats().cycles_succeeded,
+            static_cast<std::uint64_t>(kEndpoints));
+  EXPECT_EQ(transport.recv_error_count(), 0u);
+  EXPECT_EQ(transport.unroutable_count(), 0u);
+  loop.stop();
+}
+
+}  // namespace
+}  // namespace probemon::runtime

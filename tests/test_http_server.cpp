@@ -92,6 +92,48 @@ TEST(HttpServer, StartStopRestartIsClean) {
   EXPECT_NE(server.port(), 0);
 }
 
+TEST(HttpServer, RestartOnFixedPortWithAcceptAccounting) {
+  // Grab an ephemeral port, release it, and rebind it with a second
+  // server — the bind-retry + SO_REUSEADDR path a restarting collector
+  // on a pinned port exercises.
+  std::uint16_t port = 0;
+  {
+    HttpServer first;
+    first.start();
+    port = first.port();
+    first.stop();
+  }
+
+  HttpServer::Config config;
+  config.port = port;
+  HttpServer server(config);
+  Registry registry;
+  server.instrument(registry);
+  server.handle("/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+  server.start();
+  EXPECT_EQ(server.port(), port);
+  EXPECT_EQ(body_of(http_get(server.port(), "/ping")), "pong\n");
+  EXPECT_GE(server.connections_accepted(), 1u);
+  EXPECT_EQ(server.connections_shed(), 0u);
+  EXPECT_EQ(server.accept_backlog(), 0u);
+
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("probemon_http_accept_backlog"), std::string::npos);
+  EXPECT_NE(text.find("probemon_http_connections_accepted_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("probemon_http_connections_shed_total"),
+            std::string::npos);
+
+  // Same object, same pinned port, straight back up.
+  server.stop();
+  server.start();
+  EXPECT_EQ(server.port(), port);
+  EXPECT_EQ(body_of(http_get(server.port(), "/ping")), "pong\n");
+  server.stop();
+}
+
 TEST(HttpServer, MetricsRouteServesPrometheusGolden) {
   Registry registry;
   registry.counter("probemon_watch_cycles_total", "Completed cycles",
@@ -321,8 +363,12 @@ TEST(HttpRoutes, WatchesAndHealthzOverLiveService) {
   runtime::PresenceService service(transport, wiring);
 
   HttpServer server;
-  runtime::register_observability_routes(
-      server, {&registry, &tracer, &service, &auditor});
+  runtime::ObservabilitySources sources;
+  sources.registry = &registry;
+  sources.tracer = &tracer;
+  sources.service = &service;
+  sources.auditor = &auditor;
+  runtime::register_observability_routes(server, sources);
   server.start();
 
   core::DcppCpConfig cp_config;

@@ -28,6 +28,14 @@ absolute timings.
 Footprint gating is the mirror image: --lower-is-better REGEX gates
 matching keys (e.g. bytes_per_entity) one-sided against *increases*;
 shrinking never fails. Both one-sided classes are exempt from --ignore.
+
+Per-key thresholds: --max-regress-pct 'REGEX=PCT' (repeatable)
+overrides --threshold for keys matching REGEX -- the first matching
+override wins. Latency keys are noisier than throughput keys, so a
+perf gate can hold throughput to 40% while giving p99 latency 300%:
+
+    --higher-is-better 'probes_per_s$' --threshold 40 \\
+    --max-regress-pct 'p99_reply_latency_s$=300'
 """
 
 import argparse
@@ -71,12 +79,37 @@ def fmt(value):
     return str(value)
 
 
+def parse_overrides(specs):
+    """Parse repeated 'REGEX=PCT' --max-regress-pct specs, in order."""
+    overrides = []
+    for spec in specs or []:
+        regex, sep, pct = spec.rpartition("=")
+        if not sep or not regex:
+            raise SystemExit(
+                f"bench_diff: bad --max-regress-pct '{spec}' "
+                "(expected REGEX=PCT)")
+        try:
+            overrides.append((re.compile(regex), float(pct)))
+        except (re.error, ValueError) as err:
+            raise SystemExit(
+                f"bench_diff: bad --max-regress-pct '{spec}' ({err})")
+    return overrides
+
+
+def threshold_for(key, overrides, default):
+    for regex, pct in overrides:
+        if regex.search(key):
+            return pct
+    return default
+
+
 def diff_file(name, base, cur, args, report):
     failures = 0
     keys = sorted(set(base) | set(cur))
     ignore = re.compile(args.ignore) if args.ignore else None
     hib = re.compile(args.higher_is_better) if args.higher_is_better else None
     lib = re.compile(args.lower_is_better) if args.lower_is_better else None
+    overrides = parse_overrides(args.max_regress_pct)
     for key in keys:
         if key == "experiment":
             continue
@@ -122,10 +155,13 @@ def diff_file(name, base, cur, args, report):
             signed = -pct         # a decrease is a regression
         else:
             signed = abs(pct)
-        exceeded = signed > args.threshold
+        limit = threshold_for(key, overrides, args.threshold)
+        exceeded = signed > limit
         if math.isnan(pct) or exceeded:
+            limit_note = (f", limit {limit:g}%"
+                          if limit != args.threshold else "")
             report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
-                          f"({pct:+.2f}%)  FAIL")
+                          f"({pct:+.2f}%{limit_note})  FAIL")
             failures += 1
         elif args.verbose and delta != 0:
             report.append(f"  {name}:{key}: {fmt(b)} -> {fmt(c)} "
@@ -153,6 +189,11 @@ def main():
                         help="regex of keys gated one-sided the other way: "
                              "fail only on an increase beyond the threshold "
                              "(footprint metrics; exempt from --ignore)")
+    parser.add_argument("--max-regress-pct", action="append", default=[],
+                        metavar="REGEX=PCT",
+                        help="per-key threshold override (repeatable; first "
+                             "matching REGEX wins) -- lets latency keys gate "
+                             "looser than throughput keys")
     parser.add_argument("--verbose", action="store_true",
                         help="also print in-threshold changes")
     args = parser.parse_args()

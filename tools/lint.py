@@ -14,7 +14,9 @@ Rules (suppress a line with ``NOLINT(<rule>)`` plus a reason comment):
                      sampling and alert evaluation are caller-clocked
                      (sample(t)/evaluate(t)) so DES runs replay
                      byte-identically; wall-clock driving belongs in
-                     runtime::HistoryTicker.
+                     runtime::HistoryTicker. The one sanctioned
+                     monotonic seam — src/des/wall_clock.* — is
+                     allowlisted via WALL_CLOCK_EXEMPT below.
   no-naked-new       Ownership is expressed with std::make_unique /
                      std::make_shared / containers; a naked `new`
                      expression leaks on exception paths.
@@ -93,9 +95,21 @@ WALL_CLOCK_PATTERNS = [
      "time() (use the simulation clock)"),
     (re.compile(r"\bclock\s*\(\s*\)"), "clock() (use the simulation clock)"),
     (re.compile(r"\bgettimeofday\b"), "gettimeofday (use the simulation clock)"),
+    (re.compile(r"\bclock_gettime\b"),
+     "clock_gettime (use the simulation clock)"),
     (re.compile(r"std::chrono::(?:system|steady|high_resolution)_clock"),
      "std::chrono clock (use the simulation clock)"),
 ]
+
+# no-wall-clock allowlist: the single sanctioned monotonic-time seam.
+# src/des/wall_clock.* exists precisely to re-clock the DES timer wheel
+# off CLOCK_MONOTONIC for the real-time reactor; everything else in the
+# zone stays caller-clocked. Matched with endswith() so the ci.sh
+# self-test can exercise it on a scratch tree.
+WALL_CLOCK_EXEMPT = (
+    "src/des/wall_clock.hpp",
+    "src/des/wall_clock.cpp",
+)
 
 NAKED_NEW = re.compile(r"(?<![\w.>])new\s+(?:\(\s*std::nothrow\s*\)\s*)?[A-Za-z_]")
 PLACEMENT_NEW = re.compile(r"new\s*\(")  # placement new is not ownership
@@ -148,7 +162,8 @@ NOLINT = re.compile(r"NOLINT\(([^)]*)\)")
 RULES = {
     "no-wall-clock":
         "no rand()/time()/chrono clocks in src/des + src/core + "
-        "src/telemetry/{history,alerts}",
+        "src/telemetry/{history,alerts} (src/des/wall_clock.* is the "
+        "allowlisted monotonic seam)",
     "no-naked-new": "no naked new expressions (use make_unique/containers)",
     "counter-registry": "telemetry metrics must come from the Registry",
     "pragma-once": "headers start with #pragma once",
@@ -216,8 +231,9 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[Finding]:
     # reading a clock there would silently fork DES and wall-clock
     # behavior. They are NOT in deterministic_zone: string-keyed
     # registry access is fine in query-path code.
-    wallclock_zone = deterministic_zone or (
+    wallclock_zone = (deterministic_zone or (
         "telemetry" in parts and ("history" in parts or "alerts" in parts))
+    ) and not any(rel.as_posix().endswith(e) for e in WALL_CLOCK_EXEMPT)
     callback_zone = deterministic_zone or (
         "src" in parts and "scenario" in parts)
     hot_path = "src" in parts and "core" in parts and rel.name in HOT_PATH_FILES
